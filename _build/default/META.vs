@@ -1,0 +1,148 @@
+package "bytecode" (
+  directory = "bytecode"
+  description = ""
+  requires = "fmt vs.jsfront vs.runtime"
+  archive(byte) = "bytecode.cma"
+  archive(native) = "bytecode.cmxa"
+  plugin(byte) = "bytecode.cma"
+  plugin(native) = "bytecode.cmxs"
+)
+package "engine" (
+  directory = "engine"
+  description = ""
+  requires =
+  "fmt
+   vs.bytecode
+   vs.interp
+   vs.jsfront
+   vs.lir
+   vs.mir
+   vs.native
+   vs.opt
+   vs.runtime"
+  archive(byte) = "engine.cma"
+  archive(native) = "engine.cmxa"
+  plugin(byte) = "engine.cma"
+  plugin(native) = "engine.cmxs"
+)
+package "fuzz" (
+  directory = "fuzz"
+  description = ""
+  requires =
+  "vs.bytecode
+   vs.engine
+   vs.interp
+   vs.jsfront
+   vs.lir
+   vs.mir
+   vs.native
+   vs.opt
+   vs.runtime
+   vs.support"
+  archive(byte) = "fuzz.cma"
+  archive(native) = "fuzz.cmxa"
+  plugin(byte) = "fuzz.cma"
+  plugin(native) = "fuzz.cmxs"
+)
+package "harness" (
+  directory = "harness"
+  description = ""
+  requires =
+  "fmt
+   vs.bytecode
+   vs.engine
+   vs.interp
+   vs.jsfront
+   vs.lir
+   vs.mir
+   vs.native
+   vs.opt
+   vs.runtime
+   vs.support
+   vs.workloads"
+  archive(byte) = "harness.cma"
+  archive(native) = "harness.cmxa"
+  plugin(byte) = "harness.cma"
+  plugin(native) = "harness.cmxs"
+)
+package "interp" (
+  directory = "interp"
+  description = ""
+  requires = "vs.bytecode vs.runtime"
+  archive(byte) = "interp.cma"
+  archive(native) = "interp.cmxa"
+  plugin(byte) = "interp.cma"
+  plugin(native) = "interp.cmxs"
+)
+package "jsfront" (
+  directory = "jsfront"
+  description = ""
+  requires = "fmt vs.support"
+  archive(byte) = "jsfront.cma"
+  archive(native) = "jsfront.cmxa"
+  plugin(byte) = "jsfront.cma"
+  plugin(native) = "jsfront.cmxs"
+)
+package "lir" (
+  directory = "lir"
+  description = ""
+  requires = "fmt vs.bytecode vs.mir vs.runtime"
+  archive(byte) = "lir.cma"
+  archive(native) = "lir.cmxa"
+  plugin(byte) = "lir.cma"
+  plugin(native) = "lir.cmxs"
+)
+package "mir" (
+  directory = "mir"
+  description = ""
+  requires = "fmt vs.bytecode vs.runtime"
+  archive(byte) = "mirlib.cma"
+  archive(native) = "mirlib.cmxa"
+  plugin(byte) = "mirlib.cma"
+  plugin(native) = "mirlib.cmxs"
+)
+package "native" (
+  directory = "native"
+  description = ""
+  requires = "fmt vs.bytecode vs.lir vs.mir vs.runtime"
+  archive(byte) = "native.cma"
+  archive(native) = "native.cmxa"
+  plugin(byte) = "native.cma"
+  plugin(native) = "native.cmxs"
+)
+package "opt" (
+  directory = "opt"
+  description = ""
+  requires = "fmt vs.bytecode vs.mir vs.runtime"
+  archive(byte) = "opt.cma"
+  archive(native) = "opt.cmxa"
+  plugin(byte) = "opt.cma"
+  plugin(native) = "opt.cmxs"
+)
+package "runtime" (
+  directory = "runtime"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "runtime.cma"
+  archive(native) = "runtime.cmxa"
+  plugin(byte) = "runtime.cma"
+  plugin(native) = "runtime.cmxs"
+)
+package "support" (
+  directory = "support"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "support.cma"
+  archive(native) = "support.cmxa"
+  plugin(byte) = "support.cma"
+  plugin(native) = "support.cmxs"
+)
+package "workloads" (
+  directory = "workloads"
+  description = ""
+  requires = "fmt vs.bytecode vs.jsfront vs.runtime vs.support"
+  archive(byte) = "workloads.cma"
+  archive(native) = "workloads.cmxa"
+  plugin(byte) = "workloads.cma"
+  plugin(native) = "workloads.cmxs"
+)

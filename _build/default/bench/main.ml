@@ -1,0 +1,258 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (deterministic model-cycle measurements through the experiment drivers)
+   and then takes Bechamel wall-clock measurements of the VM itself — one
+   Test.make per table/figure driver plus ablation benches for the design
+   choices DESIGN.md calls out.
+
+     dune exec bench/main.exe             # tables + ablations + wall-clock
+     dune exec bench/main.exe -- tables   # only the paper tables
+     dune exec bench/main.exe -- wall     # only the Bechamel measurements *)
+
+open Bechamel
+open Toolkit
+
+let quiet f =
+  let saved = !Runtime.Builtins.print_hook in
+  Runtime.Builtins.print_hook := ignore;
+  Fun.protect ~finally:(fun () -> Runtime.Builtins.print_hook := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures (model cycles)               *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables () =
+  print_endline "==================================================================";
+  print_endline " Figures 1, 2 and 4 (web)";
+  print_endline "==================================================================";
+  Fig_web.print (Fig_web.run ());
+  print_endline "\n==================================================================";
+  print_endline " Figure 3 and Figure 4 (benchmark suites)";
+  print_endline "==================================================================";
+  Fig_suite_calls.print (Fig_suite_calls.run ());
+  print_endline "\n==================================================================";
+  print_endline " Figure 9 (runtime speedup and compilation overhead)";
+  print_endline "==================================================================";
+  Fig_speedup.print (Fig_speedup.run ());
+  print_endline "\n==================================================================";
+  print_endline " Figure 10 (code size) and the web code-size study";
+  print_endline "==================================================================";
+  Fig_codesize.print (Fig_codesize.run_suites ()) (Fig_codesize.run_sites ());
+  print_endline "\n==================================================================";
+  print_endline " Section 4: specialization policy and recompilations";
+  print_endline "==================================================================";
+  Fig_policy.print (Fig_policy.run ());
+  print_newline ();
+  Fig_recompile.print (Fig_recompile.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: ablations over the cost model (DESIGN.md design choices)    *)
+(* ------------------------------------------------------------------ *)
+
+let member_of suite_name member_name =
+  let suite = Option.get (Suites.find suite_name) in
+  List.find (fun (m : Suite.member) -> m.Suite.m_name = member_name) suite.Suite.members
+
+let cycles opt (m : Suite.member) =
+  quiet (fun () ->
+      (Engine.run_source (Engine.default_config ~opt ()) m.Suite.m_source)
+        .Engine.total_cycles)
+
+let print_ablations () =
+  let pct base v =
+    Support.Stats.percent_change ~base:(float_of_int base) ~v:(float_of_int v)
+  in
+  print_endline "\n==================================================================";
+  print_endline
+    " Ablations (model cycles; positive % = variant costs more than PS+CP+DCE)";
+  print_endline "==================================================================";
+  let bench_row name m pairs =
+    let base = cycles Pipeline.best m in
+    Printf.printf "%-34s PS+CP+DCE = %d cycles\n" name base;
+    List.iter
+      (fun (label, opt) ->
+        let v = cycles opt m in
+        Printf.printf "  %-32s %10d  (%+.2f%%)\n" label v (pct v base))
+      pairs
+  in
+  (* Store-conservative alias rule vs the precise rule (§4's explanation of
+     why the paper's BCE rarely paid off). *)
+  bench_row "bce alias rule (imaging-desaturate)"
+    (member_of "kraken 1.1" "imaging-desaturate")
+    [
+      ("conservative BCE", Pipeline.make ~ps:true ~cp:true ~dce:true ~bce:true "a");
+      ( "precise-alias BCE",
+        Pipeline.make ~ps:true ~cp:true ~dce:true ~bce:true ~precise_alias:true "b" );
+      ( "precise + overflow elim (S6)",
+        Pipeline.make ~ps:true ~cp:true ~dce:true ~bce:true ~precise_alias:true
+          ~overflow_elim:true "c" );
+    ];
+  (* §3.3's algorithm choice: the paper uses Aho's branch-insensitive
+     constant propagation "for compile-time economy"; the Sccp pass
+     measures what Wegman-Zadeck conditional propagation would add. *)
+  bench_row "constprop algorithm (richards)"
+    (member_of "v8 version 6" "richards")
+    [
+      ("Aho (paper §3.3)", Pipeline.make ~ps:true ~cp:true ~dce:true "h");
+      ("Wegman-Zadeck SCCP", Pipeline.make ~ps:true ~sccp:true ~dce:true "i");
+    ];
+  (* The baseline passes the whole study stands on. *)
+  bench_row "baseline passes (bits-in-byte)"
+    (member_of "sunspider 1.0" "bitops-bits-in-byte")
+    [
+      ("without GVN", Pipeline.make ~ps:true ~cp:true ~dce:true ~gvn:false "d");
+      ("without LICM", Pipeline.make ~ps:true ~cp:true ~dce:true ~licm:false "e");
+      ("with loop inversion", Pipeline.make ~ps:true ~cp:true ~dce:true ~li:true "f");
+      ( "with loop unrolling (S6)",
+        Pipeline.make ~ps:true ~cp:true ~dce:true ~loop_unroll:true "g" );
+    ];
+  (* S6's cache-size tradeoff: "we cache only one binary per function...
+     more experiments are necessary to confirm this hypothesis". The
+     md5 mixers see always-different arguments, so extra cache entries only
+     delay the inevitable deoptimization; crypto (two alternating argument
+     shapes in its driver) can profit. *)
+  print_endline "\nspecialization cache size (S6 future work):";
+  List.iter
+    (fun (sname, mname) ->
+      let m = member_of sname mname in
+      Printf.printf "  %-26s" mname;
+      List.iter
+        (fun k ->
+          let cfg = Engine.default_config ~opt:Pipeline.all_on ~cache_size:k () in
+          let r =
+            quiet (fun () -> Engine.run_source cfg m.Suite.m_source)
+          in
+          Printf.printf "  k=%d: %9d (deopt %d)" k r.Engine.total_cycles
+            r.Engine.deoptimized_funcs)
+        [ 1; 2; 4 ];
+      print_newline ())
+    [ ("sunspider 1.0", "crypto-md5"); ("v8 version 6", "crypto") ];
+  (* Selective specialization (extension): on mixed-stability call sites the
+     paper's policy deoptimizes and blacklists, a k-entry cache thrashes,
+     and selective narrowing keeps the stable arguments burned in. richards
+     passes stable task closures next to per-packet state; the web workloads
+     are the paper's §2 motivation with exactly this profile. *)
+  print_endline "\ndeoptimization policy on mixed-stability arguments:";
+  let policies =
+    [
+      ("one-entry (paper §4)", Engine.default_config ~opt:Pipeline.all_on ());
+      ("4-entry cache (§6)", Engine.default_config ~opt:Pipeline.all_on ~cache_size:4 ());
+      ( "selective (extension)",
+        Engine.default_config ~opt:Pipeline.all_on ~selective:true () );
+    ]
+  in
+  List.iter
+    (fun (sname, mname) ->
+      let m = member_of sname mname in
+      Printf.printf "  %-26s" mname;
+      List.iter
+        (fun (label, cfg) ->
+          let r = quiet (fun () -> Engine.run_source cfg m.Suite.m_source) in
+          Printf.printf "  %s: %9d (deopt %d, compiles %d)" label r.Engine.total_cycles
+            r.Engine.deoptimized_funcs r.Engine.compilations)
+        policies;
+      print_newline ())
+    [ ("v8 version 6", "richards"); ("sunspider 1.0", "crypto-md5") ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel wall-clock benches                                 *)
+(* ------------------------------------------------------------------ *)
+
+let engine_test name opt (m : Suite.member) =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         quiet (fun () ->
+             ignore (Engine.run_source (Engine.default_config ~opt ()) m.Suite.m_source))))
+
+let compile_test name ~spec =
+  (* Wall-clock cost of one full compilation (build -> passes -> lowering ->
+     regalloc) of the paper's running example. *)
+  let source =
+    "function map(s, b, n, f) { var i = b; while (i < n) { s[i] = f(s[i]); i++; } \
+     return s; }"
+  in
+  let program = Bytecode.Compile.program_of_source source in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let spec_args =
+    if spec then
+      Some
+        [|
+          Runtime.Value.Arr (Runtime.Value.new_arr 8);
+          Runtime.Value.Int 0; Runtime.Value.Int 8;
+          Runtime.Value.Native_fun "Math.floor";
+        |]
+    else None
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let f = Builder.build ~program ~func ?spec_args () in
+         ignore (Pipeline.apply ~program Pipeline.all_on f);
+         ignore (Regalloc.run (Lower.run f))))
+
+let wall_tests () =
+  Test.make_grouped ~name:"vs" ~fmt:"%s.%s"
+    [
+      (* One wall-clock series per paper artifact family. *)
+      engine_test "fig9_sunspider_bitsinbyte_base" Pipeline.baseline
+        (member_of "sunspider 1.0" "bitops-bits-in-byte");
+      engine_test "fig9_sunspider_bitsinbyte_spec" Pipeline.best
+        (member_of "sunspider 1.0" "bitops-bits-in-byte");
+      engine_test "fig9_sunspider_unpack_base" Pipeline.baseline
+        (member_of "sunspider 1.0" "string-unpack-code");
+      engine_test "fig9_sunspider_unpack_spec" Pipeline.best
+        (member_of "sunspider 1.0" "string-unpack-code");
+      engine_test "fig9_v8_earleyboyer_base" Pipeline.baseline
+        (member_of "v8 version 6" "earley-boyer");
+      engine_test "fig9_v8_earleyboyer_spec" Pipeline.best
+        (member_of "v8 version 6" "earley-boyer");
+      engine_test "fig9_kraken_desaturate_base" Pipeline.baseline
+        (member_of "kraken 1.1" "imaging-desaturate");
+      engine_test "fig9_kraken_desaturate_spec" Pipeline.best
+        (member_of "kraken 1.1" "imaging-desaturate");
+      (* Figure 9(c,d): compilation time itself. *)
+      compile_test "fig9cd_compile_generic" ~spec:false;
+      compile_test "fig9cd_compile_specialized" ~spec:true;
+      (* Figures 1/2/4: the workload generator. *)
+      Test.make ~name:"fig1_2_4_web_session"
+        (Staged.stage (fun () -> ignore (Web.session ~seed:1 ~nfunctions:4000)));
+      (* Figure 10: code-size measurement of one site program. *)
+      Test.make ~name:"fig10_site_program"
+        (Staged.stage (fun () ->
+             quiet (fun () ->
+                 ignore
+                   (Engine.run_source
+                      (Engine.default_config ~opt:Pipeline.all_on ())
+                      (Web.synthetic_site ~seed:1 Web.google)))));
+    ]
+
+let run_wall () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (wall_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "\n==================================================================";
+  print_endline " Bechamel wall-clock (ns per run, OLS on monotonic clock)";
+  print_endline "==================================================================";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string (Support.Table.render ~header:[ "bench"; "ns/run"; "r2" ] ~rows ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want x = args = [] || List.mem x args in
+  if want "tables" then print_tables ();
+  if want "ablations" then print_ablations ();
+  if want "wall" then run_wall ()

@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Fig_codesize Fig_policy Fig_recompile Fig_speedup Fig_suite_calls Fig_web List Printf String Sys

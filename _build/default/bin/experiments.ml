@@ -1,0 +1,50 @@
+(* vs-experiments: regenerate the paper's figures and tables.
+
+     vs-experiments fig1 fig2   # web histograms
+     vs-experiments fig9        # the optimization grid
+     vs-experiments all         # everything, in paper order *)
+
+let known = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig9"; "fig10"; "policy"; "recomp" ]
+
+let run_one name =
+  match name with
+  | "fig1" | "fig2" | "fig4" ->
+    (* The three web artifacts come from one session simulation; print the
+       combined table once per invocation group. *)
+    Fig_web.print (Fig_web.run ())
+  | "fig3" -> Fig_suite_calls.print (Fig_suite_calls.run ())
+  | "fig9" -> Fig_speedup.print (Fig_speedup.run ())
+  | "fig10" -> Fig_codesize.print (Fig_codesize.run_suites ()) (Fig_codesize.run_sites ())
+  | "policy" -> Fig_policy.print (Fig_policy.run ())
+  | "recomp" -> Fig_recompile.print (Fig_recompile.run ())
+  | other ->
+    Printf.eprintf "unknown experiment %S (known: %s)\n" other (String.concat " " known);
+    exit 2
+
+let dedup names =
+  (* fig1/fig2/fig4 share one driver; avoid printing it three times. *)
+  let seen_web = ref false in
+  List.filter
+    (fun n ->
+      match n with
+      | "fig1" | "fig2" | "fig4" ->
+        if !seen_web then false
+        else begin
+          seen_web := true;
+          true
+        end
+      | _ -> true)
+    names
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names =
+    match args with
+    | [] | [ "all" ] -> [ "fig1"; "fig3"; "fig9"; "fig10"; "policy"; "recomp" ]
+    | names -> names
+  in
+  List.iteri
+    (fun i name ->
+      if i > 0 then print_newline ();
+      run_one name)
+    (dedup names)

@@ -1,0 +1,209 @@
+(* jsvm: run a MiniJS file under the VM.
+
+   Examples:
+     jsvm program.js                       # JIT with the baseline pipeline
+     jsvm --no-jit program.js              # pure interpretation
+     jsvm --spec program.js                # value specialization (all opts)
+     jsvm --config PS+CP+DCE program.js    # a specific Figure 9 column
+     jsvm --stats program.js               # engine report after the run *)
+
+let find_config name =
+  if String.lowercase_ascii name = "baseline" then Some Pipeline.baseline
+  else
+    List.find_opt
+      (fun c -> String.lowercase_ascii c.Pipeline.name = String.lowercase_ascii name)
+      Pipeline.figure9_configs
+
+(* Per-opcode execution profile over the native code, via the executor's
+   trace hook. *)
+let profile_table () =
+  let counts : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let record (n : Code.ninstr) =
+    let key =
+      match n with
+      | Code.Op { op; _ } -> Code.op_to_string op
+      | Code.Jump _ -> "jmp"
+      | Code.Branch _ -> "brt"
+      | Code.Ret _ -> "ret"
+    in
+    let count, cycles = Option.value (Hashtbl.find_opt counts key) ~default:(0, 0) in
+    Hashtbl.replace counts key (count + 1, cycles + Cost.instr n)
+  in
+  let dump () =
+    let rows =
+      Hashtbl.fold (fun k (c, cy) acc -> (cy, [ k; string_of_int c; string_of_int cy ]) :: acc)
+        counts []
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> List.map snd
+    in
+    print_string
+      (Support.Table.render ~header:[ "native op"; "executed"; "cycles" ] ~rows ())
+  in
+  (record, dump)
+
+let run_file path no_jit spec selective cache_size config_name stats dump_bytecode dump_mir
+    profile check =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  if check then begin
+    (* Differential mode: run under the interpreter and every JIT
+       configuration (including the selective / k-entry-cache / SCCP
+       extensions) and report the first disagreement. *)
+    match Fuzz_diff.check src with
+    | None ->
+      Printf.printf "ok: interpreter and %d configurations agree\n"
+        (List.length Fuzz_diff.default_configs);
+      exit 0
+    | Some m ->
+      Printf.printf "MISMATCH under %s\n-- interpreter --\n%s-- %s --\n%s" m.Fuzz_diff.mm_config
+        m.Fuzz_diff.mm_expected m.Fuzz_diff.mm_config m.Fuzz_diff.mm_got;
+      exit 1
+  end;
+  let opt =
+    match config_name with
+    | Some name -> (
+      match find_config name with
+      | Some c -> c
+      | None ->
+        prerr_endline
+          ("unknown config: " ^ name ^ " (expected 'baseline' or a Figure 9 column name)");
+        exit 2)
+    | None -> if spec || selective then Pipeline.all_on else Pipeline.baseline
+  in
+  let cfg =
+    { (Engine.default_config ~opt ~cache_size ~selective ()) with Engine.jit = not no_jit }
+  in
+  match Bytecode.Compile.program_of_source src with
+  | exception Jsfront.Lexer.Error (pos, msg) ->
+    Printf.eprintf "%s:%s: lexical error: %s\n" path (Jsfront.Pos.to_string pos) msg;
+    exit 1
+  | exception Jsfront.Parser.Error (pos, msg) ->
+    Printf.eprintf "%s:%s: syntax error: %s\n" path (Jsfront.Pos.to_string pos) msg;
+    exit 1
+  | exception Bytecode.Compile.Error msg ->
+    Printf.eprintf "%s: compile error: %s\n" path msg;
+    exit 1
+  | program -> (
+    if dump_bytecode then print_endline (Bytecode.Program.disassemble program);
+    if dump_mir then
+      Engine.mir_hook :=
+        Some
+          (fun f ->
+            Printf.printf "-- optimized MIR (%s%s) --\n"
+              f.Mir.source.Bytecode.Program.name
+              (if f.Mir.specialized_args <> None then ", specialized" else "");
+            print_string (Mir.to_string f));
+    let dump_profile =
+      if profile then begin
+        let record, dump = profile_table () in
+        Exec.trace_hook := Some record;
+        Some dump
+      end
+      else None
+    in
+    match Engine.run_program cfg program with
+    | exception Engine.Runtime_error msg ->
+      Printf.eprintf "%s: runtime error: %s\n" path msg;
+      exit 1
+    | report ->
+      Option.iter
+        (fun dump ->
+          Exec.trace_hook := None;
+          print_endline "-- native execution profile --";
+          dump ())
+        dump_profile;
+      if stats then begin
+        Printf.printf "-- engine report (%s%s) --\n" opt.Pipeline.name
+          (if no_jit then ", jit off" else "");
+        Printf.printf "cycles: total=%d interp=%d native=%d compile=%d\n"
+          report.Engine.total_cycles report.Engine.interp_cycles
+          report.Engine.native_cycles report.Engine.compile_cycles;
+        Printf.printf
+          "compilations=%d recompilations=%d specialized=%d successful=%d deoptimized=%d\n"
+          report.Engine.compilations report.Engine.recompilations
+          report.Engine.specialized_funcs report.Engine.successful_funcs
+          report.Engine.deoptimized_funcs;
+        List.iter
+          (fun (f : Engine.func_report) ->
+            if f.Engine.fr_compiles > 0 then
+              Printf.printf "  %-24s calls=%-6d compiles=%d bailouts=%d%s%s sizes=[%s]\n"
+                f.Engine.fr_name f.Engine.fr_calls f.Engine.fr_compiles
+                f.Engine.fr_bailouts
+                (if f.Engine.fr_was_specialized then " specialized" else "")
+                (if f.Engine.fr_deoptimized then " deoptimized" else "")
+                (String.concat ";"
+                   (List.map
+                      (fun (s, n) -> Printf.sprintf "%s%d" (if s then "spec:" else "gen:") n)
+                      f.Engine.fr_sizes)))
+          report.Engine.functions
+      end)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniJS source file")
+
+let no_jit = Arg.(value & flag & info [ "no-jit" ] ~doc:"Interpret only; never compile.")
+
+let spec =
+  Arg.(
+    value & flag
+    & info [ "spec" ]
+        ~doc:"Enable parameter-based value specialization with every optimization.")
+
+let selective =
+  Arg.(
+    value & flag
+    & info [ "selective" ]
+        ~doc:
+          "Selective specialization: burn in only arguments observed value-stable; \
+           implies --spec unless --config overrides the pipeline.")
+
+let cache_size =
+  Arg.(
+    value & opt int 1
+    & info [ "cache-size" ] ~docv:"K"
+        ~doc:
+          "Specialized binaries cached per function (the paper uses 1; larger values \
+           are the section-6 extension).")
+
+let config_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config" ] ~docv:"NAME"
+        ~doc:"Optimization configuration: 'baseline' or a Figure 9 column, e.g. PS+CP+DCE.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the engine report after the run.")
+
+let dump_bytecode =
+  Arg.(value & flag & info [ "dump-bytecode" ] ~doc:"Disassemble the program before running.")
+
+let dump_mir =
+  Arg.(
+    value & flag
+    & info [ "dump-mir" ]
+        ~doc:"Print each function's optimized MIR graph as it is compiled.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Differential check: run the program under the interpreter and every JIT \
+           configuration and report the first disagreement (exit 1).")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Print a per-opcode execution profile of the compiled code after the run.")
+
+let cmd =
+  let doc = "Run MiniJS programs under a JIT with parameter-based value specialization" in
+  Cmd.v
+    (Cmd.info "jsvm" ~version:"1.0" ~doc)
+    Term.(
+      const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size $ config_name
+      $ stats $ dump_bytecode $ dump_mir $ profile $ check)
+
+let () = exit (Cmd.eval cmd)

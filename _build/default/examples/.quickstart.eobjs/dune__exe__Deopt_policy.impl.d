@@ -1,0 +1,1 @@
+examples/deopt_policy.ml: Engine List Pipeline Printf

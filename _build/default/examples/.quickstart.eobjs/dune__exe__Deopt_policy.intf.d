@@ -1,0 +1,1 @@
+examples/deopt_policy.mli:

@@ -1,0 +1,1 @@
+examples/map_inc.ml: Array Bounds_check Builder Bytecode Code Constprop Dce Engine Gvn Inline List Loop_inversion Lower Mir Pipeline Printf Regalloc Runtime Typer Value Verify

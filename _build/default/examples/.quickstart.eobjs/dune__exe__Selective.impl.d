@@ -1,0 +1,1 @@
+examples/selective.ml: Engine List Pipeline Printf String

@@ -1,0 +1,1 @@
+examples/web_session.ml: Engine List Pipeline Printf Runtime Web

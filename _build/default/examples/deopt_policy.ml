@@ -1,0 +1,64 @@
+(* The specialization policy of the paper's Section 4, step by step:
+
+   1. a function becomes hot and is compiled specialized to its arguments;
+   2. calls with the same arguments reuse the cached binary (win-win);
+   3. a call with different arguments discards the binary, recompiles
+      generic code immediately, and blacklists the function;
+   4. guard failures in generic code bail out to the interpreter.
+
+     dune exec examples/deopt_policy.exe *)
+
+let source =
+  {|
+function classify(x) {
+  if (typeof x == "number") return x < 0 ? "neg" : "pos";
+  if (typeof x == "string") return "str";
+  return "other";
+}
+
+// Phase 1: many calls with the same argument -> specialized and cached.
+var hits = 0;
+for (var i = 0; i < 50; i++) {
+  if (classify(42) == "pos") hits++;
+}
+
+// Phase 2: one call with a different argument -> deopt, recompile generic.
+var s = classify("hello");
+
+// Phase 3: keeps running generically, never re-specializes.
+for (var i = 0; i < 50; i++) {
+  classify(i - 25);
+}
+
+print(hits, s);
+|}
+
+let () =
+  let config = Engine.default_config ~opt:Pipeline.all_on () in
+  let report = Engine.run_source config source in
+  print_newline ();
+  Printf.printf "engine summary:\n";
+  Printf.printf "  compilations        : %d\n" report.Engine.compilations;
+  Printf.printf "  recompilations      : %d\n" report.Engine.recompilations;
+  Printf.printf "  specialized funcs   : %d\n" report.Engine.specialized_funcs;
+  Printf.printf "  successful funcs    : %d\n" report.Engine.successful_funcs;
+  Printf.printf "  deoptimized funcs   : %d\n" report.Engine.deoptimized_funcs;
+  print_newline ();
+  List.iter
+    (fun (f : Engine.func_report) ->
+      if f.Engine.fr_compiles > 0 then begin
+        Printf.printf "function %s:\n" f.Engine.fr_name;
+        Printf.printf "  calls=%d compiles=%d bailouts=%d\n" f.Engine.fr_calls
+          f.Engine.fr_compiles f.Engine.fr_bailouts;
+        List.iteri
+          (fun i (specialized, size) ->
+            Printf.printf "  compile #%d: %s, %d native instructions\n" (i + 1)
+              (if specialized then "specialized" else "generic")
+              size)
+          f.Engine.fr_sizes;
+        if f.Engine.fr_deoptimized then
+          Printf.printf
+            "  -> deoptimized: a second argument tuple arrived; the specialized\n\
+            \     binary was discarded and the function blacklisted (paper §4)\n"
+      end)
+    report.Engine.functions

@@ -1,0 +1,1 @@
+lib/bytecode/compile.ml: Array Ast Hashtbl Instr Jsfront List Option Parser Printf Program Runtime Set String

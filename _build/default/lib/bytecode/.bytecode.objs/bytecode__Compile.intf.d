@@ -1,0 +1,1 @@
+lib/bytecode/compile.mli: Jsfront Program

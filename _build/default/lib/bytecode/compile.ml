@@ -1,0 +1,854 @@
+open Jsfront
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module String_set = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Scope analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Names declared directly inside a function body: parameters, hoisted
+   [var]s, and nested function-declaration names. Does not descend into
+   nested function bodies. *)
+let declared_names (params : string list) (body : Ast.stmt list) =
+  let acc = ref (String_set.of_list params) in
+  let add name = acc := String_set.add name !acc in
+  let rec stmt s =
+    match s with
+    | Ast.Var_decl decls -> List.iter (fun (name, _) -> add name) decls
+    | Ast.Func_decl f -> Option.iter add f.Ast.name
+    | Ast.If (_, a, b) ->
+      List.iter stmt a;
+      List.iter stmt b
+    | Ast.While (_, b) | Ast.Do_while (b, _) -> List.iter stmt b
+    | Ast.For (init, _, _, b) ->
+      Option.iter stmt init;
+      List.iter stmt b
+    | Ast.For_in (name, _, b) ->
+      add name;
+      List.iter stmt b
+    | Ast.Block b -> List.iter stmt b
+    | Ast.Switch (_, cases) -> List.iter (fun (_, body) -> List.iter stmt body) cases
+    | Ast.Expr_stmt _ | Ast.Return _ | Ast.Break | Ast.Continue -> ()
+  in
+  List.iter stmt body;
+  !acc
+
+(* Free variables of a function: names referenced anywhere in its body
+   (including transitively nested functions) that it does not declare. *)
+let rec free_vars (params : string list) (body : Ast.stmt list) =
+  let declared = declared_names params body in
+  let acc = ref String_set.empty in
+  let reference name = if not (String_set.mem name declared) then acc := String_set.add name !acc in
+  let rec expr e =
+    match e with
+    | Ast.Var name -> reference name
+    | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Undefined -> ()
+    | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      expr a;
+      expr b
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Cond (c, t, e2) ->
+      expr c;
+      expr t;
+      expr e2
+    | Ast.Assign (l, e2) | Ast.Op_assign (_, l, e2) ->
+      lhs l;
+      expr e2
+    | Ast.Update (_, _, l) -> lhs l
+    | Ast.Call (f, args) ->
+      expr f;
+      List.iter expr args
+    | Ast.Method_call (o, _, args) ->
+      expr o;
+      List.iter expr args
+    | Ast.Index (a, i) ->
+      expr a;
+      expr i
+    | Ast.Prop (o, _) -> expr o
+    | Ast.Array_lit es -> List.iter expr es
+    | Ast.Object_lit fields -> List.iter (fun (_, v) -> expr v) fields
+    | Ast.Func f -> String_set.iter reference (free_vars f.Ast.params f.Ast.body)
+    | Ast.New (_, args) -> List.iter expr args
+  and lhs = function
+    | Ast.L_var name -> reference name
+    | Ast.L_index (a, i) ->
+      expr a;
+      expr i
+    | Ast.L_prop (o, _) -> expr o
+  and stmt s =
+    match s with
+    | Ast.Expr_stmt e -> expr e
+    | Ast.Var_decl decls -> List.iter (fun (_, init) -> Option.iter expr init) decls
+    | Ast.If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | Ast.While (c, b) | Ast.Do_while (b, c) ->
+      expr c;
+      List.iter stmt b
+    | Ast.For (init, cond, step, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      Option.iter expr step;
+      List.iter stmt b
+    | Ast.For_in (_, obj, b) ->
+      expr obj;
+      List.iter stmt b
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Func_decl f -> String_set.iter reference (free_vars f.Ast.params f.Ast.body)
+    | Ast.Block b -> List.iter stmt b
+    | Ast.Switch (disc, cases) ->
+      expr disc;
+      List.iter
+        (fun (test, body) ->
+          Option.iter expr test;
+          List.iter stmt body)
+        cases
+    | Ast.Break | Ast.Continue -> ()
+  in
+  List.iter stmt body;
+  !acc
+
+(* Names declared by this function that some nested function captures. *)
+let captured_names (params : string list) (body : Ast.stmt list) =
+  let declared = declared_names params body in
+  let acc = ref String_set.empty in
+  let from_nested f =
+    let free = free_vars f.Ast.params f.Ast.body in
+    String_set.iter
+      (fun name -> if String_set.mem name declared then acc := String_set.add name !acc)
+      free
+  in
+  let rec expr e =
+    match e with
+    | Ast.Func f -> from_nested f
+    | Ast.Var _ | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null
+    | Ast.Undefined ->
+      ()
+    | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      expr a;
+      expr b
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Cond (c, t, e2) ->
+      expr c;
+      expr t;
+      expr e2
+    | Ast.Assign (l, e2) | Ast.Op_assign (_, l, e2) ->
+      lhs l;
+      expr e2
+    | Ast.Update (_, _, l) -> lhs l
+    | Ast.Call (f, args) ->
+      expr f;
+      List.iter expr args
+    | Ast.Method_call (o, _, args) ->
+      expr o;
+      List.iter expr args
+    | Ast.Index (a, i) ->
+      expr a;
+      expr i
+    | Ast.Prop (o, _) -> expr o
+    | Ast.Array_lit es -> List.iter expr es
+    | Ast.Object_lit fields -> List.iter (fun (_, v) -> expr v) fields
+    | Ast.New (_, args) -> List.iter expr args
+  and lhs = function
+    | Ast.L_var _ -> ()
+    | Ast.L_index (a, i) ->
+      expr a;
+      expr i
+    | Ast.L_prop (o, _) -> expr o
+  and stmt s =
+    match s with
+    | Ast.Expr_stmt e -> expr e
+    | Ast.Var_decl decls -> List.iter (fun (_, init) -> Option.iter expr init) decls
+    | Ast.If (c, a, b) ->
+      expr c;
+      List.iter stmt a;
+      List.iter stmt b
+    | Ast.While (c, b) | Ast.Do_while (b, c) ->
+      expr c;
+      List.iter stmt b
+    | Ast.For (init, cond, step, b) ->
+      Option.iter stmt init;
+      Option.iter expr cond;
+      Option.iter expr step;
+      List.iter stmt b
+    | Ast.For_in (_, obj, b) ->
+      expr obj;
+      List.iter stmt b
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Func_decl f -> from_nested f
+    | Ast.Block b -> List.iter stmt b
+    | Ast.Switch (disc, cases) ->
+      expr disc;
+      List.iter
+        (fun (test, body) ->
+          Option.iter expr test;
+          List.iter stmt body)
+        cases
+    | Ast.Break | Ast.Continue -> ()
+  in
+  List.iter stmt body;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Code emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type site = Arg of int | Local of int | Cell of int | Upval of int | Global of int
+
+type loop_ctx = {
+  mutable break_fixups : int list;
+  continue_target : [ `Known of int | `Fixups of int list ref ];
+  is_switch : bool;  (* `break` binds to switches too; `continue` does not *)
+}
+
+type gctx = {
+  mutable funcs : Program.func list;  (* reverse order *)
+  mutable next_fid : int;
+  global_table : (string, int) Hashtbl.t;
+  mutable global_order : string list;  (* reverse order *)
+}
+
+type fctx = {
+  g : gctx;
+  parent : fctx option;
+  table : (string, site) Hashtbl.t;
+  is_toplevel : bool;
+  mutable upvals : (string * Instr.capture) list;  (* reverse order *)
+  mutable nupvals : int;
+  mutable nlocals : int;
+  mutable ncells : int;
+  mutable nloops : int;
+  mutable code : Instr.t list;  (* reverse order *)
+  mutable pc : int;
+  mutable loops : loop_ctx list;
+}
+
+let emit fx instr =
+  fx.code <- instr :: fx.code;
+  fx.pc <- fx.pc + 1
+
+(* Emit a placeholder jump; returns the pc to patch later. *)
+let emit_jump_placeholder fx make =
+  let at = fx.pc in
+  emit fx (make (-1));
+  at
+
+let patch fx at target =
+  let idx = fx.pc - 1 - at in
+  let rec set i = function
+    | [] -> assert false
+    | instr :: rest ->
+      if i = 0 then
+        let patched =
+          match instr with
+          | Instr.Jump _ -> Instr.Jump target
+          | Instr.Jump_if_false _ -> Instr.Jump_if_false target
+          | Instr.Jump_if_true _ -> Instr.Jump_if_true target
+          | _ -> assert false
+        in
+        patched :: rest
+      else instr :: set (i - 1) rest
+  in
+  fx.code <- set idx fx.code
+
+let global_slot g name =
+  match Hashtbl.find_opt g.global_table name with
+  | Some slot -> slot
+  | None ->
+    let slot = Hashtbl.length g.global_table in
+    Hashtbl.add g.global_table name slot;
+    g.global_order <- name :: g.global_order;
+    slot
+
+let fresh_local fx =
+  let slot = fx.nlocals in
+  fx.nlocals <- fx.nlocals + 1;
+  slot
+
+(* Resolve a name to its access site, creating upvalue chains on demand. *)
+let rec resolve fx name =
+  match Hashtbl.find_opt fx.table name with
+  | Some site -> site
+  | None -> (
+    match fx.parent with
+    | None -> Global (global_slot fx.g name)
+    | Some parent -> (
+      match resolve parent name with
+      | Global _ as g -> g
+      | Cell i -> add_upval fx name (Instr.Cap_cell i)
+      | Upval i -> add_upval fx name (Instr.Cap_upval i)
+      | Arg _ | Local _ ->
+        (* The capture analysis boxes every captured variable, so a
+           captured name can never resolve to a plain arg/local. *)
+        assert false))
+
+and add_upval fx name cap =
+  let idx = fx.nupvals in
+  fx.upvals <- (name, cap) :: fx.upvals;
+  fx.nupvals <- fx.nupvals + 1;
+  let site = Upval idx in
+  Hashtbl.add fx.table name site;
+  site
+
+let emit_get fx = function
+  | Arg i -> emit fx (Instr.Get_arg i)
+  | Local i -> emit fx (Instr.Get_local i)
+  | Cell i -> emit fx (Instr.Get_cell i)
+  | Upval i -> emit fx (Instr.Get_upval i)
+  | Global i -> emit fx (Instr.Get_global i)
+
+let emit_set fx = function
+  | Arg i -> emit fx (Instr.Set_arg i)
+  | Local i -> emit fx (Instr.Set_local i)
+  | Cell i -> emit fx (Instr.Set_cell i)
+  | Upval i -> emit fx (Instr.Set_upval i)
+  | Global i -> emit fx (Instr.Set_global i)
+
+let const_of_literal (e : Ast.expr) : Runtime.Value.t option =
+  match e with
+  | Ast.Int n -> Some (Runtime.Value.of_int n)
+  | Ast.Float f -> Some (Runtime.Value.norm_num f)
+  | Ast.Str s -> Some (Runtime.Value.Str s)
+  | Ast.Bool b -> Some (Runtime.Value.Bool b)
+  | Ast.Null -> Some Runtime.Value.Null
+  | Ast.Undefined -> Some Runtime.Value.Undefined
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Function compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_function g ~parent ~name ~params ~body ~is_toplevel =
+  let fid = g.next_fid in
+  g.next_fid <- g.next_fid + 1;
+  (* Reserve the slot so nested functions get later fids. *)
+  let fx =
+    {
+      g;
+      parent;
+      table = Hashtbl.create 16;
+      is_toplevel;
+      upvals = [];
+      nupvals = 0;
+      nlocals = 0;
+      ncells = 0;
+      nloops = 0;
+      code = [];
+      pc = 0;
+      loops = [];
+    }
+  in
+  let captured = if is_toplevel then String_set.empty else captured_names params body in
+  (* Parameters. Captured parameters are copied into cells in the prologue. *)
+  List.iteri
+    (fun i p ->
+      if String_set.mem p captured then begin
+        let cell = fx.ncells in
+        fx.ncells <- fx.ncells + 1;
+        Hashtbl.replace fx.table p (Cell cell);
+        emit fx (Instr.Get_arg i);
+        emit fx (Instr.Set_cell cell)
+      end
+      else if not (Hashtbl.mem fx.table p) then Hashtbl.replace fx.table p (Arg i))
+    params;
+  (* Hoisted var declarations. At toplevel they are globals. *)
+  if not is_toplevel then
+    String_set.iter
+      (fun v ->
+        if not (Hashtbl.mem fx.table v) then
+          if String_set.mem v captured then begin
+            let cell = fx.ncells in
+            fx.ncells <- fx.ncells + 1;
+            Hashtbl.replace fx.table v (Cell cell)
+          end
+          else Hashtbl.replace fx.table v (Local (fresh_local fx)))
+      (declared_names params body);
+  (* Hoisted nested function declarations, in source order. *)
+  let rec function_decls acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Ast.Func_decl f -> f :: acc
+        | Ast.If (_, a, b) -> function_decls (function_decls acc a) b
+        | Ast.While (_, b) | Ast.Do_while (b, _) -> function_decls acc b
+        | Ast.For (init, _, _, b) ->
+          let acc = match init with Some s -> function_decls acc [ s ] | None -> acc in
+          function_decls acc b
+        | Ast.For_in (_, _, b) -> function_decls acc b
+        | Ast.Block b -> function_decls acc b
+        | Ast.Switch (_, cases) ->
+          List.fold_left (fun acc (_, body) -> function_decls acc body) acc cases
+        | Ast.Expr_stmt _ | Ast.Var_decl _ | Ast.Return _ | Ast.Break | Ast.Continue ->
+          acc)
+      acc stmts
+  in
+  let decls = List.rev (function_decls [] body) in
+  List.iter
+    (fun (f : Ast.func) ->
+      let fname = Option.get f.Ast.name in
+      compile_closure fx ~name:(Some fname) ~params:f.Ast.params ~body:f.Ast.body;
+      let site = resolve fx fname in
+      emit_set fx site)
+    decls;
+  List.iter (compile_stmt fx) body;
+  emit fx Instr.Return_undefined;
+  let code = Array.of_list (List.rev fx.code) in
+  let func =
+    {
+      Program.fid;
+      name = (match name with Some n -> n | None -> Printf.sprintf "<anonymous:%d>" fid);
+      arity = List.length params;
+      nlocals = fx.nlocals;
+      ncells = fx.ncells;
+      nupvals = fx.nupvals;
+      code;
+      max_stack = Program.compute_max_stack code;
+      nloops = fx.nloops;
+    }
+  in
+  g.funcs <- func :: g.funcs;
+  (fid, List.rev_map snd fx.upvals)
+
+and compile_closure fx ~name ~params ~body =
+  let fid, captures =
+    compile_function fx.g ~parent:(Some fx) ~name ~params ~body ~is_toplevel:false
+  in
+  emit fx (Instr.Make_closure (fid, Array.of_list captures))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and compile_stmt fx (s : Ast.stmt) =
+  match s with
+  | Ast.Expr_stmt e ->
+    compile_expr fx e;
+    emit fx Instr.Pop
+  | Ast.Var_decl decls ->
+    List.iter
+      (fun (name, init) ->
+        match init with
+        | None -> ()
+        | Some e ->
+          compile_expr fx e;
+          emit_set fx (resolve fx name))
+      decls
+  | Ast.If (cond, then_b, else_b) ->
+    compile_expr fx cond;
+    let to_else = emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t) in
+    List.iter (compile_stmt fx) then_b;
+    if else_b = [] then patch fx to_else fx.pc
+    else begin
+      let to_end = emit_jump_placeholder fx (fun t -> Instr.Jump t) in
+      patch fx to_else fx.pc;
+      List.iter (compile_stmt fx) else_b;
+      patch fx to_end fx.pc
+    end
+  | Ast.While (cond, body) ->
+    let loop_id = fx.nloops in
+    fx.nloops <- fx.nloops + 1;
+    let head = fx.pc in
+    emit fx (Instr.Loop_head loop_id);
+    compile_expr fx cond;
+    let to_exit = emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t) in
+    let ctx = { break_fixups = []; continue_target = `Known head; is_switch = false } in
+    fx.loops <- ctx :: fx.loops;
+    List.iter (compile_stmt fx) body;
+    fx.loops <- List.tl fx.loops;
+    emit fx (Instr.Jump head);
+    patch fx to_exit fx.pc;
+    List.iter (fun at -> patch fx at fx.pc) ctx.break_fixups
+  | Ast.Do_while (body, cond) ->
+    let loop_id = fx.nloops in
+    fx.nloops <- fx.nloops + 1;
+    let head = fx.pc in
+    emit fx (Instr.Loop_head loop_id);
+    let continue_fixups = ref [] in
+    let ctx =
+      { break_fixups = []; continue_target = `Fixups continue_fixups; is_switch = false }
+    in
+    fx.loops <- ctx :: fx.loops;
+    List.iter (compile_stmt fx) body;
+    fx.loops <- List.tl fx.loops;
+    List.iter (fun at -> patch fx at fx.pc) !continue_fixups;
+    compile_expr fx cond;
+    emit fx (Instr.Jump_if_true head);
+    List.iter (fun at -> patch fx at fx.pc) ctx.break_fixups
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (compile_stmt fx) init;
+    let loop_id = fx.nloops in
+    fx.nloops <- fx.nloops + 1;
+    let head = fx.pc in
+    emit fx (Instr.Loop_head loop_id);
+    let to_exit =
+      match cond with
+      | None -> None
+      | Some c ->
+        compile_expr fx c;
+        Some (emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t))
+    in
+    let continue_fixups = ref [] in
+    let ctx =
+      { break_fixups = []; continue_target = `Fixups continue_fixups; is_switch = false }
+    in
+    fx.loops <- ctx :: fx.loops;
+    List.iter (compile_stmt fx) body;
+    fx.loops <- List.tl fx.loops;
+    List.iter (fun at -> patch fx at fx.pc) !continue_fixups;
+    (match step with
+    | None -> ()
+    | Some e ->
+      compile_expr fx e;
+      emit fx Instr.Pop);
+    emit fx (Instr.Jump head);
+    Option.iter (fun at -> patch fx at fx.pc) to_exit;
+    List.iter (fun at -> patch fx at fx.pc) ctx.break_fixups
+  | Ast.For_in (name, obj, body) ->
+    (* Desugared enumeration: snapshot the keys once, then index through
+       them (JS semantics for the common no-mutation case; key order is
+       the object's insertion order). *)
+    let t_keys = fresh_local fx and t_idx = fresh_local fx in
+    compile_expr fx obj;
+    emit fx Instr.Keys;
+    emit fx (Instr.Set_local t_keys);
+    emit fx (Instr.Const (Runtime.Value.Int 0));
+    emit fx (Instr.Set_local t_idx);
+    let loop_id = fx.nloops in
+    fx.nloops <- fx.nloops + 1;
+    let head = fx.pc in
+    emit fx (Instr.Loop_head loop_id);
+    emit fx (Instr.Get_local t_idx);
+    emit fx (Instr.Get_local t_keys);
+    emit fx (Instr.Get_prop "length");
+    emit fx (Instr.Cmp Runtime.Ops.Lt);
+    let to_exit = emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t) in
+    emit fx (Instr.Get_local t_keys);
+    emit fx (Instr.Get_local t_idx);
+    emit fx Instr.Get_elem;
+    emit_set fx (resolve fx name);
+    let continue_fixups = ref [] in
+    let ctx =
+      { break_fixups = []; continue_target = `Fixups continue_fixups; is_switch = false }
+    in
+    fx.loops <- ctx :: fx.loops;
+    List.iter (compile_stmt fx) body;
+    fx.loops <- List.tl fx.loops;
+    List.iter (fun at -> patch fx at fx.pc) !continue_fixups;
+    emit fx (Instr.Get_local t_idx);
+    emit fx (Instr.Const (Runtime.Value.Int 1));
+    emit fx (Instr.Binop Runtime.Ops.Add);
+    emit fx (Instr.Set_local t_idx);
+    emit fx (Instr.Jump head);
+    patch fx to_exit fx.pc;
+    List.iter (fun at -> patch fx at fx.pc) ctx.break_fixups
+  | Ast.Return None -> emit fx Instr.Return_undefined
+  | Ast.Return (Some e) ->
+    compile_expr fx e;
+    emit fx Instr.Return
+  | Ast.Break -> (
+    match fx.loops with
+    | [] -> error "break outside of a loop or switch"
+    | ctx :: _ ->
+      let at = emit_jump_placeholder fx (fun t -> Instr.Jump t) in
+      ctx.break_fixups <- at :: ctx.break_fixups)
+  | Ast.Continue -> (
+    (* continue binds to the nearest enclosing LOOP, skipping switches. *)
+    match List.find_opt (fun ctx -> not ctx.is_switch) fx.loops with
+    | None -> error "continue outside of a loop"
+    | Some ctx -> (
+      match ctx.continue_target with
+      | `Known target -> emit fx (Instr.Jump target)
+      | `Fixups cell ->
+        let at = emit_jump_placeholder fx (fun t -> Instr.Jump t) in
+        cell := at :: !cell))
+  | Ast.Switch (disc, cases) ->
+    (* Evaluate the discriminant once, test the case expressions in source
+       order with ===, then lay the bodies out sequentially so execution
+       falls through until a break (JavaScript switch semantics). *)
+    let t_disc = fresh_local fx in
+    compile_expr fx disc;
+    emit fx (Instr.Set_local t_disc);
+    let case_jumps =
+      List.filter_map
+        (fun (test, _) ->
+          match test with
+          | None -> None
+          | Some e ->
+            emit fx (Instr.Get_local t_disc);
+            compile_expr fx e;
+            emit fx (Instr.Cmp Runtime.Ops.Strict_eq);
+            Some (Some (emit_jump_placeholder fx (fun t -> Instr.Jump_if_true t))))
+        cases
+    in
+    (* No match: jump to the default clause's body if there is one. *)
+    let to_default = emit_jump_placeholder fx (fun t -> Instr.Jump t) in
+    let dead_continue = ref [] in
+    let ctx =
+      { break_fixups = []; continue_target = `Fixups dead_continue; is_switch = true }
+    in
+    fx.loops <- ctx :: fx.loops;
+    let case_jumps = ref case_jumps in
+    let default_at = ref None in
+    List.iter
+      (fun (test, body) ->
+        (match test with
+        | Some _ -> (
+          match !case_jumps with
+          | Some at :: rest ->
+            patch fx at fx.pc;
+            case_jumps := rest
+          | _ -> assert false)
+        | None -> default_at := Some fx.pc);
+        List.iter (compile_stmt fx) body)
+      cases;
+    fx.loops <- List.tl fx.loops;
+    assert (!dead_continue = []);
+    (match !default_at with
+    | Some target ->
+      (* patch the no-match jump backwards into the laid-out default *)
+      patch fx to_default target
+    | None -> patch fx to_default fx.pc);
+    List.iter (fun at -> patch fx at fx.pc) ctx.break_fixups
+  | Ast.Func_decl _ -> ()  (* hoisted in the prologue *)
+  | Ast.Block body -> List.iter (compile_stmt fx) body
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and compile_expr fx (e : Ast.expr) =
+  match const_of_literal e with
+  | Some v -> emit fx (Instr.Const v)
+  | None -> (
+    match e with
+    | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Undefined ->
+      assert false
+    | Ast.Var name -> emit_get fx (resolve fx name)
+    | Ast.Binop (op, a, b) ->
+      compile_expr fx a;
+      compile_expr fx b;
+      emit fx (Instr.Binop (binop_of_ast op))
+    | Ast.Cmp (op, a, b) ->
+      compile_expr fx a;
+      compile_expr fx b;
+      emit fx (Instr.Cmp (cmp_of_ast op))
+    | Ast.Unop (op, a) ->
+      compile_expr fx a;
+      emit fx (Instr.Unop (unop_of_ast op))
+    | Ast.And (a, b) ->
+      compile_expr fx a;
+      emit fx Instr.Dup;
+      let to_end = emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t) in
+      emit fx Instr.Pop;
+      compile_expr fx b;
+      patch fx to_end fx.pc
+    | Ast.Or (a, b) ->
+      compile_expr fx a;
+      emit fx Instr.Dup;
+      let to_end = emit_jump_placeholder fx (fun t -> Instr.Jump_if_true t) in
+      emit fx Instr.Pop;
+      compile_expr fx b;
+      patch fx to_end fx.pc
+    | Ast.Cond (c, t, e2) ->
+      compile_expr fx c;
+      let to_else = emit_jump_placeholder fx (fun t -> Instr.Jump_if_false t) in
+      compile_expr fx t;
+      let to_end = emit_jump_placeholder fx (fun t -> Instr.Jump t) in
+      patch fx to_else fx.pc;
+      compile_expr fx e2;
+      patch fx to_end fx.pc
+    | Ast.Assign (lhs, rhs) -> compile_assign fx lhs rhs
+    | Ast.Op_assign (op, lhs, rhs) -> compile_op_assign fx (binop_of_ast op) lhs rhs
+    | Ast.Update (op, prefix, lhs) -> compile_update fx op prefix lhs
+    | Ast.Call (f, args) ->
+      compile_expr fx f;
+      List.iter (compile_expr fx) args;
+      emit fx (Instr.Call (List.length args))
+    | Ast.Method_call (o, m, args) ->
+      compile_expr fx o;
+      List.iter (compile_expr fx) args;
+      emit fx (Instr.Method_call (m, List.length args))
+    | Ast.Index (a, i) ->
+      compile_expr fx a;
+      compile_expr fx i;
+      emit fx Instr.Get_elem
+    | Ast.Prop (o, p) ->
+      compile_expr fx o;
+      emit fx (Instr.Get_prop p)
+    | Ast.Array_lit es ->
+      List.iter (compile_expr fx) es;
+      emit fx (Instr.New_array (List.length es))
+    | Ast.Object_lit fields ->
+      List.iter (fun (_, v) -> compile_expr fx v) fields;
+      emit fx (Instr.New_object (Array.of_list (List.map fst fields)))
+    | Ast.Func f -> compile_closure fx ~name:f.Ast.name ~params:f.Ast.params ~body:f.Ast.body
+    | Ast.New (ctor, args) ->
+      if ctor <> "Array" && ctor <> "Object" then
+        error "`new %s`: only Array and Object constructors are supported" ctor;
+      List.iter (compile_expr fx) args;
+      emit fx (Instr.New (ctor, List.length args)))
+
+and compile_assign fx lhs rhs =
+  match lhs with
+  | Ast.L_var name ->
+    compile_expr fx rhs;
+    emit fx Instr.Dup;
+    emit_set fx (resolve fx name)
+  | Ast.L_index (a, i) ->
+    compile_expr fx a;
+    compile_expr fx i;
+    compile_expr fx rhs;
+    emit fx Instr.Set_elem
+  | Ast.L_prop (o, p) ->
+    compile_expr fx o;
+    compile_expr fx rhs;
+    emit fx (Instr.Set_prop p)
+
+and compile_op_assign fx op lhs rhs =
+  match lhs with
+  | Ast.L_var name ->
+    let site = resolve fx name in
+    emit_get fx site;
+    compile_expr fx rhs;
+    emit fx (Instr.Binop op);
+    emit fx Instr.Dup;
+    emit_set fx site
+  | Ast.L_index (a, i) ->
+    (* Evaluate the target once via hidden temporaries. *)
+    let t_arr = fresh_local fx and t_idx = fresh_local fx in
+    compile_expr fx a;
+    emit fx (Instr.Set_local t_arr);
+    compile_expr fx i;
+    emit fx (Instr.Set_local t_idx);
+    emit fx (Instr.Get_local t_arr);
+    emit fx (Instr.Get_local t_idx);
+    emit fx (Instr.Get_local t_arr);
+    emit fx (Instr.Get_local t_idx);
+    emit fx Instr.Get_elem;
+    compile_expr fx rhs;
+    emit fx (Instr.Binop op);
+    emit fx Instr.Set_elem
+  | Ast.L_prop (o, p) ->
+    compile_expr fx o;
+    emit fx Instr.Dup;
+    emit fx (Instr.Get_prop p);
+    compile_expr fx rhs;
+    emit fx (Instr.Binop op);
+    emit fx (Instr.Set_prop p)
+
+and compile_update fx op prefix lhs =
+  let delta = Instr.Const (Runtime.Value.Int 1) in
+  let arith = match op with Ast.Incr -> Runtime.Ops.Add | Ast.Decr -> Runtime.Ops.Sub in
+  match lhs with
+  | Ast.L_var name ->
+    let site = resolve fx name in
+    emit_get fx site;
+    emit fx (Instr.Unop Runtime.Ops.To_number);
+    if prefix then begin
+      emit fx delta;
+      emit fx (Instr.Binop arith);
+      emit fx Instr.Dup;
+      emit_set fx site
+    end
+    else begin
+      emit fx Instr.Dup;
+      emit fx delta;
+      emit fx (Instr.Binop arith);
+      emit_set fx site
+    end
+  | Ast.L_index (a, i) ->
+    let t_arr = fresh_local fx and t_idx = fresh_local fx and t_old = fresh_local fx in
+    compile_expr fx a;
+    emit fx (Instr.Set_local t_arr);
+    compile_expr fx i;
+    emit fx (Instr.Set_local t_idx);
+    emit fx (Instr.Get_local t_arr);
+    emit fx (Instr.Get_local t_idx);
+    emit fx Instr.Get_elem;
+    emit fx (Instr.Unop Runtime.Ops.To_number);
+    emit fx (Instr.Set_local t_old);
+    emit fx (Instr.Get_local t_arr);
+    emit fx (Instr.Get_local t_idx);
+    emit fx (Instr.Get_local t_old);
+    emit fx delta;
+    emit fx (Instr.Binop arith);
+    emit fx Instr.Set_elem;
+    if not prefix then begin
+      emit fx Instr.Pop;
+      emit fx (Instr.Get_local t_old)
+    end
+  | Ast.L_prop (o, p) ->
+    let t_obj = fresh_local fx and t_old = fresh_local fx in
+    compile_expr fx o;
+    emit fx (Instr.Set_local t_obj);
+    emit fx (Instr.Get_local t_obj);
+    emit fx (Instr.Get_prop p);
+    emit fx (Instr.Unop Runtime.Ops.To_number);
+    emit fx (Instr.Set_local t_old);
+    emit fx (Instr.Get_local t_obj);
+    emit fx (Instr.Get_local t_old);
+    emit fx delta;
+    emit fx (Instr.Binop arith);
+    emit fx (Instr.Set_prop p);
+    if not prefix then begin
+      emit fx Instr.Pop;
+      emit fx (Instr.Get_local t_old)
+    end
+
+and binop_of_ast (op : Ast.binop) : Runtime.Ops.binop =
+  match op with
+  | Ast.Add -> Runtime.Ops.Add
+  | Ast.Sub -> Runtime.Ops.Sub
+  | Ast.Mul -> Runtime.Ops.Mul
+  | Ast.Div -> Runtime.Ops.Div
+  | Ast.Mod -> Runtime.Ops.Mod
+  | Ast.Bit_and -> Runtime.Ops.Bit_and
+  | Ast.Bit_or -> Runtime.Ops.Bit_or
+  | Ast.Bit_xor -> Runtime.Ops.Bit_xor
+  | Ast.Shl -> Runtime.Ops.Shl
+  | Ast.Shr -> Runtime.Ops.Shr
+  | Ast.Ushr -> Runtime.Ops.Ushr
+
+and cmp_of_ast (op : Ast.cmp) : Runtime.Ops.cmp =
+  match op with
+  | Ast.Lt -> Runtime.Ops.Lt
+  | Ast.Le -> Runtime.Ops.Le
+  | Ast.Gt -> Runtime.Ops.Gt
+  | Ast.Ge -> Runtime.Ops.Ge
+  | Ast.Eq -> Runtime.Ops.Eq
+  | Ast.Neq -> Runtime.Ops.Neq
+  | Ast.Strict_eq -> Runtime.Ops.Strict_eq
+  | Ast.Strict_neq -> Runtime.Ops.Strict_neq
+
+and unop_of_ast (op : Ast.unop) : Runtime.Ops.unop =
+  match op with
+  | Ast.Neg -> Runtime.Ops.Neg
+  | Ast.Not -> Runtime.Ops.Not
+  | Ast.Bit_not -> Runtime.Ops.Bit_not
+  | Ast.Typeof -> Runtime.Ops.Typeof
+  | Ast.To_number -> Runtime.Ops.To_number
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let program (ast : Ast.program) =
+  let g =
+    { funcs = []; next_fid = 0; global_table = Hashtbl.create 32; global_order = [] }
+  in
+  (* Pre-register builtin globals so their slots are stable. *)
+  List.iter (fun (name, _) -> ignore (global_slot g name)) (Runtime.Builtins.globals ());
+  let main_fid, _ =
+    compile_function g ~parent:None ~name:(Some "<toplevel>") ~params:[] ~body:ast
+      ~is_toplevel:true
+  in
+  let funcs = Array.of_list (List.rev g.funcs) in
+  Array.sort (fun a b -> compare a.Program.fid b.Program.fid) funcs;
+  { Program.funcs; global_names = Array.of_list (List.rev g.global_order); main = main_fid }
+
+let program_of_source src = program (Parser.parse_program src)

@@ -1,0 +1,17 @@
+(** Compilation of MiniJS ASTs to stack bytecode.
+
+    Scoping follows JavaScript's function-scoped [var] model: declarations
+    are hoisted to the top of the enclosing function, nested function
+    declarations are compiled at function entry, and variables captured by
+    nested functions are boxed into shared cells so that mutation through a
+    closure is visible in the defining frame. Top-level declarations live in
+    global slots. *)
+
+exception Error of string
+
+val program : Jsfront.Ast.program -> Program.t
+(** Compile a whole program. Function 0 of the result is the toplevel
+    script. @raise Error on references the subset cannot compile. *)
+
+val program_of_source : string -> Program.t
+(** Parse then compile. Raises the parser/lexer errors unchanged. *)

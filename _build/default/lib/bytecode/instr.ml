@@ -1,0 +1,111 @@
+(* The stack bytecode interpreted by the VM, mirroring SpiderMonkey's role
+   in the paper's Figure 5: the parser produces bytecodes, the interpreter
+   runs them, and the JIT translates them to MIR when a function gets hot.
+
+   Stack effects are noted as [consumed -> produced]. *)
+
+type capture =
+  | Cap_cell of int  (* share a cell of the creating frame *)
+  | Cap_upval of int  (* pass one of the creating closure's upvalues down *)
+
+type t =
+  | Const of Runtime.Value.t  (* [ -> v ]; constants are primitives *)
+  | Get_arg of int  (* [ -> v ] *)
+  | Set_arg of int  (* [ v -> ] *)
+  | Get_local of int  (* [ -> v ] *)
+  | Set_local of int  (* [ v -> ] *)
+  | Get_cell of int  (* [ -> v ]; captured (boxed) variable *)
+  | Set_cell of int  (* [ v -> ] *)
+  | Get_upval of int  (* [ -> v ] *)
+  | Set_upval of int  (* [ v -> ] *)
+  | Get_global of int  (* [ -> v ] *)
+  | Set_global of int  (* [ v -> ] *)
+  | Pop  (* [ v -> ] *)
+  | Dup  (* [ v -> v v ] *)
+  | Binop of Runtime.Ops.binop  (* [ a b -> r ] *)
+  | Cmp of Runtime.Ops.cmp  (* [ a b -> r ] *)
+  | Unop of Runtime.Ops.unop  (* [ a -> r ] *)
+  | Jump of int  (* absolute target *)
+  | Jump_if_false of int  (* [ v -> ] *)
+  | Jump_if_true of int  (* [ v -> ] *)
+  | Loop_head of int  (* loop id; OSR anchor, no stack effect *)
+  | Call of int  (* [ callee a1..an -> r ] *)
+  | Method_call of string * int  (* [ recv a1..an -> r ] *)
+  | Return  (* [ v -> ]; leaves the frame *)
+  | Return_undefined
+  | New_array of int  (* [ v1..vn -> arr ] *)
+  | New of string * int  (* [ a1..an -> v ]; `new Ctor(...)` for Array/Object *)
+  | New_object of string array  (* [ v1..vn -> obj ]; field values in order *)
+  | Get_elem  (* [ arr idx -> v ] *)
+  | Set_elem  (* [ arr idx v -> v ] *)
+  | Keys  (* [ v -> arr ]; enumerable property names, for-in support *)
+  | Get_prop of string  (* [ obj -> v ] *)
+  | Set_prop of string  (* [ obj v -> v ] *)
+  | Make_closure of int * capture array  (* [ -> closure ] *)
+
+let to_string instr =
+  let open Printf in
+  match instr with
+  | Const v -> sprintf "const %s" (Format.asprintf "%a" Runtime.Value.pp v)
+  | Get_arg n -> sprintf "getarg %d" n
+  | Set_arg n -> sprintf "setarg %d" n
+  | Get_local n -> sprintf "getlocal %d" n
+  | Set_local n -> sprintf "setlocal %d" n
+  | Get_cell n -> sprintf "getcell %d" n
+  | Set_cell n -> sprintf "setcell %d" n
+  | Get_upval n -> sprintf "getupval %d" n
+  | Set_upval n -> sprintf "setupval %d" n
+  | Get_global n -> sprintf "getglobal %d" n
+  | Set_global n -> sprintf "setglobal %d" n
+  | Pop -> "pop"
+  | Dup -> "dup"
+  | Binop op -> Runtime.Ops.binop_to_string op
+  | Cmp op -> Runtime.Ops.cmp_to_string op
+  | Unop op -> Runtime.Ops.unop_to_string op
+  | Jump t -> sprintf "jump %d" t
+  | Jump_if_false t -> sprintf "jumpiffalse %d" t
+  | Jump_if_true t -> sprintf "jumpiftrue %d" t
+  | Loop_head k -> sprintf "loophead %d" k
+  | Call n -> sprintf "call %d" n
+  | Method_call (m, n) -> sprintf "methodcall %s %d" m n
+  | Return -> "return"
+  | Return_undefined -> "returnundef"
+  | New_array n -> sprintf "newarray %d" n
+  | New (ctor, n) -> sprintf "new %s %d" ctor n
+  | New_object fields -> sprintf "newobject {%s}" (String.concat "," (Array.to_list fields))
+  | Get_elem -> "getelem"
+  | Set_elem -> "setelem"
+  | Keys -> "keys"
+  | Get_prop p -> sprintf "getprop %s" p
+  | Set_prop p -> sprintf "setprop %s" p
+  | Make_closure (fid, caps) ->
+    sprintf "closure f%d [%s]" fid
+      (String.concat ","
+         (Array.to_list
+            (Array.map
+               (function
+                 | Cap_cell i -> sprintf "cell%d" i
+                 | Cap_upval i -> sprintf "up%d" i)
+               caps)))
+
+(* Net stack effect, used to compute max_stack. *)
+let stack_effect = function
+  | Const _ | Get_arg _ | Get_local _ | Get_cell _ | Get_upval _ | Get_global _
+  | Make_closure _ ->
+    1
+  | Dup -> 1
+  | Set_arg _ | Set_local _ | Set_cell _ | Set_upval _ | Set_global _ | Pop -> -1
+  | Binop _ | Cmp _ -> -1
+  | Unop _ -> 0
+  | Jump _ | Loop_head _ | Return_undefined -> 0
+  | Jump_if_false _ | Jump_if_true _ | Return -> -1
+  | Call n -> -(n + 1) + 1
+  | Method_call (_, n) -> -(n + 1) + 1
+  | New_array n -> -n + 1
+  | New (_, n) -> -n + 1
+  | New_object fields -> -Array.length fields + 1
+  | Get_elem -> -1
+  | Set_elem -> -2
+  | Keys -> 0
+  | Get_prop _ -> 0
+  | Set_prop _ -> -1

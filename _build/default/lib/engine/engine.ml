@@ -1,0 +1,481 @@
+open Runtime
+
+exception Runtime_error of string
+
+type config = {
+  opt : Pipeline.config;
+  jit : bool;
+  hot_calls : int;
+  hot_loop_edges : int;
+  max_bailouts : int;
+  cache_size : int;
+  selective : bool;
+}
+
+let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = false) () =
+  {
+    opt;
+    jit = true;
+    hot_calls = 10;
+    hot_loop_edges = 40;
+    max_bailouts = 3;
+    cache_size;
+    selective;
+  }
+
+let interp_only = { (default_config ()) with jit = false }
+
+(* Diagnostic logging of compile/bailout/deopt events, to stderr. *)
+let verbose = ref false
+
+(* Observation hook: called with every optimized MIR graph right before
+   lowering (jsvm --dump-mir; tests inspect pass output in situ). *)
+let mir_hook : (Mir.func -> unit) option ref = ref None
+
+let log fmt =
+  if !verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
+
+type compiled = {
+  code : Code.t;
+  cached_args : Value.t array option;
+  (* Selective specialization: which cached argument positions were burned
+     in (and so must match on a cache probe). [None] = all of them. *)
+  cached_mask : bool array option;
+}
+
+type func_state = {
+  fid : int;
+  mutable calls : int;
+  mutable loop_edges : int;
+  mutable compiled : compiled list;  (* most recently used first; length <= cache_size *)
+  mutable no_specialize : bool;
+  mutable overflow_bailed : bool;  (* compile future binaries without checked int32 *)
+  mutable observed_tags : Value.tag list array;  (* per-arg tag history *)
+  (* Per-arg value stability: [Some v] while every call so far passed the
+     same value, [None] once it varied (sticky). Empty before any call. *)
+  mutable stable_args : Value.t option array option;
+  mutable last_args : Value.t array option;  (* for §2 argument statistics *)
+  mutable arg_set_changes : int;
+  mutable compile_count : int;
+  mutable was_specialized : bool;
+  mutable deoptimized : bool;
+  mutable bailouts_total : int;
+  mutable bailouts_current : int;  (* against the live binary *)
+  mutable sizes : (bool * int) list;
+}
+
+type t = {
+  cfg : config;
+  program : Bytecode.Program.t;
+  istate : Interp.state;
+  fstates : func_state array;
+  native_cycles : int ref;
+  compile_cycles : int ref;
+}
+
+type func_report = {
+  fr_fid : int;
+  fr_name : string;
+  fr_calls : int;
+  fr_compiles : int;
+  fr_was_specialized : bool;
+  fr_deoptimized : bool;
+  fr_bailouts : int;
+  fr_sizes : (bool * int) list;
+  fr_arg_set_changes : int;
+  fr_last_arg_tags : Value.tag list;
+}
+
+type report = {
+  result : Value.t;
+  interp_cycles : int;
+  native_cycles : int;
+  compile_cycles : int;
+  total_cycles : int;
+  bytecode_instrs : int;
+  functions : func_report list;
+  compilations : int;
+  recompilations : int;
+  specialized_funcs : int;
+  successful_funcs : int;
+  deoptimized_funcs : int;
+}
+
+let make engine_config program =
+  {
+    cfg = engine_config;
+    program;
+    istate = Interp.make_state program;
+    fstates =
+      Array.init (Bytecode.Program.nfuncs program) (fun fid ->
+          {
+            fid;
+            calls = 0;
+            loop_edges = 0;
+            compiled = [];
+            no_specialize = false;
+            overflow_bailed = false;
+            observed_tags =
+              Array.make program.Bytecode.Program.funcs.(fid).Bytecode.Program.arity [];
+            stable_args = None;
+            last_args = None;
+            arg_set_changes = 0;
+            compile_count = 0;
+            was_specialized = false;
+            deoptimized = false;
+            bailouts_total = 0;
+            bailouts_current = 0;
+            sizes = [];
+          });
+    native_cycles = ref 0;
+    compile_cycles = ref 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let observe_args fs args =
+  Array.iteri
+    (fun i v ->
+      if i < Array.length fs.observed_tags then begin
+        let tag = Value.tag_of v in
+        if not (List.mem tag fs.observed_tags.(i)) then
+          fs.observed_tags.(i) <- tag :: fs.observed_tags.(i)
+      end)
+    args;
+  (match fs.stable_args with
+  | None -> fs.stable_args <- Some (Array.map (fun v -> Some v) args)
+  | Some st ->
+    Array.iteri
+      (fun i v ->
+        if i < Array.length st then
+          match st.(i) with
+          | Some prev when not (Value.same_value prev v) -> st.(i) <- None
+          | _ -> ())
+      args);
+  (match fs.last_args with
+  | Some prev when Value.same_args prev args -> ()
+  | Some _ -> fs.arg_set_changes <- fs.arg_set_changes + 1
+  | None -> ());
+  fs.last_args <- Some args
+
+let stable_tags fs =
+  Array.map
+    (fun history -> match history with [ tag ] -> Some tag | _ -> None)
+    fs.observed_tags
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile t fs ?spec_args ?spec_mask ?osr () =
+  let func = t.program.Bytecode.Program.funcs.(fs.fid) in
+  let arg_tags = stable_tags fs in
+  let mir =
+    Builder.build ~program:t.program ~func ?spec_args ?spec_mask ~arg_tags ?osr
+      ~no_checked_int:fs.overflow_bailed ()
+  in
+  let pass_stats = Pipeline.apply ~program:t.program t.cfg.opt mir in
+  (match !mir_hook with Some hook -> hook mir | None -> ());
+  let vcode = Lower.run mir in
+  let code, intervals = Regalloc.run vcode in
+  (* Internal assert on the backend's output (no model cycles charged):
+     catches allocation and snapshot bugs at their source instead of as a
+     downstream miscomputation. *)
+  Code_verify.run code;
+  t.compile_cycles :=
+    !(t.compile_cycles)
+    + (Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed)
+    + (Cost.compile_per_native_instr * Code.size code)
+    + (Cost.compile_per_interval * intervals);
+  log "[jit] compile f%d %s%s%s (size pending)" fs.fid
+    (if spec_args <> None then "specialized" else "generic")
+    (match spec_mask with
+    | Some m when Array.exists not m -> " (selective)"
+    | _ -> "")
+    (if osr <> None then " +OSR" else "");
+  fs.compile_count <- fs.compile_count + 1;
+  fs.bailouts_current <- 0;
+  let specialized = spec_args <> None in
+  if specialized then fs.was_specialized <- true;
+  fs.sizes <- (specialized, Code.size code) :: fs.sizes;
+  { code; cached_args = spec_args; cached_mask = spec_mask }
+
+let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
+
+(* Which arguments have been value-stable across every observed call. *)
+let stability_mask fs =
+  match fs.stable_args with
+  | None -> [||]
+  | Some st -> Array.map Option.is_some st
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's three mutually recursive activities: dispatching calls,
+   running native code (with bailout resume), and interpreting. *)
+let rec call_value t (callee : Value.t) args =
+  match callee with
+  | Value.Closure c -> call_closure t c args
+  | Value.Native_fun name -> (
+    try Builtins.call name args
+    with Builtins.Runtime_error msg -> raise (Runtime_error msg))
+  | other -> raise (Runtime_error (Printf.sprintf "%s is not callable" (Value.typeof other)))
+
+(* Cache lookup: a generic binary serves any arguments; a specialized one
+   only its cached tuple. Hits move to the front (LRU). *)
+and cache_find fs args =
+  let matches entry =
+    match entry.cached_args with
+    | None -> true
+    | Some cached -> (
+      match entry.cached_mask with
+      | None -> Value.same_args args cached
+      | Some mask ->
+        (* Selective binary: only the burned-in positions must match. *)
+        Array.length cached = Array.length args
+        && (let ok = ref true in
+            Array.iteri
+              (fun i m ->
+                if m && not (Value.same_value args.(i) cached.(i)) then ok := false)
+              mask;
+            !ok))
+  in
+  match List.find_opt matches fs.compiled with
+  | None -> None
+  | Some entry ->
+    fs.compiled <- entry :: List.filter (fun e -> e != entry) fs.compiled;
+    Some entry
+
+and call_closure t (c : Value.closure) args =
+  let fs = t.fstates.(c.Value.fid) in
+  let func = t.program.Bytecode.Program.funcs.(c.Value.fid) in
+  fs.calls <- fs.calls + 1;
+  observe_args fs args;
+  match cache_find fs args with
+  | Some { code; _ } -> run_native_entry t fs func c args code
+  | None ->
+    if fs.compiled <> [] then begin
+      (* Hot, compiled, but no binary fits these arguments. With the
+         paper's one-entry cache this is the deoptimization event: discard,
+         recompile generic, never specialize again (§4). The §6 extension
+         (cache_size > 1) first fills the cache with further specialized
+         versions; the selective extension instead narrows the burned-in
+         argument set to the positions still observed stable (sticky, so
+         the narrowing terminates in at most [arity] recompiles). *)
+      if t.cfg.selective && want_specialize t fs then begin
+        fs.compiled <- [];
+        fs.deoptimized <- true;
+        let compiled = specialize_selectively t fs args in
+        fs.compiled <- [ compiled ];
+        run_native_entry t fs func c args compiled.code
+      end
+      else if want_specialize t fs && List.length fs.compiled < t.cfg.cache_size
+      then begin
+        let compiled = compile t fs ~spec_args:args () in
+        fs.compiled <- compiled :: fs.compiled;
+        run_native_entry t fs func c args compiled.code
+      end
+      else begin
+        fs.compiled <- [];
+        fs.no_specialize <- true;
+        fs.deoptimized <- true;
+        let compiled = compile t fs () in
+        fs.compiled <- [ compiled ];
+        run_native_entry t fs func c args compiled.code
+      end
+    end
+    else if t.cfg.jit && fs.calls >= t.cfg.hot_calls then begin
+      let compiled =
+        if not (want_specialize t fs) then compile t fs ()
+        else if t.cfg.selective then specialize_selectively t fs args
+        else compile t fs ~spec_args:args ()
+      in
+      fs.compiled <- [ compiled ];
+      run_native_entry t fs func c args compiled.code
+    end
+    else interpret t func ~upvals:c.Value.env ~args
+
+(* Compile with only the stable argument positions burned in; if nothing is
+   stable any more, fall back to a generic compile and stop trying. *)
+and specialize_selectively t fs args =
+  let mask = stability_mask fs in
+  (* Zero-arity functions are vacuously stable (specialization then only
+     affects OSR locals baking). *)
+  if Array.length mask = 0 || Array.exists Fun.id mask then
+    compile t fs ~spec_args:args ~spec_mask:mask ()
+  else begin
+    fs.no_specialize <- true;
+    compile t fs ()
+  end
+
+and run_native_entry t fs func c args code =
+  let act = Exec.make_activation ~env:c.Value.env ~func ~args () in
+  run_native t fs func act code ~at_osr:false
+
+and run_native t fs func act code ~at_osr =
+  let callbacks =
+    { Exec.call = (fun v a -> call_value t v a);
+      globals = t.istate.Interp.globals;
+      cycles = t.native_cycles }
+  in
+  match
+    (try Exec.run callbacks code act ~at_osr
+     with Objmodel.Error msg -> raise (Runtime_error msg))
+  with
+  | Exec.Finished v -> v
+  | Exec.Bailed b ->
+    log "[jit] bailout f%d at pc %d (%s)%s" fs.fid b.Exec.bo_pc b.Exec.bo_reason
+      (if at_osr then " [osr entry]" else "");
+    fs.bailouts_total <- fs.bailouts_total + 1;
+    fs.bailouts_current <- fs.bailouts_current + 1;
+    (* Overflow feedback: the int32 fast path was wrong for this function's
+       actual values; future compiles use double arithmetic instead of
+       re-speculating (and bailing) forever. *)
+    if b.Exec.bo_reason = "int32 overflow" then fs.overflow_bailed <- true;
+    (* An entry bail means the argument types changed: the binary can never
+       run again, discard it at once. In-body guards get a few strikes
+       before the binary is declared too speculative. *)
+    if b.Exec.bo_pc = 0 || fs.bailouts_current > t.cfg.max_bailouts then
+      fs.compiled <- List.filter (fun e -> e.code != code) fs.compiled;
+    resume_interp t func act b
+
+and resume_interp t func (act : Exec.activation) (b : Exec.bailout) =
+  let frame = Interp.make_frame func ~args:b.Exec.bo_args ~upvals:act.Exec.act_env in
+  Array.blit b.Exec.bo_locals 0 frame.Interp.locals 0 (Array.length b.Exec.bo_locals);
+  Array.iteri (fun i cell -> frame.Interp.cells.(i) <- cell) act.Exec.act_cells;
+  Array.blit b.Exec.bo_stack 0 frame.Interp.stack 0 (Array.length b.Exec.bo_stack);
+  frame.Interp.sp <- Array.length b.Exec.bo_stack;
+  frame.Interp.pc <- b.Exec.bo_pc;
+  run_frame t frame
+
+and interpret t func ~upvals ~args =
+  let frame = Interp.make_frame func ~args ~upvals in
+  run_frame t frame
+
+and run_frame t frame =
+  let hooks =
+    {
+      Interp.call = (fun callee args -> call_value t callee args);
+      loop_head = (fun fr -> maybe_osr t fr);
+    }
+  in
+  try Interp.run t.istate hooks frame
+  with Interp.Runtime_error msg -> raise (Runtime_error msg)
+
+and maybe_osr t (frame : Interp.frame) =
+  if not t.cfg.jit then None
+  else begin
+    let fs = t.fstates.(frame.Interp.func.Bytecode.Program.fid) in
+    fs.loop_edges <- fs.loop_edges + 1;
+    (* Only OSR when no binary is installed: an installed binary either
+       already serves this activation or is about to be replaced through
+       the call path. The OSR path of a binary is single-use (its entry
+       state is burned in), so it is never re-entered. *)
+    if fs.loop_edges >= t.cfg.hot_loop_edges && fs.compiled = [] then begin
+      fs.loop_edges <- 0;
+      let func = frame.Interp.func in
+      let args_now = Array.copy frame.Interp.args in
+      let locals_now = Array.copy frame.Interp.locals in
+      log "[jit] OSR request f%d at pc %d; locals=[%s]"
+        fs.fid frame.Interp.pc
+        (String.concat "; "
+           (Array.to_list (Array.map Value.to_display_string frame.Interp.locals)));
+      let spec = want_specialize t fs in
+      let spec_mask =
+        if spec && t.cfg.selective then begin
+          let mask = stability_mask fs in
+          (* All-varying arguments: give up on specializing this function,
+             as the call path would. *)
+          if Array.length mask > 0 && not (Array.exists Fun.id mask) then
+            fs.no_specialize <- true;
+          Some mask
+        end
+        else None
+      in
+      let spec = want_specialize t fs in
+      let osr =
+        {
+          Builder.osr_pc = frame.Interp.pc;
+          osr_args = args_now;
+          osr_locals = locals_now;
+          osr_specialize = spec;
+        }
+      in
+      let spec_args = if spec then Some args_now else None in
+      let spec_mask = if spec then spec_mask else None in
+      let compiled = compile t fs ?spec_args ?spec_mask ~osr () in
+      fs.compiled <- [ compiled ];
+      let act =
+        {
+          Exec.act_args = args_now;
+          act_env = frame.Interp.upvals;
+          act_cells = frame.Interp.cells;
+          act_osr_args = args_now;
+          act_osr_locals = locals_now;
+        }
+      in
+      Some (run_native t fs func act compiled.code ~at_osr:true)
+    end
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let report_of t result =
+  let functions =
+    Array.to_list
+      (Array.map
+         (fun fs ->
+           {
+             fr_fid = fs.fid;
+             fr_name = t.program.Bytecode.Program.funcs.(fs.fid).Bytecode.Program.name;
+             fr_calls = fs.calls;
+             fr_compiles = fs.compile_count;
+             fr_was_specialized = fs.was_specialized;
+             fr_deoptimized = fs.deoptimized;
+             fr_bailouts = fs.bailouts_total;
+             fr_sizes = List.rev fs.sizes;
+             fr_arg_set_changes = fs.arg_set_changes;
+             fr_last_arg_tags =
+               (match fs.last_args with
+               | None -> []
+               | Some args -> Array.to_list (Array.map Value.tag_of args));
+           })
+         t.fstates)
+  in
+  let compilations = List.fold_left (fun acc f -> acc + f.fr_compiles) 0 functions in
+  let recompilations =
+    List.fold_left (fun acc f -> acc + max 0 (f.fr_compiles - 1)) 0 functions
+  in
+  let specialized_funcs =
+    List.length (List.filter (fun f -> f.fr_was_specialized) functions)
+  in
+  let deoptimized_funcs = List.length (List.filter (fun f -> f.fr_deoptimized) functions) in
+  let interp_cycles = t.istate.Interp.icount * Cost.interp_per_instr in
+  {
+    result;
+    interp_cycles;
+    native_cycles = !(t.native_cycles);
+    compile_cycles = !(t.compile_cycles);
+    total_cycles = interp_cycles + !(t.native_cycles) + !(t.compile_cycles);
+    bytecode_instrs = t.istate.Interp.icount;
+    functions;
+    compilations;
+    recompilations;
+    specialized_funcs;
+    successful_funcs = specialized_funcs - deoptimized_funcs;
+    deoptimized_funcs;
+  }
+
+let run_program cfg program =
+  let t = make cfg program in
+  let main = program.Bytecode.Program.funcs.(program.Bytecode.Program.main) in
+  let result = interpret t main ~upvals:[||] ~args:[||] in
+  report_of t result
+
+let run_source cfg src = run_program cfg (Bytecode.Compile.program_of_source src)

@@ -1,0 +1,91 @@
+(** The just-in-time engine: the SpiderMonkey/IonMonkey interplay of the
+    paper's Figure 5 plus the specialization policy of its Section 4.
+
+    Functions start in the interpreter. A function that crosses the hot-call
+    threshold is compiled on its next invocation; a loop that crosses the
+    back-edge threshold triggers compilation with an on-stack-replacement
+    entry and execution resumes natively mid-function. With specialization
+    enabled, the compiler bakes the current arguments into the code and the
+    engine caches that argument tuple: a later call with the same arguments
+    (compared by {!Runtime.Value.same_value}) reuses the binary; a call
+    with different arguments discards it, recompiles generic code
+    immediately, and blacklists the function from further specialization.
+    Failing guards bail out to the interpreter through resume-point
+    snapshots; after [max_bailouts] the binary is discarded for
+    recompilation with refreshed type feedback.
+
+    Time is measured in deterministic model cycles (see {!Cost}): the
+    report splits interpretation, native execution and compilation, which
+    is exactly the decomposition Figure 9 needs. *)
+
+type config = {
+  opt : Pipeline.config;
+  jit : bool;  (** false: pure interpretation (for differential testing) *)
+  hot_calls : int;  (** invocations before a function is deemed hot *)
+  hot_loop_edges : int;  (** loop-head visits before OSR kicks in *)
+  max_bailouts : int;  (** guard failures tolerated per binary *)
+  cache_size : int;
+      (** specialized binaries cached per function. 1 is the paper's policy
+          ("we cache only one binary per function", §6); larger values
+          implement the future-work experiment: the cache first fills with
+          further specialized versions before a miss deoptimizes. *)
+  selective : bool;
+      (** selective specialization (extension): burn in only the arguments
+          observed value-stable across every call so far. A cache miss then
+          narrows the burned-in set to the still-stable positions and
+          respecializes instead of blacklisting; since stability is sticky,
+          a function respecializes at most [arity] times before settling on
+          its stable core (or generic code). *)
+}
+
+val default_config :
+  ?opt:Pipeline.config -> ?cache_size:int -> ?selective:bool -> unit -> config
+(** Defaults: [jit = true], [hot_calls = 10], [hot_loop_edges = 40],
+    [max_bailouts = 3], [cache_size = 1], [selective = false], baseline
+    pipeline. *)
+
+val interp_only : config
+
+type func_report = {
+  fr_fid : int;
+  fr_name : string;
+  fr_calls : int;
+  fr_compiles : int;  (** total compilations (entry or OSR) *)
+  fr_was_specialized : bool;
+  fr_deoptimized : bool;  (** specialized binary discarded on arg mismatch *)
+  fr_bailouts : int;
+  fr_sizes : (bool * int) list;  (** (specialized?, native size) per compile *)
+  fr_arg_set_changes : int;  (** distinct-argument observations (§2 data) *)
+  fr_last_arg_tags : Runtime.Value.tag list;
+      (** runtime tags of the last argument tuple (Figure 4 data) *)
+}
+
+type report = {
+  result : Runtime.Value.t;
+  interp_cycles : int;
+  native_cycles : int;
+  compile_cycles : int;
+  total_cycles : int;
+  bytecode_instrs : int;  (** interpreter instructions executed *)
+  functions : func_report list;
+  compilations : int;
+  recompilations : int;  (** compilations beyond each function's first *)
+  specialized_funcs : int;  (** functions ever compiled specialized *)
+  successful_funcs : int;  (** specialized and never deoptimized *)
+  deoptimized_funcs : int;
+}
+
+val verbose : bool ref
+(** When set, compile/bailout/deoptimization events are logged to stderr
+    (diagnostics; off by default). *)
+
+val mir_hook : (Mir.func -> unit) option ref
+(** Called with every optimized MIR graph just before lowering
+    ([jsvm --dump-mir]); [None] in normal operation. *)
+
+exception Runtime_error of string
+
+val run_program : config -> Bytecode.Program.t -> report
+val run_source : config -> string -> report
+(** Parse, compile to bytecode and run under the engine.
+    @raise Runtime_error on JS-level errors. *)

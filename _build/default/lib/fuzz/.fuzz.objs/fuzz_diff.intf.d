@@ -1,0 +1,1 @@
+lib/fuzz/fuzz_diff.mli: Engine

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz_gen.ml: List Printf Random

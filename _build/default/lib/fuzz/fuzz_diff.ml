@@ -1,0 +1,41 @@
+type mismatch = { mm_config : string; mm_expected : string; mm_got : string }
+
+let run config src =
+  let buf = Buffer.create 64 in
+  let saved = !Runtime.Builtins.print_hook in
+  Runtime.Builtins.print_hook :=
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n');
+  Runtime.Builtins.reset_random 20130223;
+  Fun.protect
+    ~finally:(fun () -> Runtime.Builtins.print_hook := saved)
+    (fun () ->
+      (try ignore (Engine.run_source config src)
+       with e -> Buffer.add_string buf ("EXN " ^ Printexc.to_string e ^ "\n"));
+      Buffer.contents buf)
+
+let default_configs =
+  let opt o = Engine.default_config ~opt:o () in
+  ("baseline", Engine.default_config ())
+  :: ("best", opt Pipeline.best)
+  :: ( "max",
+       opt
+         (Pipeline.make ~ps:true ~cp:true ~li:true ~dce:true ~bce:true
+            ~precise_alias:true ~overflow_elim:true ~loop_unroll:true "max") )
+  :: ("selective", Engine.default_config ~opt:Pipeline.all_on ~selective:true ())
+  :: ("cache4", Engine.default_config ~opt:Pipeline.all_on ~cache_size:4 ())
+  :: ("sccp", opt (Pipeline.make ~ps:true ~sccp:true ~li:true ~dce:true ~bce:true "sccp"))
+  :: List.map (fun c -> (c.Pipeline.name, opt c)) Pipeline.figure9_configs
+
+let check ?(configs = default_configs) src =
+  let reference = run Engine.interp_only src in
+  List.fold_left
+    (fun acc (name, config) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let got = run config src in
+        if got = reference then None
+        else Some { mm_config = name; mm_expected = reference; mm_got = got })
+    None configs

@@ -1,0 +1,27 @@
+(** Differential execution of one MiniJS program across engine
+    configurations.
+
+    The reference semantics is the pure interpreter; every JIT
+    configuration must print exactly the same output. A raised exception is
+    folded into the output (as an ["EXN ..."] line) so that a crash in one
+    configuration is reported as a mismatch rather than aborting the
+    fuzzing loop. *)
+
+type mismatch = {
+  mm_config : string;  (** name of the disagreeing configuration *)
+  mm_expected : string;  (** the interpreter's output *)
+  mm_got : string;  (** the configuration's output *)
+}
+
+val run : Engine.config -> string -> string
+(** Run one program under one configuration, capturing everything it
+    prints. Reseeds the deterministic [Math.random] before the run. *)
+
+val default_configs : (string * Engine.config) list
+(** The interpreter-vs-everything matrix: baseline, best, a
+    maximum-extensions configuration, the selective and 4-entry-cache
+    engine policies, the SCCP pipeline, and the ten Figure 9 columns. *)
+
+val check : ?configs:(string * Engine.config) list -> string -> mismatch option
+(** Run [src] under the interpreter and every configuration; return the
+    first disagreement, or [None] when all agree. *)

@@ -1,0 +1,1 @@
+lib/harness/fig_codesize.ml: Engine List Pipeline Printf Runner Stats Suite Suites Support Table Web

@@ -1,0 +1,1 @@
+lib/harness/fig_recompile.ml: Engine List Pipeline Printf Runner Suite Suites Support

@@ -1,0 +1,1 @@
+lib/harness/fig_speedup.ml: Engine List Pipeline Printf Runner Stats Suite Suites Support Table

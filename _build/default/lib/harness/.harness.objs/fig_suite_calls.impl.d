@@ -1,0 +1,1 @@
+lib/harness/fig_suite_calls.ml: Engine Hashtbl List Option Printf Runner Runtime Stats Suite Suites Support Table

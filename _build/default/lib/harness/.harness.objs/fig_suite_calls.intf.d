@@ -1,0 +1,1 @@
+lib/harness/fig_suite_calls.mli:

@@ -1,0 +1,1 @@
+lib/harness/fig_web.ml: List Printf Stats Support Table Web

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Engine Fun List Runtime Suite

@@ -1,0 +1,117 @@
+open Support
+
+type point = { fn_name : string; base_size : int; spec_size : int }
+
+type suite_sizes = {
+  suite_name : string;
+  points : point list;
+  average_reduction : float;
+}
+
+type site_result = {
+  site : string;
+  size_reduction : float;
+  recompile_increase : float;
+}
+
+let min_size (f : Engine.func_report) =
+  match f.Engine.fr_sizes with
+  | [] -> None
+  | sizes -> Some (List.fold_left (fun acc (_, s) -> min acc s) max_int sizes)
+
+(* Pair up functions compiled under both configurations, by report order
+   (same program, same fids). *)
+let size_points base_reports spec_reports =
+  List.concat_map
+    (fun ((mname, base), (_, spec)) ->
+      List.filter_map
+        (fun ((b : Engine.func_report), (s : Engine.func_report)) ->
+          match (min_size b, min_size s) with
+          | Some bs, Some ss ->
+            Some { fn_name = mname ^ ":" ^ b.Engine.fr_name; base_size = bs; spec_size = ss }
+          | _ -> None)
+        (List.combine base.Engine.functions spec.Engine.functions))
+    (List.combine base_reports spec_reports)
+
+let average_reduction points =
+  match points with
+  | [] -> 0.0
+  | _ ->
+    Stats.arithmetic_mean
+      (List.map
+         (fun p ->
+           (1.0 -. (float_of_int p.spec_size /. float_of_int (max 1 p.base_size))) *. 100.0)
+         points)
+
+let spec_config = Engine.default_config ~opt:Pipeline.all_on ()
+let base_config = Engine.default_config ()
+
+let run_suites () =
+  List.map
+    (fun (suite : Suite.t) ->
+      let base = Runner.run_suite base_config suite in
+      let spec = Runner.run_suite spec_config suite in
+      let points =
+        size_points base spec |> List.sort (fun a b -> compare a.base_size b.base_size)
+      in
+      { suite_name = suite.Suite.s_name; points; average_reduction = average_reduction points })
+    Suites.all
+
+let run_sites ?(seed = 7) () =
+  List.map
+    (fun profile ->
+      let src = Web.synthetic_site ~seed profile in
+      let member = Suite.member profile.Web.site_name src in
+      let base = Runner.run_member base_config member in
+      let spec = Runner.run_member spec_config member in
+      let points = size_points [ ("", base) ] [ ("", spec) ] in
+      let recompile_increase =
+        let b = float_of_int (max 1 base.Engine.compilations) in
+        float_of_int (spec.Engine.compilations - base.Engine.compilations) /. b *. 100.0
+      in
+      {
+        site = profile.Web.site_name;
+        size_reduction = average_reduction points;
+        recompile_increase;
+      })
+    [ Web.google; Web.facebook; Web.twitter ]
+
+let print suites sites =
+  Printf.printf
+    "Figure 10 - native code size per function, smallest version per mode\n\
+     (paper average reductions: SunSpider 16.72%%, V8 18.84%%, Kraken 15.94%%)\n";
+  List.iter
+    (fun s ->
+      Printf.printf "\n%s: average reduction %s%% over %d functions\n" s.suite_name
+        (Table.fmt_pct s.average_reduction)
+        (List.length s.points);
+      print_string
+        (Table.render
+           ~header:[ "function"; "base"; "specialized"; "delta" ]
+           ~rows:
+             (List.map
+                (fun p ->
+                  [
+                    p.fn_name;
+                    string_of_int p.base_size;
+                    string_of_int p.spec_size;
+                    Printf.sprintf "%+d" (p.spec_size - p.base_size);
+                  ])
+                s.points)
+           ()))
+    suites;
+  Printf.printf
+    "\nWeb study (paper: google -12.07%%/+5.0%%, facebook -16.08%%/+4.9%%, twitter -22.10%%/+23.1%%)\n";
+  print_string
+    (Table.render
+       ~header:[ "site"; "code-size reduction"; "extra recompiles" ]
+       ~rows:
+         (List.map
+            (fun s ->
+              [
+                s.site;
+                Table.fmt_pct s.size_reduction ^ "%";
+                Table.fmt_pct s.recompile_increase ^ "%";
+              ])
+            sites)
+       ())

@@ -1,0 +1,28 @@
+(** Figure 10: per-function native code size, baseline vs specialized, plus
+    the web code-size study (google/facebook/twitter reductions and extra
+    recompilations).
+
+    For each function compiled in both modes the smallest version each mode
+    generated is compared, as the paper does ("we consider only the
+    smallest version that each compilation mode generates for each
+    function"). Paper averages: SunSpider -16.72%, V8 -18.84%, Kraken
+    -15.94%; web sites -12.07% (google), -16.08% (facebook), -22.10%
+    (twitter) with 5.0%/4.9%/23.1% extra recompiles. *)
+
+type point = { fn_name : string; base_size : int; spec_size : int }
+
+type suite_sizes = {
+  suite_name : string;
+  points : point list;  (** ordered by [base_size], the figure's X axis *)
+  average_reduction : float;  (** mean per-function size reduction, % *)
+}
+
+type site_result = {
+  site : string;
+  size_reduction : float;
+  recompile_increase : float;  (** extra recompilations, % of compilations *)
+}
+
+val run_suites : unit -> suite_sizes list
+val run_sites : ?seed:int -> unit -> site_result list
+val print : suite_sizes list -> site_result list -> unit

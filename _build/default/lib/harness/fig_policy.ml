@@ -1,0 +1,43 @@
+type t = {
+  suite_name : string;
+  specialized : int;
+  successful : int;
+  deoptimized : int;
+}
+
+let run () =
+  let config = Engine.default_config ~opt:Pipeline.all_on () in
+  List.map
+    (fun (suite : Suite.t) ->
+      let runs = Runner.run_suite config suite in
+      let specialized = ref 0 and deoptimized = ref 0 in
+      List.iter
+        (fun (_, report) ->
+          specialized := !specialized + report.Engine.specialized_funcs;
+          deoptimized := !deoptimized + report.Engine.deoptimized_funcs)
+        runs;
+      {
+        suite_name = suite.Suite.s_name;
+        specialized = !specialized;
+        successful = !specialized - !deoptimized;
+        deoptimized = !deoptimized;
+      })
+    Suites.all
+
+let print rows =
+  Printf.printf
+    "Specialization policy (paper: 56/18/38 SunSpider, 37/11/26 V8, 38/14/24 Kraken)\n";
+  print_string
+    (Support.Table.render
+       ~header:[ "suite"; "specialized"; "successful"; "deoptimized" ]
+       ~rows:
+         (List.map
+            (fun r ->
+              [
+                r.suite_name;
+                string_of_int r.specialized;
+                string_of_int r.successful;
+                string_of_int r.deoptimized;
+              ])
+            rows)
+       ())

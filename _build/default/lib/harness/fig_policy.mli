@@ -1,0 +1,14 @@
+(** Section 4, "Specialization policy": per suite, how many functions were
+    specialized, how many were successfully specialized (always called with
+    the same arguments for the whole execution) and how many had to be
+    deoptimized. Paper: 56/18/38 SunSpider, 37/11/26 V8, 38/14/24 Kraken. *)
+
+type t = {
+  suite_name : string;
+  specialized : int;
+  successful : int;
+  deoptimized : int;
+}
+
+val run : unit -> t list
+val print : t list -> unit

@@ -1,0 +1,42 @@
+type t = {
+  suite_name : string;
+  base_compilations : int;
+  spec_compilations : int;
+  growth_percent : float;
+}
+
+let total_compilations runs =
+  List.fold_left (fun acc (_, r) -> acc + r.Engine.compilations) 0 runs
+
+let run () =
+  let base_config = Engine.default_config () in
+  let spec_config = Engine.default_config ~opt:Pipeline.all_on () in
+  List.map
+    (fun (suite : Suite.t) ->
+      let base = total_compilations (Runner.run_suite base_config suite) in
+      let spec = total_compilations (Runner.run_suite spec_config suite) in
+      {
+        suite_name = suite.Suite.s_name;
+        base_compilations = base;
+        spec_compilations = spec;
+        growth_percent = float_of_int (spec - base) /. float_of_int (max 1 base) *. 100.0;
+      })
+    Suites.all
+
+let print rows =
+  Printf.printf
+    "Recompilation impact (paper: +3.6%% SunSpider, +4.35%% V8, +7.58%% Kraken)\n";
+  print_string
+    (Support.Table.render
+       ~header:[ "suite"; "base compiles"; "spec compiles"; "growth" ]
+       ~rows:
+         (List.map
+            (fun r ->
+              [
+                r.suite_name;
+                string_of_int r.base_compilations;
+                string_of_int r.spec_compilations;
+                Support.Table.fmt_pct r.growth_percent ^ "%";
+              ])
+            rows)
+       ())

@@ -1,0 +1,13 @@
+(** Section 4, "Impact on number of recompilations": by how much parameter
+    specialization grows the number of compilations of the same function.
+    Paper: +3.6% SunSpider, +4.35% V8, +7.58% Kraken. *)
+
+type t = {
+  suite_name : string;
+  base_compilations : int;
+  spec_compilations : int;
+  growth_percent : float;
+}
+
+val run : unit -> t list
+val print : t list -> unit

@@ -1,0 +1,69 @@
+open Support
+
+type cell = { speedups : float list; overheads : float list }
+
+type t = { config_names : string list; suites : (string * cell list) list }
+
+let run () =
+  let configs = Pipeline.figure9_configs in
+  let suites =
+    List.map
+      (fun (suite : Suite.t) ->
+        let base_runs = Runner.run_suite (Engine.default_config ()) suite in
+        let cells =
+          List.map
+            (fun opt ->
+              let runs = Runner.run_suite (Engine.default_config ~opt ()) suite in
+              let speedups =
+                List.map2
+                  (fun (_, base) (_, conf) ->
+                    Stats.percent_change
+                      ~base:(float_of_int base.Engine.total_cycles)
+                      ~v:(float_of_int conf.Engine.total_cycles))
+                  base_runs runs
+              in
+              let overheads =
+                List.map2
+                  (fun (_, base) (_, conf) ->
+                    let b = float_of_int (max 1 base.Engine.compile_cycles) in
+                    let c = float_of_int conf.Engine.compile_cycles in
+                    (c -. b) /. b *. 100.0)
+                  base_runs runs
+              in
+              { speedups; overheads })
+            configs
+        in
+        (suite.Suite.s_name, cells))
+      Suites.all
+  in
+  { config_names = List.map (fun c -> c.Pipeline.name) configs; suites }
+
+let mean_of = function
+  | `Arith -> Stats.arithmetic_mean
+  | `Geo -> Stats.geometric_mean_percent
+
+let speedup_table ~mean t =
+  List.map
+    (fun (name, cells) ->
+      name :: List.map (fun c -> Table.fmt_pct (mean_of mean c.speedups)) cells)
+    t.suites
+
+let overhead_table ~mean t =
+  List.map
+    (fun (name, cells) ->
+      name :: List.map (fun c -> Table.fmt_pct (mean_of mean c.overheads)) cells)
+    t.suites
+
+let print t =
+  let header = "suite" :: t.config_names in
+  Printf.printf
+    "Figure 9(a) - runtime speedup %%, arithmetic mean (paper SunSpider row:\n\
+    \  4.81 -1.04 4.46 4.62 5.35 5.12 4.12 5.12 5.38 4.54)\n";
+  print_string (Table.render ~header ~rows:(speedup_table ~mean:`Arith t) ());
+  Printf.printf "\nFigure 9(b) - runtime speedup %%, geometric mean\n";
+  print_string (Table.render ~header ~rows:(speedup_table ~mean:`Geo t) ());
+  Printf.printf
+    "\nFigure 9(c) - compilation overhead %%, arithmetic mean (negative = compiles faster)\n";
+  print_string (Table.render ~header ~rows:(overhead_table ~mean:`Arith t) ());
+  Printf.printf "\nFigure 9(d) - compilation overhead %%, geometric mean\n";
+  print_string (Table.render ~header ~rows:(overhead_table ~mean:`Geo t) ())

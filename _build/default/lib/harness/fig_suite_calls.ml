@@ -1,0 +1,107 @@
+open Support
+
+type suite_stats = {
+  suite_name : string;
+  distinct_functions : int;
+  calls_bins : (string * float) list;
+  argsets_bins : (string * float) list;
+  called_once : float;
+  single_argset : float;
+  most_called : string * int;
+  type_fractions : (string * float) list;
+}
+
+let tag_category (tag : Runtime.Value.tag) =
+  match tag with
+  | Runtime.Value.Tag_array -> "array"
+  | Runtime.Value.Tag_bool -> "bool"
+  | Runtime.Value.Tag_double -> "double"
+  | Runtime.Value.Tag_function -> "function"
+  | Runtime.Value.Tag_int -> "int"
+  | Runtime.Value.Tag_null -> "null"
+  | Runtime.Value.Tag_object -> "object"
+  | Runtime.Value.Tag_string -> "string"
+  | Runtime.Value.Tag_undefined -> "undefined"
+
+let suite_stats (suite : Suite.t) =
+  let calls_h = Stats.Histogram.create () in
+  let argsets_h = Stats.Histogram.create () in
+  let type_counts = Hashtbl.create 16 in
+  let total_params = ref 0 in
+  let most = ref ("", 0) in
+  let nfuncs = ref 0 in
+  List.iter
+    (fun (_, report) ->
+      List.iter
+        (fun (f : Engine.func_report) ->
+          incr nfuncs;
+          Stats.Histogram.add calls_h f.Engine.fr_calls;
+          let argsets = f.Engine.fr_arg_set_changes + 1 in
+          Stats.Histogram.add argsets_h argsets;
+          if f.Engine.fr_calls > snd !most then most := (f.Engine.fr_name, f.Engine.fr_calls);
+          if argsets = 1 then
+            List.iter
+              (fun tag ->
+                let key = tag_category tag in
+                Hashtbl.replace type_counts key
+                  (1 + Option.value (Hashtbl.find_opt type_counts key) ~default:0);
+                incr total_params)
+              f.Engine.fr_last_arg_tags)
+        (Runner.called_functions report))
+    (Runner.run_suite Engine.interp_only suite);
+  let categories =
+    [ "array"; "bool"; "double"; "function"; "int"; "null"; "object"; "string"; "undefined" ]
+  in
+  {
+    suite_name = suite.Suite.s_name;
+    distinct_functions = !nfuncs;
+    calls_bins = Stats.Histogram.bins calls_h ~first:1 ~tail_from:30;
+    argsets_bins = Stats.Histogram.bins argsets_h ~first:1 ~tail_from:30;
+    called_once = Stats.Histogram.fraction calls_h 1;
+    single_argset = Stats.Histogram.fraction argsets_h 1;
+    most_called = !most;
+    type_fractions =
+      List.map
+        (fun c ->
+          let n = Option.value (Hashtbl.find_opt type_counts c) ~default:0 in
+          (c, float_of_int n /. float_of_int (max 1 !total_params)))
+        categories;
+  }
+
+let run () = List.map suite_stats Suites.all
+
+let print stats =
+  let pct x = Table.fmt_pct (100.0 *. x) ^ "%" in
+  Printf.printf
+    "Figure 3 - per-suite invocation statistics (paper: 21.43%%/4.68%%/39.79%% called once;\n";
+  Printf.printf "            38.96%%/40.62%%/55.91%% with a single argument set)\n";
+  print_string
+    (Table.render
+       ~header:
+         [ "suite"; "functions"; "called once"; "one arg set"; "most called"; "calls" ]
+       ~rows:
+         (List.map
+            (fun s ->
+              [
+                s.suite_name;
+                string_of_int s.distinct_functions;
+                pct s.called_once;
+                pct s.single_argset;
+                fst s.most_called;
+                string_of_int (snd s.most_called);
+              ])
+            stats)
+       ());
+  Printf.printf "\nFigure 4 (benchmark columns) - parameter type mix of one-arg-set functions\n";
+  let header = "type" :: List.map (fun s -> s.suite_name) stats in
+  let categories = List.map fst (List.hd stats).type_fractions in
+  let rows =
+    List.map
+      (fun c ->
+        c
+        :: List.map
+             (fun s -> pct (List.assoc c s.type_fractions))
+             stats)
+      categories
+  in
+  print_string (Table.render ~header ~rows ())

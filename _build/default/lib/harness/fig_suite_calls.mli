@@ -1,0 +1,19 @@
+(** Figure 3 (both rows) and the benchmark columns of Figure 4: per-suite
+    invocation histograms, distinct-argument-set histograms, and parameter
+    type mixes, measured by running each suite under pure interpretation
+    with the engine's call instrumentation. *)
+
+type suite_stats = {
+  suite_name : string;
+  distinct_functions : int;  (** paper: 154 SunSpider, 320 V8, 186 Kraken *)
+  calls_bins : (string * float) list;
+  argsets_bins : (string * float) list;
+  called_once : float;
+  single_argset : float;  (** paper: 38.96% / 40.62% / 55.91% *)
+  most_called : string * int;
+  type_fractions : (string * float) list;  (** Figure 4 suite column *)
+}
+
+val run : unit -> suite_stats list
+
+val print : suite_stats list -> unit

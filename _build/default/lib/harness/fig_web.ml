@@ -1,0 +1,45 @@
+open Support
+
+type t = {
+  calls_bins : (string * float) list;
+  argsets_bins : (string * float) list;
+  called_once : float;
+  called_twice : float;
+  single_argset : float;
+  type_fractions : (string * float) list;
+}
+
+let run ?(seed = 100) ?(nfunctions = 23002) () =
+  let stats = Web.session ~seed ~nfunctions in
+  let h = stats.Web.calls_histogram and a = stats.Web.argsets_histogram in
+  {
+    calls_bins = Stats.Histogram.bins h ~first:1 ~tail_from:30;
+    argsets_bins = Stats.Histogram.bins a ~first:1 ~tail_from:30;
+    called_once = Stats.Histogram.fraction h 1;
+    called_twice = Stats.Histogram.fraction h 2;
+    single_argset = Stats.Histogram.fraction a 1;
+    type_fractions = stats.Web.type_fractions;
+  }
+
+let print t =
+  let pct x = Table.fmt_pct (100.0 *. x) ^ "%" in
+  Printf.printf
+    "Figure 1 - %% of web functions called n times (paper: 48.88%% once, 11.12%% twice)\n";
+  Printf.printf "  called once: %s   called twice: %s\n" (pct t.called_once)
+    (pct t.called_twice);
+  print_string
+    (Table.render ~header:[ "n"; "fraction" ]
+       ~rows:(List.map (fun (k, v) -> [ k; pct v ]) t.calls_bins)
+       ());
+  Printf.printf
+    "\nFigure 2 - %% of web functions with n distinct argument sets (paper: 59.91%% with one)\n";
+  Printf.printf "  single argument set: %s\n" (pct t.single_argset);
+  print_string
+    (Table.render ~header:[ "n"; "fraction" ]
+       ~rows:(List.map (fun (k, v) -> [ k; pct v ]) t.argsets_bins)
+       ());
+  Printf.printf "\nFigure 4 (web column) - parameter types of single-argument-set functions\n";
+  print_string
+    (Table.render ~header:[ "type"; "fraction" ]
+       ~rows:(List.map (fun (k, v) -> [ k; pct v ]) t.type_fractions)
+       ())

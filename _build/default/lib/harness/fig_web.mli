@@ -1,0 +1,17 @@
+(** Figures 1, 2 and 4 (web columns): invocation-count histogram,
+    distinct-argument-set histogram, and parameter-type mix of the
+    synthetic web session (see {!Web} for the calibration). *)
+
+type t = {
+  calls_bins : (string * float) list;  (** Figure 1: first 29 bins + tail *)
+  argsets_bins : (string * float) list;  (** Figure 2 *)
+  called_once : float;  (** paper: 48.88% *)
+  called_twice : float;  (** paper: 11.12% *)
+  single_argset : float;  (** paper: 59.91% *)
+  type_fractions : (string * float) list;  (** Figure 4, web column *)
+}
+
+val run : ?seed:int -> ?nfunctions:int -> unit -> t
+(** Defaults: the paper's 23,002 functions, fixed seed. *)
+
+val print : t -> unit

@@ -1,0 +1,16 @@
+let quiet f =
+  let saved = !Runtime.Builtins.print_hook in
+  Runtime.Builtins.print_hook := ignore;
+  Runtime.Builtins.reset_random 20130223;  (* CGO'13 *)
+  Fun.protect ~finally:(fun () -> Runtime.Builtins.print_hook := saved) f
+
+let run_member config (m : Suite.member) =
+  quiet (fun () -> Engine.run_source config m.Suite.m_source)
+
+let run_suite config (suite : Suite.t) =
+  List.map (fun (m : Suite.member) -> (m.Suite.m_name, run_member config m)) suite.Suite.members
+
+let called_functions (r : Engine.report) =
+  List.filter
+    (fun (f : Engine.func_report) -> f.Engine.fr_calls > 0 && f.Engine.fr_fid <> 0)
+    r.Engine.functions

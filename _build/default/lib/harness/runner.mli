@@ -1,0 +1,15 @@
+(** Shared plumbing for the experiment drivers: run suite members under a
+    configuration with [print] silenced, deterministically. *)
+
+val quiet : (unit -> 'a) -> 'a
+(** Evaluate with the [print] builtin suppressed and [Math.random]
+    reseeded, restoring the hooks afterwards. *)
+
+val run_member : Engine.config -> Suite.member -> Engine.report
+(** Run one suite member quietly. *)
+
+val run_suite : Engine.config -> Suite.t -> (string * Engine.report) list
+(** Run every member; returns (member name, report) pairs. *)
+
+val called_functions : Engine.report -> Engine.func_report list
+(** Function reports with at least one call, excluding the toplevel. *)

@@ -1,0 +1,65 @@
+(** The bytecode interpreter (the SpiderMonkey role in the paper's
+    Figure 5).
+
+    The interpreter is parameterized by {!hooks} so the JIT engine can
+    intercept calls (to run compiled code instead) and loop headers (to
+    trigger on-stack replacement). Bailouts from native code re-enter here
+    through {!resume}: the engine reconstructs a frame from the guard's
+    resume-point snapshot and interpretation continues at the failing
+    bytecode. *)
+
+exception Runtime_error of string
+
+type frame = {
+  func : Bytecode.Program.func;
+  args : Runtime.Value.t array;
+  locals : Runtime.Value.t array;
+  cells : Runtime.Value.t ref array;
+  upvals : Runtime.Value.t ref array;
+  stack : Runtime.Value.t array;
+  mutable sp : int;
+  mutable pc : int;
+}
+
+type state = {
+  program : Bytecode.Program.t;
+  globals : Runtime.Value.t array;
+  mutable icount : int;  (** bytecode instructions interpreted (cost model) *)
+}
+
+type hooks = {
+  call : Runtime.Value.t -> Runtime.Value.t array -> Runtime.Value.t;
+      (** Dispatch a call to a closure or native function. The engine may
+          run compiled code; the plain evaluator recurses into {!run}. *)
+  loop_head : frame -> Runtime.Value.t option;
+      (** Invoked at every [Loop_head]. Returning [Some v] means the engine
+          completed the rest of the frame natively (OSR) with result [v]. *)
+}
+
+val make_state : Bytecode.Program.t -> state
+(** Fresh state with builtin globals installed. *)
+
+val make_frame :
+  Bytecode.Program.func ->
+  args:Runtime.Value.t array ->
+  upvals:Runtime.Value.t ref array ->
+  frame
+(** A frame about to execute from pc 0. Missing arguments are padded with
+    [Undefined]; extra arguments are retained (JS semantics for arity
+    mismatches). *)
+
+val run : state -> hooks -> frame -> Runtime.Value.t
+(** Execute the frame from its current [pc]/[sp] until it returns. *)
+
+val default_hooks : state -> hooks
+(** Pure-interpretation hooks: calls recurse into the interpreter, loop
+    heads never OSR. *)
+
+val run_program : Bytecode.Program.t -> state * Runtime.Value.t
+(** Convenience: interpret a whole program (function [main]) with
+    {!default_hooks}; returns the final state and the toplevel result. *)
+
+val call_value :
+  state -> hooks -> Runtime.Value.t -> Runtime.Value.t array -> Runtime.Value.t
+(** Interpret a call to a closure or native-function value (the
+    [hooks.call] implementation used by {!default_hooks}). *)

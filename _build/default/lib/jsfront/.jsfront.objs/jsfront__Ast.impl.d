@@ -1,0 +1,1 @@
+lib/jsfront/ast.ml: Format Option Pos String

@@ -1,0 +1,1 @@
+lib/jsfront/lexer.ml: Buffer List Option Pos Printf String Token

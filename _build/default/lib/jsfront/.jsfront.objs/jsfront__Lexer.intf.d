@@ -1,0 +1,1 @@
+lib/jsfront/lexer.mli: Pos Token

@@ -1,0 +1,1 @@
+lib/jsfront/parser.ml: Array Ast Lexer List Pos Printf Token

@@ -1,0 +1,1 @@
+lib/jsfront/parser.mli: Ast Pos

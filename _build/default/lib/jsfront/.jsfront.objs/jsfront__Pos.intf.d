@@ -1,0 +1,1 @@
+lib/jsfront/pos.mli: Format

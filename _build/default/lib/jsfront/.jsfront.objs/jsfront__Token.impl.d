@@ -1,0 +1,1 @@
+lib/jsfront/token.ml: Printf

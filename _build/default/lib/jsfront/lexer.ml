@@ -1,0 +1,259 @@
+exception Error of Pos.t * string
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let here st = { Pos.line = st.line; col = st.col }
+let fail st msg = raise (Error (here st, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of_string = function
+  | "function" -> Some Token.Kw_function
+  | "var" -> Some Token.Kw_var
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "while" -> Some Token.Kw_while
+  | "do" -> Some Token.Kw_do
+  | "for" -> Some Token.Kw_for
+  | "return" -> Some Token.Kw_return
+  | "break" -> Some Token.Kw_break
+  | "continue" -> Some Token.Kw_continue
+  | "true" -> Some Token.Kw_true
+  | "false" -> Some Token.Kw_false
+  | "null" -> Some Token.Kw_null
+  | "undefined" -> Some Token.Kw_undefined
+  | "in" -> Some Token.Kw_in
+  | "typeof" -> Some Token.Kw_typeof
+  | "new" -> Some Token.Kw_new
+  | "switch" -> Some Token.Kw_switch
+  | "case" -> Some Token.Kw_case
+  | "default" -> Some Token.Kw_default
+  | _ -> None
+
+let skip_line_comment st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some '\n' | None -> continue := false
+    | Some _ -> advance st
+  done
+
+let skip_block_comment st =
+  let start = here st in
+  let continue = ref true in
+  while !continue do
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+      advance st;
+      advance st;
+      continue := false
+    | Some _, _ -> advance st
+    | None, _ -> raise (Error (start, "unterminated block comment"))
+  done
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    match (peek st, peek2 st) with
+    | Some '0', Some ('x' | 'X') ->
+      advance st;
+      advance st;
+      true
+    | _ -> false
+  in
+  if hex then begin
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    Token.Int (int_of_string text)
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let is_float = ref false in
+    (match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    (match peek st with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    let text = String.sub st.src start (st.pos - start) in
+    if !is_float then Token.Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some n -> Token.Int n
+      | None -> Token.Float (float_of_string text)
+  end
+
+let lex_string st quote =
+  let start = here st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Error (start, "unterminated string literal"))
+    | Some c when c = quote -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> raise (Error (start, "unterminated escape"))
+      | Some e ->
+        advance st;
+        let decoded =
+          match e with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | '\\' -> '\\'
+          | '\'' -> '\''
+          | '"' -> '"'
+          | other -> other
+        in
+        Buffer.add_char buf decoded);
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Token.String (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword_of_string text with Some kw -> kw | None -> Token.Ident text
+
+(* Operator lexing: longest match first. *)
+let lex_operator st =
+  let two = Token.[
+    ("+=", Plus_assign); ("-=", Minus_assign); ("*=", Star_assign);
+    ("/=", Slash_assign); ("%=", Percent_assign); ("==", Eq_eq);
+    ("!=", Bang_eq); ("<=", Le); (">=", Ge); ("&&", Amp_amp);
+    ("||", Pipe_pipe); ("++", Plus_plus); ("--", Minus_minus);
+    ("<<", Shl); (">>", Shr); ("&=", Amp_assign); ("|=", Pipe_assign);
+    ("^=", Caret_assign);
+  ]
+  in
+  let four = Token.[ (">>>=", Ushr_assign) ] in
+  let three =
+    Token.[ ("===", Eq_eq_eq); ("!==", Bang_eq_eq); (">>>", Ushr); ("<<=", Shl_assign); (">>=", Shr_assign) ]
+  in
+  let matches s =
+    let n = String.length s in
+    st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  in
+  let take n tok =
+    for _ = 1 to n do
+      advance st
+    done;
+    tok
+  in
+  match List.find_opt (fun (s, _) -> matches s) four with
+  | Some (_, tok) -> take 4 tok
+  | None -> (
+  match List.find_opt (fun (s, _) -> matches s) three with
+  | Some (_, tok) -> take 3 tok
+  | None -> (
+    match List.find_opt (fun (s, _) -> matches s) two with
+    | Some (_, tok) -> take 2 tok
+    | None -> (
+      let single =
+        match peek st with
+        | Some '(' -> Some Token.Lparen
+        | Some ')' -> Some Token.Rparen
+        | Some '{' -> Some Token.Lbrace
+        | Some '}' -> Some Token.Rbrace
+        | Some '[' -> Some Token.Lbracket
+        | Some ']' -> Some Token.Rbracket
+        | Some ',' -> Some Token.Comma
+        | Some ';' -> Some Token.Semi
+        | Some '.' -> Some Token.Dot
+        | Some ':' -> Some Token.Colon
+        | Some '?' -> Some Token.Question
+        | Some '=' -> Some Token.Assign
+        | Some '+' -> Some Token.Plus
+        | Some '-' -> Some Token.Minus
+        | Some '*' -> Some Token.Star
+        | Some '/' -> Some Token.Slash
+        | Some '%' -> Some Token.Percent
+        | Some '<' -> Some Token.Lt
+        | Some '>' -> Some Token.Gt
+        | Some '!' -> Some Token.Bang
+        | Some '&' -> Some Token.Amp
+        | Some '|' -> Some Token.Pipe
+        | Some '^' -> Some Token.Caret
+        | Some '~' -> Some Token.Tilde
+        | Some _ | None -> None
+      in
+      match single with
+      | Some tok -> take 1 tok
+      | None ->
+        fail st
+          (Printf.sprintf "unexpected character %C"
+             (Option.value (peek st) ~default:'?')))))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec loop () =
+    match peek st with
+    | None -> emit Token.Eof (here st)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      loop ()
+    | Some '/' when peek2 st = Some '/' ->
+      skip_line_comment st;
+      loop ()
+    | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      skip_block_comment st;
+      loop ()
+    | Some c ->
+      let pos = here st in
+      let tok =
+        if is_digit c then lex_number st
+        else if c = '"' || c = '\'' then lex_string st c
+        else if is_ident_start c then lex_ident st
+        else lex_operator st
+      in
+      emit tok pos;
+      loop ()
+  in
+  loop ();
+  List.rev !tokens

@@ -1,0 +1,11 @@
+(** Hand-written lexer for MiniJS.
+
+    Supports decimal and hexadecimal integer literals, floating-point
+    literals, single- and double-quoted strings with the common escapes,
+    line ([//]) and block ([/* */]) comments. *)
+
+exception Error of Pos.t * string
+
+val tokenize : string -> (Token.t * Pos.t) list
+(** Tokenize a whole source string. The final element is always [Eof].
+    @raise Error on malformed input. *)

@@ -1,0 +1,561 @@
+exception Error of Pos.t * string
+
+type state = { tokens : (Token.t * Pos.t) array; mutable index : int }
+
+let current st = fst st.tokens.(st.index)
+let current_pos st = snd st.tokens.(st.index)
+
+let fail st msg =
+  raise
+    (Error
+       ( current_pos st,
+         Printf.sprintf "%s (found %s)" msg (Token.to_string (current st)) ))
+
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let eat st tok =
+  if current st = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let accept st tok =
+  if current st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match current st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+(* Convert an expression to an assignable left-hand side. *)
+let lhs_of_expr st = function
+  | Ast.Var x -> Ast.L_var x
+  | Ast.Index (a, i) -> Ast.L_index (a, i)
+  | Ast.Prop (o, p) -> Ast.L_prop (o, p)
+  | _ -> fail st "invalid assignment target"
+
+let rec parse_expr st = parse_assignment st
+
+and parse_assignment st =
+  let left = parse_conditional st in
+  let op_assign op =
+    advance st;
+    let rhs = parse_assignment st in
+    Ast.Op_assign (op, lhs_of_expr st left, rhs)
+  in
+  match current st with
+  | Token.Assign ->
+    advance st;
+    let rhs = parse_assignment st in
+    Ast.Assign (lhs_of_expr st left, rhs)
+  | Token.Plus_assign -> op_assign Ast.Add
+  | Token.Minus_assign -> op_assign Ast.Sub
+  | Token.Star_assign -> op_assign Ast.Mul
+  | Token.Slash_assign -> op_assign Ast.Div
+  | Token.Percent_assign -> op_assign Ast.Mod
+  | Token.Amp_assign -> op_assign Ast.Bit_and
+  | Token.Pipe_assign -> op_assign Ast.Bit_or
+  | Token.Caret_assign -> op_assign Ast.Bit_xor
+  | Token.Shl_assign -> op_assign Ast.Shl
+  | Token.Shr_assign -> op_assign Ast.Shr
+  | Token.Ushr_assign -> op_assign Ast.Ushr
+  | _ -> left
+
+and parse_conditional st =
+  let cond = parse_or st in
+  if accept st Token.Question then begin
+    let then_e = parse_assignment st in
+    eat st Token.Colon;
+    let else_e = parse_assignment st in
+    Ast.Cond (cond, then_e, else_e)
+  end
+  else cond
+
+and parse_or st =
+  let rec loop left =
+    if accept st Token.Pipe_pipe then loop (Ast.Or (left, parse_and st)) else left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    if accept st Token.Amp_amp then loop (Ast.And (left, parse_bitor st)) else left
+  in
+  loop (parse_bitor st)
+
+and parse_bitor st =
+  let rec loop left =
+    if accept st Token.Pipe then loop (Ast.Binop (Ast.Bit_or, left, parse_bitxor st))
+    else left
+  in
+  loop (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec loop left =
+    if accept st Token.Caret then loop (Ast.Binop (Ast.Bit_xor, left, parse_bitand st))
+    else left
+  in
+  loop (parse_bitand st)
+
+and parse_bitand st =
+  let rec loop left =
+    if accept st Token.Amp then loop (Ast.Binop (Ast.Bit_and, left, parse_equality st))
+    else left
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop left =
+    match current st with
+    | Token.Eq_eq ->
+      advance st;
+      loop (Ast.Cmp (Ast.Eq, left, parse_relational st))
+    | Token.Bang_eq ->
+      advance st;
+      loop (Ast.Cmp (Ast.Neq, left, parse_relational st))
+    | Token.Eq_eq_eq ->
+      advance st;
+      loop (Ast.Cmp (Ast.Strict_eq, left, parse_relational st))
+    | Token.Bang_eq_eq ->
+      advance st;
+      loop (Ast.Cmp (Ast.Strict_neq, left, parse_relational st))
+    | _ -> left
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop left =
+    match current st with
+    | Token.Lt ->
+      advance st;
+      loop (Ast.Cmp (Ast.Lt, left, parse_shift st))
+    | Token.Le ->
+      advance st;
+      loop (Ast.Cmp (Ast.Le, left, parse_shift st))
+    | Token.Gt ->
+      advance st;
+      loop (Ast.Cmp (Ast.Gt, left, parse_shift st))
+    | Token.Ge ->
+      advance st;
+      loop (Ast.Cmp (Ast.Ge, left, parse_shift st))
+    | _ -> left
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop left =
+    match current st with
+    | Token.Shl ->
+      advance st;
+      loop (Ast.Binop (Ast.Shl, left, parse_additive st))
+    | Token.Shr ->
+      advance st;
+      loop (Ast.Binop (Ast.Shr, left, parse_additive st))
+    | Token.Ushr ->
+      advance st;
+      loop (Ast.Binop (Ast.Ushr, left, parse_additive st))
+    | _ -> left
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop left =
+    match current st with
+    | Token.Plus ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_multiplicative st))
+    | Token.Minus ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    match current st with
+    | Token.Star ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Token.Slash ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    | Token.Percent ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match current st with
+  | Token.Minus ->
+    advance st;
+    (* Fold unary minus into numeric literals so -5 parses as a constant. *)
+    (match parse_unary st with
+    | Ast.Int n -> Ast.Int (-n)
+    | Ast.Float f -> Ast.Float (-.f)
+    | e -> Ast.Unop (Ast.Neg, e))
+  | Token.Plus ->
+    advance st;
+    Ast.Unop (Ast.To_number, parse_unary st)
+  | Token.Bang ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | Token.Tilde ->
+    advance st;
+    Ast.Unop (Ast.Bit_not, parse_unary st)
+  | Token.Kw_typeof ->
+    advance st;
+    Ast.Unop (Ast.Typeof, parse_unary st)
+  | Token.Plus_plus ->
+    advance st;
+    let e = parse_unary st in
+    Ast.Update (Ast.Incr, true, lhs_of_expr st e)
+  | Token.Minus_minus ->
+    advance st;
+    let e = parse_unary st in
+    Ast.Update (Ast.Decr, true, lhs_of_expr st e)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_call_chain st in
+  match current st with
+  | Token.Plus_plus ->
+    advance st;
+    Ast.Update (Ast.Incr, false, lhs_of_expr st e)
+  | Token.Minus_minus ->
+    advance st;
+    Ast.Update (Ast.Decr, false, lhs_of_expr st e)
+  | _ -> e
+
+and parse_call_chain st =
+  let rec loop e =
+    match current st with
+    | Token.Lparen ->
+      let args = parse_arguments st in
+      (match e with
+      | Ast.Prop (obj, name) -> loop (Ast.Method_call (obj, name, args))
+      | _ -> loop (Ast.Call (e, args)))
+    | Token.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      eat st Token.Rbracket;
+      loop (Ast.Index (e, idx))
+    | Token.Dot ->
+      advance st;
+      let name = expect_ident st in
+      loop (Ast.Prop (e, name))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_arguments st =
+  eat st Token.Lparen;
+  if accept st Token.Rparen then []
+  else begin
+    let rec loop acc =
+      let arg = parse_assignment st in
+      if accept st Token.Comma then loop (arg :: acc)
+      else begin
+        eat st Token.Rparen;
+        List.rev (arg :: acc)
+      end
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match current st with
+  | Token.Int n ->
+    advance st;
+    Ast.Int n
+  | Token.Float f ->
+    advance st;
+    Ast.Float f
+  | Token.String s ->
+    advance st;
+    Ast.Str s
+  | Token.Kw_true ->
+    advance st;
+    Ast.Bool true
+  | Token.Kw_false ->
+    advance st;
+    Ast.Bool false
+  | Token.Kw_null ->
+    advance st;
+    Ast.Null
+  | Token.Kw_undefined ->
+    advance st;
+    Ast.Undefined
+  | Token.Ident name ->
+    advance st;
+    Ast.Var name
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    eat st Token.Rparen;
+    e
+  | Token.Lbracket ->
+    advance st;
+    if accept st Token.Rbracket then Ast.Array_lit []
+    else begin
+      let rec loop acc =
+        let e = parse_assignment st in
+        if accept st Token.Comma then loop (e :: acc)
+        else begin
+          eat st Token.Rbracket;
+          List.rev (e :: acc)
+        end
+      in
+      Ast.Array_lit (loop [])
+    end
+  | Token.Lbrace ->
+    advance st;
+    if accept st Token.Rbrace then Ast.Object_lit []
+    else begin
+      let parse_field () =
+        let key =
+          match current st with
+          | Token.Ident name ->
+            advance st;
+            name
+          | Token.String s ->
+            advance st;
+            s
+          | _ -> fail st "expected property name"
+        in
+        eat st Token.Colon;
+        let value = parse_assignment st in
+        (key, value)
+      in
+      let rec loop acc =
+        let field = parse_field () in
+        if accept st Token.Comma then loop (field :: acc)
+        else begin
+          eat st Token.Rbrace;
+          List.rev (field :: acc)
+        end
+      in
+      Ast.Object_lit (loop [])
+    end
+  | Token.Kw_function ->
+    let f = parse_function st ~require_name:false in
+    Ast.Func f
+  | Token.Kw_new ->
+    advance st;
+    let ctor = expect_ident st in
+    let args = if current st = Token.Lparen then parse_arguments st else [] in
+    Ast.New (ctor, args)
+  | _ -> fail st "expected expression"
+
+and parse_function st ~require_name =
+  let fpos = current_pos st in
+  eat st Token.Kw_function;
+  let name =
+    match current st with
+    | Token.Ident n ->
+      advance st;
+      Some n
+    | _ -> if require_name then fail st "expected function name" else None
+  in
+  eat st Token.Lparen;
+  let params =
+    if accept st Token.Rparen then []
+    else begin
+      let rec loop acc =
+        let p = expect_ident st in
+        if accept st Token.Comma then loop (p :: acc)
+        else begin
+          eat st Token.Rparen;
+          List.rev (p :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  eat st Token.Lbrace;
+  let body = parse_statements_until st Token.Rbrace in
+  eat st Token.Rbrace;
+  { Ast.name; params; body; fpos }
+
+and parse_statements_until st stop =
+  let rec loop acc =
+    if current st = stop || current st = Token.Eof then List.rev acc
+    else loop (parse_statement st :: acc)
+  in
+  loop []
+
+and parse_statement st =
+  match current st with
+  | Token.Kw_function -> Ast.Func_decl (parse_function st ~require_name:true)
+  | Token.Kw_var ->
+    advance st;
+    let decl = parse_var_declarators st in
+    eat st Token.Semi;
+    decl
+  | Token.Kw_if ->
+    advance st;
+    eat st Token.Lparen;
+    let cond = parse_expr st in
+    eat st Token.Rparen;
+    let then_branch = parse_branch st in
+    let else_branch = if accept st Token.Kw_else then parse_branch st else [] in
+    Ast.If (cond, then_branch, else_branch)
+  | Token.Kw_while ->
+    advance st;
+    eat st Token.Lparen;
+    let cond = parse_expr st in
+    eat st Token.Rparen;
+    Ast.While (cond, parse_branch st)
+  | Token.Kw_do ->
+    advance st;
+    let body = parse_branch st in
+    eat st Token.Kw_while;
+    eat st Token.Lparen;
+    let cond = parse_expr st in
+    eat st Token.Rparen;
+    eat st Token.Semi;
+    Ast.Do_while (body, cond)
+  | Token.Kw_for ->
+    advance st;
+    eat st Token.Lparen;
+    (* Distinguish for-in from the three-clause form by lookahead:
+       `for ([var] IDENT in ...)`. *)
+    let peek k =
+      let i = min (st.index + k) (Array.length st.tokens - 1) in
+      fst st.tokens.(i)
+    in
+    let forin_var =
+      match (current st, peek 1, peek 2) with
+      | Token.Kw_var, Token.Ident name, Token.Kw_in ->
+        advance st;
+        advance st;
+        advance st;
+        Some name
+      | Token.Ident name, Token.Kw_in, _ ->
+        advance st;
+        advance st;
+        Some name
+      | _ -> None
+    in
+    (match forin_var with
+    | Some name ->
+      let obj = parse_expr st in
+      eat st Token.Rparen;
+      Ast.For_in (name, obj, parse_branch st)
+    | None ->
+    let init =
+      if current st = Token.Semi then None
+      else if current st = Token.Kw_var then begin
+        advance st;
+        Some (parse_var_declarators st)
+      end
+      else Some (Ast.Expr_stmt (parse_expr st))
+    in
+    eat st Token.Semi;
+    let cond = if current st = Token.Semi then None else Some (parse_expr st) in
+    eat st Token.Semi;
+    let step = if current st = Token.Rparen then None else Some (parse_expr st) in
+    eat st Token.Rparen;
+    Ast.For (init, cond, step, parse_branch st))
+  | Token.Kw_switch ->
+    advance st;
+    eat st Token.Lparen;
+    let disc = parse_expr st in
+    eat st Token.Rparen;
+    eat st Token.Lbrace;
+    let rec parse_cases acc =
+      match current st with
+      | Token.Rbrace ->
+        advance st;
+        List.rev acc
+      | Token.Kw_case ->
+        advance st;
+        let test = parse_expr st in
+        eat st Token.Colon;
+        let body = parse_case_body st in
+        parse_cases ((Some test, body) :: acc)
+      | Token.Kw_default ->
+        advance st;
+        eat st Token.Colon;
+        let body = parse_case_body st in
+        parse_cases ((None, body) :: acc)
+      | _ -> fail st "expected case, default or }"
+    in
+    Ast.Switch (disc, parse_cases [])
+  | Token.Kw_return ->
+    advance st;
+    if accept st Token.Semi then Ast.Return None
+    else begin
+      let e = parse_expr st in
+      eat st Token.Semi;
+      Ast.Return (Some e)
+    end
+  | Token.Kw_break ->
+    advance st;
+    eat st Token.Semi;
+    Ast.Break
+  | Token.Kw_continue ->
+    advance st;
+    eat st Token.Semi;
+    Ast.Continue
+  | Token.Lbrace ->
+    advance st;
+    let body = parse_statements_until st Token.Rbrace in
+    eat st Token.Rbrace;
+    Ast.Block body
+  | Token.Semi ->
+    advance st;
+    Ast.Block []
+  | _ ->
+    let e = parse_expr st in
+    eat st Token.Semi;
+    Ast.Expr_stmt e
+
+and parse_case_body st =
+  let rec loop acc =
+    match current st with
+    | Token.Kw_case | Token.Kw_default | Token.Rbrace -> List.rev acc
+    | _ -> loop (parse_statement st :: acc)
+  in
+  loop []
+
+and parse_var_declarators st =
+  let parse_one () =
+    let name = expect_ident st in
+    let init = if accept st Token.Assign then Some (parse_assignment st) else None in
+    (name, init)
+  in
+  let rec loop acc =
+    let d = parse_one () in
+    if accept st Token.Comma then loop (d :: acc) else List.rev (d :: acc)
+  in
+  Ast.Var_decl (loop [])
+
+and parse_branch st =
+  if accept st Token.Lbrace then begin
+    let body = parse_statements_until st Token.Rbrace in
+    eat st Token.Rbrace;
+    body
+  end
+  else [ parse_statement st ]
+
+let make_state src =
+  { tokens = Array.of_list (Lexer.tokenize src); index = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  let stmts = parse_statements_until st Token.Eof in
+  if current st <> Token.Eof then fail st "trailing tokens";
+  stmts
+
+let parse_expression src =
+  let st = make_state src in
+  let e = parse_expr st in
+  if current st <> Token.Eof then fail st "trailing tokens after expression";
+  e

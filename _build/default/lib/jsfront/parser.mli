@@ -1,0 +1,16 @@
+(** Recursive-descent parser for MiniJS.
+
+    The grammar is the C-like expression grammar of JavaScript restricted to
+    the constructs in {!Ast}: precedence climbing over
+    [?: || && | ^ & ==/!=/===/!== relational shifts additive multiplicative
+    unary postfix primary]. Statements require their terminating semicolon
+    (no automatic semicolon insertion). *)
+
+exception Error of Pos.t * string
+
+val parse_program : string -> Ast.program
+(** Parse a full MiniJS source string.
+    @raise Error on syntax errors, and re-raises {!Lexer.Error}. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,7 @@
+(** Source positions for MiniJS programs. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

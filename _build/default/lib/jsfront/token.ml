@@ -1,0 +1,149 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Ident of string
+  | Kw_function
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_true
+  | Kw_false
+  | Kw_null
+  | Kw_undefined
+  | Kw_in
+  | Kw_typeof
+  | Kw_new
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Dot
+  | Colon
+  | Question
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  | Ushr_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Plus_plus
+  | Minus_minus
+  | Eq_eq
+  | Bang_eq
+  | Eq_eq_eq
+  | Bang_eq_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Ushr
+  | Eof
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Float f -> string_of_float f
+  | String s -> Printf.sprintf "%S" s
+  | Ident s -> s
+  | Kw_function -> "function"
+  | Kw_var -> "var"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_do -> "do"
+  | Kw_for -> "for"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_true -> "true"
+  | Kw_false -> "false"
+  | Kw_null -> "null"
+  | Kw_undefined -> "undefined"
+  | Kw_in -> "in"
+  | Kw_typeof -> "typeof"
+  | Kw_new -> "new"
+  | Kw_switch -> "switch"
+  | Kw_case -> "case"
+  | Kw_default -> "default"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semi -> ";"
+  | Dot -> "."
+  | Colon -> ":"
+  | Question -> "?"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Amp_assign -> "&="
+  | Pipe_assign -> "|="
+  | Caret_assign -> "^="
+  | Shl_assign -> "<<="
+  | Shr_assign -> ">>="
+  | Ushr_assign -> ">>>="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Eq_eq_eq -> "==="
+  | Bang_eq_eq -> "!=="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Bang -> "!"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Ushr -> ">>>"
+  | Eof -> "<eof>"

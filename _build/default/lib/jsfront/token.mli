@@ -1,0 +1,81 @@
+(** Lexical tokens of MiniJS. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Ident of string
+  (* Keywords *)
+  | Kw_function
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_true
+  | Kw_false
+  | Kw_null
+  | Kw_undefined
+  | Kw_in
+  | Kw_typeof
+  | Kw_new
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  (* Punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Dot
+  | Colon
+  | Question
+  (* Operators *)
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  | Ushr_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Plus_plus
+  | Minus_minus
+  | Eq_eq
+  | Bang_eq
+  | Eq_eq_eq
+  | Bang_eq_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Ushr
+  | Eof
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/lir/code.ml: Array Buffer Bytecode Format Mir Ops Printf Runtime String Value

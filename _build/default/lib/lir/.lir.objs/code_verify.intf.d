@@ -1,0 +1,1 @@
+lib/lir/code_verify.mli: Code

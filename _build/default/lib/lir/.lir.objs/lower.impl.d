@@ -1,0 +1,1 @@
+lib/lir/lower.ml: Array Bytecode Code Hashtbl List Mir Option Runtime Value

@@ -1,0 +1,1 @@
+lib/lir/lower.mli: Code Mir

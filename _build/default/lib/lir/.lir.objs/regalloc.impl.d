@@ -1,0 +1,1 @@
+lib/lir/regalloc.ml: Array Code Hashtbl Int List Option Set

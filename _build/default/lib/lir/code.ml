@@ -1,0 +1,150 @@
+(* The Low-level Intermediate Representation and, after register
+   allocation, the "native" code this VM executes. Contrary to MIR, LIR is
+   machine-shaped: linearized instructions, a finite register file plus
+   spill slots, branch targets as code offsets, and resume-point snapshots
+   compiled to location maps (paper §3.1's description of LIR and of the
+   code generator's output).
+
+   The same instruction type is used before allocation (operands are
+   [V]-registers) and after ([R]/[S] locations); the executor only accepts
+   allocated code. *)
+
+open Runtime
+
+type loc =
+  | V of int  (* virtual register (= MIR def); present only before regalloc *)
+  | R of int  (* physical register *)
+  | S of int  (* spill slot *)
+
+type src = L of loc | Imm of Value.t
+
+type op =
+  | Move
+  | Param of int  (* boxed argument load *)
+  | Osr_arg of int
+  | Osr_local of int
+  | Bin of Ops.binop * Mir.num_mode
+  | Cmp_op of Ops.cmp
+  | Un of Ops.unop
+  | To_bool_op
+  | Guard_type of Value.tag
+  | Guard_array
+  | Guard_bounds  (* args: index, array *)
+  | Load_elem_op
+  | Store_elem_op
+  | Elem_gen_op
+  | Store_elem_gen_op
+  | Load_prop_op of string
+  | Store_prop_op of string
+  | Arr_len
+  | Str_len
+  | Call_dyn  (* args: callee :: actuals *)
+  | Call_known_op of int
+  | Call_native_op of string
+  | Method_call_op of string
+  | New_array_op
+  | Construct_op of string
+  | New_object_op of string array
+  | Make_closure_op of int * Bytecode.Instr.capture array
+  | Get_global_op of int
+  | Set_global_op of int
+  | Get_cell_op of int
+  | Set_cell_op of int
+  | Get_upval_op of int
+  | Set_upval_op of int
+  | Load_captured_op of Value.t ref
+  | Store_captured_op of Value.t ref
+
+type instr = { dst : loc option; op : op; args : src array; snap : int option }
+
+type ninstr =
+  | Op of instr
+  | Jump of int
+  | Branch of src * int * int
+  | Ret of src
+
+type snapshot = {
+  sn_pc : int;
+  sn_args : src array;
+  sn_locals : src array;
+  sn_stack : src array;
+}
+
+type t = {
+  fid : int;
+  instrs : ninstr array;
+  snapshots : snapshot array;
+  nslots : int;
+  osr_offset : int option;
+  specialized : bool;
+}
+
+let size code = Array.length code.instrs
+
+let loc_to_string = function
+  | V n -> Printf.sprintf "v%d" n
+  | R n -> Printf.sprintf "r%d" n
+  | S n -> Printf.sprintf "[s%d]" n
+
+let src_to_string = function
+  | L l -> loc_to_string l
+  | Imm v -> Format.asprintf "$%a" Value.pp v
+
+let op_to_string = function
+  | Move -> "mov"
+  | Param i -> Printf.sprintf "param %d" i
+  | Osr_arg i -> Printf.sprintf "osrarg %d" i
+  | Osr_local i -> Printf.sprintf "osrlocal %d" i
+  | Bin (op, mode) ->
+    Printf.sprintf "%s.%s" (Ops.binop_to_string op) (Mir.mode_to_string mode)
+  | Cmp_op op -> Ops.cmp_to_string op
+  | Un op -> Ops.unop_to_string op
+  | To_bool_op -> "tobool"
+  | Guard_type tag -> Printf.sprintf "guardtype %s" (Value.tag_to_string tag)
+  | Guard_array -> "guardarray"
+  | Guard_bounds -> "guardbounds"
+  | Load_elem_op -> "ldelem"
+  | Store_elem_op -> "stelem"
+  | Elem_gen_op -> "ldelem.gen"
+  | Store_elem_gen_op -> "stelem.gen"
+  | Load_prop_op p -> Printf.sprintf "ldprop %s" p
+  | Store_prop_op p -> Printf.sprintf "stprop %s" p
+  | Arr_len -> "arrlen"
+  | Str_len -> "strlen"
+  | Call_dyn -> "call"
+  | Call_known_op fid -> Printf.sprintf "call f%d" fid
+  | Call_native_op n -> Printf.sprintf "callnative %s" n
+  | Method_call_op m -> Printf.sprintf "methodcall %s" m
+  | New_array_op -> "newarray"
+  | Construct_op c -> Printf.sprintf "construct %s" c
+  | New_object_op _ -> "newobject"
+  | Make_closure_op (fid, _) -> Printf.sprintf "makeclosure f%d" fid
+  | Get_global_op i -> Printf.sprintf "getglobal %d" i
+  | Set_global_op i -> Printf.sprintf "setglobal %d" i
+  | Get_cell_op i -> Printf.sprintf "getcell %d" i
+  | Set_cell_op i -> Printf.sprintf "setcell %d" i
+  | Get_upval_op i -> Printf.sprintf "getupval %d" i
+  | Set_upval_op i -> Printf.sprintf "setupval %d" i
+  | Load_captured_op _ -> "ldcaptured"
+  | Store_captured_op _ -> "stcaptured"
+
+let ninstr_to_string = function
+  | Op { dst; op; args; snap } ->
+    Printf.sprintf "%s%s %s%s"
+      (match dst with Some d -> loc_to_string d ^ " = " | None -> "")
+      (op_to_string op)
+      (String.concat ", " (Array.to_list (Array.map src_to_string args)))
+      (match snap with Some s -> Printf.sprintf "  ; snap%d" s | None -> "")
+  | Jump t -> Printf.sprintf "jmp %d" t
+  | Branch (c, a, b) -> Printf.sprintf "brt %s, %d, %d" (src_to_string c) a b
+  | Ret s -> Printf.sprintf "ret %s" (src_to_string s)
+
+let to_string code =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "native code f%d (%d instrs, %d slots%s)\n" code.fid
+    (size code) code.nslots
+    (match code.osr_offset with Some o -> Printf.sprintf ", osr@%d" o | None -> "");
+  Array.iteri
+    (fun i n -> Printf.bprintf buf "%4d: %s\n" i (ninstr_to_string n))
+    code.instrs;
+  Buffer.contents buf

@@ -1,0 +1,133 @@
+exception Error of string
+
+module Int_set = Set.Make (Int)
+
+let fail code offset fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Error
+           (Printf.sprintf "f%d @%d (%s): %s" code.Code.fid offset
+              (match offset with
+              | o when o >= 0 && o < Array.length code.Code.instrs ->
+                Code.ninstr_to_string code.Code.instrs.(o)
+              | _ -> "<out of range>")
+              msg)))
+    fmt
+
+(* Locations as small ints: registers first, then spill slots. *)
+let loc_id code offset (l : Code.loc) =
+  match l with
+  | Code.V v -> fail code offset "virtual register v%d survived allocation" v
+  | Code.R r ->
+    if r < 0 || r >= Regalloc.num_registers then
+      fail code offset "register r%d out of range" r;
+    r
+  | Code.S s ->
+    if s < 0 || s >= code.Code.nslots then
+      fail code offset "spill slot s%d out of range (nslots=%d)" s code.Code.nslots;
+    Regalloc.num_registers + s
+
+let src_id code offset = function
+  | Code.L l -> Some (loc_id code offset l)
+  | Code.Imm _ -> None
+
+(* Locations an instruction reads: operands, branch condition, return
+   value, and — through its snapshot — everything a bailout would read. *)
+let reads code offset (n : Code.ninstr) =
+  let add acc s = match src_id code offset s with Some id -> id :: acc | None -> acc in
+  match n with
+  | Code.Op { args; snap; _ } ->
+    let base = Array.fold_left add [] args in
+    (match snap with
+    | None -> base
+    | Some id ->
+      if id < 0 || id >= Array.length code.Code.snapshots then
+        fail code offset "snapshot %d out of range" id;
+      let s = code.Code.snapshots.(id) in
+      Array.fold_left add
+        (Array.fold_left add (Array.fold_left add base s.Code.sn_args) s.Code.sn_locals)
+        s.Code.sn_stack)
+  | Code.Branch (c, _, _) -> add [] c
+  | Code.Ret s -> add [] s
+  | Code.Jump _ -> []
+
+let writes code offset (n : Code.ninstr) =
+  match n with
+  | Code.Op { dst = Some l; _ } -> Some (loc_id code offset l)
+  | Code.Op _ | Code.Jump _ | Code.Branch _ | Code.Ret _ -> None
+
+let check_target code offset t =
+  if t < 0 || t >= Array.length code.Code.instrs then
+    fail code offset "jump target %d out of range" t
+
+let run (code : Code.t) =
+  let n = Array.length code.Code.instrs in
+  if n = 0 then raise (Error (Printf.sprintf "f%d: empty code" code.Code.fid));
+  (* Pass 1: purely structural checks (also materializes loc ids, which
+     reports any surviving virtual register). *)
+  Array.iteri
+    (fun i instr ->
+      ignore (reads code i instr);
+      ignore (writes code i instr);
+      match instr with
+      | Code.Jump t -> check_target code i t
+      | Code.Branch (_, a, b) ->
+        check_target code i a;
+        check_target code i b
+      | Code.Op _ | Code.Ret _ -> ())
+    code.Code.instrs;
+  (match code.Code.osr_offset with
+  | Some o when o < 0 || o >= n ->
+    raise (Error (Printf.sprintf "f%d: osr offset %d out of range" code.Code.fid o))
+  | _ -> ());
+  (* Pass 2: definite initialization. [state.(i)] is the set of locations
+     certainly written on every path reaching instruction [i]; entry
+     points start empty (the executor zero-fills frames, but reading an
+     unwritten location still means the allocator lost a value). *)
+  let state : Int_set.t option array = Array.make n None in
+  let worklist = Queue.create () in
+  let join i s =
+    match state.(i) with
+    | None ->
+      state.(i) <- Some s;
+      Queue.add i worklist
+    | Some old ->
+      let merged = Int_set.inter old s in
+      if not (Int_set.equal merged old) then begin
+        state.(i) <- Some merged;
+        Queue.add i worklist
+      end
+  in
+  join 0 Int_set.empty;
+  Option.iter (fun o -> join o Int_set.empty) code.Code.osr_offset;
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    let s = Option.get state.(i) in
+    let after =
+      match writes code i code.Code.instrs.(i) with
+      | Some id -> Int_set.add id s
+      | None -> s
+    in
+    let succs =
+      match code.Code.instrs.(i) with
+      | Code.Jump t -> [ t ]
+      | Code.Branch (_, a, b) -> [ a; b ]
+      | Code.Ret _ -> []
+      | Code.Op _ -> if i + 1 < n then [ i + 1 ] else []
+    in
+    List.iter (fun t -> join t after) succs
+  done;
+  Array.iteri
+    (fun i instr ->
+      match state.(i) with
+      | None -> () (* unreachable code: harmless, never executed *)
+      | Some s ->
+        List.iter
+          (fun id ->
+            if not (Int_set.mem id s) then
+              fail code i "reads %s before any write on some path"
+                (if id < Regalloc.num_registers then Printf.sprintf "r%d" id
+                 else Printf.sprintf "[s%d]" (id - Regalloc.num_registers)))
+          (reads code i instr))
+    code.Code.instrs

@@ -1,0 +1,24 @@
+(** Structural verifier for allocated native code.
+
+    Run after register allocation, this checks the invariants the executor
+    silently relies on:
+
+    - no virtual registers survive allocation (instructions, branch
+      conditions, return values, snapshot location maps);
+    - register and spill-slot indices are within the register file /
+      frame;
+    - jump and branch targets (and the OSR entry offset) are in bounds;
+    - {b definite initialization}: on every path from an entry point
+      (function entry at offset 0, OSR entry at [osr_offset]), each
+      register or slot is written before it is read — including reads
+      performed through snapshots when a guard bails. This is the check
+      that catches phi-elimination edge-move bugs and snapshot maps that
+      mention locations not yet materialized at the guard.
+
+    The engine runs it after every compilation ({!Engine.verbose}-class
+    internal assert; model cycles are unaffected). *)
+
+exception Error of string
+
+val run : Code.t -> unit
+(** @raise Error describing the first violation found. *)

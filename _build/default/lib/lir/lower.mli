@@ -1,0 +1,11 @@
+(** Lowering from MIR to (virtual-register) LIR.
+
+    Linearizes the graph in reverse postorder, eliminates phis into
+    parallel-move sequences on the incoming edges (splitting critical edges
+    with move stubs), inlines constants into operands and snapshot maps —
+    which is why specialized code shrinks: a constant needs no instruction
+    at all — and compiles resume points into snapshot location maps. The
+    result still uses virtual registers ([Code.V]); {!Regalloc.run} maps
+    them onto the physical register file. *)
+
+val run : Mir.func -> Code.t

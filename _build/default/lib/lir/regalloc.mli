@@ -1,0 +1,20 @@
+(** Linear-scan register allocation (Poletto-Sarkar style).
+
+    Maps the virtual registers of lowered code onto a fixed physical
+    register file, spilling the interval with the furthest end to stack
+    slots under pressure. Intervals are computed from a per-block liveness
+    fixpoint, so loop-carried values stay live across their whole loop.
+    Snapshot location maps are rewritten along with the instructions.
+
+    The paper notes that parameter specialization "improves the time of the
+    register allocator, given that it reduces register pressure
+    substantially" — constants become immediates, never occupying a
+    register; the compile-cost model charges per interval processed. *)
+
+val num_registers : int
+(** Size of the physical register file (x86-64-like general registers). *)
+
+val run : Code.t -> Code.t * int
+(** Allocate; returns the rewritten code and the number of intervals
+    processed (compile-cost input). The result contains no [Code.V]
+    locations. *)

@@ -1,0 +1,1 @@
+lib/mir/builder.ml: Array Bytecode Hashtbl List Mir Ops Option Runtime Value

@@ -1,0 +1,1 @@
+lib/mir/cfg.ml: Hashtbl List Mir Option

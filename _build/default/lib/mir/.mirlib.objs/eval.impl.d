@@ -1,0 +1,1 @@
+lib/mir/eval.ml: Array Builtins Bytecode Convert Hashtbl List Mir Objmodel Ops Printf Runtime String Value

@@ -1,0 +1,1 @@
+lib/mir/mir.ml: Array Buffer Builtins Bytecode Format Hashtbl List Ops Option Printf Runtime String Value

@@ -1,0 +1,1 @@
+lib/mir/typer.ml: Array Hashtbl List Mir Ops Option Runtime

@@ -1,0 +1,1 @@
+lib/mir/typer.mli: Mir

@@ -1,0 +1,1 @@
+lib/mir/verify.ml: Array Cfg Hashtbl List Mir Printf

@@ -1,0 +1,47 @@
+(** Translation of stack bytecode into MIR SSA graphs.
+
+    This is where parameter-based value specialization happens (paper §3.2):
+    when [spec_args] is supplied, every [Parameter] (and, on the OSR path,
+    every live argument and local) is created directly as a [Constant]
+    carrying the runtime value — imposing zero additional compile time, as
+    the constants are made while the graph is built.
+
+    Without [spec_args], the builder emulates IonMonkey's baseline type
+    specialization: arguments whose observed runtime tag has been stable get
+    a [Type_barrier] guard and are treated as that type downstream. *)
+
+type osr_request = {
+  osr_pc : int;  (** bytecode pc of the [Loop_head] being entered *)
+  osr_args : Runtime.Value.t array;  (** interpreter frame at OSR time *)
+  osr_locals : Runtime.Value.t array;
+  osr_specialize : bool;
+      (** true: bake the frame values as constants (parameter
+          specialization extended to the OSR block, paper Figure 7a).
+          false: emit [Osr_value] loads, statically typed to the observed
+          tags — sound because an OSR path is entered exactly once, with
+          exactly these values, right after compilation. *)
+}
+
+val build :
+  program:Bytecode.Program.t ->
+  func:Bytecode.Program.func ->
+  ?spec_args:Runtime.Value.t array ->
+  ?spec_mask:bool array ->
+  ?arg_tags:Runtime.Value.tag option array ->
+  ?osr:osr_request ->
+  ?emit_guards:bool ->
+  ?no_checked_int:bool ->
+  unit ->
+  Mir.func
+(** Build the MIR graph for [func]. [arg_tags] gives, per argument, the
+    stable observed tag if any (ignored for specialized arguments).
+    [spec_mask] enables selective specialization: arguments whose mask
+    entry is [false] stay runtime [Parameter]s (with their type barrier,
+    if a stable tag is known) even when [spec_args] is present — the
+    engine uses this to specialize only arguments that were observed
+    value-stable. Omitted mask = specialize everything.
+    [emit_guards:false] (used when building bodies for inlining) forces
+    generic, guard-free element accesses, because inlined code has no
+    resume points to bail through. [no_checked_int:true] records overflow
+    feedback: arithmetic compiles on the double path instead of the
+    overflow-guarded int32 path. *)

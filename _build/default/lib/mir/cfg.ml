@@ -1,0 +1,93 @@
+type dominators = { idom : (int, int) Hashtbl.t; order : int list }
+
+(* Cooper-Harvey-Kennedy iterative dominator computation over RPO. With two
+   entry points (function entry + OSR), we add a virtual root (-1) that is
+   the parent of both. *)
+let virtual_root = -1
+
+let dominators (f : Mir.func) =
+  let rpo = Mir.reverse_postorder f in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i bid -> Hashtbl.replace index bid i) rpo;
+  Hashtbl.replace index virtual_root (-1);
+  let idom = Hashtbl.create 16 in
+  let entries = Mir.entry_blocks f in
+  List.iter (fun e -> Hashtbl.replace idom e virtual_root) entries;
+  Hashtbl.replace idom virtual_root virtual_root;
+  let rec intersect a b =
+    if a = b then a
+    else
+      let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+      if ia > ib then intersect (Hashtbl.find idom a) b
+      else intersect a (Hashtbl.find idom b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        if not (List.mem bid entries) then begin
+          let preds =
+            List.filter (fun p -> Hashtbl.mem idom p) (Mir.block f bid).Mir.preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if Hashtbl.find_opt idom bid <> Some new_idom then begin
+              Hashtbl.replace idom bid new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; order = rpo }
+
+let immediate_dominator doms bid =
+  match Hashtbl.find_opt doms.idom bid with
+  | Some d when d <> virtual_root -> Some d
+  | _ -> None
+
+let dominates doms a b =
+  let rec walk x = if x = a then true else if x = virtual_root then false else walk (Hashtbl.find doms.idom x) in
+  (match Hashtbl.find_opt doms.idom b with None -> false | Some _ -> walk b)
+
+type loop = { header : int; latches : int list; body : int list }
+
+let natural_loops (f : Mir.func) doms =
+  let back_edges = ref [] in
+  List.iter
+    (fun bid ->
+      let b = Mir.block f bid in
+      List.iter
+        (fun succ -> if dominates doms succ bid then back_edges := (bid, succ) :: !back_edges)
+        (Mir.successors b))
+    doms.order;
+  (* Group back edges by header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing = Option.value (Hashtbl.find_opt by_header header) ~default:[] in
+      Hashtbl.replace by_header header (latch :: existing))
+    !back_edges;
+  let loops = ref [] in
+  Hashtbl.iter
+    (fun header latches ->
+      (* Natural loop body: header plus everything that reaches a latch
+         without passing through the header. *)
+      let body = Hashtbl.create 8 in
+      Hashtbl.replace body header true;
+      let rec add bid =
+        if not (Hashtbl.mem body bid) then begin
+          Hashtbl.replace body bid true;
+          List.iter add (Mir.block f bid).Mir.preds
+        end
+      in
+      List.iter add latches;
+      let body_list = Hashtbl.fold (fun bid _ acc -> bid :: acc) body [] in
+      loops := { header; latches; body = List.sort compare body_list } :: !loops)
+    by_header;
+  List.sort (fun a b -> compare (List.length b.body) (List.length a.body)) !loops
+
+let loop_depth loops bid =
+  List.length (List.filter (fun l -> List.mem bid l.body) loops)

@@ -1,0 +1,28 @@
+(** Control-flow-graph analyses over {!Mir.func}: dominators and natural
+    loops. Used by GVN (dominance-based value reuse), LICM and loop
+    inversion. *)
+
+type dominators
+
+val dominators : Mir.func -> dominators
+
+val immediate_dominator : dominators -> int -> int option
+(** [None] for entry blocks. *)
+
+val dominates : dominators -> int -> int -> bool
+(** [dominates doms a b]: every path from an entry to [b] passes through
+    [a]. Reflexive. *)
+
+type loop = {
+  header : int;
+  latches : int list;  (** sources of back edges into [header] *)
+  body : int list;  (** all blocks of the natural loop, including header *)
+}
+
+val natural_loops : Mir.func -> dominators -> loop list
+(** Natural loops from back edges [t -> h] where [h] dominates [t]. Loops
+    sharing a header are merged. Ordered outermost-first (by body size,
+    descending). *)
+
+val loop_depth : loop list -> int -> int
+(** Number of loops whose body contains the block. *)

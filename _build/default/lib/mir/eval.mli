@@ -1,0 +1,27 @@
+(** A direct reference evaluator for MIR graphs.
+
+    Executes the SSA graph as-is — phis resolved through the incoming edge,
+    guards taken literally — with the same {!Runtime.Ops}/{!Runtime.Objmodel}
+    semantics as the interpreter and the native executor. It exists to split
+    miscompilation bugs: if the MIR evaluator already disagrees with the
+    bytecode interpreter, an optimization pass is wrong; if it agrees but
+    the native code does not, lowering or register allocation is wrong.
+    Property tests run all three on generated programs. *)
+
+type outcome =
+  | Finished of Runtime.Value.t
+  | Bailed of { pc : int; reason : string }
+      (** a guard failed; [pc] is its resume point's bytecode pc *)
+
+type env = {
+  ev_args : Runtime.Value.t array;  (** boxed arguments (padded) *)
+  ev_env : Runtime.Value.t ref array;  (** closure upvalues *)
+  ev_cells : Runtime.Value.t ref array;
+  ev_globals : Runtime.Value.t array;
+  ev_call : Runtime.Value.t -> Runtime.Value.t array -> Runtime.Value.t;
+  ev_osr_args : Runtime.Value.t array;
+  ev_osr_locals : Runtime.Value.t array;
+}
+
+val run : env -> Mir.func -> at_osr:bool -> outcome
+(** @raise Runtime.Objmodel.Error for genuine JS type errors. *)

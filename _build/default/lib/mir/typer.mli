@@ -1,0 +1,13 @@
+(** Optimistic type refinement over the completed SSA graph.
+
+    The builder chooses arithmetic modes from the types it can see while
+    the graph is under construction, but loop-carried values flow through
+    phis whose latch operands do not exist yet, so everything in a loop
+    initially looks generic. This pass re-runs IonMonkey-style type
+    specialization as a fixpoint: phi types are seeded optimistically and
+    instruction result types recomputed until stable, then arithmetic is
+    rewritten to int32/double fast paths (checked [Mode_int] guards keep JS
+    semantics on overflow by bailing out). Run unconditionally — it is part
+    of the compiler baseline, like global value numbering. *)
+
+val run : Mir.func -> unit

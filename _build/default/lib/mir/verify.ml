@@ -1,0 +1,139 @@
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let run (f : Mir.func) =
+  let reachable = Mir.reachable_blocks f in
+  (* Layout sanity: every reachable block is laid out exactly once. *)
+  let layout = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      if Hashtbl.mem layout bid then fail "block B%d laid out twice" bid;
+      Hashtbl.replace layout bid true;
+      if not (Hashtbl.mem f.Mir.blocks bid) then fail "layout references missing B%d" bid)
+    f.Mir.block_order;
+  Hashtbl.iter
+    (fun bid _ ->
+      if not (Hashtbl.mem layout bid) then fail "reachable block B%d not in layout" bid)
+    reachable;
+  (* Def table consistency and operand dominance. A def must be PRESENT in
+     some laid-out block, not merely remembered by the def table: passes
+     that delete instructions leave stale table entries behind, and a
+     reference to one would read garbage at runtime. *)
+  let doms = Cfg.dominators f in
+  let present = Hashtbl.create 64 in
+  List.iter
+    (fun bid ->
+      let b = Mir.block f bid in
+      List.iter (fun (i : Mir.instr) -> Hashtbl.replace present i.Mir.def bid) b.Mir.phis;
+      List.iter (fun (i : Mir.instr) -> Hashtbl.replace present i.Mir.def bid) b.Mir.body)
+    f.Mir.block_order;
+  let block_of_def d =
+    match Hashtbl.find_opt present d with
+    | Some b -> b
+    | None ->
+      if Hashtbl.mem f.Mir.defs d then
+        fail "v%d is referenced but its instruction was deleted" d
+      else fail "v%d has no defining block" d
+  in
+  let check_defined d = ignore (block_of_def d) in
+  (* Constants are location-independent: lowering turns every reference
+     into an immediate, so ordering/dominance does not apply to them. *)
+  let is_constant d =
+    match Hashtbl.find_opt f.Mir.defs d with
+    | Some { Mir.kind = Mir.Constant _; _ } -> true
+    | _ -> false
+  in
+  let defined_before = Hashtbl.create 64 in
+  List.iter
+    (fun bid ->
+      if Hashtbl.mem reachable bid then begin
+        let b = Mir.block f bid in
+        if List.length b.Mir.preds > 0 then
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem reachable p) then
+                fail "B%d has unreachable pred B%d" bid p)
+            b.Mir.preds;
+        (* Phis: operand count matches preds; operands defined somewhere. *)
+        List.iter
+          (fun (phi : Mir.instr) ->
+            match phi.Mir.kind with
+            | Mir.Phi ops ->
+              if Array.length ops <> List.length b.Mir.preds then
+                fail "phi v%d in B%d has %d operands for %d preds" phi.Mir.def bid
+                  (Array.length ops) (List.length b.Mir.preds);
+              Array.iter check_defined ops
+            | _ -> fail "non-phi v%d in phi section of B%d" phi.Mir.def bid)
+          b.Mir.phis;
+        (* Body: operands must dominate their uses. Instructions within a
+           block must be defined earlier in that block. *)
+        let seen = Hashtbl.create 16 in
+        List.iter (fun (phi : Mir.instr) -> Hashtbl.replace seen phi.Mir.def true) b.Mir.phis;
+        List.iter
+          (fun (instr : Mir.instr) ->
+            List.iter
+              (fun op ->
+                let ob = block_of_def op in
+                if is_constant op then ()
+                else if ob = bid then begin
+                  if not (Hashtbl.mem seen op) then
+                    fail "v%d used before its definition in B%d (by v%d)" op bid
+                      instr.Mir.def
+                end
+                else if Hashtbl.mem reachable ob && not (Cfg.dominates doms ob bid) then
+                  fail "operand v%d (B%d) does not dominate use v%d (B%d)" op ob
+                    instr.Mir.def bid)
+              (Mir.instr_operands instr.Mir.kind);
+            (* Resume points must reference live, dominating values: a
+               dangling snapshot would reconstruct a garbage frame. *)
+            (match instr.Mir.rp with
+            | None -> ()
+            | Some rp ->
+              let check_rp_ref op =
+                let ob = block_of_def op in
+                if is_constant op then ()
+                else if ob = bid then begin
+                  if not (Hashtbl.mem seen op) then
+                    fail "rp of v%d references v%d before its definition in B%d"
+                      instr.Mir.def op bid
+                end
+                else if Hashtbl.mem reachable ob && not (Cfg.dominates doms ob bid) then
+                  fail "rp of v%d references v%d (B%d) which does not dominate B%d"
+                    instr.Mir.def op ob bid
+                else if not (Hashtbl.mem reachable ob) then
+                  fail "rp of v%d references v%d defined in unreachable B%d"
+                    instr.Mir.def op ob
+              in
+              Array.iter check_rp_ref rp.Mir.rp_args;
+              Array.iter check_rp_ref rp.Mir.rp_locals;
+              List.iter check_rp_ref rp.Mir.rp_stack);
+            (* Guards must be able to bail out. *)
+            if Mir.is_guard instr.Mir.kind && instr.Mir.rp = None then
+              fail "guard v%d in B%d has no resume point" instr.Mir.def bid;
+            (match instr.Mir.kind with
+            | Mir.Binop (_, _, _, Mir.Mode_int) when instr.Mir.rp = None ->
+              fail "checked int binop v%d has no resume point" instr.Mir.def
+            | _ -> ());
+            ignore defined_before;
+            Hashtbl.replace seen instr.Mir.def true)
+          b.Mir.body;
+        (* Terminator. *)
+        (match b.Mir.term with
+        | Mir.Goto t ->
+          if not (Hashtbl.mem f.Mir.blocks t) then fail "B%d: goto missing B%d" bid t
+        | Mir.Branch (c, t1, t2) ->
+          check_defined c;
+          if not (Hashtbl.mem f.Mir.blocks t1) then fail "B%d: branch missing B%d" bid t1;
+          if not (Hashtbl.mem f.Mir.blocks t2) then fail "B%d: branch missing B%d" bid t2
+        | Mir.Return d -> check_defined d
+        | Mir.Unreachable -> ());
+        (* Successor/pred symmetry. *)
+        List.iter
+          (fun s ->
+            let sb = Mir.block f s in
+            if not (List.mem bid sb.Mir.preds) then
+              fail "B%d -> B%d edge missing from preds of B%d" bid s s)
+          (Mir.successors b)
+      end)
+    f.Mir.block_order

@@ -1,0 +1,13 @@
+(** Structural verifier for MIR graphs.
+
+    Checks, after construction and after every optimization pass, that:
+    phi operand counts match predecessor counts; every operand is defined
+    in a block that dominates its use (phi operands in the corresponding
+    predecessor); terminators target existing reachable blocks; guards
+    carry resume points; and the layout list agrees with reachability.
+    Property tests run every pass through this. *)
+
+exception Invalid of string
+
+val run : Mir.func -> unit
+(** @raise Invalid with a description of the first violation found. *)

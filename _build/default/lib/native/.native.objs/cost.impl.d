@@ -1,0 +1,1 @@
+lib/native/cost.ml: Array Code Mir Runtime

@@ -1,0 +1,1 @@
+lib/native/cost.mli: Code

@@ -1,0 +1,1 @@
+lib/native/exec.ml: Array Builtins Bytecode Code Convert Cost Mir Objmodel Ops Option Regalloc Runtime String Value

@@ -1,0 +1,1 @@
+lib/native/exec.mli: Bytecode Code Runtime

@@ -1,0 +1,69 @@
+let slot_penalty = 2
+
+let src_penalty = function Code.L (Code.S _) -> slot_penalty | _ -> 0
+
+let loc_penalty = function Some (Code.S _) -> slot_penalty | _ -> 0
+
+let op_base (op : Code.op) =
+  match op with
+  | Code.Move -> 1
+  | Code.Param _ -> 2  (* stack argument load *)
+  | Code.Osr_arg _ | Code.Osr_local _ -> 3  (* interpreter-frame load *)
+  | Code.Bin (_, mode) -> (
+    match mode with
+    | Mir.Mode_int_nocheck -> 1
+    | Mir.Mode_int -> 2  (* ALU + overflow-check jump *)
+    | Mir.Mode_double -> 3
+    | Mir.Mode_generic -> 6  (* unbox, dispatch, full semantics, rebox *)
+  )
+  | Code.Cmp_op _ -> 1
+  | Code.Un op -> (
+    match op with
+    | Runtime.Ops.Not | Runtime.Ops.Bit_not | Runtime.Ops.Neg -> 1
+    | Runtime.Ops.To_number -> 3
+    | Runtime.Ops.Typeof -> 2)
+  | Code.To_bool_op -> 1
+  | Code.Guard_type _ -> 2
+  | Code.Guard_array -> 2
+  | Code.Guard_bounds -> 3  (* length load + two compares *)
+  | Code.Load_elem_op -> 3
+  | Code.Store_elem_op -> 3
+  | Code.Elem_gen_op -> 8
+  | Code.Store_elem_gen_op -> 8
+  | Code.Load_prop_op _ -> 6  (* hash lookup *)
+  | Code.Store_prop_op _ -> 6
+  | Code.Arr_len -> 2
+  | Code.Str_len -> 2
+  | Code.Call_dyn -> 4  (* callee type dispatch, before call overhead *)
+  | Code.Call_known_op _ -> 1
+  | Code.Call_native_op _ -> 2
+  | Code.Method_call_op _ -> 6
+  | Code.New_array_op -> 10
+  | Code.Construct_op _ -> 10
+  | Code.New_object_op _ -> 12
+  | Code.Make_closure_op _ -> 8
+  | Code.Get_global_op _ -> 2
+  | Code.Set_global_op _ -> 2
+  | Code.Get_cell_op _ -> 3
+  | Code.Set_cell_op _ -> 3
+  | Code.Get_upval_op _ -> 3
+  | Code.Set_upval_op _ -> 3
+  | Code.Load_captured_op _ -> 2  (* direct pointer, no env indirection *)
+  | Code.Store_captured_op _ -> 2
+
+let instr (n : Code.ninstr) =
+  match n with
+  | Code.Op { dst; op; args; _ } ->
+    op_base op + loc_penalty dst + Array.fold_left (fun acc s -> acc + src_penalty s) 0 args
+  | Code.Jump _ -> 1
+  | Code.Branch (c, _, _) -> 1 + src_penalty c
+  | Code.Ret s -> 1 + src_penalty s
+
+let call_overhead = 15
+let native_call_overhead = 10
+let method_call_overhead = 10
+let interp_per_instr = 12
+let bailout_penalty = 60
+let compile_per_mir_instr = 4
+let compile_per_native_instr = 30
+let compile_per_interval = 12

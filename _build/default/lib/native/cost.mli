@@ -1,0 +1,36 @@
+(** The deterministic cycle-cost model of the native-code simulator.
+
+    The paper's evaluation reports relative effects (speedups in percent,
+    code-size deltas); a deterministic per-instruction cost model
+    reproduces those relative effects while keeping every experiment
+    bit-reproducible. Costs are in abstract cycles, ordered the way the
+    corresponding x86 operations are: register ALU < memory access <
+    guard < allocation < call. Spill-slot operands add {!slot_penalty}
+    per access, which is how register pressure shows up in runtime. *)
+
+val instr : Code.ninstr -> int
+(** Base cost of one native instruction (operand penalties included). *)
+
+val call_overhead : int
+(** Extra cycles per dynamic user-function call (frame setup). *)
+
+val native_call_overhead : int
+val method_call_overhead : int
+
+val interp_per_instr : int
+(** Cycles per interpreted bytecode instruction (the interpretation tax;
+    roughly one order of magnitude over native register code). *)
+
+val bailout_penalty : int
+(** Frame-reconstruction cost when a guard fails. *)
+
+val compile_per_mir_instr : int
+(** Compile-time cycles charged per MIR instruction visited by a pass. *)
+
+val compile_per_native_instr : int
+(** Compile-time cycles per emitted native instruction (lowering+assembly). *)
+
+val compile_per_interval : int
+(** Compile-time cycles per live interval processed by the allocator. *)
+
+val slot_penalty : int

@@ -1,0 +1,51 @@
+(** The native-code executor: a register machine over {!Code.t} with the
+    cycle accounting of {!Cost}.
+
+    Executing compiled code either finishes with the function's return
+    value or bails out: a failing guard evaluates its snapshot into the
+    interpreter-frame state (bytecode pc, argument/local/stack values) that
+    the engine uses to resume interpretation — the deoptimization mechanism
+    of the paper's Section 3. *)
+
+type activation = {
+  act_args : Runtime.Value.t array;  (** boxed arguments (padded to arity) *)
+  act_env : Runtime.Value.t ref array;  (** the closure's captured cells *)
+  act_cells : Runtime.Value.t ref array;  (** this activation's own cells *)
+  act_osr_args : Runtime.Value.t array;  (** interpreter frame at OSR entry *)
+  act_osr_locals : Runtime.Value.t array;
+}
+
+type bailout = {
+  bo_pc : int;  (** bytecode pc to resume at *)
+  bo_args : Runtime.Value.t array;
+  bo_locals : Runtime.Value.t array;
+  bo_stack : Runtime.Value.t array;  (** operand stack, bottom first *)
+  bo_reason : string;
+}
+
+type outcome = Finished of Runtime.Value.t | Bailed of bailout
+
+type callbacks = {
+  call : Runtime.Value.t -> Runtime.Value.t array -> Runtime.Value.t;
+      (** engine dispatch for calls made by compiled code *)
+  globals : Runtime.Value.t array;  (** the global slot table *)
+  cycles : int ref;  (** cycle accumulator, shared with the engine *)
+}
+
+val trace_hook : (Code.ninstr -> unit) option ref
+(** Optional per-executed-instruction instrumentation (per-opcode profiles
+    in the benchmark harness). [None] in normal operation. *)
+
+val run : callbacks -> Code.t -> activation -> at_osr:bool -> outcome
+(** Execute allocated code (no virtual registers). [at_osr] starts at the
+    code's OSR offset. @raise Runtime.Objmodel.Error for genuine JS type
+    errors (same as the interpreter). *)
+
+val make_activation :
+  ?env:Runtime.Value.t ref array ->
+  ?osr:Runtime.Value.t array * Runtime.Value.t array ->
+  func:Bytecode.Program.func ->
+  args:Runtime.Value.t array ->
+  unit ->
+  activation
+(** Pad arguments to the arity, allocate fresh cells. *)

@@ -1,0 +1,1 @@
+lib/opt/bounds_check.ml: Builtins Cfg Hashtbl List Mir Ops Runtime Value

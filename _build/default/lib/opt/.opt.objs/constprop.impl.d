@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Array Builtins Convert Hashtbl List Mir Ops Option Runtime String Value

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Convert Hashtbl List Mir Ops Option Queue Runtime

@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Array Cfg Hashtbl Int64 List Mir Ops Option Printf Runtime Value

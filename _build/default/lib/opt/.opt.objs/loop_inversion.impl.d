@@ -1,0 +1,1 @@
+lib/opt/loop_inversion.ml: Array Cfg Hashtbl List Mir Option

@@ -1,0 +1,1 @@
+lib/opt/loop_inversion.mli: Mir

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Bounds_check Constprop Dce Gvn Inline Licm Loop_inversion Mir Sccp Typer Unroll Verify

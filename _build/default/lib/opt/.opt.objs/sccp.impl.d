@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Array Builtins Constprop Convert Hashtbl List Mir Option Queue Runtime

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Array Cfg Hashtbl List Mir Ops Option Runtime Value

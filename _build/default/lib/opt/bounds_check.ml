@@ -1,0 +1,185 @@
+open Runtime
+
+type stats = { bounds_removed : int; overflow_checks_removed : int }
+
+type range = { lo : int; hi : int }
+
+let no_stats = { bounds_removed = 0; overflow_checks_removed = 0 }
+
+(* Alias discipline: which instructions make a compile-time array length
+   untrustworthy as an upper bound. Element stores only ever grow an array
+   in this VM, so the compile-time length stays a valid LOWER bound on the
+   runtime length and stores never block. What can shrink a length is a
+   [pop]/[shift]/[splice] method call, an explicit [x.length = n] store, or
+   — conservatively — any call, which might reach one of those on an alias.
+   [precise_alias] is the paper's Figure 8 assumption that callees do not
+   alias the specialized array. *)
+let blocking ~precise_alias (kind : Mir.instr_kind) =
+  match kind with
+  | Mir.Store_elem _ | Mir.Store_elem_generic _ -> false
+  | Mir.Store_prop (_, p, _) -> p = "length"
+  | Mir.Method_call (_, m, _) -> m = "pop" || m = "shift" || m = "splice"
+  | Mir.Call _ | Mir.Call_known _ -> not precise_alias
+  | Mir.Call_native (name, _) -> not (Builtins.is_pure name)
+  | _ -> false
+
+(* Strip the ToNumber wrapper that i++ produces. *)
+let strip_tonum (f : Mir.func) d =
+  match (Hashtbl.find f.Mir.defs d).Mir.kind with
+  | Mir.Unop (Ops.To_number, x) -> x
+  | _ -> d
+
+let const_int (f : Mir.func) d =
+  match (Hashtbl.find f.Mir.defs d).Mir.kind with
+  | Mir.Constant (Value.Int n) -> Some n
+  | _ -> None
+
+(* Recognize the paper's induction pattern for a header phi with operands
+   [init; step] (preds ordered [preheader; latch]): i1 = phi(i0, i2),
+   i2 = i1 + c with c a positive constant and i0 a constant. Returns
+   (phi def, step def, init value, step constant). *)
+let induction_candidates (f : Mir.func) (loop : Cfg.loop) pre_index =
+  let header = Mir.block f loop.Cfg.header in
+  List.filter_map
+    (fun (phi : Mir.instr) ->
+      match phi.Mir.kind with
+      | Mir.Phi [| a; b |] ->
+        let init, step = if pre_index = 0 then (a, b) else (b, a) in
+        (match (const_int f init, (Hashtbl.find f.Mir.defs step).Mir.kind) with
+        | Some n0, Mir.Binop (Ops.Add, x, y, _) ->
+          let x = strip_tonum f x and y = strip_tonum f y in
+          let step_const =
+            if x = phi.Mir.def then const_int f y
+            else if y = phi.Mir.def then const_int f x
+            else None
+          in
+          (match step_const with
+          | Some c when c > 0 -> Some (phi.Mir.def, step, n0, c)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    (header.Mir.phis
+    @ List.filter
+        (fun (i : Mir.instr) -> match i.Mir.kind with Mir.Phi _ -> true | _ -> false)
+        header.Mir.body)
+
+(* Find a loop-exit comparison bounding [p] (or its step def) by a constant:
+   a Branch whose condition is Cmp(Lt|Le, x, k) with exactly one successor
+   outside the loop and x ∈ {p, step}. Returns the bound together with the
+   in-loop successor of the test: the bound on the phi is only valid in
+   blocks dominated by that edge. *)
+let upper_bound (f : Mir.func) (loop : Cfg.loop) p step =
+  let in_loop bid = List.mem bid loop.Cfg.body in
+  let found = ref None in
+  List.iter
+    (fun bid ->
+      if in_loop bid && !found = None then begin
+        let b = Mir.block f bid in
+        match b.Mir.term with
+        | Mir.Branch (c, t_true, t_false)
+          when (in_loop t_true && not (in_loop t_false))
+               || (in_loop t_false && not (in_loop t_true)) -> (
+          let stays_true = in_loop t_true in
+          let s_block = if stays_true then t_true else t_false in
+          match (Hashtbl.find f.Mir.defs c).Mir.kind with
+          | Mir.Cmp (op, x, k) -> (
+            let x = strip_tonum f x in
+            match (const_int f k, x = p || x = step) with
+            | Some kv, true -> (
+              (* The in-loop edge is taken when the comparison holds (for
+                 Lt/Le with the loop side on true). *)
+              match (op, stays_true) with
+              | Ops.Lt, true -> found := Some (kv - 1, s_block)
+              | Ops.Le, true -> found := Some (kv, s_block)
+              | Ops.Ge, false -> found := Some (kv - 1, s_block)
+              | Ops.Gt, false -> found := Some (kv, s_block)
+              | _ -> ())
+            | _ -> ())
+          | _ -> ())
+        | _ -> ()
+      end)
+    loop.Cfg.body;
+  !found
+
+let run ?(precise_alias = false) ?(eliminate_overflow_checks = false) (f : Mir.func) =
+  let has_blocker = ref false in
+  Mir.iter_instrs f (fun i -> if blocking ~precise_alias i.Mir.kind then has_blocker := true);
+  (* Ranges of induction variables (and their step defs), each valid only
+     in blocks dominated by the bounding test's in-loop edge. *)
+  let ranges : (Mir.def, range * int) Hashtbl.t = Hashtbl.create 8 in
+  let doms = Cfg.dominators f in
+  let loops = Cfg.natural_loops f doms in
+  List.iter
+    (fun (loop : Cfg.loop) ->
+      let header = Mir.block f loop.Cfg.header in
+      let in_loop bid = List.mem bid loop.Cfg.body in
+      match List.filter (fun x -> not (in_loop x)) header.Mir.preds with
+      | [ pre ] when List.length header.Mir.preds = 2 ->
+        let pre_index = if List.nth header.Mir.preds 0 = pre then 0 else 1 in
+        List.iter
+          (fun (p, step, n0, c) ->
+            match upper_bound f loop p step with
+            | Some (hi, s_block) when n0 >= 0 ->
+              let hi = max n0 hi in
+              Hashtbl.replace ranges p ({ lo = n0; hi }, s_block);
+              Hashtbl.replace ranges step ({ lo = n0 + c; hi = hi + c }, s_block)
+            | _ -> ())
+          (induction_candidates f loop pre_index)
+      | _ -> ())
+    loops;
+  (* [range_of d ~at] is the range of [d] valid in block [at]. *)
+  let range_of d ~at =
+    match Hashtbl.find_opt ranges (strip_tonum f d) with
+    | Some (r, s_block) when Cfg.dominates doms s_block at -> Some r
+    | Some _ -> None
+    | None -> (
+      match const_int f d with Some n -> Some { lo = n; hi = n } | None -> None)
+  in
+  (* Remove provably safe bounds checks on compile-time-constant arrays. *)
+  let bounds_removed = ref 0 in
+  if not !has_blocker then
+    List.iter
+      (fun bid ->
+        let b = Mir.block f bid in
+        b.Mir.body <-
+          List.filter
+            (fun (i : Mir.instr) ->
+              match i.Mir.kind with
+              | Mir.Bounds_check (idx, arr) -> (
+                (* The receiver may still be wrapped in its type guard when
+                   BCE runs before constant propagation folds it. *)
+                let receiver =
+                  match (Hashtbl.find f.Mir.defs arr).Mir.kind with
+                  | Mir.Check_array inner -> (Hashtbl.find f.Mir.defs inner).Mir.kind
+                  | k -> k
+                in
+                match (receiver, range_of idx ~at:bid) with
+                | Mir.Constant (Value.Arr a), Some r
+                  when r.lo >= 0 && r.hi < a.Value.length ->
+                  incr bounds_removed;
+                  false
+                | _ -> true)
+              | _ -> true)
+            b.Mir.body)
+      f.Mir.block_order;
+  (* Optional extension: overflow-check elimination on induction steps. *)
+  let overflow_checks_removed = ref 0 in
+  if eliminate_overflow_checks then
+    Mir.iter_instrs f (fun i ->
+        match i.Mir.kind with
+        | Mir.Binop (Ops.Add, x, y, Mir.Mode_int) -> (
+          let at = Hashtbl.find f.Mir.def_block i.Mir.def in
+          let bound d =
+            match range_of d ~at with
+            | Some r when r.lo >= 0 -> Some r.hi
+            | _ -> None
+          in
+          match (bound x, bound y) with
+          | Some hx, Some hy when hx + hy <= Value.int32_max ->
+            i.Mir.kind <- Mir.Binop (Ops.Add, x, y, Mir.Mode_int_nocheck);
+            i.Mir.rp <- None;
+            incr overflow_checks_removed
+          | _ -> ())
+        | _ -> ());
+  if !bounds_removed = 0 && !overflow_checks_removed = 0 then no_stats
+  else { bounds_removed = !bounds_removed; overflow_checks_removed = !overflow_checks_removed }

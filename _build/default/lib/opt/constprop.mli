@@ -1,0 +1,29 @@
+(** Constant propagation (paper §3.3).
+
+    The simplest lattice-based formulation from Aho et al. — each SSA value
+    is ⊥, a constant, or ⊤, with a meet-until-fixpoint loop — deliberately
+    without Wegman-Zadeck conditional-branch information, exactly as the
+    paper chose for compile-time economy.
+
+    Folds: arithmetic/comparison/unary operators (through the very same
+    {!Runtime.Ops} the interpreter uses, so folding cannot change
+    semantics), [typeof], string [length], pure native calls, and — the key
+    enabler for value specialization — type guards: a [Type_barrier] or
+    [Check_array] whose operand is a compile-time constant of the right tag
+    is folded away. *)
+
+type lat = Bot | Const of Runtime.Value.t | Top
+(** ⊥ (no information yet) < constant < ⊤ (known to vary). *)
+
+val meet : lat -> lat -> lat
+
+val lat_equal : lat -> lat -> bool
+(** Lattice equality through {!Runtime.Value.same_value} — structural
+    equality would loop the fixpoint on NaN. *)
+
+val try_fold : Mir.instr_kind -> (Mir.def -> lat) -> lat
+(** Evaluate one instruction over the operand lattice. Shared with
+    {!Sccp}, which supplies an executability-aware phi evaluation on top. *)
+
+val run : Mir.func -> int
+(** Returns the number of instructions folded to constants. *)

@@ -1,0 +1,17 @@
+(** Dead-code elimination (paper §3.5).
+
+    Runs after constant propagation so that branch conditions folded to
+    booleans turn conditional branches into gotos; the unreachable blocks
+    (e.g. the wrapping conditional introduced by loop inversion, once
+    specialization proves the loop executes at least once) are then removed.
+    The function entry block is always kept — the paper keeps it so the
+    cached binary can be re-entered when the function is called again with
+    the same arguments.
+
+    Also removes pure instructions whose results are unused, where "used"
+    includes being referenced by the resume point of a surviving guard (a
+    value the interpreter would need after a bailout must stay alive). *)
+
+type stats = { branches_folded : int; blocks_removed : int; instrs_removed : int }
+
+val run : Mir.func -> stats

@@ -1,0 +1,13 @@
+(** Global value numbering — the baseline IonMonkey optimization the paper
+    builds on (§3.1), after Alpern, Wegman and Zadeck's congruence approach.
+
+    Walks the dominator tree in reverse postorder keeping a table of
+    available pure expressions; a recomputation whose defining occurrence
+    dominates it is replaced. Also simplifies degenerate phis
+    ([phi(x, x)], [phi(x, self)]) and removes redundant dominating guards
+    (a [Check_array]/[Type_barrier]/[Bounds_check] identical to one already
+    performed on the same operands). Runs in every configuration: it is
+    part of the compiler, not of the paper's contribution. *)
+
+val run : Mir.func -> int
+(** Returns the number of instructions eliminated. *)

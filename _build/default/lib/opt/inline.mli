@@ -1,0 +1,29 @@
+(** Aggressive closure inlining (paper §3.7).
+
+    Parameter specialization turns closure-valued arguments into compile-time
+    constants, so calls through them become [Call_known] sites with a known
+    target. This pass splices the callee's MIR into the caller — without
+    guards: per the paper, if the host function is ever called with different
+    arguments its whole binary is discarded, so a guard on the closure's
+    identity would be redundant.
+
+    Captured-variable accesses in the inlined body are rewritten to direct
+    loads/stores through the constant closure's environment cells — the
+    pointers are burned into the code, as the paper burns heap addresses.
+
+    Soundness of bailouts: spliced instructions keep no resume points
+    (re-executing the call mid-way is not possible in general), so the typer
+    later refrains from adding bailing fast paths inside inlined code;
+    inlined operations run in their generic form.
+
+    Functions that allocate closure cells or create closures are not
+    inlined (their activation state cannot be flattened), nor are functions
+    above the size budget, nor recursive chains beyond the depth limit. *)
+
+val run :
+  program:Bytecode.Program.t ->
+  ?max_size:int ->
+  ?max_sites:int ->
+  Mir.func ->
+  int
+(** Returns the number of call sites inlined. *)

@@ -1,0 +1,12 @@
+(** Loop-invariant code motion — part of the IonMonkey baseline the paper
+    runs on (its §4 notes that loop inversion "improved the effectiveness of
+    IonMonkey's invariant code motion" on string-unpack-code).
+
+    Hoists pure, non-guard instructions whose operands are all defined
+    outside the loop into the loop's preheader (the unique non-latch
+    predecessor of the header, which the MIR builder guarantees covers both
+    the normal and the OSR entry path). [Array_length] is only hoisted out
+    of loops free of stores and calls, since stores may change a length. *)
+
+val run : Mir.func -> int
+(** Returns the number of instructions hoisted. *)

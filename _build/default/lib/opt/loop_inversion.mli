@@ -1,0 +1,15 @@
+(** Loop inversion (paper §3.4): rewrites while-shaped loops into
+    repeat-shaped loops, replacing the conditional + unconditional jump per
+    iteration with a single conditional jump at the bottom, and inserting a
+    wrapping conditional before the loop to preserve zero-trip semantics.
+
+    The transformation applies to loops whose header contains only phis and
+    the exit test, with a single latch and a single preheader. The paper's
+    point is the interaction with the rest of the pipeline: after parameter
+    specialization and constant propagation the wrapping conditional often
+    folds, and dead-code elimination then removes it — proving at compile
+    time that the loop runs at least once. *)
+
+val run : ?max_loops:int -> Mir.func -> int
+(** Returns the number of loops inverted. [max_loops] bounds how many are
+    transformed (used to bisect and by ablation benches). *)

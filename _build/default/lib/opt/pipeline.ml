@@ -1,0 +1,183 @@
+type config = {
+  name : string;
+  param_spec : bool;
+  constprop : bool;
+  sccp : bool;
+  loop_inversion : bool;
+  dce : bool;
+  bounds_check_elim : bool;
+  precise_alias : bool;
+  overflow_elim : bool;
+  loop_unroll : bool;
+  licm : bool;
+  gvn : bool;
+}
+
+let make ?(ps = false) ?(cp = false) ?(sccp = false) ?(li = false) ?(dce = false)
+    ?(bce = false) ?(precise_alias = false) ?(overflow_elim = false)
+    ?(loop_unroll = false) ?(licm = true) ?(gvn = true) name =
+  {
+    name;
+    param_spec = ps;
+    constprop = cp;
+    sccp;
+    loop_inversion = li;
+    dce;
+    bounds_check_elim = bce;
+    precise_alias;
+    overflow_elim;
+    loop_unroll;
+    licm;
+    gvn;
+  }
+
+let baseline = make "baseline"
+let best = make ~ps:true ~cp:true ~dce:true "PS+CP+DCE"
+
+let all_on = make ~ps:true ~cp:true ~li:true ~dce:true ~bce:true "PS+CP+LI+DCE+BCE"
+
+(* The ten columns of Figure 9, left to right. *)
+let figure9_configs =
+  [
+    make ~ps:true "PS";
+    make ~cp:true "CP";
+    make ~ps:true ~cp:true "PS+CP";
+    make ~ps:true ~cp:true ~li:true "PS+CP+LI";
+    make ~ps:true ~cp:true ~dce:true "PS+CP+DCE";
+    make ~ps:true ~cp:true ~li:true ~dce:true "PS+CP+LI+DCE";
+    make ~ps:true ~cp:true ~bce:true "PS+CP+BCE";
+    make ~ps:true ~cp:true ~li:true ~bce:true "PS+CP+LI+BCE";
+    make ~ps:true ~cp:true ~dce:true ~bce:true "PS+CP+DCE+BCE";
+    all_on;
+  ]
+
+type run_stats = {
+  folded : int;
+  inlined : int;
+  loops_inverted : int;
+  branches_folded : int;
+  blocks_removed : int;
+  instrs_removed : int;
+  bounds_removed : int;
+  overflow_removed : int;
+  unrolled : int;
+  gvn_eliminated : int;
+  licm_hoisted : int;
+  mir_instrs_processed : int;
+}
+
+let apply ~program config (f : Mir.func) =
+  let processed = ref 0 in
+  let charge () = processed := !processed + Mir.all_instr_count f in
+  (* The constant-propagation step: the paper's Aho formulation, or the
+     Wegman-Zadeck conditional algorithm under the ablation flag. *)
+  let run_cp () =
+    if config.sccp then (Sccp.run f).Sccp.folded else Constprop.run f
+  in
+  let want_cp = config.constprop || config.sccp in
+  (* Baseline: type specialization and GVN, like IonMonkey. GVN's phi
+     simplification is what lets constant closure arguments reach call
+     sites, so it precedes inlining. *)
+  charge ();
+  Typer.run f;
+  let gvn_eliminated = ref 0 in
+  if config.gvn then begin
+    charge ();
+    gvn_eliminated := Gvn.run f
+  end;
+  let folded = ref 0 in
+  if want_cp then begin
+    charge ();
+    folded := run_cp ()
+  end;
+  (* Closure inlining accompanies parameter specialization (§4's
+     "PARAMETER SPEC ... augmented with the automatic inlining of functions
+     passed as parameters"). The spliced code is re-typed and re-numbered. *)
+  let inlined =
+    if config.param_spec then begin
+      charge ();
+      let n = Inline.run ~program f in
+      if n > 0 then begin
+        charge ();
+        Typer.run f;
+        charge ();
+        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f;
+        if want_cp then begin
+          charge ();
+          folded := !folded + run_cp ()
+        end
+      end;
+      n
+    end
+    else 0
+  in
+  (* §6 extension: unrolling, enabled by the constant bounds that
+     specialization + constprop expose. Before inversion, which would
+     change the loop shape it recognizes. *)
+  let unrolled =
+    if config.loop_unroll then begin
+      charge ();
+      let n = Unroll.run f in
+      if n > 0 then begin
+        charge ();
+        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f;
+        if want_cp then begin
+          charge ();
+          folded := !folded + run_cp ()
+        end
+      end;
+      n
+    end
+    else 0
+  in
+  let loops_inverted =
+    if config.loop_inversion then begin
+      charge ();
+      let n = Loop_inversion.run f in
+      if n > 0 then begin
+        (* The cloned tests duplicate constants and create phi(x, x) merges;
+           a value-numbering sweep (baseline hygiene) cleans them before
+           lowering would materialize them into registers. *)
+        charge ();
+        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f
+      end;
+      n
+    end
+    else 0
+  in
+  let dce_stats =
+    if config.dce then begin
+      charge ();
+      Dce.run f
+    end
+    else { Dce.branches_folded = 0; blocks_removed = 0; instrs_removed = 0 }
+  in
+  let bce_stats =
+    if config.bounds_check_elim then begin
+      charge ();
+      Bounds_check.run ~precise_alias:config.precise_alias
+        ~eliminate_overflow_checks:config.overflow_elim f
+    end
+    else { Bounds_check.bounds_removed = 0; overflow_checks_removed = 0 }
+  in
+  (* Baseline invariant code motion, which loop inversion feeds (§4). *)
+  let licm_hoisted = ref 0 in
+  if config.licm then begin
+    charge ();
+    licm_hoisted := Licm.run f
+  end;
+  Verify.run f;
+  {
+    folded = !folded;
+    inlined;
+    loops_inverted;
+    branches_folded = dce_stats.Dce.branches_folded;
+    blocks_removed = dce_stats.Dce.blocks_removed;
+    instrs_removed = dce_stats.Dce.instrs_removed;
+    bounds_removed = bce_stats.Bounds_check.bounds_removed;
+    overflow_removed = bce_stats.Bounds_check.overflow_checks_removed;
+    unrolled;
+    gvn_eliminated = !gvn_eliminated;
+    licm_hoisted = !licm_hoisted;
+    mir_instrs_processed = !processed;
+  }

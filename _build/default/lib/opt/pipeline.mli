@@ -1,0 +1,65 @@
+(** Optimization pipelines: the paper's configuration grid.
+
+    A {!config} names which of the paper's five optimizations are active.
+    [param_spec] is consumed by the engine when it builds the MIR (the
+    specialization itself happens in {!Builder.build}); the remaining flags
+    choose passes here. Global value numbering, type specialization and
+    invariant code motion always run — they are IonMonkey's baseline.
+
+    {!figure9_configs} lists the ten columns of the paper's Figure 9 in
+    order; {!baseline} is plain IonMonkey (the reference all speedups are
+    measured against); {!best} is the configuration the paper headlines
+    (PS + CP + DCE, its strongest SunSpider column). *)
+
+type config = {
+  name : string;
+  param_spec : bool;  (** §3.2 + closure inlining §3.7 *)
+  constprop : bool;  (** §3.3 *)
+  sccp : bool;
+      (** ablation: replace the Aho constant propagation with Wegman-Zadeck
+          sparse conditional constant propagation ({!Sccp}) *)
+  loop_inversion : bool;  (** §3.4 *)
+  dce : bool;  (** §3.5 *)
+  bounds_check_elim : bool;  (** §3.6 *)
+  precise_alias : bool;  (** ablation: relax the store-conservative rule *)
+  overflow_elim : bool;  (** §6 future work: overflow-check elimination *)
+  loop_unroll : bool;  (** §6 future work: unrolling under known trip counts *)
+  licm : bool;  (** baseline invariant code motion; off only for ablations *)
+  gvn : bool;  (** baseline value numbering; off only for ablations *)
+}
+
+val baseline : config
+val best : config
+val all_on : config
+
+val figure9_configs : config list
+(** The ten optimization columns of Figure 9, left to right. *)
+
+val make :
+  ?ps:bool -> ?cp:bool -> ?sccp:bool -> ?li:bool -> ?dce:bool -> ?bce:bool ->
+  ?precise_alias:bool -> ?overflow_elim:bool -> ?loop_unroll:bool ->
+  ?licm:bool -> ?gvn:bool -> string -> config
+
+(** Pass-execution statistics, for the compile-time model and the tests. *)
+type run_stats = {
+  folded : int;
+  inlined : int;
+  loops_inverted : int;
+  branches_folded : int;
+  blocks_removed : int;
+  instrs_removed : int;
+  bounds_removed : int;
+  overflow_removed : int;
+  unrolled : int;
+  gvn_eliminated : int;
+  licm_hoisted : int;
+  mir_instrs_processed : int;
+      (** total instruction-visits across passes; the compile-time model
+          charges per visit, so leaner graphs compile faster, as §4 observes *)
+}
+
+val apply : program:Bytecode.Program.t -> config -> Mir.func -> run_stats
+(** Run the configured passes over a freshly built MIR graph, in the
+    paper's order: inlining (when specializing), type specialization, GVN,
+    constant propagation, loop inversion, DCE, bounds-check elimination,
+    LICM, and a final DCE cleanup. Verifies the graph afterwards. *)

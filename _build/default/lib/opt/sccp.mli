@@ -1,0 +1,28 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck).
+
+    The ablation comparator for {!Constprop}: the paper (§3.3) deliberately
+    uses the branch-insensitive Aho formulation for compile-time economy;
+    this pass implements the full conditional algorithm so the repository
+    can measure what that choice left on the table (see the constant-
+    propagation ablation in [bench/main.exe]).
+
+    Differences from {!Constprop}:
+    - optimistic: values start at ⊥ and only flow along *executable* CFG
+      edges, so a phi fed by a branch side that specialization proves dead
+      still folds to the live operand's constant;
+    - branch conditions that evaluate to constants mark only the taken
+      side executable (both entry points — function entry and the OSR
+      block — are roots).
+
+    The pass rewrites foldable instructions in executable blocks to
+    constants, exactly like {!Constprop}; resolving the now-constant
+    branches and deleting the unreachable blocks remains {!Dce}'s job, so
+    the two passes compose the same way. *)
+
+type stats = {
+  folded : int;  (** instructions rewritten to constants *)
+  branches_decided : int;
+      (** conditional branches whose condition was proven constant *)
+}
+
+val run : Mir.func -> stats

@@ -1,0 +1,18 @@
+(** Loop unrolling under compile-time-known trip counts — the first of the
+    classic optimizations the paper's §6 proposes to re-implement "in the
+    context of runtime-value specialization". Off by default.
+
+    Parameter specialization is what makes this possible at all: the trip
+    count of a counted loop becomes a compile-time constant exactly when
+    the loop bound was a function parameter. The pass fully unrolls loops
+    matching the same induction pattern as the bounds-check eliminator
+    ([i = phi(c0, i + c)] with a constant-bounded header test) when the
+    trip count and the resulting code size are small.
+
+    Cloned instructions keep their resume points: the bytecode is
+    untouched, so a guard failing in the j-th unrolled copy reconstructs
+    the interpreter frame with the j-th iteration's values. *)
+
+val run : ?max_trips:int -> ?max_copied_instrs:int -> Mir.func -> int
+(** Returns the number of loops unrolled. Defaults: [max_trips = 8],
+    [max_copied_instrs = 256]. *)

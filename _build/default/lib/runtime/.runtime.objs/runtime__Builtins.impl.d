@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Array Buffer Char Convert Float List Ops Printf String Value

@@ -1,0 +1,1 @@
+lib/runtime/convert.ml: Float String Value

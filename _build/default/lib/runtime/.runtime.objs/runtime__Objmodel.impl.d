@@ -1,0 +1,1 @@
+lib/runtime/objmodel.ml: Array Builtins Convert Float Hashtbl Option Printf String Value

@@ -1,0 +1,1 @@
+lib/runtime/ops.ml: Convert Float String Value

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Float Format Hashtbl Int64 List Printf String

@@ -1,0 +1,44 @@
+(** Native (host-implemented) functions, methods and properties.
+
+    Natives are identified by dotted names (["Math.floor"],
+    ["String.fromCharCode"], ["print"]). Pure natives are eligible for
+    constant folding in the JIT when all their arguments are compile-time
+    constants. *)
+
+exception Runtime_error of string
+
+val print_hook : (string -> unit) ref
+(** Where [print] writes. Tests and the harness redirect this. *)
+
+val reset_random : int -> unit
+(** Reseed [Math.random]'s deterministic generator. *)
+
+val call : string -> Value.t array -> Value.t
+(** Invoke a native function by name.
+    @raise Runtime_error for unknown natives. *)
+
+val is_pure : string -> bool
+(** Whether folding a call to this native at compile time is sound. *)
+
+val exists : string -> bool
+
+val method_call :
+  ?call:(Value.t -> Value.t array -> Value.t) ->
+  Value.t ->
+  string ->
+  Value.t array ->
+  Value.t option
+(** Builtin methods carried by primitive receivers (string and array
+    methods). [None] means "not a builtin method": the caller should fall
+    back to an own-property lookup on the receiver. [call] invokes user
+    callbacks for the higher-order array methods ([map], [filter],
+    [forEach], [reduce], [some], [every]); without it those methods report
+    a runtime error when handed a closure. *)
+
+val get_prop : Value.t -> string -> Value.t option
+(** Builtin properties: [length] of strings and arrays. *)
+
+val globals : unit -> (string * Value.t) list
+(** The initial global environment: [print], the [Math] object, the
+    [String] object with [fromCharCode], and numeric globals ([NaN],
+    [Infinity]). A fresh structure per call. *)

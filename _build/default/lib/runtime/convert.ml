@@ -1,0 +1,60 @@
+let string_to_number s =
+  let s = String.trim s in
+  if s = "" then 0.0
+  else
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> (
+      match int_of_string_opt s with
+      | Some n -> float_of_int n
+      | None -> Float.nan)
+
+let rec to_number (v : Value.t) =
+  match v with
+  | Undefined -> Float.nan
+  | Null -> 0.0
+  | Bool b -> if b then 1.0 else 0.0
+  | Int n -> float_of_int n
+  | Double f -> f
+  | Str s -> string_to_number s
+  | Obj _ | Closure _ | Native_fun _ -> Float.nan
+  | Arr a ->
+    (* JS converts arrays through their string image; [x] -> ToNumber x
+       (without recursive flattening), [] -> 0, longer arrays -> NaN. *)
+    if a.length = 0 then 0.0
+    else if a.length = 1 then
+      match Value.arr_get a 0 with
+      | Arr _ -> Float.nan
+      | single -> to_number single
+    else Float.nan
+
+let to_boolean (v : Value.t) =
+  match v with
+  | Undefined | Null -> false
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Double f -> not (f = 0.0 || Float.is_nan f)
+  | Str s -> String.length s > 0
+  | Obj _ | Arr _ | Closure _ | Native_fun _ -> true
+
+let two_pow_32 = 4294967296.0
+
+let to_uint32 v =
+  match (v : Value.t) with
+  | Int n when n >= 0 -> n
+  | _ ->
+    let f = to_number v in
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then 0
+    else
+      let t = Float.rem (Float.trunc f) two_pow_32 in
+      let t = if t < 0.0 then t +. two_pow_32 else t in
+      int_of_float t
+
+let to_int32 v =
+  match (v : Value.t) with
+  | Int n -> n
+  | _ ->
+    let u = to_uint32 v in
+    if u >= 0x8000_0000 then u - 0x1_0000_0000 else u
+
+let to_string = Value.to_display_string

@@ -1,0 +1,17 @@
+(** JavaScript-style conversions for the MiniJS subset.
+
+    Objects, arrays and functions convert to numbers as [NaN] (we do not
+    model [valueOf]/[toString] chains); this restriction is documented in
+    DESIGN.md and is irrelevant to the paper's benchmarks. *)
+
+val to_number : Value.t -> float
+val to_boolean : Value.t -> bool
+
+val to_int32 : Value.t -> int
+(** JS ToInt32: modular reduction into [\[-2{^31}, 2{^31})]. *)
+
+val to_uint32 : Value.t -> int
+(** JS ToUint32: modular reduction into [\[0, 2{^32})]. *)
+
+val to_string : Value.t -> string
+(** JS ToString on the subset; same as {!Value.to_display_string}. *)

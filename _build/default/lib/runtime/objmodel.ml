@@ -1,0 +1,81 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let get_prop recv name =
+  match Builtins.get_prop recv name with
+  | Some v -> v
+  | None -> (
+    match recv with
+    | Value.Obj o -> Option.value (Hashtbl.find_opt o.Value.props name) ~default:Value.Undefined
+    | Value.Arr _ | Value.Closure _ | Value.Native_fun _ -> Value.Undefined
+    | Value.Str _ -> Value.Undefined
+    | Value.Undefined | Value.Null ->
+      error "cannot read property %S of %s" name (Value.typeof recv)
+    | Value.Bool _ | Value.Int _ | Value.Double _ -> Value.Undefined)
+
+let set_prop recv name v =
+  match recv with
+  | Value.Obj o -> Value.obj_set o name v
+  | Value.Arr a when name = "length" ->
+    let n = Convert.to_int32 v in
+    if n < a.Value.length then a.Value.length <- max n 0
+    else if n > a.Value.length then
+      (* Growing through .length fills with Undefined. *)
+      Value.arr_set a (n - 1) Value.Undefined
+  | Value.Arr _ -> ()  (* non-length expando properties on arrays: ignored *)
+  | _ -> error "cannot set property %S on %s" name (Value.typeof recv)
+
+let get_elem recv idx =
+  match recv with
+  | Value.Arr a -> (
+    match idx with
+    | Value.Int i -> Value.arr_get a i
+    | _ ->
+      let f = Convert.to_number idx in
+      if Float.is_integer f then Value.arr_get a (int_of_float f)
+      else Value.Undefined)
+  | Value.Str s ->
+    let i = Convert.to_int32 idx in
+    if i >= 0 && i < String.length s then Value.Str (String.make 1 s.[i])
+    else Value.Undefined
+  | Value.Obj o ->
+    let key = Convert.to_string idx in
+    Option.value (Hashtbl.find_opt o.Value.props key) ~default:Value.Undefined
+  | _ -> error "cannot index %s" (Value.typeof recv)
+
+let set_elem recv idx v =
+  match recv with
+  | Value.Arr a -> (
+    match idx with
+    | Value.Int i -> Value.arr_set a i v
+    | _ ->
+      let f = Convert.to_number idx in
+      if Float.is_integer f then Value.arr_set a (int_of_float f) v)
+  | Value.Obj o -> Value.obj_set o (Convert.to_string idx) v
+  | _ -> error "cannot index-assign %s" (Value.typeof recv)
+
+let construct ctor args =
+  match ctor with
+  | "Array" -> (
+    match args with
+    | [| Value.Int n |] when n >= 0 -> Value.Arr (Value.new_arr n)
+    | _ -> Value.Arr (Value.arr_of_list (Array.to_list args)))
+  | "Object" -> Value.Obj (Value.new_obj ())
+  | other -> error "unknown constructor %s" other
+
+(* Method dispatch, shared verbatim between the interpreter and compiled
+   code: builtin string/array methods first, then own properties holding
+   callable values. [call] performs the actual invocation (the interpreter
+   or the JIT engine supplies it). *)
+let dispatch_method ~call recv name args =
+  match Builtins.method_call ~call recv name args with
+  | Some v -> v
+  | None -> (
+    match recv with
+    | Value.Obj _ -> (
+      match get_prop recv name with
+      | (Value.Closure _ | Value.Native_fun _) as f -> call f args
+      | Value.Undefined -> error "method %s is not defined" name
+      | other -> error "property %s is not callable (%s)" name (Value.typeof other))
+    | _ -> error "no method %s on %s" name (Value.typeof recv))

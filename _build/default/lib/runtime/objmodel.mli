@@ -1,0 +1,31 @@
+(** The object model: property/element access and construction semantics
+    shared by the interpreter and the JIT's native code, so compiled code
+    cannot diverge from interpreted code. *)
+
+exception Error of string
+(** Raised for operations that are TypeErrors in JavaScript (reading a
+    property of [null], calling a non-function, ...). *)
+
+val get_prop : Value.t -> string -> Value.t
+(** Property read with builtin fallbacks ([length]); missing properties are
+    [Undefined]. @raise Error on [null]/[undefined] receivers. *)
+
+val set_prop : Value.t -> string -> Value.t -> unit
+(** Property write; assigning [length] of an array resizes it. *)
+
+val get_elem : Value.t -> Value.t -> Value.t
+(** [recv[idx]] on arrays, strings and objects. *)
+
+val set_elem : Value.t -> Value.t -> Value.t -> unit
+
+val construct : string -> Value.t array -> Value.t
+(** [new Array(...)] / [new Object()]. *)
+
+val dispatch_method :
+  call:(Value.t -> Value.t array -> Value.t) ->
+  Value.t ->
+  string ->
+  Value.t array ->
+  Value.t
+(** Method-call semantics shared by the interpreter and compiled code:
+    builtin string/array methods, then own callable properties. *)

@@ -1,0 +1,90 @@
+(** Runtime values of the MiniJS virtual machine.
+
+    Numbers follow the engine convention the paper relies on: a JavaScript
+    number is stored as [Int] whenever it is integral, fits in 32 bits and is
+    not negative zero, and as [Double] otherwise. All numeric operators
+    normalize their result through {!norm_num}, so the [Int]/[Double] split
+    is an unobservable representation choice (exactly the type-specialization
+    premise of IonMonkey), while [typeof] reports ["number"] for both. *)
+
+type t =
+  | Undefined
+  | Null
+  | Bool of bool
+  | Int of int  (** invariant: in [\[-2{^31}, 2{^31})] *)
+  | Double of float
+  | Str of string
+  | Obj of obj
+  | Arr of arr
+  | Closure of closure
+  | Native_fun of string  (** builtin function, identified by name *)
+
+and obj = { props : (string, t) Hashtbl.t; mutable key_order : string list; oid : int }
+(** [key_order] holds the property keys most-recently-added first; write
+    through {!obj_set} so it stays consistent with [props]. *)
+
+and arr = { mutable elems : t array; mutable length : int; aid : int }
+
+and closure = { fid : int; env : t ref array; cid : int }
+(** [fid] indexes the program's function table; [env] holds the captured
+    variables, shared by reference. *)
+
+(** Runtime type tags, as used by type barriers in the JIT. *)
+type tag =
+  | Tag_undefined
+  | Tag_null
+  | Tag_bool
+  | Tag_int
+  | Tag_double
+  | Tag_string
+  | Tag_object
+  | Tag_array
+  | Tag_function
+
+val tag_of : t -> tag
+val tag_to_string : tag -> string
+
+val int32_min : int
+val int32_max : int
+
+val norm_num : float -> t
+(** Canonical representation of a JavaScript number. *)
+
+val of_int : int -> t
+(** [of_int n] is [Int n] if in range, else [Double (float n)]. *)
+
+val fresh_id : unit -> int
+(** Next identity id (used when allocating closures). *)
+
+val new_obj : unit -> obj
+val obj_with_props : (string * t) list -> obj
+
+val obj_set : obj -> string -> t -> unit
+(** Write one property, maintaining insertion order for {!obj_keys}. *)
+
+val obj_keys : obj -> string list
+(** Property names in insertion order (JS for-in enumeration order). *)
+
+val new_arr : int -> arr
+(** [new_arr n] allocates an array of length [n] filled with [Undefined]. *)
+
+val arr_of_list : t list -> arr
+val arr_get : arr -> int -> t
+(** Out-of-bounds reads return [Undefined], as JavaScript does. *)
+
+val arr_set : arr -> int -> t -> unit
+(** Out-of-bounds writes grow the array, filling holes with [Undefined]. *)
+
+val same_value : t -> t -> bool
+(** Identity for objects/arrays/closures, value equality for primitives.
+    This is the equality used by the specialization argument cache: a
+    specialized binary is reused only if every argument is [same_value] as
+    the cached one. NaN equals NaN here (cache semantics, not [===]). *)
+
+val same_args : t array -> t array -> bool
+
+val typeof : t -> string
+
+val pp : Format.formatter -> t -> unit
+val to_display_string : t -> string
+(** The string [print] would output (JS [ToString] on our subset). *)

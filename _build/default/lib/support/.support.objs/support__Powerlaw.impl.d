@@ -1,0 +1,1 @@
+lib/support/powerlaw.ml: Array Prng

@@ -1,0 +1,37 @@
+type t = { cumulative : float array }
+
+let create ~alpha ~max_value =
+  if alpha <= 0.0 then invalid_arg "Powerlaw.create: alpha must be positive";
+  if max_value < 1 then invalid_arg "Powerlaw.create: max_value must be >= 1";
+  let weights = Array.init max_value (fun i -> float_of_int (i + 1) ** -.alpha) in
+  let cumulative = Array.make max_value 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let total = !acc in
+  Array.iteri (fun i c -> cumulative.(i) <- c /. total) cumulative;
+  { cumulative }
+
+let sample t rng =
+  let x = Prng.float rng 1.0 in
+  (* Binary search for the first index whose cumulative mass exceeds x. *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1
+
+let mass_at_one t = t.cumulative.(0)
+
+let calibrate_alpha ~target_mass_at_one ~max_value =
+  let mass alpha = mass_at_one (create ~alpha ~max_value) in
+  let lo = ref 0.01 and hi = ref 10.0 in
+  for _ = 1 to 60 do
+    let mid = (!lo +. !hi) /. 2.0 in
+    if mass mid < target_mass_at_one then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2.0

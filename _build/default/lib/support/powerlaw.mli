@@ -1,0 +1,23 @@
+(** Discrete power-law (zeta/Zipf-like) samplers.
+
+    Figures 1 and 2 of the paper show that both the number of calls per
+    JavaScript function and the number of distinct argument sets per function
+    follow power distributions with a heavy mass at 1 (48.88% and 59.91%
+    respectively). The web-session generator draws from these samplers. *)
+
+type t
+
+val create : alpha:float -> max_value:int -> t
+(** [create ~alpha ~max_value] prepares a sampler over [1 .. max_value] with
+    probability proportional to [k ** -alpha]. Requires [alpha > 0.] and
+    [max_value >= 1]. *)
+
+val sample : t -> Prng.t -> int
+
+val mass_at_one : t -> float
+(** Probability that the sampler returns 1; useful to calibrate [alpha]
+    against the paper's reported head fractions. *)
+
+val calibrate_alpha : target_mass_at_one:float -> max_value:int -> float
+(** Binary-search the exponent so that [mass_at_one] matches the target
+    fraction (e.g. 0.4888 for Figure 1, 0.5991 for Figure 2). *)

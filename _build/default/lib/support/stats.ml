@@ -1,0 +1,58 @@
+let arithmetic_mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.arithmetic_mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean_ratio xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geometric_mean_ratio: empty"
+  | _ ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let geometric_mean_percent ps =
+  let ratios = List.map (fun p -> 1.0 +. (p /. 100.0)) ps in
+  (geometric_mean_ratio ratios -. 1.0) *. 100.0
+
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+module Histogram = struct
+  type t = { counts : (int, int) Hashtbl.t; mutable total : int; mutable max_key : int }
+
+  let create () = { counts = Hashtbl.create 64; total = 0; max_key = 0 }
+
+  let add t k =
+    let prev = Option.value (Hashtbl.find_opt t.counts k) ~default:0 in
+    Hashtbl.replace t.counts k (prev + 1);
+    t.total <- t.total + 1;
+    if k > t.max_key then t.max_key <- k
+
+  let count t k = Option.value (Hashtbl.find_opt t.counts k) ~default:0
+  let total t = t.total
+  let max_key t = t.max_key
+
+  let fraction t k =
+    if t.total = 0 then 0.0 else float_of_int (count t k) /. float_of_int t.total
+
+  let bins t ~first ~tail_from =
+    let head =
+      List.init (tail_from - first) (fun i ->
+          let k = first + i in
+          (string_of_int k, fraction t k))
+    in
+    let tail = ref 0 in
+    Hashtbl.iter (fun k c -> if k >= tail_from then tail := !tail + c) t.counts;
+    let tail_frac =
+      if t.total = 0 then 0.0 else float_of_int !tail /. float_of_int t.total
+    in
+    head @ [ (Printf.sprintf ">=%d" tail_from, tail_frac) ]
+end
+
+let percent_change ~base ~v = (base -. v) /. v *. 100.0

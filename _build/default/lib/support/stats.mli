@@ -1,0 +1,51 @@
+(** Summary statistics and histograms used by the experiment harness.
+
+    The paper reports arithmetic and geometric means of percentage speedups
+    (Figure 9) and call-count histograms (Figures 1-3); this module provides
+    exactly those reductions. *)
+
+val arithmetic_mean : float list -> float
+(** Mean of a non-empty list. *)
+
+val geometric_mean_ratio : float list -> float
+(** Geometric mean of a non-empty list of positive ratios. *)
+
+val geometric_mean_percent : float list -> float
+(** Geometric mean of percentage deltas: each percentage [p] is folded as the
+    ratio [1 + p/100], and the result converted back to a percentage. This is
+    how Figure 9(b,d) aggregates per-benchmark percentages, which may be
+    negative. *)
+
+val median : float list -> float
+
+(** Histogram over small non-negative integer keys (e.g. "number of times a
+    function was called"). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+  (** Record one observation of key [k]. *)
+
+  val count : t -> int -> int
+
+  val total : t -> int
+  (** Number of observations recorded. *)
+
+  val max_key : t -> int
+  (** Largest key observed; 0 when empty. *)
+
+  val fraction : t -> int -> float
+  (** [fraction t k] is [count t k / total t]; 0 when empty. *)
+
+  val bins : t -> first:int -> tail_from:int -> (string * float) list
+  (** Fractions for keys [first .. tail_from - 1] plus a final combined tail
+      bin, matching the paper's presentation ("we only show the first 29
+      entries; the tail has been combined in entry 30"). *)
+end
+
+val percent_change : base:float -> v:float -> float
+(** [percent_change ~base ~v] is the speedup of [v] relative to [base] in
+    percent: positive when [v < base] (i.e. the optimized run is faster),
+    computed as [(base - v) / v * 100]. *)

@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: Kraken List String Suite Sunspider V8bench

@@ -1,0 +1,1 @@
+lib/workloads/v8bench.ml: Suite

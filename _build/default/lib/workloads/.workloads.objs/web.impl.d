@@ -1,0 +1,1 @@
+lib/workloads/web.ml: Array Buffer Hashtbl List Option Powerlaw Printf Prng Stats Support

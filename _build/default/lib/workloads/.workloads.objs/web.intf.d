@@ -1,0 +1,1 @@
+lib/workloads/web.mli: Support

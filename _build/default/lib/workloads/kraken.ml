@@ -1,0 +1,473 @@
+(* Kraken-1.1-style suite: large typed-array-ish numeric kernels (audio and
+   imaging) plus crypto byte loops. stanford-crypto-ccm's anonymous hot
+   function is reproduced as a function expression invoked hundreds of
+   times, matching the call profile the paper reports. *)
+
+let ai_astar =
+  {|
+// Grid best-first search with a linear open list (A*-flavoured access
+// pattern: repeated array scans and neighbour expansion).
+function findPath(w, h, blocked) {
+  var dist = new Array(w * h);
+  for (var i = 0; i < w * h; i++) dist[i] = -1;
+  var open_ = [0];
+  dist[0] = 0;
+  var head = 0;
+  while (head < open_.length) {
+    var cur = open_[head];
+    head++;
+    var cx = cur % w, cy = (cur - cx) / w;
+    var d = dist[cur];
+    var dirs = [1, -1, w, -w];
+    for (var k = 0; k < 4; k++) {
+      var nxt = cur + dirs[k];
+      if (nxt < 0 || nxt >= w * h) continue;
+      if (dirs[k] == 1 && cx == w - 1) continue;
+      if (dirs[k] == -1 && cx == 0) continue;
+      if (blocked[nxt]) continue;
+      if (dist[nxt] == -1) {
+        dist[nxt] = d + 1;
+        open_.push(nxt);
+      }
+    }
+  }
+  return dist[w * h - 1];
+}
+
+var w = 24, h = 24;
+var blocked = new Array(w * h);
+for (var i = 0; i < w * h; i++) blocked[i] = false;
+for (var i = 0; i < h - 2; i++) blocked[i * w + 10] = true;
+for (var i = 2; i < h; i++) blocked[i * w + 17] = true;
+var total = 0;
+for (var rep = 0; rep < 8; rep++) total += findPath(w, h, blocked);
+print(total);
+|}
+
+let audio_beat_detection =
+  {|
+function computeEnergy(samples, from, to) {
+  var e = 0.0;
+  for (var i = from; i < to; i++) e += samples[i] * samples[i];
+  return e;
+}
+
+var n = 2048;
+var samples = new Array(n);
+for (var i = 0; i < n; i++) samples[i] = Math.sin(i * 0.3) * Math.cos(i * 0.011);
+var beats = 0;
+var windowSize = 256;
+var history = 0.0;
+for (var w = 0; w + windowSize <= n; w += windowSize) {
+  var e = computeEnergy(samples, w, w + windowSize);
+  if (w > 0 && e > 1.3 * (history / (w / windowSize))) beats++;
+  history += e;
+}
+print(beats, Math.round(history));
+|}
+
+let audio_fft =
+  {|
+// Iterative radix-2 FFT over parallel re/im arrays.
+function fft(re, im) {
+  var n = re.length;
+  // bit-reversal permutation
+  for (var i = 1, j = 0; i < n; i++) {
+    var bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+  for (var len = 2; len <= n; len <<= 1) {
+    var ang = -6.28318530718 / len;
+    var wr = Math.cos(ang), wi = Math.sin(ang);
+    for (var i = 0; i < n; i += len) {
+      var cwr = 1.0, cwi = 0.0;
+      for (var j = 0; j < len / 2; j++) {
+        var ur = re[i + j], ui = im[i + j];
+        var vr = re[i + j + len / 2] * cwr - im[i + j + len / 2] * cwi;
+        var vi = re[i + j + len / 2] * cwi + im[i + j + len / 2] * cwr;
+        re[i + j] = ur + vr; im[i + j] = ui + vi;
+        re[i + j + len / 2] = ur - vr; im[i + j + len / 2] = ui - vi;
+        var nwr = cwr * wr - cwi * wi;
+        cwi = cwr * wi + cwi * wr;
+        cwr = nwr;
+      }
+    }
+  }
+}
+
+var n = 128;
+var re = new Array(n), im = new Array(n);
+for (var i = 0; i < n; i++) { re[i] = Math.sin(i); im[i] = 0.0; }
+for (var rep = 0; rep < 6; rep++) fft(re, im);
+var mag = 0.0;
+for (var i = 0; i < n; i++) mag += re[i] * re[i] + im[i] * im[i];
+print(Math.round(mag));
+|}
+
+let audio_oscillator =
+  {|
+function generateSine(buffer, frequency, phase) {
+  var n = buffer.length;
+  for (var i = 0; i < n; i++) {
+    buffer[i] = Math.sin(phase + i * frequency);
+  }
+  return phase + n * frequency;
+}
+
+var buffer = new Array(1024);
+var phase = 0.0;
+for (var rep = 0; rep < 12; rep++) phase = generateSine(buffer, 0.03, phase);
+var peak = 0.0;
+for (var i = 0; i < buffer.length; i++) if (buffer[i] > peak) peak = buffer[i];
+print(Math.round(phase * 100), Math.round(peak * 1000));
+|}
+
+let imaging_gaussian_blur =
+  {|
+function blurRow(src, dst, width, y, kernel, ksum) {
+  var half = (kernel.length - 1) / 2;
+  for (var x = 0; x < width; x++) {
+    var acc = 0;
+    for (var k = 0; k < kernel.length; k++) {
+      var sx = x + k - half;
+      if (sx < 0) sx = 0;
+      if (sx >= width) sx = width - 1;
+      acc += src[y * width + sx] * kernel[k];
+    }
+    dst[y * width + x] = (acc / ksum) | 0;
+  }
+}
+
+var width = 48, height = 32;
+var img = new Array(width * height);
+for (var i = 0; i < width * height; i++) img[i] = (i * 37) % 256;
+var out = new Array(width * height);
+var kernel = [1, 4, 6, 4, 1];
+for (var rep = 0; rep < 6; rep++) {
+  for (var y = 0; y < height; y++) blurRow(img, out, width, y, kernel, 16);
+}
+var checksum = 0;
+for (var i = 0; i < width * height; i++) checksum = (checksum + out[i]) | 0;
+print(checksum);
+|}
+
+let imaging_desaturate =
+  {|
+function desaturate(pixels) {
+  // One call over the whole image: the always-same-argument case.
+  var n = pixels.length;
+  for (var i = 0; i < n; i += 4) {
+    var r = pixels[i], g = pixels[i + 1], b = pixels[i + 2];
+    var gray = (r * 77 + g * 151 + b * 28) >> 8;
+    pixels[i] = gray; pixels[i + 1] = gray; pixels[i + 2] = gray;
+  }
+  return pixels;
+}
+
+var pixels = new Array(4096);
+for (var i = 0; i < 4096; i++) pixels[i] = (i * 13) % 256;
+for (var rep = 0; rep < 10; rep++) desaturate(pixels);
+var sum = 0;
+for (var i = 0; i < 4096; i += 16) sum = (sum + pixels[i]) | 0;
+print(sum);
+|}
+
+let stanford_crypto_ccm =
+  {|
+// The hot anonymous function of stanford-crypto-ccm: a function expression
+// applied to each block, invoked hundreds of times.
+var xorBlock = function(a, b, out) {
+  for (var i = 0; i < 16; i++) out[i] = a[i] ^ b[i];
+  return out;
+};
+
+function rotWord(w) {
+  return ((w << 8) | (w >>> 24)) & 0xffffffff;
+}
+
+var state = new Array(16), key = new Array(16), tmp = new Array(16);
+for (var i = 0; i < 16; i++) { state[i] = i * 11; key[i] = 255 - i; }
+var acc = 0;
+for (var round = 0; round < 600; round++) {
+  xorBlock(state, key, tmp);
+  for (var i = 0; i < 16; i++) state[i] = (tmp[i] + round) & 0xff;
+  acc = (acc + state[round % 16]) | 0;
+}
+print(acc, rotWord(acc));
+|}
+
+let json_stringify_lite =
+  {|
+// Kraken stresses JSON; MiniJS builds the string image of a nested
+// structure by hand with the same string-append profile.
+function stringifyArray(arr) {
+  var s = "[";
+  for (var i = 0; i < arr.length; i++) {
+    if (i > 0) s += ",";
+    var v = arr[i];
+    if (typeof v == "number") s += "" + v;
+    else if (typeof v == "string") s += "\"" + v + "\"";
+    else if (typeof v == "object") s += stringifyArray(v);
+    else s += "null";
+  }
+  return s + "]";
+}
+
+var data = [];
+for (var i = 0; i < 30; i++) data.push([i, "item" + i, [i * 2, i * 3]]);
+var out = "";
+for (var rep = 0; rep < 10; rep++) out = stringifyArray(data);
+print(out.length);
+|}
+
+
+let crypto_aes =
+  {|
+// AES-flavoured byte transforms: sbox substitution, shift-rows index
+// shuffle and the xtime GF(2^8) double, over a 16-byte state.
+function xtime(b) {
+  var doubled = (b << 1) & 0xff;
+  return (b & 0x80) != 0 ? doubled ^ 0x1b : doubled;
+}
+function subBytes(state, sbox) {
+  for (var i = 0; i < 16; i++) state[i] = sbox[state[i]];
+}
+function shiftRows(state, tmp) {
+  for (var i = 0; i < 16; i++) tmp[i] = state[i];
+  for (var r = 1; r < 4; r++) {
+    for (var c = 0; c < 4; c++) state[r + 4 * c] = tmp[r + 4 * ((c + r) % 4)];
+  }
+}
+function mixColumn(state, c) {
+  var base = 4 * c;
+  var a0 = state[base], a1 = state[base + 1], a2 = state[base + 2], a3 = state[base + 3];
+  state[base]     = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+  state[base + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+  state[base + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+  state[base + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+}
+
+var sbox = new Array(256);
+for (var i = 0; i < 256; i++) sbox[i] = (i * 7 + 99) & 0xff;
+var state = new Array(16), tmp = new Array(16);
+for (var i = 0; i < 16; i++) state[i] = i * 17 & 0xff;
+var acc = 0;
+for (var round = 0; round < 120; round++) {
+  subBytes(state, sbox);
+  shiftRows(state, tmp);
+  for (var c = 0; c < 4; c++) mixColumn(state, c);
+  acc = (acc + state[round & 15]) & 0xffffff;
+}
+print(acc);
+|}
+
+let crypto_sha256_iterative =
+  {|
+// The sigma/ch/maj word mixing of SHA-256's compression function.
+function rotr(x, n) { return (x >>> n) | (x << (32 - n)); }
+function ch(x, y, z) { return (x & y) ^ (~x & z); }
+function maj(x, y, z) { return (x & y) ^ (x & z) ^ (y & z); }
+function sigma0(x) { return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22); }
+function sigma1(x) { return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25); }
+function gamma0(x) { return rotr(x, 7) ^ rotr(x, 18) ^ (x >>> 3); }
+function gamma1(x) { return rotr(x, 17) ^ rotr(x, 19) ^ (x >>> 10); }
+function safe_add(x, y) {
+  var lsw = (x & 0xFFFF) + (y & 0xFFFF);
+  var msw = (x >> 16) + (y >> 16) + (lsw >> 16);
+  return (msw << 16) | (lsw & 0xFFFF);
+}
+
+function compress(w, a0, b0, c0) {
+  var a = a0, b = b0, c = c0, d = 0x10325476, e = 0x67452301, f = 0, g = 0, h = 0;
+  for (var t = 0; t < 64; t++) {
+    if (t >= 16)
+      w[t] = safe_add(safe_add(gamma1(w[t - 2]), w[t - 7]),
+                      safe_add(gamma0(w[t - 15]), w[t - 16]));
+    var t1 = safe_add(safe_add(h, sigma1(e)), safe_add(ch(e, f, g), w[t]));
+    var t2 = safe_add(sigma0(a), maj(a, b, c));
+    h = g; g = f; f = e; e = safe_add(d, t1);
+    d = c; c = b; b = a; a = safe_add(t1, t2);
+  }
+  return safe_add(a, safe_add(e, h));
+}
+
+var w = new Array(64);
+for (var i = 0; i < 16; i++) w[i] = (i * 0x428a2f98) | 0;
+var digest = 0;
+for (var round = 0; round < 8; round++) {
+  for (var i = 0; i < 16; i++) w[i] = (w[i] ^ round) | 0;
+  digest = safe_add(digest, compress(w, 0x6a09e667, 0xbb67ae85, 0x3c6ef372));
+}
+print(digest);
+|}
+
+let audio_dft =
+  {|
+// Naive discrete Fourier transform over a real signal.
+function dft(signal, re, im) {
+  var n = signal.length;
+  for (var k = 0; k < n; k++) {
+    var sumRe = 0.0, sumIm = 0.0;
+    for (var t = 0; t < n; t++) {
+      var angle = -6.28318530718 * k * t / n;
+      sumRe += signal[t] * Math.cos(angle);
+      sumIm += signal[t] * Math.sin(angle);
+    }
+    re[k] = sumRe;
+    im[k] = sumIm;
+  }
+}
+
+var n = 48;
+var signal = new Array(n), re = new Array(n), im = new Array(n);
+for (var i = 0; i < n; i++) signal[i] = Math.sin(i * 0.5) + 0.5 * Math.sin(i * 1.5);
+for (var rep = 0; rep < 3; rep++) dft(signal, re, im);
+var power = 0.0;
+for (var k = 0; k < n; k++) power += re[k] * re[k] + im[k] * im[k];
+print(Math.round(power));
+|}
+
+let imaging_darkroom =
+  {|
+// Per-pixel brightness/contrast/gamma-esque adjustment with a histogram,
+// the access profile of imaging-darkroom.
+function adjust(pixels, brightness, contrast) {
+  var histogram = new Array(256);
+  for (var i = 0; i < 256; i++) histogram[i] = 0;
+  for (var i = 0; i < pixels.length; i++) {
+    var v = pixels[i] + brightness;
+    v = (((v - 128) * contrast) >> 7) + 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    pixels[i] = v;
+    histogram[v]++;
+  }
+  var peak = 0, peakAt = 0;
+  for (var i = 0; i < 256; i++) {
+    if (histogram[i] > peak) { peak = histogram[i]; peakAt = i; }
+  }
+  return peakAt;
+}
+
+var pixels = new Array(3000);
+for (var i = 0; i < 3000; i++) pixels[i] = (i * 97) % 256;
+var acc = 0;
+for (var rep = 0; rep < 8; rep++) acc += adjust(pixels, 3, 130);
+print(acc, pixels[1500]);
+|}
+
+let json_parse_lite =
+  {|
+// Hand-rolled recursive-descent parse of a JSON-like array syntax: the
+// char-at-a-time scanning profile of json-parse without a JSON builtin.
+function skipWs(s, i) {
+  while (i < s.length && s.charCodeAt(i) == 32) i++;
+  return i;
+}
+function parseNumber(s, i, out) {
+  var v = 0, neg = false;
+  if (s.charCodeAt(i) == 45) { neg = true; i++; }
+  while (i < s.length) {
+    var c = s.charCodeAt(i);
+    if (c < 48 || c > 57) break;
+    v = v * 10 + (c - 48);
+    i++;
+  }
+  out.value = neg ? -v : v;
+  return i;
+}
+function parseArray(s, i, out) {
+  // assumes s[i] == '['
+  i = skipWs(s, i + 1);
+  var sum = 0, count = 0;
+  while (i < s.length && s.charCodeAt(i) != 93) {
+    if (s.charCodeAt(i) == 91) {
+      i = parseArray(s, i, out);
+      sum += out.value;
+    } else {
+      i = parseNumber(s, i, out);
+      sum += out.value;
+    }
+    count++;
+    i = skipWs(s, i);
+    if (i < s.length && s.charCodeAt(i) == 44) i = skipWs(s, i + 1);
+  }
+  out.value = sum + count;
+  return i + 1;
+}
+
+var text = "[1, 2, [3, 4, [5, -6]], 7, [8, [9, 10, [11]]], 12]";
+var big = "[";
+for (var i = 0; i < 20; i++) big += (i > 0 ? "," : "") + text;
+big += "]";
+var out = {value: 0};
+var total = 0;
+for (var rep = 0; rep < 10; rep++) {
+  parseArray(big, 0, out);
+  total += out.value;
+}
+print(total);
+|}
+
+
+let crypto_pbkdf2 =
+  {|
+// PBKDF2's structure: an HMAC-style pseudo-random function iterated many
+// times with the previous block as input, xored into the derived key.
+function prf(key, block, salt) {
+  var h = key ^ 0x5c5c5c5c;
+  h = ((h << 5) - h + block) | 0;
+  h = ((h << 5) - h + salt) | 0;
+  h = h ^ (h >>> 13);
+  h = (h * 0x5bd1e995) | 0;
+  return h ^ (h >>> 15);
+}
+
+function pbkdf2(password, salt, iterations, blocks, dk) {
+  for (var b = 0; b < blocks; b++) {
+    var u = prf(password, b + 1, salt);
+    var t = u;
+    for (var i = 1; i < iterations; i++) {
+      u = prf(password, u, salt);
+      t = (t ^ u) | 0;
+    }
+    dk[b] = t;
+  }
+  return dk;
+}
+
+var dk = new Array(8);
+var acc = 0;
+for (var round = 0; round < 10; round++) {
+  pbkdf2(0x70617373 + round, 0x73616c74, 200, 8, dk);
+  acc = (acc + dk[round % 8]) | 0;
+}
+print(acc);
+|}
+
+let suite =
+  {
+    Suite.s_name = "Kraken 1.1";
+    members =
+      [
+        Suite.member "ai-astar" ai_astar;
+        Suite.member "audio-beat-detection" audio_beat_detection;
+        Suite.member "audio-dft" audio_dft;
+        Suite.member "audio-fft" audio_fft;
+        Suite.member "audio-oscillator" audio_oscillator;
+        Suite.member "imaging-darkroom" imaging_darkroom;
+        Suite.member "imaging-gaussian-blur" imaging_gaussian_blur;
+        Suite.member "imaging-desaturate" imaging_desaturate;
+        Suite.member "json-parse" json_parse_lite;
+        Suite.member "json-stringify" json_stringify_lite;
+        Suite.member "stanford-crypto-aes" crypto_aes;
+        Suite.member "stanford-crypto-ccm" stanford_crypto_ccm;
+        Suite.member "stanford-crypto-pbkdf2" crypto_pbkdf2;
+        Suite.member "stanford-crypto-sha256-iterative" crypto_sha256_iterative;
+      ];
+  }

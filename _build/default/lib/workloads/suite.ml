@@ -1,0 +1,9 @@
+(* Benchmark-suite representation. The members are MiniJS sources modelled
+   on the three suites the paper evaluates (SunSpider 1.0, V8 version 6,
+   Kraken 1.1); see Sunspider, V8bench and Kraken for the programs. *)
+
+type member = { m_name : string; m_source : string }
+
+type t = { s_name : string; members : member list }
+
+let member m_name m_source = { m_name; m_source }

@@ -1,0 +1,9 @@
+(* Aggregation of the three benchmark suites. *)
+
+let sunspider = Sunspider.suite
+let v8 = V8bench.suite
+let kraken = Kraken.suite
+let all = [ sunspider; v8; kraken ]
+
+let find name =
+  List.find_opt (fun (s : Suite.t) -> String.lowercase_ascii s.Suite.s_name = String.lowercase_ascii name) all

@@ -1,0 +1,937 @@
+(* SunSpider-1.0-style suite. Each member mirrors the structure (and, where
+   the paper discusses one, the call pattern) of the original benchmark:
+
+   - bits-in-byte reproduces the original TimeFunc(bitsinbyte) shape, where
+     the hot driver receives the kernel as a closure argument — the paper's
+     49% headline case for specialization + closure inlining;
+   - crypto-md5 has mixing helpers called thousands of times with
+     always-different arguments (the paper's most-deoptimized shape);
+   - string-unpack-code carries the long while-loop the paper credits with
+     a 28% win from loop inversion enabling invariant code motion;
+   - math-cordic's kernel takes constant parameters, the pure
+     specialization win. *)
+
+let bits_in_byte =
+  {|
+function bitsinbyte(b) {
+  var m = 1, c = 0;
+  while (m < 0x100) {
+    if (b & m) c++;
+    m <<= 1;
+  }
+  return c;
+}
+
+function TimeFunc(func) {
+  var x, y, t = 0;
+  for (x = 0; x < 60; x++) {
+    for (y = 0; y < 256; y++) t += func(y);
+  }
+  return t;
+}
+
+print(TimeFunc(bitsinbyte));
+|}
+
+let bitwise_and =
+  {|
+var bitwiseAndValue = 4294967296;
+for (var i = 0; i < 2000; i++) {
+  bitwiseAndValue = bitwiseAndValue & i;
+}
+print(bitwiseAndValue);
+|}
+
+let controlflow_recursive =
+  {|
+function ack(m, n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+  if (n < 2) return n;
+  return fib(n - 2) + fib(n - 1);
+}
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+
+var result = 0;
+result += ack(2, 4);
+result += fib(14);
+result += tak(8, 5, 2);
+print(result);
+|}
+
+let crypto_md5 =
+  {|
+function safe_add(x, y) {
+  var lsw = (x & 0xFFFF) + (y & 0xFFFF);
+  var msw = (x >> 16) + (y >> 16) + (lsw >> 16);
+  return (msw << 16) | (lsw & 0xFFFF);
+}
+function bit_rol(num, cnt) {
+  return (num << cnt) | (num >>> (32 - cnt));
+}
+function md5_cmn(q, a, b, x, s, t) {
+  return safe_add(bit_rol(safe_add(safe_add(a, q), safe_add(x, t)), s), b);
+}
+function md5_ff(a, b, c, d, x, s, t) {
+  return md5_cmn((b & c) | (~b & d), a, b, x, s, t);
+}
+function md5_gg(a, b, c, d, x, s, t) {
+  return md5_cmn((b & d) | (c & ~d), a, b, x, s, t);
+}
+function md5_hh(a, b, c, d, x, s, t) {
+  return md5_cmn(b ^ c ^ d, a, b, x, s, t);
+}
+function md5_ii(a, b, c, d, x, s, t) {
+  return md5_cmn(c ^ (b | ~d), a, b, x, s, t);
+}
+
+function mix_block(x, a0, b0, c0, d0) {
+  var a = a0, b = b0, c = c0, d = d0;
+  var i;
+  for (i = 0; i < x.length; i += 4) {
+    a = md5_ff(a, b, c, d, x[i], 7, -680876936);
+    d = md5_gg(d, a, b, c, x[i + 1], 12, -389564586);
+    c = md5_hh(c, d, a, b, x[i + 2], 17, 606105819);
+    b = md5_ii(b, c, d, a, x[i + 3], 22, -1044525330);
+  }
+  return safe_add(safe_add(a, b), safe_add(c, d));
+}
+
+var block = new Array(64);
+for (var i = 0; i < 64; i++) block[i] = (i * 2654435761) | 0;
+var h = 0;
+for (var round = 0; round < 40; round++) {
+  h = safe_add(h, mix_block(block, h ^ 1732584193, -271733879, -1732584194, 271733878));
+}
+print(h);
+|}
+
+let math_cordic =
+  {|
+var AG_CONST = 0.6072529350;
+function FIXED(X) { return X * 65536.0; }
+function FLOAT(X) { return X / 65536.0; }
+function DEG2RAD(X) { return 0.017453 * X; }
+
+var Angles = [
+  FIXED(45.0), FIXED(26.565), FIXED(14.0362), FIXED(7.12502),
+  FIXED(3.57633), FIXED(1.78991), FIXED(0.895174), FIXED(0.447614),
+  FIXED(0.223811), FIXED(0.111906), FIXED(0.055953), FIXED(0.027977)
+];
+
+function cordicsincos() {
+  var X = FIXED(AG_CONST);
+  var Y = 0;
+  var TargetAngle = FIXED(28.027);
+  var CurrAngle = 0;
+  for (var Step = 0; Step < 12; Step++) {
+    var NewX;
+    if (TargetAngle > CurrAngle) {
+      NewX = X - (Y >> Step);
+      Y = (X >> Step) + Y;
+      X = NewX;
+      CurrAngle += Angles[Step];
+    } else {
+      NewX = X + (Y >> Step);
+      Y = -(X >> Step) + Y;
+      X = NewX;
+      CurrAngle -= Angles[Step];
+    }
+  }
+  return FLOAT(X) * FLOAT(Y);
+}
+
+var total = 0;
+for (var i = 0; i < 400; i++) total += cordicsincos();
+print(Math.round(total));
+|}
+
+let math_partial_sums =
+  {|
+function partial(n) {
+  var a1 = 0, a2 = 0, a3 = 0, a4 = 0, a5 = 0;
+  var twothirds = 2.0 / 3.0;
+  var alt = -1.0;
+  for (var k = 1; k <= n; k++) {
+    var k2 = k * k, k3 = k2 * k;
+    var sk = Math.sin(k), ck = Math.cos(k);
+    alt = -alt;
+    a1 += Math.pow(twothirds, k - 1);
+    a2 += 1.0 / (k3 * sk * sk);
+    a3 += 1.0 / (k3 * ck * ck);
+    a4 += alt / k;
+    a5 += alt / (2 * k - 1);
+  }
+  return a1 + a2 + a3 + a4 + a5;
+}
+var t = 0;
+for (var i = 0; i < 4; i++) t += partial(512);
+print(Math.round(t * 1000));
+|}
+
+let string_base64 =
+  {|
+var toBase64Table = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var base64Pad = "=";
+
+function toBase64(data) {
+  var result = "";
+  var length = data.length;
+  var i;
+  for (i = 0; i < length - 2; i += 3) {
+    result += toBase64Table.charAt(data.charCodeAt(i) >> 2);
+    result += toBase64Table.charAt(((data.charCodeAt(i) & 0x03) << 4) | (data.charCodeAt(i + 1) >> 4));
+    result += toBase64Table.charAt(((data.charCodeAt(i + 1) & 0x0f) << 2) | (data.charCodeAt(i + 2) >> 6));
+    result += toBase64Table.charAt(data.charCodeAt(i + 2) & 0x3f);
+  }
+  if (length % 3 == 1) {
+    result += toBase64Table.charAt(data.charCodeAt(i) >> 2);
+    result += toBase64Table.charAt((data.charCodeAt(i) & 0x03) << 4);
+    result += base64Pad + base64Pad;
+  }
+  return result;
+}
+
+var aseq = "";
+for (var i = 0; i < 64; i++) aseq += String.fromCharCode(97 + (i % 26));
+var out = "";
+for (var round = 0; round < 25; round++) out = toBase64(aseq);
+print(out.length, out.substring(0, 16));
+|}
+
+let string_unpack_code =
+  {|
+function unpack(p, a, c, k) {
+  // Long while-loop over a constant-length payload: the shape the paper
+  // credits with a 28% win once loop inversion enables code motion.
+  var d = "";
+  var i = 0;
+  var n = p.length;
+  while (i < n) {
+    var ch = p.charCodeAt(i);
+    var mapped = ch ^ (k & 0xff);
+    if (mapped < 32) mapped = mapped + 32;
+    d += String.fromCharCode(mapped);
+    i++;
+  }
+  return d;
+}
+
+var payload = "";
+for (var i = 0; i < 400; i++) payload += String.fromCharCode(33 + ((i * 7) % 90));
+var decoded = "";
+for (var r = 0; r < 20; r++) decoded = unpack(payload, 62, 255, 19);
+print(decoded.length, decoded.charCodeAt(0), decoded.charCodeAt(399));
+|}
+
+let access_nsieve =
+  {|
+function nsieve(m, isPrime) {
+  var i, k, count;
+  for (i = 2; i <= m; i++) isPrime[i] = true;
+  count = 0;
+  for (i = 2; i <= m; i++) {
+    if (isPrime[i]) {
+      for (k = i + i; k <= m; k += i) isPrime[k] = false;
+      count++;
+    }
+  }
+  return count;
+}
+
+function sieve() {
+  var sum = 0;
+  for (var i = 1; i <= 2; i++) {
+    var m = (1 << i) * 1024;
+    var flags = new Array(m + 1);
+    sum += nsieve(m, flags);
+  }
+  return sum;
+}
+print(sieve());
+|}
+
+let access_binary_trees =
+  {|
+function TreeNode(left, right, item) {
+  return { left: left, right: right, item: item };
+}
+function itemCheck(node) {
+  if (node.left == null) return node.item;
+  return node.item + itemCheck(node.left) - itemCheck(node.right);
+}
+function bottomUpTree(item, depth) {
+  if (depth > 0) {
+    return TreeNode(bottomUpTree(2 * item - 1, depth - 1),
+                    bottomUpTree(2 * item, depth - 1), item);
+  }
+  return TreeNode(null, null, item);
+}
+
+var check = 0;
+for (var depth = 4; depth <= 7; depth += 1) {
+  var iterations = 1 << (9 - depth);
+  for (var i = 1; i <= iterations; i++) {
+    check += itemCheck(bottomUpTree(i, depth));
+    check += itemCheck(bottomUpTree(-i, depth));
+  }
+}
+print(check);
+|}
+
+let three_d_cube =
+  {|
+function RotateX(M, Phi) {
+  var a = Math.sin(Phi), b = Math.cos(Phi);
+  var m4 = M[4], m5 = M[5], m6 = M[6], m7 = M[7];
+  M[4] = m4 * b - M[8] * a;
+  M[5] = m5 * b - M[9] * a;
+  M[8] = m4 * a + M[8] * b;
+  M[9] = m5 * a + M[9] * b;
+  return M;
+}
+function MMulti(A, V) {
+  return [
+    A[0] * V[0] + A[1] * V[1] + A[2] * V[2] + A[3],
+    A[4] * V[0] + A[5] * V[1] + A[6] * V[2] + A[7],
+    A[8] * V[0] + A[9] * V[1] + A[10] * V[2] + A[11]
+  ];
+}
+
+var M = [1,0,0,0, 0,1,0,0, 0,0,1,0];
+var acc = 0;
+for (var i = 0; i < 300; i++) {
+  M = RotateX(M, 0.003 * i);
+  var v = MMulti(M, [1.0, 2.0, 3.0]);
+  acc += v[0] + v[1] + v[2];
+}
+print(Math.round(acc * 100));
+|}
+
+
+let three_d_morph =
+  {|
+function morph(a, f) {
+  var PI2nloops = 6.28318530718 / a.length;
+  for (var i = 0; i < a.length; i++) {
+    a[i] = Math.sin(i * PI2nloops) * f;
+  }
+  var sum = 0.0;
+  for (var i = 0; i < a.length; i++) sum += a[i];
+  return sum;
+}
+
+var pts = new Array(120);
+for (var i = 0; i < 120; i++) pts[i] = 0.0;
+var acc = 0.0;
+for (var loop = 0; loop < 30; loop++) acc += morph(pts, 1.0 + loop / 30.0);
+print(Math.round(acc * 1000));
+|}
+
+let access_fannkuch =
+  {|
+function fannkuch(n) {
+  var check = 0;
+  var perm = new Array(n), perm1 = new Array(n), count = new Array(n);
+  var maxFlipsCount = 0, m = n - 1;
+  for (var i = 0; i < n; i++) perm1[i] = i;
+  var r = n;
+  while (true) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    if (!(perm1[0] == 0 || perm1[m] == m)) {
+      for (var i = 0; i < n; i++) perm[i] = perm1[i];
+      var flipsCount = 0, k;
+      while (!((k = perm[0]) == 0)) {
+        var k2 = (k + 1) >> 1;
+        for (var i = 0; i < k2; i++) {
+          var temp = perm[i]; perm[i] = perm[k - i]; perm[k - i] = temp;
+        }
+        flipsCount++;
+      }
+      if (flipsCount > maxFlipsCount) maxFlipsCount = flipsCount;
+    }
+    while (true) {
+      if (r == n) return maxFlipsCount;
+      var perm0 = perm1[0];
+      var i = 0;
+      while (i < r) { var j = i + 1; perm1[i] = perm1[j]; i = j; }
+      perm1[r] = perm0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) break;
+      r++;
+    }
+  }
+}
+print(fannkuch(6));
+|}
+
+let bitops_3bit =
+  {|
+// Count bits with the 3-bit trick, driven through a closure like the
+// original TimeFunc harness.
+function fast3bitlookup(b) {
+  var c, bi3b = 0xE994;
+  c  = 3 & (bi3b >> ((b << 1) & 14));
+  c += 3 & (bi3b >> ((b >> 2) & 14));
+  c += 3 & (bi3b >> ((b >> 5) & 6));
+  return c;
+}
+
+function TimeFunc(func) {
+  var x, y, t = 0;
+  for (var x = 0; x < 50; x++) {
+    for (var y = 0; y < 256; y++) t += func(y);
+  }
+  return t;
+}
+print(TimeFunc(fast3bitlookup));
+|}
+
+let bitops_nsieve_bits =
+  {|
+function primes(isPrime, n) {
+  var i, count = 0, m = 10000 << n, size = m + 31 >> 5;
+  for (i = 0; i < size; i++) isPrime[i] = 0xffffffff;
+  for (i = 2; i < m; i++) {
+    if (isPrime[i >> 5] & (1 << (i & 31))) {
+      for (var j = i + i; j < m; j += i)
+        isPrime[j >> 5] &= ~(1 << (j & 31));
+      count++;
+    }
+  }
+  return count;
+}
+function sieve() {
+  var sum = 0;
+  for (var i = 0; i <= 1; i++) {
+    var isPrime = new Array((10000 << i) + 31 >> 5);
+    sum += primes(isPrime, i);
+  }
+  return sum;
+}
+print(sieve());
+|}
+
+let math_spectral_norm =
+  {|
+function A(i, j) {
+  return 1 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+function Au(u, v) {
+  for (var i = 0; i < u.length; ++i) {
+    var t = 0;
+    for (var j = 0; j < u.length; ++j) t += A(i, j) * u[j];
+    v[i] = t;
+  }
+}
+function Atu(u, v) {
+  for (var i = 0; i < u.length; ++i) {
+    var t = 0;
+    for (var j = 0; j < u.length; ++j) t += A(j, i) * u[j];
+    v[i] = t;
+  }
+}
+function AtAu(u, v, w) {
+  Au(u, w);
+  Atu(w, v);
+}
+function spectralnorm(n) {
+  var i, u = new Array(n), v = new Array(n), w = new Array(n), vv = 0, vBv = 0;
+  for (i = 0; i < n; ++i) { u[i] = 1; v[i] = w[i] = 0; }
+  for (i = 0; i < 6; ++i) { AtAu(u, v, w); AtAu(v, u, w); }
+  for (i = 0; i < n; ++i) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+  return Math.sqrt(vBv / vv);
+}
+print(Math.round(spectralnorm(24) * 1000000));
+|}
+
+let string_fasta =
+  {|
+var last = 42;
+function rand(max) {
+  last = (last * 3877 + 29573) % 139968;
+  return max * last / 139968;
+}
+var ALU = "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA";
+
+function makeCumulative(table, keys, probs) {
+  var last = 0.0;
+  for (var i = 0; i < keys.length; i++) {
+    last += probs[i];
+    table[keys[i]] = last;
+  }
+}
+
+function fastaRepeat(n, seq) {
+  var seqi = 0, len = 0, lineLength = 60, out = 0;
+  while (n > 0) {
+    var take = n < lineLength ? n : lineLength;
+    for (var i = 0; i < take; i++) {
+      out += seq.charCodeAt(seqi);
+      seqi++;
+      if (seqi == seq.length) seqi = 0;
+    }
+    n -= take;
+    len += take;
+  }
+  return out + len;
+}
+
+print(fastaRepeat(2400, ALU));
+|}
+
+let crypto_sha1 =
+  {|
+// The SHA-1 round structure on a fixed message block: rotations, bitwise
+// mixing and modular adds (the non-table half of crypto-sha1).
+function rol(num, cnt) {
+  return (num << cnt) | (num >>> (32 - cnt));
+}
+function sha1_ft(t, b, c, d) {
+  if (t < 20) return (b & c) | (~b & d);
+  if (t < 40) return b ^ c ^ d;
+  if (t < 60) return (b & c) | (b & d) | (c & d);
+  return b ^ c ^ d;
+}
+function sha1_kt(t) {
+  return t < 20 ? 1518500249 : t < 40 ? 1859775393 : t < 60 ? -1894007588 : -899497514;
+}
+function safe_add(x, y) {
+  var lsw = (x & 0xFFFF) + (y & 0xFFFF);
+  var msw = (x >> 16) + (y >> 16) + (lsw >> 16);
+  return (msw << 16) | (lsw & 0xFFFF);
+}
+
+function core_block(w, a0, b0, c0, d0, e0) {
+  var a = a0, b = b0, c = c0, d = d0, e = e0;
+  for (var j = 0; j < 80; j++) {
+    if (j >= 16) w[j] = rol(w[j - 3] ^ w[j - 8] ^ w[j - 14] ^ w[j - 16], 1);
+    var t = safe_add(safe_add(rol(a, 5), sha1_ft(j, b, c, d)),
+                     safe_add(safe_add(e, w[j]), sha1_kt(j)));
+    e = d; d = c; c = rol(b, 30); b = a; a = t;
+  }
+  return safe_add(a, safe_add(b, safe_add(c, safe_add(d, e))));
+}
+
+var w = new Array(80);
+for (var i = 0; i < 16; i++) w[i] = (i * 0x9E3779B9) | 0;
+var h = 0;
+for (var round = 0; round < 12; round++) {
+  for (var i = 0; i < 16; i++) w[i] = (w[i] + round) | 0;
+  h = safe_add(h, core_block(w, 1732584193, -271733879, -1732584194, 271733878, -1009589776));
+}
+print(h);
+|}
+
+
+let string_validate_input =
+  {|
+// Form-validation flavoured scanning: classify characters with a switch
+// (the construct the original uses for its date/email state machines).
+function classify(c) {
+  switch (true) {
+    case c >= 48 && c <= 57: return 0;   // digit
+    case (c >= 97 && c <= 122) || (c >= 65 && c <= 90): return 1; // letter
+    case c == 64: return 2;              // @
+    case c == 46: return 3;              // .
+    default: return 4;
+  }
+}
+
+function validateEmail(s) {
+  var ats = 0, dots = 0, bad = 0;
+  for (var i = 0; i < s.length; i++) {
+    switch (classify(s.charCodeAt(i))) {
+      case 0:
+      case 1: break;
+      case 2: ats++; break;
+      case 3: dots++; break;
+      default: bad++;
+    }
+  }
+  return ats == 1 && dots >= 1 && bad == 0;
+}
+
+var ok = 0;
+var names = ["alice", "bob.b", "carol+x", "dee"];
+for (var rep = 0; rep < 40; rep++) {
+  for (var i = 0; i < names.length; i++) {
+    if (validateEmail(names[i] + "@example.com")) ok++;
+  }
+}
+print(ok);
+|}
+
+
+let access_nbody =
+  {|
+// The n-body planetary simulation: objects full of doubles, advanced in
+// place (the original Body/NBodySystem structure, flattened).
+function Body(x, y, z, vx, vy, vz, mass) {
+  return { x: x, y: y, z: z, vx: vx, vy: vy, vz: vz, mass: mass };
+}
+function advance(bodies, dt) {
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+      bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+    }
+    bi.x += dt * bi.vx; bi.y += dt * bi.vy; bi.z += dt * bi.vz;
+  }
+}
+function energy(bodies) {
+  var e = 0.0, n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    e += 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+      e -= bi.mass * bj.mass / Math.sqrt(dx * dx + dy * dy + dz * dz);
+    }
+  }
+  return e;
+}
+
+var bodies = [
+  Body(0, 0, 0, 0, 0, 0, 39.478),
+  Body(4.841, -1.160, -0.103, 0.606, 2.811, -0.025, 0.0377),
+  Body(8.343, 4.125, -0.403, -1.010, 1.825, 0.008, 0.0113),
+  Body(12.894, -15.111, 0.223, 1.082, 0.868, -0.010, 0.0017),
+  Body(15.379, -25.919, 0.179, 0.979, 0.594, -0.034, 0.0002)
+];
+var before = energy(bodies);
+for (var step = 0; step < 120; step++) advance(bodies, 0.01);
+var after = energy(bodies);
+print(Math.round(before * 1000000), Math.round(after * 1000000));
+|}
+
+let three_d_raytrace =
+  {|
+// Flat-array vector math in the style of 3d-raytrace's triangle
+// intersection loop.
+function dotv(a, b) { return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]; }
+function crossv(a, b) {
+  return [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]];
+}
+function subv(a, b) { return [a[0] - b[0], a[1] - b[1], a[2] - b[2]]; }
+
+function intersectTriangle(orig, dir, v0, v1, v2) {
+  var e1 = subv(v1, v0), e2 = subv(v2, v0);
+  var p = crossv(dir, e2);
+  var det = dotv(e1, p);
+  if (det > -0.000001 && det < 0.000001) return -1;
+  var inv = 1 / det;
+  var t = subv(orig, v0);
+  var u = dotv(t, p) * inv;
+  if (u < 0 || u > 1) return -1;
+  var q = crossv(t, e1);
+  var v = dotv(dir, q) * inv;
+  if (v < 0 || u + v > 1) return -1;
+  return dotv(e2, q) * inv;
+}
+
+var tri0 = [0.0, 0.0, -3.0], tri1 = [1.0, 0.0, -3.0], tri2 = [0.0, 1.0, -3.0];
+var hits = 0;
+for (var py = 0; py < 20; py++) {
+  for (var px = 0; px < 20; px++) {
+    var dir = [px / 20.0 - 0.4, py / 20.0 - 0.4, -1.0];
+    if (intersectTriangle([0.0, 0.0, 0.0], dir, tri0, tri1, tri2) > 0) hits++;
+  }
+}
+print(hits);
+|}
+
+let string_tagcloud =
+  {|
+// Tag-cloud construction: word frequency over object buckets, then log
+// scaling - the original's profile without its JSON parser.
+function bump(counts, keys, word) {
+  if (counts[word] == undefined) {
+    counts[word] = 1;
+    keys.push(word);
+  } else {
+    counts[word] = counts[word] + 1;
+  }
+}
+
+var words = ["spec", "jit", "loop", "guard", "spec", "inline", "jit", "spec",
+             "cache", "deopt", "loop", "spec", "jit", "bail", "loop"];
+var counts = {};
+var keys = [];
+for (var rep = 0; rep < 60; rep++) {
+  for (var i = 0; i < words.length; i++) bump(counts, keys, words[i] + (rep % 3));
+}
+var total = 0;
+for (var i = 0; i < keys.length; i++) {
+  var c = counts[keys[i]];
+  total += Math.round(Math.log(c) * 10) + keys[i].length;
+}
+print(keys.length, total);
+|}
+
+let crypto_aes =
+  {|
+// SunSpider's crypto-aes: key expansion + full rounds over string blocks
+// (distinct from the Kraken member, which benches the round functions in
+// isolation). The cipher structure is AES's; the sbox is a cheap affine
+// stand-in since GF inversion is not what the benchmark stresses.
+function xtime(b) {
+  var doubled = (b << 1) & 0xff;
+  return (b & 0x80) != 0 ? doubled ^ 0x1b : doubled;
+}
+function expandKey(key, sbox, nrounds) {
+  var w = new Array(16 * (nrounds + 1));
+  for (var i = 0; i < 16; i++) w[i] = key[i];
+  for (var r = 1; r <= nrounds; r++) {
+    var base = 16 * r;
+    for (var i = 0; i < 16; i++) {
+      var prev = w[base + i - 16];
+      var rot = w[base + ((i + 5) % 16) - 16];
+      w[base + i] = prev ^ sbox[rot] ^ (i == 0 ? r : 0);
+    }
+  }
+  return w;
+}
+function addRoundKey(state, w, round) {
+  for (var i = 0; i < 16; i++) state[i] = state[i] ^ w[16 * round + i];
+}
+function encryptBlock(state, w, sbox, tmp, nrounds) {
+  addRoundKey(state, w, 0);
+  for (var round = 1; round <= nrounds; round++) {
+    for (var i = 0; i < 16; i++) state[i] = sbox[state[i]];
+    for (var i = 0; i < 16; i++) tmp[i] = state[i];
+    for (var r = 1; r < 4; r++)
+      for (var c = 0; c < 4; c++) state[r + 4 * c] = tmp[r + 4 * ((c + r) % 4)];
+    if (round < nrounds) {
+      for (var c = 0; c < 4; c++) {
+        var b = 4 * c;
+        var a0 = state[b], a1 = state[b + 1], a2 = state[b + 2], a3 = state[b + 3];
+        state[b]     = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        state[b + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        state[b + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        state[b + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+      }
+    }
+    addRoundKey(state, w, round);
+  }
+}
+
+var sbox = new Array(256);
+for (var i = 0; i < 256; i++) sbox[i] = ((i * 31) ^ (i >> 3) ^ 99) & 0xff;
+var key = new Array(16);
+for (var i = 0; i < 16; i++) key[i] = (i * 29 + 7) & 0xff;
+var w = expandKey(key, sbox, 10);
+
+var plaintext = "";
+for (var i = 0; i < 12; i++) plaintext += "the quick brown fox ";
+var state = new Array(16), tmp = new Array(16);
+var acc = 0;
+for (var block = 0; block + 16 <= plaintext.length; block += 16) {
+  for (var i = 0; i < 16; i++) state[i] = plaintext.charCodeAt(block + i) & 0xff;
+  encryptBlock(state, w, sbox, tmp, 10);
+  for (var i = 0; i < 16; i++) acc = (acc + state[i]) & 0xffffff;
+}
+print(acc);
+|}
+
+let date_format_tofte =
+  {|
+// SunSpider's date-format-tofte formats one date over and over through a
+// per-token dispatch. MiniJS has no Date object, so civil-date fields are
+// derived from a day number by hand (same arithmetic a Date would do) and
+// the formatting loop dispatches on format characters exactly like the
+// original's token table.
+function isLeap(y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+function daysInMonth(y, m) {
+  if (m == 2) return isLeap(y) ? 29 : 28;
+  return (m == 4 || m == 6 || m == 9 || m == 11) ? 30 : 31;
+}
+function pad2(n) { return n < 10 ? "0" + n : "" + n; }
+
+function fieldsOfDay(dayNumber) {
+  var y = 2000, m = 1, d = dayNumber;
+  while (d > (isLeap(y) ? 366 : 365)) { d -= isLeap(y) ? 366 : 365; y++; }
+  while (d > daysInMonth(y, m)) { d -= daysInMonth(y, m); m++; }
+  return { year: y, month: m, day: d, dow: dayNumber % 7, secs: (dayNumber * 86399) % 86400 };
+}
+
+var monthNames = ["January","February","March","April","May","June","July",
+                  "August","September","October","November","December"];
+var dayNames = ["Sunday","Monday","Tuesday","Wednesday","Thursday","Friday","Saturday"];
+
+function format(f, fmt) {
+  var out = "";
+  var h = Math.floor(f.secs / 3600), mi = Math.floor((f.secs % 3600) / 60), s = f.secs % 60;
+  for (var i = 0; i < fmt.length; i++) {
+    var c = fmt.charAt(i);
+    switch (c) {
+      case "Y": out += f.year; break;
+      case "y": out += pad2(f.year % 100); break;
+      case "m": out += pad2(f.month); break;
+      case "F": out += monthNames[f.month - 1]; break;
+      case "d": out += pad2(f.day); break;
+      case "l": out += dayNames[f.dow]; break;
+      case "H": out += pad2(h); break;
+      case "i": out += pad2(mi); break;
+      case "s": out += pad2(s); break;
+      case "L": out += isLeap(f.year) ? 1 : 0; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+var total = 0;
+for (var rep = 0; rep < 40; rep++) {
+  var f = fieldsOfDay(1 + (rep * 193) % 3000);
+  var s1 = format(f, "l, F d, Y H:i:s");
+  var s2 = format(f, "Y-m-d H:i:s L");
+  total += s1.length + s2.length;
+}
+print(total);
+|}
+
+let date_format_xparb =
+  {|
+// SunSpider's date-format-xparb builds formatted strings through a lookup
+// of per-token formatting closures (Baron Schwartz's dateFormat). The
+// closure array dispatch is the benchmark's point, so it is kept: each
+// token maps to a function, and formatting folds over the token string.
+function pad(n, len) {
+  var s = "" + n;
+  while (s.length < len) s = "0" + s;
+  return s;
+}
+
+function makeFormatters(monthNames) {
+  return {
+    Y: function (f) { return "" + f.year; },
+    m: function (f) { return pad(f.month, 2); },
+    n: function (f) { return "" + f.month; },
+    F: function (f) { return monthNames[f.month - 1]; },
+    d: function (f) { return pad(f.day, 2); },
+    j: function (f) { return "" + f.day; },
+    H: function (f) { return pad(f.hour, 2); },
+    G: function (f) { return "" + f.hour; },
+    i: function (f) { return pad(f.minute, 2); },
+    s: function (f) { return pad(f.second, 2); }
+  };
+}
+
+function dateFormat(f, fmt, formatters) {
+  var out = "";
+  for (var i = 0; i < fmt.length; i++) {
+    var c = fmt.charAt(i);
+    var fn = formatters[c];
+    if (fn != undefined) out += fn(f);
+    else out += c;
+  }
+  return out;
+}
+
+var monthNames = ["Jan","Feb","Mar","Apr","May","Jun","Jul","Aug","Sep","Oct","Nov","Dec"];
+var formatters = makeFormatters(monthNames);
+var total = 0;
+for (var rep = 0; rep < 60; rep++) {
+  var f = {
+    year: 2007 + (rep % 6),
+    month: 1 + (rep % 12),
+    day: 1 + (rep * 7) % 28,
+    hour: rep % 24,
+    minute: (rep * 13) % 60,
+    second: (rep * 29) % 60
+  };
+  var a = dateFormat(f, "Y-m-d H:i:s", formatters);
+  var b = dateFormat(f, "j n Y G:i", formatters);
+  var c = dateFormat(f, "d F Y", formatters);
+  total += a.length + b.length + c.length;
+}
+print(total);
+|}
+
+let regexp_dna =
+  {|
+// SunSpider's regexp-dna counts pattern matches over a synthetic DNA
+// sequence. MiniJS has no regexp engine, so the IUPAC character classes
+// are explicit charCode tests and the variants are scanned by hand - the
+// same long-string inner loops the original spends its time in.
+function isAggt(c) { return c == 97 || c == 103 || c == 116; }  // a, g, t
+function matchVariant(s, i) {
+  // [cgt]gggtaaa | tttaccc[acg]
+  if (s.charCodeAt(i) != 97 && matchWord(s, i + 1, "gggtaaa")) return true;
+  return matchWord(s, i, "tttaccc") && s.charCodeAt(i + 7) != 116;
+}
+function matchWord(s, i, w) {
+  if (i + w.length > s.length) return false;
+  for (var k = 0; k < w.length; k++) {
+    if (s.charCodeAt(i + k) != w.charCodeAt(k)) return false;
+  }
+  return true;
+}
+
+// Deterministic fasta-style sequence.
+var bases = "acgt";
+var seq = "";
+var state = 42;
+for (var i = 0; i < 1600; i++) {
+  state = (state * 3877 + 29573) % 139968;
+  seq += bases.charAt(state & 3);
+}
+
+var hits = 0;
+for (var i = 0; i + 8 <= seq.length; i++) {
+  if (matchVariant(seq, i)) hits++;
+  if (matchWord(seq, i, "agggtaaa")) hits += 2;
+  if (matchWord(seq, i, "tttaccct")) hits += 2;
+}
+var acount = 0;
+for (var i = 0; i < seq.length; i++) if (isAggt(seq.charCodeAt(i))) acount++;
+print(hits, acount);
+|}
+
+let suite =
+  {
+    Suite.s_name = "SunSpider 1.0";
+    members =
+      [
+        Suite.member "3d-cube" three_d_cube;
+        Suite.member "3d-morph" three_d_morph;
+        Suite.member "3d-raytrace" three_d_raytrace;
+        Suite.member "access-binary-trees" access_binary_trees;
+        Suite.member "access-fannkuch" access_fannkuch;
+        Suite.member "access-nbody" access_nbody;
+        Suite.member "access-nsieve" access_nsieve;
+        Suite.member "bitops-3bit-bits-in-byte" bitops_3bit;
+        Suite.member "bitops-bits-in-byte" bits_in_byte;
+        Suite.member "bitops-bitwise-and" bitwise_and;
+        Suite.member "bitops-nsieve-bits" bitops_nsieve_bits;
+        Suite.member "controlflow-recursive" controlflow_recursive;
+        Suite.member "crypto-aes" crypto_aes;
+        Suite.member "crypto-md5" crypto_md5;
+        Suite.member "crypto-sha1" crypto_sha1;
+        Suite.member "date-format-tofte" date_format_tofte;
+        Suite.member "date-format-xparb" date_format_xparb;
+        Suite.member "math-cordic" math_cordic;
+        Suite.member "math-partial-sums" math_partial_sums;
+        Suite.member "math-spectral-norm" math_spectral_norm;
+        Suite.member "regexp-dna" regexp_dna;
+        Suite.member "string-base64" string_base64;
+        Suite.member "string-fasta" string_fasta;
+        Suite.member "string-tagcloud" string_tagcloud;
+        Suite.member "string-unpack-code" string_unpack_code;
+        Suite.member "string-validate-input" string_validate_input;
+      ];
+  }

@@ -1,0 +1,350 @@
+(* V8-version-6-style suite: object-oriented and allocation-heavy programs.
+   earley-boyer's sc_Pair analogue is the most-called function with
+   always-different arguments, matching the paper's §2 observation (3,209
+   calls of sc_Pair, 2,641 distinct argument sets in their measurements). *)
+
+let richards =
+  {|
+// A reduced Richards task scheduler: work packets cycle between an idle
+// device, a worker and a handler, each implemented as a task function the
+// scheduler dispatches through (the original's TaskControlBlock.run).
+function Packet(link, id, kind) {
+  return { link: link, id: id, kind: kind, a1: 0 };
+}
+function append(packet, queue) {
+  packet.link = null;
+  if (queue == null) return packet;
+  var peek, next = queue;
+  while ((peek = next.link) != null) next = peek;
+  next.link = packet;
+  return queue;
+}
+function queueLength(q) {
+  var n = 0;
+  while (q != null) { n++; q = q.link; }
+  return n;
+}
+
+function workerTask(packet, state) {
+  // flip data payload, count work
+  packet.a1 = (packet.a1 + state.v1) & 0xffff;
+  state.v1 = (state.v1 * 2 + 1) & 0xffff;
+  state.count++;
+  return packet;
+}
+function handlerTask(packet, state) {
+  state.count += packet.kind == 2 ? 2 : 1;
+  packet.a1 = packet.a1 ^ state.v1;
+  return packet;
+}
+
+// The scheduler receives the device tasks as function arguments - the
+// paper's closure-parameter pattern - and dispatches by packet kind.
+function schedule(count, worker, handler) {
+  var queue = null;
+  var wstate = { v1: 3, count: 0 };
+  var hstate = { v1: 17, count: 0 };
+  for (var i = 0; i < count; i++) {
+    queue = append(Packet(null, i, i % 3), queue);
+    if (queue != null) {
+      var p = queue;
+      queue = queue.link;
+      switch (p.kind) {
+        case 0: worker(p, wstate); break;
+        case 1: handler(p, hstate); break;
+        default: worker(handler(p, hstate), wstate);
+      }
+    }
+  }
+  return wstate.count * 1000 + hstate.count + queueLength(queue);
+}
+
+var total = 0;
+for (var rep = 0; rep < 25; rep++) total += schedule(110, workerTask, handlerTask);
+print(total);
+|}
+
+let earley_boyer =
+  {|
+// Scheme-style cons pairs, allocated at very high rate (sc_Pair).
+function sc_Pair(car, cdr) {
+  return { car: car, cdr: cdr };
+}
+function listLength(l) {
+  var n = 0;
+  while (l != null) { n++; l = l.cdr; }
+  return n;
+}
+function reverseOnto(l, acc) {
+  while (l != null) { acc = sc_Pair(l.car, acc); l = l.cdr; }
+  return acc;
+}
+function sumList(l) {
+  var t = 0;
+  while (l != null) { t += l.car; l = l.cdr; }
+  return t;
+}
+
+var total = 0;
+for (var rep = 0; rep < 30; rep++) {
+  var l = null;
+  for (var i = 0; i < 60; i++) l = sc_Pair(i, l);
+  var r = reverseOnto(l, null);
+  total += listLength(r) + sumList(r);
+}
+print(total);
+|}
+
+let raytrace =
+  {|
+function Vector(x, y, z) { return { x: x, y: y, z: z }; }
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function sub(a, b) { return Vector(a.x - b.x, a.y - b.y, a.z - b.z); }
+function scale(a, s) { return Vector(a.x * s, a.y * s, a.z * s); }
+
+function sphereHit(center, radius, orig, dir) {
+  var oc = sub(orig, center);
+  var a = dot(dir, dir);
+  var b = 2.0 * dot(oc, dir);
+  var c = dot(oc, oc) - radius * radius;
+  var disc = b * b - 4 * a * c;
+  if (disc < 0) return -1.0;
+  return (-b - Math.sqrt(disc)) / (2.0 * a);
+}
+
+var center = Vector(0, 0, -5);
+var hits = 0;
+for (var py = 0; py < 24; py++) {
+  for (var px = 0; px < 24; px++) {
+    var dir = Vector((px - 12) / 12.0, (py - 12) / 12.0, -1.0);
+    var t = sphereHit(center, 1.8, Vector(0, 0, 0), dir);
+    if (t > 0) hits++;
+  }
+}
+print(hits);
+|}
+
+let crypto_v8 =
+  {|
+// Modular exponentiation over int32 arithmetic, am3-style inner loop.
+function mulmod(a, b, m) {
+  var result = 0;
+  a = a % m;
+  while (b > 0) {
+    if (b & 1) result = (result + a) % m;
+    a = (a * 2) % m;
+    b >>= 1;
+  }
+  return result;
+}
+function powmod(base, exp, m) {
+  var result = 1;
+  base = base % m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    exp >>= 1;
+    base = mulmod(base, base, m);
+  }
+  return result;
+}
+
+var acc = 0;
+for (var i = 1; i <= 60; i++) acc = (acc + powmod(7 + i, 1000 + i, 65537)) % 1000003;
+print(acc);
+|}
+
+let regexp_lite =
+  {|
+// The original benchmark stresses the regexp engine; MiniJS has no
+// regexps, so this member scans with the same access pattern:
+// character-class tests over many short strings.
+function isWordChar(c) {
+  return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || (c >= 48 && c <= 57) || c == 95;
+}
+function countWords(s) {
+  var n = 0, inWord = false;
+  for (var i = 0; i < s.length; i++) {
+    var w = isWordChar(s.charCodeAt(i));
+    if (w && !inWord) n++;
+    inWord = w;
+  }
+  return n;
+}
+
+var text = "";
+for (var i = 0; i < 40; i++) text += "the quick brown-fox jumps_over 42 lazy dogs! ";
+var total = 0;
+for (var rep = 0; rep < 12; rep++) total += countWords(text);
+print(total);
+|}
+
+let splay =
+  {|
+// Splay-tree-flavoured binary search tree with insert and lookup over
+// object nodes (no rebalancing; the allocation/pointer-chasing profile).
+function insert(root, key) {
+  if (root == null) return { key: key, left: null, right: null };
+  var node = root;
+  while (true) {
+    if (key < node.key) {
+      if (node.left == null) { node.left = { key: key, left: null, right: null }; break; }
+      node = node.left;
+    } else if (key > node.key) {
+      if (node.right == null) { node.right = { key: key, left: null, right: null }; break; }
+      node = node.right;
+    } else break;
+  }
+  return root;
+}
+function find(root, key) {
+  var node = root;
+  while (node != null) {
+    if (key == node.key) return true;
+    node = key < node.key ? node.left : node.right;
+  }
+  return false;
+}
+
+var root = null;
+var seed = 49734321;
+function nextRandom() {
+  seed = ((seed + 0x7ed55d16) + (seed << 12)) & 0xffffffff;
+  seed = ((seed ^ 0xc761c23c) ^ (seed >>> 19)) & 0xffffffff;
+  return seed & 0x3fffffff;
+}
+
+for (var i = 0; i < 400; i++) root = insert(root, nextRandom() % 1000);
+var found = 0;
+for (var i = 0; i < 400; i++) if (find(root, i)) found++;
+print(found);
+|}
+
+let deltablue =
+  {|
+// A small dataflow-constraint relaxation: planner-style repeated sweeps
+// over constraint objects until a fixpoint, V8 deltablue's access profile.
+function Constraint(srcIdx, dstIdx, offset) {
+  return { src: srcIdx, dst: dstIdx, offset: offset };
+}
+
+function relax(values, constraints) {
+  var changed = 0;
+  for (var i = 0; i < constraints.length; i++) {
+    var c = constraints[i];
+    var want = values[c.src] + c.offset;
+    if (values[c.dst] != want) {
+      values[c.dst] = want;
+      changed++;
+    }
+  }
+  return changed;
+}
+
+var values = new Array(40);
+for (var i = 0; i < 40; i++) values[i] = 0;
+var constraints = [];
+for (var i = 0; i < 39; i++) constraints.push(Constraint(i, i + 1, (i % 5) - 2));
+
+values[0] = 7;
+var sweeps = 0;
+while (relax(values, constraints) > 0) sweeps++;
+print(sweeps, values[39]);
+|}
+
+let navier_stokes =
+  {|
+// NavierStokes (added to the V8 suite in version 6): a Jacobi-relaxation
+// fluid solver over a flat grid. Every kernel is called repeatedly with
+// the same array objects and the same scalar parameters - the stable
+// argument profile where value specialization pays off.
+function ix(i, j) { return i + 18 * j; }
+
+function setBnd(x) {
+  for (var i = 1; i <= 16; i++) {
+    x[ix(0, i)] = x[ix(1, i)];
+    x[ix(17, i)] = x[ix(16, i)];
+    x[ix(i, 0)] = x[ix(i, 1)];
+    x[ix(i, 17)] = x[ix(i, 16)];
+  }
+}
+
+function linSolve(x, x0, a, c, iters) {
+  for (var k = 0; k < iters; k++) {
+    for (var j = 1; j <= 16; j++) {
+      for (var i = 1; i <= 16; i++) {
+        x[ix(i, j)] =
+          (x0[ix(i, j)] +
+           a * (x[ix(i - 1, j)] + x[ix(i + 1, j)] + x[ix(i, j - 1)] + x[ix(i, j + 1)])) / c;
+      }
+    }
+    setBnd(x);
+  }
+}
+
+function addSource(x, s, dt) {
+  for (var i = 0; i < 324; i++) x[i] += dt * s[i];
+}
+
+function advect(d, d0, u, v, dt) {
+  var dt0 = dt * 16;
+  for (var j = 1; j <= 16; j++) {
+    for (var i = 1; i <= 16; i++) {
+      var fx = i - dt0 * u[ix(i, j)];
+      var fy = j - dt0 * v[ix(i, j)];
+      if (fx < 0.5) fx = 0.5;
+      if (fx > 16.5) fx = 16.5;
+      if (fy < 0.5) fy = 0.5;
+      if (fy > 16.5) fy = 16.5;
+      var i0 = Math.floor(fx), i1 = i0 + 1;
+      var j0 = Math.floor(fy), j1 = j0 + 1;
+      var s1 = fx - i0, s0 = 1 - s1, t1 = fy - j0, t0 = 1 - t1;
+      d[ix(i, j)] =
+        s0 * (t0 * d0[ix(i0, j0)] + t1 * d0[ix(i0, j1)]) +
+        s1 * (t0 * d0[ix(i1, j0)] + t1 * d0[ix(i1, j1)]);
+    }
+  }
+  setBnd(d);
+}
+
+function densStep(x, x0, u, v, diff, dt) {
+  addSource(x, x0, dt);
+  linSolve(x0, x, dt * diff * 256, 1 + 4 * dt * diff * 256, 4);
+  advect(x, x0, u, v, dt);
+}
+
+function zeros() {
+  var a = new Array(324);
+  for (var i = 0; i < 324; i++) a[i] = 0.0;
+  return a;
+}
+
+var dens = zeros(), densPrev = zeros(), u = zeros(), v = zeros();
+for (var j = 6; j <= 10; j++)
+  for (var i = 6; i <= 10; i++) {
+    densPrev[ix(i, j)] = 32.0;
+    u[ix(i, j)] = 0.08;
+    v[ix(i, j)] = -0.05;
+  }
+
+for (var step = 0; step < 14; step++) densStep(dens, densPrev, u, v, 0.05, 0.1);
+
+var sum = 0.0;
+for (var i = 0; i < 324; i++) sum += dens[i];
+print(Math.floor(sum * 1000));
+|}
+
+let suite =
+  {
+    Suite.s_name = "V8 version 6";
+    members =
+      [
+        Suite.member "crypto" crypto_v8;
+        Suite.member "deltablue" deltablue;
+        Suite.member "earley-boyer" earley_boyer;
+        Suite.member "navier-stokes" navier_stokes;
+        Suite.member "raytrace" raytrace;
+        Suite.member "regexp" regexp_lite;
+        Suite.member "richards" richards;
+        Suite.member "splay" splay;
+      ];
+  }

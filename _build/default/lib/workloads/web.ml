@@ -1,0 +1,172 @@
+open Support
+
+type stats = {
+  calls_histogram : Stats.Histogram.t;
+  argsets_histogram : Stats.Histogram.t;
+  type_fractions : (string * float) list;
+  nfunctions : int;
+}
+
+(* Figure 4, web column: types of parameters of single-argument-set
+   functions found in the wild. *)
+let web_type_mix =
+  [
+    ("object", 0.3557);
+    ("string", 0.3295);
+    ("function", 0.09);
+    ("int", 0.0636);
+    ("array", 0.05);
+    ("bool", 0.04);
+    ("double", 0.025);
+    ("undefined", 0.03);
+    ("null", 0.016);
+  ]
+
+let calls_head = 0.4888  (* Figure 1: functions called exactly once *)
+let argsets_head = 0.5991  (* Figure 2: functions with one argument set *)
+let calls_tail = 2000  (* the paper's head counts ~1,956 calls *)
+let argsets_tail = 1200  (* most varied observed: 1,101 sets *)
+
+let session ~seed ~nfunctions =
+  let rng = Prng.create seed in
+  let calls_alpha = Powerlaw.calibrate_alpha ~target_mass_at_one:calls_head ~max_value:calls_tail in
+  (* Functions called once trivially have one argument set, so the sampler
+     for the remaining functions is calibrated to the conditional head:
+     P(argsets = 1) = P(calls = 1) + P(calls > 1) * q. *)
+  let conditional_head = (argsets_head -. calls_head) /. (1.0 -. calls_head) in
+  let argsets_alpha =
+    Powerlaw.calibrate_alpha ~target_mass_at_one:conditional_head ~max_value:argsets_tail
+  in
+  let calls_pl = Powerlaw.create ~alpha:calls_alpha ~max_value:calls_tail in
+  let argsets_pl = Powerlaw.create ~alpha:argsets_alpha ~max_value:argsets_tail in
+  let calls_histogram = Stats.Histogram.create () in
+  let argsets_histogram = Stats.Histogram.create () in
+  let type_counts = Hashtbl.create 16 in
+  let total_params = ref 0 in
+  for _ = 1 to nfunctions do
+    let calls = Powerlaw.sample calls_pl rng in
+    (* A function cannot see more distinct argument tuples than calls. *)
+    let argsets = if calls = 1 then 1 else min calls (Powerlaw.sample argsets_pl rng) in
+    Stats.Histogram.add calls_histogram calls;
+    Stats.Histogram.add argsets_histogram argsets;
+    if argsets = 1 then begin
+      (* Parameter types are reported for single-argument-set functions. *)
+      let nparams = 1 + Prng.int rng 3 in
+      for _ = 1 to nparams do
+        let ty = Prng.weighted rng (List.map (fun (n, w) -> (w, n)) web_type_mix) in
+        Hashtbl.replace type_counts ty
+          (1 + Option.value (Hashtbl.find_opt type_counts ty) ~default:0);
+        incr total_params
+      done
+    end
+  done;
+  let type_fractions =
+    List.map
+      (fun (name, _) ->
+        let c = Option.value (Hashtbl.find_opt type_counts name) ~default:0 in
+        (name, float_of_int c /. float_of_int (max 1 !total_params)))
+      web_type_mix
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { calls_histogram; argsets_histogram; type_fractions; nfunctions }
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic site programs (code-size study)                           *)
+(* ------------------------------------------------------------------ *)
+
+type site_profile = { site_name : string; site_functions : int; varied_fraction : float }
+
+let google = { site_name = "www.google.com"; site_functions = 40; varied_fraction = 0.08 }
+let facebook = { site_name = "www.facebook.com"; site_functions = 55; varied_fraction = 0.10 }
+let twitter = { site_name = "www.twitter.com"; site_functions = 45; varied_fraction = 0.30 }
+
+(* Function-body templates in the flavour of real site helpers: string
+   formatting, small numeric transforms, array scans, object field math. *)
+let templates =
+  [|
+    (fun name k ->
+      Printf.sprintf
+        "function %s(a, b) {\n  var t = 0;\n  for (var i = 0; i < %d; i++) t = (t + a * i + b) | 0;\n  return t;\n}"
+        name (8 + (k mod 9)));
+    (fun name k ->
+      Printf.sprintf
+        "function %s(s) {\n  var h = %d;\n  for (var i = 0; i < s.length; i++) h = (h * 31 + s.charCodeAt(i)) | 0;\n  return h;\n}"
+        name (17 + k));
+    (fun name k ->
+      Printf.sprintf
+        "function %s(arr, x) {\n  var n = 0;\n  for (var i = 0; i < arr.length; i++) { if (arr[i] > x + %d) n++; }\n  return n;\n}"
+        name (k mod 7));
+    (fun name k ->
+      Printf.sprintf
+        "function %s(o) {\n  return (o.a + o.b * %d) %% 1000;\n}" name (2 + (k mod 5)));
+    (fun name k ->
+      Printf.sprintf
+        "function %s(x, f) {\n  var acc = 0;\n  for (var i = 0; i < %d; i++) acc += f(x + i);\n  return acc;\n}"
+        name (5 + (k mod 6)));
+    (fun name k ->
+      Printf.sprintf
+        "function %s(x) {\n  if (x < %d) return x * 2;\n  return x - %d;\n}" name (k mod 50)
+        (k mod 13));
+  |]
+
+let synthetic_site ~seed profile =
+  let rng = Prng.create seed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "// auto-built site benchmark: ";
+  Buffer.add_string buf profile.site_name;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "function __helper(x) { return x + 1; }\n";
+  (* Pick each function's template once; the driver must call it with the
+     matching argument shape. *)
+  let picks =
+    List.init profile.site_functions (fun i ->
+        (Printf.sprintf "site_fn_%d" i, Prng.int rng (Array.length templates)))
+  in
+  List.iteri
+    (fun i (name, template_id) ->
+      Buffer.add_string buf (templates.(template_id) name (i + Prng.int rng 100));
+      Buffer.add_char buf '\n')
+    picks;
+  (* Driver: call each function enough times to get compiled; a
+     profile-dependent fraction is driven with changing arguments, forcing
+     the deoptimization/recompilation path. *)
+  Buffer.add_string buf "var sink = 0;\nvar arr = [3, 1, 4, 1, 5, 9, 2, 6];\n";
+  List.iteri
+    (fun i (name, template_id) ->
+      let varied = Prng.float rng 1.0 < profile.varied_fraction in
+      if varied then begin
+        (* Different argument tuple on every iteration, forcing the
+           specialize-then-deoptimize path. *)
+        let v = Printf.sprintf "i_%d" i in
+        let call =
+          match template_id with
+          | 0 -> Printf.sprintf "%s(%s, %s * 3)" name v v
+          | 1 -> Printf.sprintf "%s(\"q\" + %s)" name v
+          | 2 -> Printf.sprintf "%s(arr, %s)" name v
+          | 3 -> Printf.sprintf "%s({a: %s, b: %s + 1})" name v v
+          | 4 -> Printf.sprintf "%s(%s, __helper)" name v
+          | _ -> Printf.sprintf "%s(%s)" name v
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "for (var %s = 0; %s < 14; %s++) sink += %s;\n" v v v call)
+      end
+      else begin
+        (* Same arguments every time: a stable tuple the cache can reuse. *)
+        let a = i mod 10 in
+        let call =
+          match template_id with
+          | 0 -> Printf.sprintf "%s(%d, %d)" name a (a * 3)
+          | 1 -> Printf.sprintf "%s(\"q%d\")" name a
+          | 2 -> Printf.sprintf "%s(arr, %d)" name a
+          | 3 -> Printf.sprintf "%s(o_%d)" name i
+          | 4 -> Printf.sprintf "%s(%d, __helper)" name a
+          | _ -> Printf.sprintf "%s(%d)" name a
+        in
+        if template_id = 3 then
+          Buffer.add_string buf (Printf.sprintf "var o_%d = {a: %d, b: 9};\n" i a);
+        Buffer.add_string buf
+          (Printf.sprintf "for (var j_%d = 0; j_%d < 14; j_%d++) sink += %s;\n" i i i call)
+      end)
+    picks;
+  Buffer.add_string buf "print(sink | 0);\n";
+  Buffer.contents buf

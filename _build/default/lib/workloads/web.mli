@@ -1,0 +1,50 @@
+(** Synthetic web-session workload.
+
+    The paper instruments Firefox over the Alexa top-100 (Figures 1, 2, 4);
+    that corpus is not available, so this module generates a statistically
+    calibrated substitute, as documented in DESIGN.md:
+
+    - per-function call counts follow a power law whose head is calibrated
+      to the paper's 48.88% of functions called exactly once;
+    - per-function distinct-argument-set counts follow a power law
+      calibrated to 59.91% of functions with a single argument set (capped
+      by the call count);
+    - parameter types of single-argument-set functions follow the paper's
+      Figure 4 web column (objects 35.57%, strings 32.95%, ints 6.36%, ...).
+
+    [synthetic_site] additionally materializes an executable MiniJS program
+    in the spirit of Richards et al.'s automatically constructed web
+    benchmarks, used for the paper's code-size study on google.com,
+    facebook.com and twitter.com. *)
+
+type stats = {
+  calls_histogram : Support.Stats.Histogram.t;
+  argsets_histogram : Support.Stats.Histogram.t;
+  type_fractions : (string * float) list;
+      (** over the paper's categories: array, bool, double, function, int,
+          null, object, string, undefined *)
+  nfunctions : int;
+}
+
+val session : seed:int -> nfunctions:int -> stats
+(** Simulate one browsing session over [nfunctions] distinct functions
+    (the paper observed 23,002). Deterministic in [seed]. *)
+
+(** Profile of a synthetic "site" program for the code-size study. *)
+type site_profile = {
+  site_name : string;
+  site_functions : int;  (** function count in the generated program *)
+  varied_fraction : float;
+      (** fraction of functions driven with several argument sets (deopt
+          pressure; the paper reports 23.1% extra recompiles on twitter
+          vs 5.0% on google) *)
+}
+
+val google : site_profile
+val facebook : site_profile
+val twitter : site_profile
+
+val synthetic_site : seed:int -> site_profile -> string
+(** A runnable MiniJS program: a pool of generated functions plus a driver
+    that calls each hot enough to be compiled, with per-function argument
+    variability drawn from the profile. *)

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Builder Bytecode Code Eval Exec Gen Interp List Lower Option Pipeline Printf QCheck QCheck_alcotest Regalloc Runtime String Value

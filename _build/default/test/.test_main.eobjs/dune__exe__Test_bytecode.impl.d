@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Bytecode Interp List Runtime String Value

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer Builtins Engine Fun Fuzz_gen List Pipeline QCheck QCheck_alcotest Runtime

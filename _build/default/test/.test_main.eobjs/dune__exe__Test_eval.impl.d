@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Builder Bytecode Constprop Dce Eval Gvn Interp Licm List Loop_inversion Pipeline Runtime Typer Value Verify

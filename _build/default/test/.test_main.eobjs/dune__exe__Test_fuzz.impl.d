@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytecode Engine Fuzz_diff Fuzz_gen List Pipeline Printexc Printf Random String

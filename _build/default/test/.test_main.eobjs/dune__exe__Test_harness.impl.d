@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Fig_codesize Fig_policy Fig_recompile Fig_speedup Fig_suite_calls Fig_web Float List Printf Support

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Buffer Builtins Bytecode Fun Interp Jsfront Ops Printf QCheck QCheck_alcotest Runtime Value

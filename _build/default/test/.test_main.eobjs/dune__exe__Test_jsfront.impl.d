@@ -1,0 +1,1 @@
+test/test_jsfront.ml: Alcotest Ast Fmt Jsfront Lexer List Parser Pos QCheck QCheck_alcotest String Token

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Builtins Convert Float List Ops Option QCheck QCheck_alcotest Runtime Value

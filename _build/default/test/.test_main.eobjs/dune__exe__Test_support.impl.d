@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Float Fun Gen List QCheck QCheck_alcotest String Support

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Buffer Engine Float Fun List Pipeline Printf Runtime String Suite Suites Support Web

@@ -1,0 +1,118 @@
+(* Tests for the bytecode layer: compiler diagnostics, scoping/hoisting
+   corner cases, stack-depth computation and the disassembler. *)
+
+open Runtime
+
+let compile src = Bytecode.Compile.program_of_source src
+
+let test_compile_errors () =
+  let expect_error src =
+    match compile src with
+    | exception Bytecode.Compile.Error _ -> ()
+    | _ -> Alcotest.failf "expected compile error for %S" src
+  in
+  expect_error "break;";
+  expect_error "continue;";
+  expect_error "function f() { break; }";
+  expect_error "new Date();"
+
+let test_global_slots () =
+  let program = compile "var a = 1; b = 2; function g() {}" in
+  Alcotest.(check bool) "a is a global" true
+    (Bytecode.Program.global_slot program "a" <> None);
+  Alcotest.(check bool) "implicit b is a global" true
+    (Bytecode.Program.global_slot program "b" <> None);
+  Alcotest.(check bool) "g is a global" true
+    (Bytecode.Program.global_slot program "g" <> None);
+  Alcotest.(check bool) "builtins pre-registered" true
+    (Bytecode.Program.global_slot program "Math" <> None);
+  Alcotest.(check bool) "absent name" true
+    (Bytecode.Program.global_slot program "nope" = None)
+
+let func_named program name =
+  Array.to_list program.Bytecode.Program.funcs
+  |> List.find (fun (f : Bytecode.Program.func) -> f.Bytecode.Program.name = name)
+
+let test_captured_variables_become_cells () =
+  let program =
+    compile
+      "function mk(seed) { var c = seed; return function() { c++; return c; }; }"
+  in
+  let mk = func_named program "mk" in
+  Alcotest.(check int) "captured local is a cell" 1 mk.Bytecode.Program.ncells;
+  Alcotest.(check int) "no plain locals needed" 0 mk.Bytecode.Program.nlocals;
+  let inner =
+    Array.to_list program.Bytecode.Program.funcs
+    |> List.find (fun (f : Bytecode.Program.func) -> f.Bytecode.Program.nupvals > 0)
+  in
+  Alcotest.(check int) "inner captures one upvalue" 1 inner.Bytecode.Program.nupvals
+
+let test_uncaptured_variables_stay_locals () =
+  let program = compile "function f() { var a = 1, b = 2; return a + b; }" in
+  let f = func_named program "f" in
+  Alcotest.(check int) "no cells" 0 f.Bytecode.Program.ncells;
+  Alcotest.(check bool) "plain locals" true (f.Bytecode.Program.nlocals >= 2)
+
+let test_captured_parameter_prologue () =
+  (* A captured parameter is copied into its cell by a compiler-emitted
+     prologue: getarg k; setcell j. *)
+  let program = compile "function adder(n) { return function(x) { return x + n; }; }" in
+  let adder = func_named program "adder" in
+  Alcotest.(check int) "param cell" 1 adder.Bytecode.Program.ncells;
+  match Array.to_list adder.Bytecode.Program.code with
+  | Bytecode.Instr.Get_arg 0 :: Bytecode.Instr.Set_cell 0 :: _ -> ()
+  | _ -> Alcotest.fail "expected the capture prologue at entry"
+
+let test_loop_heads_counted () =
+  let program =
+    compile
+      "function f(n) { for (var i = 0; i < n; i++) { var j = 0; while (j < i) j++; do { j--; } while (j > 0); } }"
+  in
+  let f = func_named program "f" in
+  Alcotest.(check int) "three loops" 3 f.Bytecode.Program.nloops
+
+let test_max_stack_covers_calls () =
+  let program =
+    compile "function g(a, b, c) { return a + b + c; }\nprint(g(1, g(2, 3, 4), g(5, 6, 7)));"
+  in
+  Array.iter
+    (fun (f : Bytecode.Program.func) ->
+      Alcotest.(check bool)
+        (f.Bytecode.Program.name ^ " max_stack positive")
+        true
+        (f.Bytecode.Program.max_stack > 0))
+    program.Bytecode.Program.funcs;
+  (* And the interpreter actually fits within it (would raise otherwise). *)
+  let _, v = Interp.run_program program in
+  Alcotest.(check bool) "runs" true (Value.same_value v Value.Undefined)
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_disassembler_roundtrip_smoke () =
+  let program = compile "function f(x) { return x + 1; } print(f(1));" in
+  let text = Bytecode.Program.disassemble program in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " mentioned") true (contains text needle))
+    [ "function f"; "getarg 0"; "add"; "return" ]
+
+let suites =
+  [
+    ( "bytecode",
+      [
+        Alcotest.test_case "compile errors" `Quick test_compile_errors;
+        Alcotest.test_case "global slots" `Quick test_global_slots;
+        Alcotest.test_case "captured vars become cells" `Quick
+          test_captured_variables_become_cells;
+        Alcotest.test_case "plain locals stay locals" `Quick
+          test_uncaptured_variables_stay_locals;
+        Alcotest.test_case "captured parameter prologue" `Quick
+          test_captured_parameter_prologue;
+        Alcotest.test_case "loop heads counted" `Quick test_loop_heads_counted;
+        Alcotest.test_case "max stack" `Quick test_max_stack_covers_calls;
+        Alcotest.test_case "disassembler" `Quick test_disassembler_roundtrip_smoke;
+      ] );
+  ]

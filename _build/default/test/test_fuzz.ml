@@ -1,0 +1,102 @@
+(* Tests for the fuzzing library itself: the generators must be
+   deterministic per seed, must emit programs the front end accepts, and
+   the differential driver must capture output and agree with itself. *)
+
+let gen_at gen seed =
+  let st = Random.State.make [| seed |] in
+  gen st
+
+let generators =
+  [
+    ("program", Fuzz_gen.program);
+    ("loops", Fuzz_gen.loop_program);
+    ("objects", Fuzz_gen.object_program);
+    ("deopt", Fuzz_gen.deopt_program);
+    ("any", Fuzz_gen.any_program);
+  ]
+
+let test_generators_deterministic () =
+  List.iter
+    (fun (name, gen) ->
+      for seed = 0 to 9 do
+        Alcotest.(check string)
+          (Printf.sprintf "%s seed %d stable" name seed)
+          (gen_at gen seed) (gen_at gen seed)
+      done)
+    generators
+
+let test_generators_vary_by_seed () =
+  List.iter
+    (fun (name, gen) ->
+      let distinct =
+        List.init 20 (gen_at gen) |> List.sort_uniq compare |> List.length
+      in
+      Alcotest.(check bool)
+        (name ^ " produces varied programs") true (distinct > 5))
+    generators
+
+let test_generated_programs_compile () =
+  List.iter
+    (fun (name, gen) ->
+      for seed = 0 to 25 do
+        let src = gen_at gen seed in
+        match Bytecode.Compile.program_of_source src with
+        | _ -> ()
+        | exception e ->
+          Alcotest.failf "%s seed %d does not compile (%s):\n%s" name seed
+            (Printexc.to_string e) src
+      done)
+    generators
+
+let test_diff_run_captures_output () =
+  Alcotest.(check string)
+    "print output captured" "7\nhi\n"
+    (Fuzz_diff.run Engine.interp_only "print(3 + 4); print(\"hi\");")
+
+let test_diff_run_folds_exceptions () =
+  let out = Fuzz_diff.run Engine.interp_only "print(missing());" in
+  Alcotest.(check bool) "exception folded into output" true
+    (String.length out >= 3 && String.sub out 0 3 = "EXN")
+
+let test_diff_check_smoke () =
+  (* A tiny deterministic sweep; the wide sweeps live in the qcheck
+     properties and bin/fuzz.exe. *)
+  for seed = 0 to 4 do
+    let src = gen_at Fuzz_gen.any_program seed in
+    match Fuzz_diff.check src with
+    | None -> ()
+    | Some m ->
+      Alcotest.failf "seed %d: %s disagreed\ninterp: %s\ngot: %s\n%s" seed
+        m.Fuzz_diff.mm_config m.Fuzz_diff.mm_expected m.Fuzz_diff.mm_got src
+  done
+
+let test_diff_default_configs_cover_figure9 () =
+  let names = List.map fst Fuzz_diff.default_configs in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.Pipeline.name ^ " in default matrix")
+        true
+        (List.mem c.Pipeline.name names))
+    Pipeline.figure9_configs;
+  Alcotest.(check bool) "baseline in default matrix" true
+    (List.mem "baseline" names)
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "generators deterministic per seed" `Quick
+          test_generators_deterministic;
+        Alcotest.test_case "generators vary by seed" `Quick
+          test_generators_vary_by_seed;
+        Alcotest.test_case "generated programs compile" `Quick
+          test_generated_programs_compile;
+        Alcotest.test_case "diff captures output" `Quick test_diff_run_captures_output;
+        Alcotest.test_case "diff folds exceptions" `Quick
+          test_diff_run_folds_exceptions;
+        Alcotest.test_case "diff smoke sweep" `Quick test_diff_check_smoke;
+        Alcotest.test_case "default matrix covers figure 9" `Quick
+          test_diff_default_configs_cover_figure9;
+      ] );
+  ]

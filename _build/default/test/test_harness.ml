@@ -1,0 +1,124 @@
+(* Shape checks over the experiment harness: every figure/table driver
+   returns well-formed data of the paper's dimensions. *)
+
+let test_fig_web_shape () =
+  let t = Fig_web.run ~nfunctions:4000 () in
+  Alcotest.(check int) "29 bins + tail (fig 1)" 30 (List.length t.Fig_web.calls_bins);
+  Alcotest.(check int) "29 bins + tail (fig 2)" 30 (List.length t.Fig_web.argsets_bins);
+  Alcotest.(check bool) "head fractions plausible" true
+    (t.Fig_web.called_once > 0.40 && t.Fig_web.called_once < 0.60);
+  Alcotest.(check bool) "argset head exceeds call head" true
+    (t.Fig_web.single_argset > t.Fig_web.called_once);
+  Alcotest.(check int) "nine type categories" 9 (List.length t.Fig_web.type_fractions);
+  let sum = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 t.Fig_web.type_fractions in
+  Alcotest.(check bool) "type fractions sum to 1" true (Float.abs (sum -. 1.0) < 1e-6)
+
+let test_fig3_shape () =
+  let stats = Fig_suite_calls.run () in
+  Alcotest.(check int) "three suites" 3 (List.length stats);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Fig_suite_calls.suite_name ^ " has functions")
+        true
+        (s.Fig_suite_calls.distinct_functions > 0);
+      Alcotest.(check bool) "has a most-called function" true
+        (snd s.Fig_suite_calls.most_called > 0);
+      Alcotest.(check bool) "fractions in range" true
+        (s.Fig_suite_calls.called_once >= 0.0 && s.Fig_suite_calls.called_once <= 1.0))
+    stats
+
+let test_fig9_shape () =
+  let t = Fig_speedup.run () in
+  Alcotest.(check int) "ten configurations" 10 (List.length t.Fig_speedup.config_names);
+  Alcotest.(check int) "three suites" 3 (List.length t.Fig_speedup.suites);
+  List.iter
+    (fun (_, cells) ->
+      Alcotest.(check int) "a cell per config" 10 (List.length cells);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "per-member data present" true
+            (List.length c.Fig_speedup.speedups > 0))
+        cells)
+    t.Fig_speedup.suites;
+  (* The headline shape: the full specializing configurations beat the
+     CP-only column on SunSpider. *)
+  let sunspider = List.assoc "SunSpider 1.0" t.Fig_speedup.suites in
+  let mean i =
+    Support.Stats.arithmetic_mean (List.nth sunspider i).Fig_speedup.speedups
+  in
+  let cp_only = mean 1 and ps_cp_dce = mean 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "PS+CP+DCE (%.2f%%) > CP (%.2f%%) on SunSpider" ps_cp_dce cp_only)
+    true (ps_cp_dce > cp_only);
+  Alcotest.(check bool) "PS+CP+DCE SunSpider speedup is positive" true (ps_cp_dce > 0.0)
+
+let test_fig10_shape () =
+  let suites = Fig_codesize.run_suites () in
+  Alcotest.(check int) "three suites" 3 (List.length suites);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Fig_codesize.suite_name ^ " has size points")
+        true
+        (List.length s.Fig_codesize.points > 0);
+      (* The paper's headline: specialization shrinks code. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s average reduction %.2f%% is positive"
+           s.Fig_codesize.suite_name s.Fig_codesize.average_reduction)
+        true
+        (s.Fig_codesize.average_reduction > 0.0))
+    suites
+
+let test_web_sites_shape () =
+  let sites = Fig_codesize.run_sites () in
+  Alcotest.(check int) "three sites" 3 (List.length sites);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Fig_codesize.site ^ " shrinks") true
+        (s.Fig_codesize.size_reduction > 0.0))
+    sites;
+  let get name = List.find (fun s -> s.Fig_codesize.site = name) sites in
+  Alcotest.(check bool) "twitter recompiles more than google" true
+    ((get "www.twitter.com").Fig_codesize.recompile_increase
+    > (get "www.google.com").Fig_codesize.recompile_increase)
+
+let test_policy_shape () =
+  let rows = Fig_policy.run () in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Fig_policy.suite_name ^ ": successful + deoptimized = specialized")
+        r.Fig_policy.specialized
+        (r.Fig_policy.successful + r.Fig_policy.deoptimized);
+      Alcotest.(check bool) "specialized some functions" true (r.Fig_policy.specialized > 0);
+      (* The paper's observation: a majority-significant share deoptimizes. *)
+      Alcotest.(check bool) "some deoptimize" true (r.Fig_policy.deoptimized > 0))
+    rows
+
+let test_recompile_shape () =
+  let rows = Fig_recompile.run () in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Fig_recompile.suite_name ^ " spec compiles >= base")
+        true
+        (r.Fig_recompile.spec_compilations >= r.Fig_recompile.base_compilations);
+      Alcotest.(check bool) "growth non-negative" true (r.Fig_recompile.growth_percent >= 0.0))
+    rows
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "fig1/2/4 web" `Quick test_fig_web_shape;
+        Alcotest.test_case "fig3 suites" `Slow test_fig3_shape;
+        Alcotest.test_case "fig9 grid" `Slow test_fig9_shape;
+        Alcotest.test_case "fig10 code size" `Slow test_fig10_shape;
+        Alcotest.test_case "web sites study" `Slow test_web_sites_shape;
+        Alcotest.test_case "policy counts" `Slow test_policy_shape;
+        Alcotest.test_case "recompilations" `Slow test_recompile_shape;
+      ] );
+  ]

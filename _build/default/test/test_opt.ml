@@ -1,0 +1,777 @@
+(* Tests for the optimization passes, anchored on the paper's Section 3
+   running example (Figures 6-8), plus generated-program properties:
+   every pass pipeline must keep the verifier happy and must not change
+   observable behaviour. *)
+
+open Runtime
+
+let map_src =
+  {|
+function inc(x) { return x + 1; }
+function map(s, b, n, f) {
+  var i = b;
+  while (i < n) { s[i] = f(s[i]); i++; }
+  return s;
+}
+print(map(new Array(1, 2, 3, 4, 5), 2, 5, inc));
+|}
+
+let build_map ?osr () =
+  let program = Bytecode.Compile.program_of_source map_src in
+  let func = program.Bytecode.Program.funcs.(2) in
+  let spec_args =
+    [|
+      Value.Arr (Value.arr_of_list (List.init 5 (fun i -> Value.Int (i + 1))));
+      Value.Int 2; Value.Int 5;
+      Value.Closure { Value.fid = 1; env = [||]; cid = Value.fresh_id () };
+    |]
+  in
+  let osr =
+    match osr with
+    | Some true ->
+      Some
+        {
+          Builder.osr_pc = 2;
+          osr_args = spec_args;
+          osr_locals = [| Value.Int 2 |];
+          osr_specialize = true;
+        }
+    | _ -> None
+  in
+  let f = Builder.build ~program ~func ~spec_args ?osr () in
+  (program, f)
+
+let count f pred =
+  let n = ref 0 in
+  Mir.iter_instrs f (fun i -> if pred i.Mir.kind then incr n);
+  !n
+
+let apply program config f =
+  let stats = Pipeline.apply ~program config f in
+  Verify.run f;
+  stats
+
+(* --- constant propagation (§3.3) --- *)
+
+let test_constprop_folds_guards () =
+  let program, f = build_map () in
+  Typer.run f;
+  let checks_before = count f (function Mir.Check_array _ -> true | _ -> false) in
+  Alcotest.(check bool) "array checks present before" true (checks_before > 0);
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true "cp") f in
+  Alcotest.(check bool) "folded several instructions" true (stats.Pipeline.folded > 0);
+  Alcotest.(check int) "all array checks folded away" 0
+    (count f (function Mir.Check_array _ -> true | _ -> false))
+
+let test_constprop_folds_comparison () =
+  let src = "function f(a, b) { return a < b ? typeof a : \"no\"; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func ~spec_args:[| Value.Int 1; Value.Int 2 |] () in
+  let _ = apply program (Pipeline.make ~ps:true ~cp:true ~dce:true "cpdce") f in
+  (* a < b and typeof a are compile-time constants; with DCE the function
+     collapses to returning the constant string. *)
+  Alcotest.(check int) "no comparisons left" 0
+    (count f (function Mir.Cmp _ -> true | _ -> false));
+  let has_const_typeof = ref false in
+  Mir.iter_instrs f (fun i ->
+      match i.Mir.kind with
+      | Mir.Constant (Value.Str "number") -> has_const_typeof := true
+      | _ -> ());
+  Alcotest.(check bool) "typeof folded to \"number\"" true !has_const_typeof
+
+let test_constprop_folds_pure_natives () =
+  (* The native function arrives as a specialized parameter, the same way
+     `inc` does in the paper's example. *)
+  let src = "function f(pow, x) { return pow(x, 10) + 1; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f =
+    Builder.build ~program ~func
+      ~spec_args:[| Value.Native_fun "Math.pow"; Value.Int 2 |] ()
+  in
+  let _ = apply program (Pipeline.make ~ps:true ~cp:true "cp") f in
+  let folded_pow = ref false in
+  Mir.iter_instrs f (fun i ->
+      match i.Mir.kind with
+      | Mir.Constant (Value.Int 1025) -> folded_pow := true
+      | _ -> ());
+  Alcotest.(check bool) "Math.pow folded at compile time" true !folded_pow
+
+let test_constprop_lattice_laws () =
+  (* The meet operator of §3.3 must be commutative/associative/idempotent.
+     We test it through observable folding: phi of equal constants folds,
+     phi of different constants does not. *)
+  let src = "function f(c) { var x; if (c) x = 4; else x = 4; return x + 1; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func () in
+  let _ = apply program (Pipeline.make ~cp:true "cp") f in
+  let has_five = ref false in
+  Mir.iter_instrs f (fun i ->
+      match i.Mir.kind with Mir.Constant (Value.Int 5) -> has_five := true | _ -> ());
+  Alcotest.(check bool) "phi(4,4)+1 folded to 5" true !has_five
+
+(* --- dead code elimination (§3.5) --- *)
+
+let test_dce_removes_wrapping_conditional () =
+  let program, f = build_map () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~li:true ~dce:true "all") f in
+  Alcotest.(check int) "one loop inverted" 1 stats.Pipeline.loops_inverted;
+  Alcotest.(check bool) "wrapping conditional folded" true
+    (stats.Pipeline.branches_folded >= 1)
+
+let test_dce_keeps_entry_block () =
+  let program, f = build_map () in
+  let entry = f.Mir.entry in
+  let _ = apply program (Pipeline.make ~ps:true ~cp:true ~dce:true "x") f in
+  Alcotest.(check bool) "entry block still laid out" true
+    (List.mem entry f.Mir.block_order)
+
+let test_dce_respects_snapshots () =
+  (* A value only used by a guard's resume point must survive DCE. *)
+  let src = "function f(a, n) { var big = n * 1000; return a[n] + (big - big); }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let tags = Value.[| Some Tag_array; Some Tag_int |] in
+  let f = Builder.build ~program ~func ~arg_tags:tags () in
+  let _ = apply program (Pipeline.make ~cp:true ~dce:true "x") f in
+  (* Just verifying suffices: dangling rp operands would fail Verify. *)
+  ()
+
+(* --- loop inversion (§3.4) --- *)
+
+let test_inversion_moves_test_to_latch () =
+  let program, f = build_map () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~li:true "li") f in
+  Alcotest.(check int) "inverted" 1 stats.Pipeline.loops_inverted;
+  (* After inversion the loop has a conditional latch: some block branches
+     with one in-loop and one out-of-loop target whose condition is computed
+     in the same block (bottom-tested loop). *)
+  let doms = Cfg.dominators f in
+  let loops = Cfg.natural_loops f doms in
+  Alcotest.(check int) "still one natural loop" 1 (List.length loops);
+  let loop = List.hd loops in
+  List.iter
+    (fun latch ->
+      match (Mir.block f latch).Mir.term with
+      | Mir.Branch _ -> ()
+      | _ -> Alcotest.fail "latch should be conditional after inversion")
+    loop.Cfg.latches
+
+let test_inversion_preserves_zero_trip () =
+  (* If the loop runs zero times the wrapping conditional must skip it. *)
+  let src =
+    "function f(n) { var t = 100; for (var i = 0; i < n; i++) t = 0; return t; }\n\
+     print(f(0), f(3));"
+  in
+  let run opt =
+    let buf = Buffer.create 16 in
+    let saved = !Builtins.print_hook in
+    Builtins.print_hook := Buffer.add_string buf;
+    Fun.protect
+      ~finally:(fun () -> Builtins.print_hook := saved)
+      (fun () ->
+        ignore (Engine.run_source (Engine.default_config ~opt ()) src);
+        Buffer.contents buf)
+  in
+  Alcotest.(check string) "li config matches baseline" (run Pipeline.baseline)
+    (run (Pipeline.make ~ps:true ~cp:true ~li:true "li"))
+
+(* --- bounds check elimination (§3.6) --- *)
+
+let read_only_loop =
+  {|
+function sumto(s, n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) t += s[i];
+  return t;
+}
+|}
+
+let build_sumto () =
+  let program = Bytecode.Compile.program_of_source read_only_loop in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let arr = Value.Arr (Value.arr_of_list (List.init 8 (fun i -> Value.Int i))) in
+  let f = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 8 |] () in
+  (program, f)
+
+let test_bce_removes_proven_checks () =
+  let program, f = build_sumto () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") f in
+  Alcotest.(check bool) "bounds checks removed" true (stats.Pipeline.bounds_removed > 0);
+  Alcotest.(check int) "none remain" 0
+    (count f (function Mir.Bounds_check _ -> true | _ -> false))
+
+let test_bce_keeps_unprovable_checks () =
+  let program = Bytecode.Compile.program_of_source read_only_loop in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let arr = Value.Arr (Value.arr_of_list (List.init 8 (fun i -> Value.Int i))) in
+  (* Bound 9 exceeds the array length: the check must stay. *)
+  let f = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 9 |] () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") f in
+  Alcotest.(check int) "nothing removed" 0 stats.Pipeline.bounds_removed
+
+let test_bce_store_conservatism () =
+  (* Element stores only grow arrays in this VM, so a fill loop is already
+     eliminable in the conservative mode... *)
+  let src =
+    "function fill(s, n) { for (var i = 0; i < n; i++) s[i] = i; return s; }"
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let arr = Value.Arr (Value.new_arr 8) in
+  let build () = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 8 |] () in
+  let s1 = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") (build ()) in
+  Alcotest.(check bool) "growth-only stores do not block" true
+    (s1.Pipeline.bounds_removed > 0);
+  (* ...but an opaque call might reach a pop on an alias, so it blocks the
+     conservative mode and only the paper's precise-alias assumption
+     (Figure 8b) lifts it. *)
+  let srcc =
+    "function f(s, n, g) { var t = 0; for (var i = 0; i < n; i++) t = (t + s[i] + g(i)) | 0; return t; }"
+  in
+  let programc = Bytecode.Compile.program_of_source srcc in
+  let funcc = programc.Bytecode.Program.funcs.(1) in
+  let clo = Value.Closure { Value.fid = 1; env = [||]; cid = Value.fresh_id () } in
+  let buildc () =
+    Builder.build ~program:programc ~func:funcc
+      ~spec_args:[| Value.Arr (Value.new_arr 8); Value.Int 8; clo |] ()
+  in
+  let s2 = apply programc (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") (buildc ()) in
+  Alcotest.(check int) "call blocks conservative mode" 0 s2.Pipeline.bounds_removed;
+  let s3 =
+    apply programc
+      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true "bce+")
+      (buildc ())
+  in
+  Alcotest.(check bool) "precise aliasing eliminates past the call" true
+    (s3.Pipeline.bounds_removed > 0);
+  (* A shrinking method call blocks in BOTH modes: the compile-time length
+     is no longer a lower bound on the runtime length. *)
+  let srcp =
+    "function f(s, n) { var t = 0; for (var i = 0; i < n; i++) t = (t + s[i]) | 0; s.pop(); return t; }"
+  in
+  let programp = Bytecode.Compile.program_of_source srcp in
+  let funcp = programp.Bytecode.Program.funcs.(1) in
+  let fp =
+    Builder.build ~program:programp ~func:funcp
+      ~spec_args:[| Value.Arr (Value.new_arr 8); Value.Int 4 |] ()
+  in
+  let s4 =
+    apply programp
+      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true "bce+")
+      fp
+  in
+  Alcotest.(check int) "pop blocks even precise mode" 0 s4.Pipeline.bounds_removed
+
+let test_overflow_check_elimination () =
+  let program, f = build_sumto () in
+  let s =
+    apply program
+      (Pipeline.make ~ps:true ~cp:true ~bce:true ~overflow_elim:true "ovf") f
+  in
+  Alcotest.(check bool) "induction step proven overflow-free" true
+    (s.Pipeline.overflow_removed > 0);
+  Alcotest.(check bool) "unchecked int add present" true
+    (count f (function
+       | Mir.Binop (Ops.Add, _, _, Mir.Mode_int_nocheck) -> true
+       | _ -> false)
+    > 0)
+
+(* --- loop unrolling (§6 extension) --- *)
+
+let test_unroll_constant_trip_loop () =
+  let src =
+    "function f(s, n) { var t = 0; for (var i = 0; i < n; i++) t = (t + s[i]) | 0; return t; }"
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let arr = Value.Arr (Value.arr_of_list (List.init 5 (fun i -> Value.Int (i * i)))) in
+  let f = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 5 |] () in
+  let stats =
+    apply program (Pipeline.make ~ps:true ~cp:true ~dce:true ~loop_unroll:true "u") f
+  in
+  Alcotest.(check int) "one loop unrolled" 1 stats.Pipeline.unrolled;
+  (* No loops remain, and the indices are the constants 0..4. *)
+  let loops = Cfg.natural_loops f (Cfg.dominators f) in
+  Alcotest.(check int) "no loops left" 0 (List.length loops);
+  let code, _ = Regalloc.run (Lower.run f) in
+  let cb = { Exec.call = (fun _ _ -> assert false); globals = [||]; cycles = ref 0 } in
+  let act = Exec.make_activation ~func ~args:[| arr; Value.Int 5 |] () in
+  (match Exec.run cb code act ~at_osr:false with
+  | Exec.Finished v -> Alcotest.(check bool) "sum" true (Value.same_value v (Value.Int 30))
+  | Exec.Bailed b -> Alcotest.failf "unexpected bailout: %s" b.Exec.bo_reason)
+
+let test_unroll_zero_trip_loop () =
+  let src = "function f(n) { var t = 7; for (var i = 0; i < n; i++) t = 0; return t; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func ~spec_args:[| Value.Int 0 |] () in
+  let stats =
+    apply program (Pipeline.make ~ps:true ~cp:true ~loop_unroll:true "u") f
+  in
+  Alcotest.(check int) "zero-trip loop removed" 1 stats.Pipeline.unrolled;
+  let code, _ = Regalloc.run (Lower.run f) in
+  let cb = { Exec.call = (fun _ _ -> assert false); globals = [||]; cycles = ref 0 } in
+  let act = Exec.make_activation ~func ~args:[| Value.Int 0 |] () in
+  match Exec.run cb code act ~at_osr:false with
+  | Exec.Finished v -> Alcotest.(check bool) "initial value" true (Value.same_value v (Value.Int 7))
+  | Exec.Bailed b -> Alcotest.failf "unexpected bailout: %s" b.Exec.bo_reason
+
+let test_unroll_skips_unknown_bounds () =
+  let src = "function f(n) { var t = 0; for (var i = 0; i < n; i++) t += i; return t; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func ~arg_tags:Value.[| Some Tag_int |] () in
+  let stats =
+    apply program (Pipeline.make ~cp:true ~loop_unroll:true "u") f
+  in
+  Alcotest.(check int) "dynamic bound not unrolled" 0 stats.Pipeline.unrolled
+
+let test_unroll_respects_budget () =
+  let src = "function f(n) { var t = 0; for (var i = 0; i < n; i++) t += i; return t; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func ~spec_args:[| Value.Int 5000 |] () in
+  let stats =
+    apply program (Pipeline.make ~ps:true ~cp:true ~loop_unroll:true "u") f
+  in
+  Alcotest.(check int) "trip count over budget" 0 stats.Pipeline.unrolled
+
+(* --- inlining (§3.7) --- *)
+
+let test_inline_closure_argument () =
+  let program, f = build_map () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true "ps") f in
+  Alcotest.(check int) "inc inlined" 1 stats.Pipeline.inlined;
+  Alcotest.(check int) "no calls remain" 0
+    (count f (function Mir.Call _ | Mir.Call_known _ -> true | _ -> false))
+
+let test_inline_skips_closures_with_cells () =
+  let src =
+    {|
+function mk() { var c = 0; return function(x) { c += x; return c; }; }
+function drive(f) { var t = 0; for (var i = 0; i < 5; i++) t += f(i); return t; }
+|}
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  (* fid 2 is the inner closure; it captures c so it must not be inlined;
+     build drive specialized to it. *)
+  let drive =
+    Array.to_list program.Bytecode.Program.funcs
+    |> List.find (fun (fn : Bytecode.Program.func) -> fn.Bytecode.Program.name = "drive")
+  in
+  let closure_fid =
+    Array.to_list program.Bytecode.Program.funcs
+    |> List.find_map (fun (fn : Bytecode.Program.func) ->
+           if fn.Bytecode.Program.nupvals > 0 then Some fn.Bytecode.Program.fid else None)
+    |> Option.get
+  in
+  let cell = ref (Value.Int 0) in
+  let clo = Value.Closure { Value.fid = closure_fid; env = [| cell |]; cid = 1 } in
+  let f = Builder.build ~program ~func:drive ~spec_args:[| clo |] () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true "ps") f in
+  Alcotest.(check int) "capturing closure CAN inline (cells live behind refs)" 1
+    stats.Pipeline.inlined;
+  Alcotest.(check bool) "captured access through burned-in pointer" true
+    (count f (function Mir.Load_captured _ | Mir.Store_captured _ -> true | _ -> false) > 0)
+
+let test_inline_budget () =
+  (* Self-recursive closure: the site budget must terminate inlining. *)
+  let src = "function f(g, n) { return n <= 0 ? 0 : g(g, n - 1) + 1; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let clo = Value.Closure { Value.fid = 1; env = [||]; cid = Value.fresh_id () } in
+  let f = Builder.build ~program ~func ~spec_args:[| clo; Value.Int 100 |] () in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true "ps") f in
+  Alcotest.(check bool) "bounded" true (stats.Pipeline.inlined <= 8)
+
+(* --- GVN / LICM --- *)
+
+let test_gvn_dedups_redundant_guards () =
+  let src = "function f(s, i) { return s[i] + s[i]; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let tags = Value.[| Some Tag_array; Some Tag_int |] in
+  let f = Builder.build ~program ~func ~arg_tags:tags () in
+  Typer.run f;
+  let before = count f (function Mir.Bounds_check _ -> true | _ -> false) in
+  let eliminated = Gvn.run f in
+  Verify.run f;
+  let after = count f (function Mir.Bounds_check _ -> true | _ -> false) in
+  Alcotest.(check int) "two checks before" 2 before;
+  Alcotest.(check int) "one after" 1 after;
+  Alcotest.(check bool) "gvn reported eliminations" true (eliminated > 0)
+
+(* Regression: the constant value-numbering key must distinguish values of
+   different types that share a display string — Int 4 and Str "4" once
+   merged, burning an Int into a String phi after OSR specialization and
+   crashing stringlength at runtime. *)
+let test_gvn_constant_keys_are_type_aware () =
+  let src = "function f(x) { var s = \"4\"; return s + (x & 7); }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f = Builder.build ~program ~func ~spec_args:Value.[| Int 4 |] () in
+  Typer.run f;
+  ignore (Gvn.run f);
+  Verify.run f;
+  let str_consts =
+    count f (function Mir.Constant (Value.Str "4") -> true | _ -> false)
+  and int_consts =
+    count f (function Mir.Constant (Value.Int 4) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "string constant survives" true (str_consts >= 1);
+  Alcotest.(check bool) "int constant survives" true (int_consts >= 1)
+
+let test_licm_hoists_invariants () =
+  let src =
+    "function f(a, b, n) { var t = 0; for (var i = 0; i < n; i++) t += (a * b) | 0; return t; }"
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let tags = Value.[| Some Tag_int; Some Tag_int; Some Tag_int |] in
+  let f = Builder.build ~program ~func ~arg_tags:tags () in
+  Typer.run f;
+  ignore (Gvn.run f);
+  let hoisted = Licm.run f in
+  Verify.run f;
+  Alcotest.(check bool) "a*b hoisted" true (hoisted > 0)
+
+(* --- generated-program differential property --- *)
+
+let run_with config src =
+  let buf = Buffer.create 64 in
+  let saved = !Builtins.print_hook in
+  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
+  Fun.protect
+    ~finally:(fun () -> Builtins.print_hook := saved)
+    (fun () ->
+      ignore (Engine.run_source config src);
+      Buffer.contents buf)
+
+(* --- SCCP (the conditional-constant-propagation ablation) --- *)
+
+(* The separating example: a phi fed by a branch that specialization
+   decides. Aho's branch-insensitive meet sees both operands and gives up;
+   SCCP marks the dead edge non-executable and folds through. *)
+let sccp_example () =
+  let src =
+    "function f(n, m) { var x; if (n == 1) x = 5; else x = m; return (x * 3) | 0; }"
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let build () =
+    Builder.build ~program ~func ~spec_args:Value.[| Int 1; Int 0 |] ()
+  in
+  (program, build)
+
+let const_count f v =
+  count f (function
+    | Mir.Constant c when Value.same_value c v -> true
+    | _ -> false)
+
+let test_sccp_folds_one_sided_phi () =
+  let _, build = sccp_example () in
+  (* Aho: the x*3 result is not folded (the phi meets 5 with m). *)
+  let aho = build () in
+  Typer.run aho;
+  ignore (Gvn.run aho);
+  ignore (Constprop.run aho);
+  Alcotest.(check int) "aho leaves x*3 unfolded" 0 (const_count aho (Value.Int 15));
+  (* SCCP: the else edge is unexecutable, x = 5, x*3 = 15. *)
+  let sccp = build () in
+  Typer.run sccp;
+  ignore (Gvn.run sccp);
+  let stats = Sccp.run sccp in
+  Verify.run sccp;
+  Alcotest.(check bool) "sccp folds x*3" true (const_count sccp (Value.Int 15) >= 1);
+  Alcotest.(check bool) "sccp decided the branch" true (stats.Sccp.branches_decided >= 1)
+
+let test_sccp_keeps_unknown_branches () =
+  (* Without specialization the condition is Top: both sides executable,
+     the phi must not fold, and no branch is decided. *)
+  let src =
+    "function f(n, m) { var x; if (n == 1) x = 5; else x = m; return (x * 3) | 0; }"
+  in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let f =
+    Builder.build ~program ~func ~arg_tags:Value.[| Some Tag_int; Some Tag_int |] ()
+  in
+  Typer.run f;
+  let stats = Sccp.run f in
+  Verify.run f;
+  Alcotest.(check int) "no branch decided" 0 stats.Sccp.branches_decided;
+  Alcotest.(check int) "nothing folded to 15" 0 (const_count f (Value.Int 15))
+
+let test_sccp_matches_constprop_on_straight_line () =
+  (* On branch-free code the two algorithms agree exactly. *)
+  let src = "function f(a) { return ((2 + 3) * a + (10 - 4)) | 0; }" in
+  let program = Bytecode.Compile.program_of_source src in
+  let func = program.Bytecode.Program.funcs.(1) in
+  let with_pass pass =
+    let f = Builder.build ~program ~func ~spec_args:Value.[| Int 7 |] () in
+    Typer.run f;
+    ignore (Gvn.run f);
+    let n = pass f in
+    Verify.run f;
+    (n, const_count f (Value.Int 41))
+  in
+  let aho_folded, aho_result = with_pass Constprop.run in
+  let sccp_folded, sccp_result = with_pass (fun f -> (Sccp.run f).Sccp.folded) in
+  Alcotest.(check int) "same folds" aho_folded sccp_folded;
+  Alcotest.(check int) "same final constant" aho_result sccp_result;
+  Alcotest.(check bool) "the expression folded" true (aho_result >= 1)
+
+let test_sccp_pipeline_end_to_end () =
+  (* The sccp pipeline flag produces the same output and is at least as
+     effective (never slower in model cycles on this shape). *)
+  let src =
+    "function pick(n, m) {\n\
+    \  var x;\n\
+    \  if (n == 1) x = 5; else x = m;\n\
+    \  var t = 0;\n\
+    \  for (var i = 0; i < 10; i++) t = (t + x * 3) | 0;\n\
+    \  return t;\n\
+     }\n\
+     var r = 0;\n\
+     for (var k = 0; k < 60; k++) r = (r + pick(1, k)) | 0;\n\
+     print(r);"
+  in
+  let out opt =
+    let buf = Buffer.create 16 in
+    let saved = !Builtins.print_hook in
+    Builtins.print_hook := (fun s -> Buffer.add_string buf s);
+    Fun.protect
+      ~finally:(fun () -> Builtins.print_hook := saved)
+      (fun () ->
+        let r = Engine.run_source (Engine.default_config ~opt ()) src in
+        (Buffer.contents buf, r.Engine.total_cycles))
+  in
+  let aho_out, aho_cycles = out (Pipeline.make ~ps:true ~cp:true ~dce:true "aho") in
+  let sccp_out, sccp_cycles = out (Pipeline.make ~ps:true ~sccp:true ~dce:true "sccp") in
+  Alcotest.(check string) "same result" aho_out sccp_out;
+  Alcotest.(check bool) "sccp at least as fast" true (sccp_cycles <= aho_cycles)
+
+(* Golden test for the paper's Section 3 running example: replay the exact
+   Figure 6 -> 7(a) -> 7(b) -> 7(c) -> 8(a) -> 8(b) -> 8(c) progression on
+   [map]/[inc] and assert the structural claim of each figure. This is the
+   narrative the whole paper hangs on, so it is pinned as one test. *)
+let test_section3_figures_progression () =
+  let source =
+    {|
+function inc(x) { return x + 1; }
+function map(s, b, n, f) {
+  var i = b;
+  while (i < n) { s[i] = f(s[i]); i++; }
+  return s;
+}
+print(map(new Array(1, 2, 3, 4, 5), 2, 5, inc));
+|}
+  in
+  let program = Bytecode.Compile.program_of_source source in
+  let find name =
+    Array.to_list program.Bytecode.Program.funcs
+    |> List.find (fun (f : Bytecode.Program.func) -> f.Bytecode.Program.name = name)
+  in
+  let map_fn = find "map" and inc_fn = find "inc" in
+  let arr_v = Value.arr_of_list (List.init 5 (fun i -> Value.Int (i + 1))) in
+  let inc_closure =
+    Value.Closure
+      { Value.fid = inc_fn.Bytecode.Program.fid; env = [||]; cid = Value.fresh_id () }
+  in
+  let spec_args = [| Value.Arr arr_v; Value.Int 2; Value.Int 5; inc_closure |] in
+  (* Figure 6: the generic graph has parameters, a type-guarded element
+     access with a bounds check, and an opaque call. *)
+  let tags = Value.[| Some Tag_array; Some Tag_int; Some Tag_int; Some Tag_function |] in
+  let generic = Builder.build ~program ~func:map_fn ~arg_tags:tags () in
+  Typer.run generic;
+  let n_params = count generic (function Mir.Parameter _ -> true | _ -> false) in
+  Alcotest.(check bool) "fig6: parameters present" true (n_params >= 4);
+  Alcotest.(check bool) "fig6: bounds checks present" true
+    (count generic (function Mir.Bounds_check _ -> true | _ -> false) >= 1);
+  Alcotest.(check bool) "fig6: opaque call present" true
+    (count generic (function Mir.Call _ | Mir.Call_known _ -> true | _ -> false) >= 1);
+  (* Figure 7(a): specialization replaces every parameter with a constant,
+     in the entry block and the OSR block alike. *)
+  let osr =
+    { Builder.osr_pc = 2; osr_args = spec_args; osr_locals = [| Value.Int 2 |];
+      osr_specialize = true }
+  in
+  let f = Builder.build ~program ~func:map_fn ~spec_args ~osr () in
+  Typer.run f;
+  Alcotest.(check int) "fig7a: no parameters left" 0
+    (count f (function Mir.Parameter _ | Mir.Osr_value _ -> true | _ -> false));
+  Alcotest.(check bool) "fig7a: OSR entry exists" true (f.Mir.osr_entry <> None);
+  (* Figure 7(b): constant propagation folds the induction bounds. *)
+  let folded = Constprop.run f in
+  Alcotest.(check bool) "fig7b: folds something" true (folded > 0);
+  (* Figure 7(c): loop inversion makes the loop bottom-tested. *)
+  ignore (Gvn.run f);
+  Alcotest.(check int) "fig7c: one loop inverted" 1 (Loop_inversion.run f);
+  (* Figure 8(a): DCE removes the wrapping conditional (2 < 5 is known). *)
+  let dce = Dce.run f in
+  Alcotest.(check bool) "fig8a: wrapping branch folded" true
+    (dce.Dce.branches_folded >= 1);
+  (* Figure 8(b): with the figure's alias assumption the bounds check on
+     s[i] is proven by i = phi(2, i+1) < 5 against length 5. *)
+  let bce = Bounds_check.run ~precise_alias:true f in
+  Alcotest.(check bool) "fig8b: bounds check removed" true
+    (bce.Bounds_check.bounds_removed >= 1);
+  Alcotest.(check int) "fig8b: none remain" 0
+    (count f (function Mir.Bounds_check _ -> true | _ -> false));
+  (* Figure 8(c): the constant closure argument is inlined away. *)
+  Alcotest.(check int) "fig8c: one site inlined" 1 (Inline.run ~program f);
+  Typer.run f;
+  ignore (Gvn.run f);
+  ignore (Constprop.run f);
+  ignore (Dce.run f);
+  Verify.run f;
+  Alcotest.(check int) "fig8c: no calls left" 0
+    (count f (function Mir.Call _ | Mir.Call_known _ -> true | _ -> false));
+  (* And the specialized native code computes the paper's answer: elements
+     2..4 incremented in place. *)
+  let code, _ = Regalloc.run (Lower.run f) in
+  let cb =
+    { Exec.call = (fun _ _ -> Alcotest.fail "unexpected call in inlined code");
+      globals = [||]; cycles = ref 0 }
+  in
+  let act = Exec.make_activation ~func:map_fn ~args:spec_args () in
+  (match Exec.run cb code act ~at_osr:false with
+  | Exec.Finished (Value.Arr a) ->
+    Alcotest.(check (list int)) "array mutated in place" [ 1; 2; 4; 5; 6 ]
+      (List.init a.Value.length (fun i ->
+           match Value.arr_get a i with Value.Int n -> n | _ -> -1))
+  | Exec.Finished v ->
+    Alcotest.failf "expected the array back, got %s" (Value.to_display_string v)
+  | Exec.Bailed b -> Alcotest.failf "unexpected bailout: %s" b.Exec.bo_reason)
+
+(* The full engine-level reproducer the differential property found: a
+   specialized OSR entry bakes local [s] as the string "4"; with the buggy
+   display-string constant key, GVN substituted the Int32 argument constant
+   for it and stringlength crashed at runtime. *)
+let test_gvn_collision_engine_regression () =
+  let src =
+    {|function fn2(x, y) {
+        var s = "";
+        for (var i = 0; i < 10; i++) s += (((x ^ 0) | (4 ^ x))) & 7;
+        var t = 0;
+        for (var i = 0; i < s.length; i++) t = (t * 31 + s.charCodeAt(i)) | 0;
+        return (t + ((1 + 2) ^ (y & y))) | 0;
+      }
+      var r = 0;
+      for (var k = 0; k < 25; k++) r = (r + fn2(20, 4)) | 0;
+      print(r);|}
+  in
+  let reference = run_with Engine.interp_only src in
+  List.iter
+    (fun opt ->
+      Alcotest.(check string)
+        ("agrees: " ^ opt.Pipeline.name)
+        reference
+        (run_with (Engine.default_config ~opt ()) src))
+    [ Pipeline.make ~ps:true "PS"; Pipeline.best ]
+
+(* The program generators and the config matrix live in [lib/fuzz] (shared
+   with bin/fuzz.exe); the properties here are thin QCheck wrappers. A
+   [Fuzz_gen] generator is a plain [Random.State.t -> string] function,
+   which is exactly a [QCheck.Gen.t]. *)
+let differential_prop name ~count gen =
+  QCheck.Test.make ~name ~count
+    (QCheck.make ~print:Fun.id gen)
+    (fun src -> Fuzz_diff.check src = None)
+
+let prop_configs_agree =
+  differential_prop "interpreter and every JIT configuration agree" ~count:60
+    Fuzz_gen.program
+
+let prop_loop_shapes_agree =
+  differential_prop "loop transformations preserve irregular loop shapes" ~count:80
+    Fuzz_gen.loop_program
+
+let prop_object_traffic_agrees =
+  differential_prop "object-model traffic agrees across configurations" ~count:40
+    Fuzz_gen.object_program
+
+let prop_deopt_traffic_agrees =
+  differential_prop "bailout/recompile stress agrees across configurations" ~count:40
+    Fuzz_gen.deopt_program
+
+let suites =
+  [
+    ( "opt.constprop",
+      [
+        Alcotest.test_case "folds type guards" `Quick test_constprop_folds_guards;
+        Alcotest.test_case "folds comparisons and typeof" `Quick
+          test_constprop_folds_comparison;
+        Alcotest.test_case "folds pure natives" `Quick test_constprop_folds_pure_natives;
+        Alcotest.test_case "meet over phis" `Quick test_constprop_lattice_laws;
+      ] );
+    ( "opt.dce",
+      [
+        Alcotest.test_case "removes wrapping conditional" `Quick
+          test_dce_removes_wrapping_conditional;
+        Alcotest.test_case "keeps the entry block" `Quick test_dce_keeps_entry_block;
+        Alcotest.test_case "keeps snapshot values" `Quick test_dce_respects_snapshots;
+      ] );
+    ( "opt.loop_inversion",
+      [
+        Alcotest.test_case "bottom-tested latch" `Quick test_inversion_moves_test_to_latch;
+        Alcotest.test_case "zero-trip semantics" `Quick test_inversion_preserves_zero_trip;
+      ] );
+    ( "opt.bounds_check",
+      [
+        Alcotest.test_case "removes proven checks" `Quick test_bce_removes_proven_checks;
+        Alcotest.test_case "keeps unprovable checks" `Quick test_bce_keeps_unprovable_checks;
+        Alcotest.test_case "store conservatism + ablation" `Quick
+          test_bce_store_conservatism;
+        Alcotest.test_case "overflow-check elimination (§6)" `Quick
+          test_overflow_check_elimination;
+      ] );
+    ( "opt.unroll",
+      [
+        Alcotest.test_case "unrolls constant-trip loop" `Quick
+          test_unroll_constant_trip_loop;
+        Alcotest.test_case "removes zero-trip loop" `Quick test_unroll_zero_trip_loop;
+        Alcotest.test_case "skips dynamic bounds" `Quick test_unroll_skips_unknown_bounds;
+        Alcotest.test_case "respects size budget" `Quick test_unroll_respects_budget;
+      ] );
+    ( "opt.inline",
+      [
+        Alcotest.test_case "inlines closure arguments" `Quick test_inline_closure_argument;
+        Alcotest.test_case "burned-in captured cells" `Quick
+          test_inline_skips_closures_with_cells;
+        Alcotest.test_case "site budget bounds recursion" `Quick test_inline_budget;
+      ] );
+    ( "opt.baseline",
+      [
+        Alcotest.test_case "gvn dedups guards" `Quick test_gvn_dedups_redundant_guards;
+        Alcotest.test_case "gvn constant keys are type-aware" `Quick
+          test_gvn_constant_keys_are_type_aware;
+        Alcotest.test_case "gvn collision regression (engine)" `Quick
+          test_gvn_collision_engine_regression;
+        Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists_invariants;
+      ] );
+    ( "opt.sccp",
+      [
+        Alcotest.test_case "folds one-sided phi" `Quick test_sccp_folds_one_sided_phi;
+        Alcotest.test_case "keeps unknown branches" `Quick
+          test_sccp_keeps_unknown_branches;
+        Alcotest.test_case "matches constprop on straight line" `Quick
+          test_sccp_matches_constprop_on_straight_line;
+        Alcotest.test_case "pipeline end to end" `Quick test_sccp_pipeline_end_to_end;
+      ] );
+    ( "opt.section3",
+      [
+        Alcotest.test_case "figures 6-8 progression on map/inc" `Quick
+          test_section3_figures_progression;
+      ] );
+    ( "opt.differential",
+      [
+        QCheck_alcotest.to_alcotest ~long:false prop_configs_agree;
+        QCheck_alcotest.to_alcotest ~long:false prop_loop_shapes_agree;
+        QCheck_alcotest.to_alcotest ~long:false prop_object_traffic_agrees;
+        QCheck_alcotest.to_alcotest ~long:false prop_deopt_traffic_agrees;
+      ] );
+  ]

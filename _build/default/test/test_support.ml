@@ -1,0 +1,225 @@
+(* Tests for the vs.support library: PRNG determinism, statistics, the
+   power-law sampler calibration, and table rendering. *)
+
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Support.Prng.create 42 in
+  let b = Support.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Support.Prng.int64 a) (Support.Prng.int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Support.Prng.create 7 in
+  let c = Support.Prng.split a in
+  let first_from_c = Support.Prng.int64 c in
+  let first_from_a = Support.Prng.int64 a in
+  Alcotest.(check bool) "split streams differ" true (first_from_c <> first_from_a)
+
+let test_prng_int_bounds () =
+  let rng = Support.Prng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Support.Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Support.Prng.create 2 in
+  for _ = 1 to 1000 do
+    let x = Support.Prng.float rng 3.0 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.0)
+  done
+
+let test_prng_weighted () =
+  let rng = Support.Prng.create 3 in
+  let counts = Array.make 2 0 in
+  for _ = 1 to 10_000 do
+    let i = Support.Prng.weighted rng [ (9.0, 0); (1.0, 1) ] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "90/10 split approx" true
+    (counts.(0) > 8_500 && counts.(0) < 9_500)
+
+let test_prng_shuffle_permutation () =
+  let rng = Support.Prng.create 4 in
+  let arr = Array.init 50 Fun.id in
+  Support.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Stats --- *)
+
+let test_arithmetic_mean () =
+  check_float "mean" 2.0 (Support.Stats.arithmetic_mean [ 1.0; 2.0; 3.0 ])
+
+let test_geometric_mean_ratio () =
+  check_float "geo" 2.0 (Support.Stats.geometric_mean_ratio [ 1.0; 4.0 ])
+
+let test_geometric_mean_percent () =
+  (* +100% then -50% cancel out: ratios 2.0 and 0.5, geometric mean 1.0. *)
+  check_float "cancel" 0.0 (Support.Stats.geometric_mean_percent [ 100.0; -50.0 ])
+
+let test_geometric_le_arithmetic () =
+  let ps = [ 5.0; 10.0; 1.0; 3.0 ] in
+  let g = Support.Stats.geometric_mean_percent ps in
+  let a = Support.Stats.arithmetic_mean ps in
+  Alcotest.(check bool) "AM-GM" true (g <= a +. 1e-9)
+
+let test_median_odd () = check_float "odd" 2.0 (Support.Stats.median [ 3.0; 1.0; 2.0 ])
+
+let test_median_even () =
+  check_float "even" 2.5 (Support.Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_percent_change () =
+  (* base 110, v 100: the optimized run is 10% faster. *)
+  check_float "speedup" 10.0 (Support.Stats.percent_change ~base:110.0 ~v:100.0)
+
+let test_histogram_basic () =
+  let h = Support.Stats.Histogram.create () in
+  List.iter (Support.Stats.Histogram.add h) [ 1; 1; 1; 2; 5 ];
+  Alcotest.(check int) "count 1" 3 (Support.Stats.Histogram.count h 1);
+  Alcotest.(check int) "count 2" 1 (Support.Stats.Histogram.count h 2);
+  Alcotest.(check int) "count absent" 0 (Support.Stats.Histogram.count h 3);
+  Alcotest.(check int) "total" 5 (Support.Stats.Histogram.total h);
+  Alcotest.(check int) "max key" 5 (Support.Stats.Histogram.max_key h);
+  check_float "fraction" 0.6 (Support.Stats.Histogram.fraction h 1)
+
+let test_histogram_bins_tail () =
+  let h = Support.Stats.Histogram.create () in
+  List.iter (Support.Stats.Histogram.add h) [ 1; 2; 3; 30; 40 ];
+  let bins = Support.Stats.Histogram.bins h ~first:1 ~tail_from:4 in
+  Alcotest.(check int) "3 head bins + tail" 4 (List.length bins);
+  let _, tail = List.nth bins 3 in
+  check_float "tail mass" 0.4 tail
+
+(* --- Powerlaw --- *)
+
+let test_powerlaw_range () =
+  let pl = Support.Powerlaw.create ~alpha:2.0 ~max_value:100 in
+  let rng = Support.Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Support.Powerlaw.sample pl rng in
+    Alcotest.(check bool) "in [1,100]" true (x >= 1 && x <= 100)
+  done
+
+let test_powerlaw_head_heavy () =
+  let pl = Support.Powerlaw.create ~alpha:2.0 ~max_value:100 in
+  let rng = Support.Prng.create 6 in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Support.Powerlaw.sample pl rng = 1 then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  let expected = Support.Powerlaw.mass_at_one pl in
+  Alcotest.(check bool) "empirical close to analytic" true
+    (Float.abs (frac -. expected) < 0.02)
+
+let test_powerlaw_calibration () =
+  (* The paper's Figure 2 head: 59.91% of functions have one argument set. *)
+  let target = 0.5991 in
+  let alpha = Support.Powerlaw.calibrate_alpha ~target_mass_at_one:target ~max_value:353 in
+  let pl = Support.Powerlaw.create ~alpha ~max_value:353 in
+  Alcotest.(check bool) "calibrated mass within 1e-6" true
+    (float_eq ~eps:1e-6 (Support.Powerlaw.mass_at_one pl) target)
+
+let test_powerlaw_monotone_mass () =
+  let m alpha = Support.Powerlaw.mass_at_one (Support.Powerlaw.create ~alpha ~max_value:50) in
+  Alcotest.(check bool) "mass grows with alpha" true (m 1.0 < m 2.0 && m 2.0 < m 3.0)
+
+(* --- Table --- *)
+
+let test_table_alignment () =
+  let s =
+    Support.Table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "longer"; "22" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: _ ->
+    Alcotest.(check bool) "header mentions both columns" true
+      (String.length header >= String.length "longer  value")
+  | [] -> Alcotest.fail "empty render");
+  Alcotest.(check bool) "row padded" true
+    (List.exists (fun l -> l = "longer     22") lines)
+
+let test_table_pads_short_rows () =
+  let s = Support.Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] () in
+  Alcotest.(check bool) "no exception, includes x" true (String.length s > 0)
+
+(* --- qcheck properties --- *)
+
+let prop_geometric_mean_scale =
+  QCheck.Test.make ~name:"geometric mean is multiplicative in a constant factor"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (float_range 0.1 10.0)) (float_range 0.5 2.0))
+    (fun (xs, k) ->
+      let g1 = Support.Stats.geometric_mean_ratio xs in
+      let g2 = Support.Stats.geometric_mean_ratio (List.map (fun x -> x *. k) xs) in
+      Float.abs (g2 -. (g1 *. k)) < 1e-6 *. Float.max 1.0 (Float.abs g2))
+
+let prop_histogram_fractions_sum =
+  QCheck.Test.make ~name:"histogram head+tail fractions sum to 1" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 1 40))
+    (fun keys ->
+      let h = Support.Stats.Histogram.create () in
+      List.iter (Support.Stats.Histogram.add h) keys;
+      let bins = Support.Stats.Histogram.bins h ~first:1 ~tail_from:30 in
+      let sum = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 bins in
+      Float.abs (sum -. 1.0) < 1e-9)
+
+let prop_prng_int_in_bounds =
+  QCheck.Test.make ~name:"prng ints stay in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Support.Prng.create seed in
+      let x = Support.Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let suites =
+  [
+    ( "support.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+        Alcotest.test_case "weighted" `Quick test_prng_weighted;
+        Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        QCheck_alcotest.to_alcotest prop_prng_int_in_bounds;
+      ] );
+    ( "support.stats",
+      [
+        Alcotest.test_case "arithmetic mean" `Quick test_arithmetic_mean;
+        Alcotest.test_case "geometric mean ratio" `Quick test_geometric_mean_ratio;
+        Alcotest.test_case "geometric mean percent" `Quick test_geometric_mean_percent;
+        Alcotest.test_case "AM-GM inequality" `Quick test_geometric_le_arithmetic;
+        Alcotest.test_case "median odd" `Quick test_median_odd;
+        Alcotest.test_case "median even" `Quick test_median_even;
+        Alcotest.test_case "percent change" `Quick test_percent_change;
+        Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+        Alcotest.test_case "histogram tail bin" `Quick test_histogram_bins_tail;
+        QCheck_alcotest.to_alcotest prop_geometric_mean_scale;
+        QCheck_alcotest.to_alcotest prop_histogram_fractions_sum;
+      ] );
+    ( "support.powerlaw",
+      [
+        Alcotest.test_case "sample range" `Quick test_powerlaw_range;
+        Alcotest.test_case "head heavy" `Quick test_powerlaw_head_heavy;
+        Alcotest.test_case "calibration" `Quick test_powerlaw_calibration;
+        Alcotest.test_case "mass monotone in alpha" `Quick test_powerlaw_monotone_mass;
+      ] );
+    ( "support.table",
+      [
+        Alcotest.test_case "alignment" `Quick test_table_alignment;
+        Alcotest.test_case "short rows padded" `Quick test_table_pads_short_rows;
+      ] );
+  ]

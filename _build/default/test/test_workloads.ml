@@ -1,0 +1,130 @@
+(* Tests for the benchmark suites and the synthetic web workload: every
+   member parses, runs identically under interpreter and JIT, and the web
+   generator hits its calibration targets. *)
+
+let quiet_run cfg src =
+  let buf = Buffer.create 64 in
+  let saved = !Runtime.Builtins.print_hook in
+  Runtime.Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
+  Fun.protect
+    ~finally:(fun () -> Runtime.Builtins.print_hook := saved)
+    (fun () ->
+      let r = Engine.run_source cfg src in
+      (r, Buffer.contents buf))
+
+let test_members_run_and_agree () =
+  List.iter
+    (fun (suite : Suite.t) ->
+      List.iter
+        (fun (m : Suite.member) ->
+          let _, reference = quiet_run Engine.interp_only m.Suite.m_source in
+          Alcotest.(check bool)
+            (m.Suite.m_name ^ " produces output")
+            true
+            (String.length reference > 0);
+          List.iter
+            (fun opt ->
+              let _, out = quiet_run (Engine.default_config ~opt ()) m.Suite.m_source in
+              Alcotest.(check string)
+                (Printf.sprintf "%s under %s" m.Suite.m_name opt.Pipeline.name)
+                reference out)
+            [
+              Pipeline.baseline; Pipeline.best; Pipeline.all_on;
+              Pipeline.make ~ps:true ~cp:true ~li:true ~dce:true ~bce:true
+                ~precise_alias:true ~overflow_elim:true ~loop_unroll:true "max";
+            ])
+        suite.Suite.members)
+    Suites.all
+
+let test_suites_shape () =
+  Alcotest.(check int) "three suites" 3 (List.length Suites.all);
+  Alcotest.(check int) "SunSpider members" 26 (List.length Suites.sunspider.Suite.members);
+  Alcotest.(check int) "V8 members" 8 (List.length Suites.v8.Suite.members);
+  Alcotest.(check int) "Kraken members" 14 (List.length Suites.kraken.Suite.members);
+  Alcotest.(check bool) "find by name" true
+    (Suites.find "sunspider 1.0" <> None && Suites.find "nope" = None)
+
+let test_suites_exercise_the_jit () =
+  (* Every member must actually compile something (otherwise it measures
+     nothing relevant to the paper). *)
+  List.iter
+    (fun (suite : Suite.t) ->
+      List.iter
+        (fun (m : Suite.member) ->
+          let r, _ = quiet_run (Engine.default_config ()) m.Suite.m_source in
+          Alcotest.(check bool)
+            (m.Suite.m_name ^ " compiles at least one function")
+            true
+            (r.Engine.compilations >= 1))
+        suite.Suite.members)
+    Suites.all
+
+let test_web_session_calibration () =
+  let stats = Web.session ~seed:42 ~nfunctions:23002 in
+  let h = stats.Web.calls_histogram in
+  let once = Support.Stats.Histogram.fraction h 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "called-once fraction %.4f within 2pp of 0.4888" once)
+    true
+    (Float.abs (once -. 0.4888) < 0.02);
+  let a = stats.Web.argsets_histogram in
+  let single = Support.Stats.Histogram.fraction a 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-argset fraction %.4f within 2pp of 0.5991" single)
+    true
+    (Float.abs (single -. 0.5991) < 0.02);
+  Alcotest.(check int) "function count" 23002 stats.Web.nfunctions;
+  (* Argument sets can never exceed calls. *)
+  Alcotest.(check bool) "argsets <= calls heads" true
+    (Support.Stats.Histogram.max_key a <= Support.Stats.Histogram.max_key h)
+
+let test_web_session_deterministic () =
+  let s1 = Web.session ~seed:9 ~nfunctions:2000 in
+  let s2 = Web.session ~seed:9 ~nfunctions:2000 in
+  Alcotest.(check (float 0.0)) "same fractions"
+    (Support.Stats.Histogram.fraction s1.Web.calls_histogram 1)
+    (Support.Stats.Histogram.fraction s2.Web.calls_histogram 1)
+
+let test_web_type_mix_ordering () =
+  let stats = Web.session ~seed:4 ~nfunctions:23002 in
+  let frac name = List.assoc name stats.Web.type_fractions in
+  (* The paper's headline facts: objects and strings dominate, ints rare. *)
+  Alcotest.(check bool) "objects > ints" true (frac "object" > frac "int");
+  Alcotest.(check bool) "strings > ints" true (frac "string" > frac "int");
+  Alcotest.(check bool) "int share small" true (frac "int" < 0.15)
+
+let test_synthetic_sites_run () =
+  List.iter
+    (fun profile ->
+      let src = Web.synthetic_site ~seed:3 profile in
+      let _, out_i = quiet_run Engine.interp_only src in
+      let _, out_j = quiet_run (Engine.default_config ~opt:Pipeline.all_on ()) src in
+      Alcotest.(check string) (profile.Web.site_name ^ " agrees") out_i out_j)
+    [ Web.google; Web.facebook; Web.twitter ]
+
+let test_twitter_more_varied_than_google () =
+  let deopts profile =
+    let src = Web.synthetic_site ~seed:3 profile in
+    let r, _ = quiet_run (Engine.default_config ~opt:Pipeline.all_on ()) src in
+    r.Engine.deoptimized_funcs
+  in
+  Alcotest.(check bool) "twitter profile deopts more" true
+    (deopts Web.twitter > deopts Web.google)
+
+let suites =
+  [
+    ( "workloads.suites",
+      [
+        Alcotest.test_case "shape" `Quick test_suites_shape;
+        Alcotest.test_case "members agree across configs" `Slow test_members_run_and_agree;
+        Alcotest.test_case "members exercise the JIT" `Slow test_suites_exercise_the_jit;
+      ] );
+    ( "workloads.web",
+      [
+        Alcotest.test_case "calibration" `Quick test_web_session_calibration;
+        Alcotest.test_case "deterministic" `Quick test_web_session_deterministic;
+        Alcotest.test_case "type mix" `Quick test_web_type_mix_ordering;
+        Alcotest.test_case "synthetic sites run" `Slow test_synthetic_sites_run;
+        Alcotest.test_case "variability profile" `Slow test_twitter_more_varied_than_google;
+      ] );
+  ]
