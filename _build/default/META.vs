@@ -1,3 +1,12 @@
+package "analysis" (
+  directory = "analysis"
+  description = ""
+  requires = "fmt vs.bytecode vs.diag vs.mir vs.runtime"
+  archive(byte) = "analysis.cma"
+  archive(native) = "analysis.cmxa"
+  plugin(byte) = "analysis.cma"
+  plugin(native) = "analysis.cmxs"
+)
 package "bytecode" (
   directory = "bytecode"
   description = ""
@@ -7,12 +16,23 @@ package "bytecode" (
   plugin(byte) = "bytecode.cma"
   plugin(native) = "bytecode.cmxs"
 )
+package "diag" (
+  directory = "diag"
+  description = ""
+  requires = ""
+  archive(byte) = "diag.cma"
+  archive(native) = "diag.cmxa"
+  plugin(byte) = "diag.cma"
+  plugin(native) = "diag.cmxs"
+)
 package "engine" (
   directory = "engine"
   description = ""
   requires =
   "fmt
+   vs.analysis
    vs.bytecode
+   vs.diag
    vs.interp
    vs.jsfront
    vs.lir
@@ -29,7 +49,9 @@ package "fuzz" (
   directory = "fuzz"
   description = ""
   requires =
-  "vs.bytecode
+  "vs.analysis
+   vs.bytecode
+   vs.diag
    vs.engine
    vs.interp
    vs.jsfront
@@ -86,7 +108,7 @@ package "jsfront" (
 package "lir" (
   directory = "lir"
   description = ""
-  requires = "fmt vs.bytecode vs.mir vs.runtime"
+  requires = "fmt vs.bytecode vs.diag vs.mir vs.runtime"
   archive(byte) = "lir.cma"
   archive(native) = "lir.cmxa"
   plugin(byte) = "lir.cma"
@@ -95,7 +117,7 @@ package "lir" (
 package "mir" (
   directory = "mir"
   description = ""
-  requires = "fmt vs.bytecode vs.runtime"
+  requires = "fmt vs.bytecode vs.diag vs.runtime"
   archive(byte) = "mirlib.cma"
   archive(native) = "mirlib.cmxa"
   plugin(byte) = "mirlib.cma"
@@ -113,7 +135,7 @@ package "native" (
 package "opt" (
   directory = "opt"
   description = ""
-  requires = "fmt vs.bytecode vs.mir vs.runtime"
+  requires = "fmt vs.bytecode vs.diag vs.mir vs.runtime"
   archive(byte) = "opt.cma"
   archive(native) = "opt.cmxa"
   plugin(byte) = "opt.cma"

@@ -1,1 +1,1 @@
-bin/fuzz.ml: Arg Cmd Cmdliner Fuzz_diff Fuzz_gen Printf Random String Term
+bin/fuzz.ml: Arg Cmd Cmdliner Diag Fuzz_diff Fuzz_gen Printf Random String Term

@@ -1,0 +1,1 @@
+bin/irlint.ml: Arg Bc_verify Bytecode Cmd Cmdliner Diag Engine Hashtbl List Option Pipeline Printexc Printf Runner String Suite Suites Term

@@ -1,1 +1,1 @@
-bin/jsvm.ml: Arg Bytecode Cmd Cmdliner Code Cost Engine Exec Fuzz_diff Hashtbl In_channel Jsfront List Mir Option Pipeline Printf String Support Term
+bin/jsvm.ml: Arg Bytecode Cmd Cmdliner Code Cost Diag Engine Exec Fuzz_diff Hashtbl In_channel Jsfront List Mir Option Pipeline Printf String Support Term

@@ -1,11 +1,14 @@
 (* Differential fuzzer: generate MiniJS programs and check that every JIT
-   configuration prints exactly what the interpreter prints.
+   configuration prints exactly what the interpreter prints. Every JIT run
+   executes with per-pass pipeline verification on, so an IR corruption is
+   reported as a verifier diagnostic even when the miscompiled code happens
+   to print the right answer.
 
      dune exec bin/fuzz.exe -- --count 500
      dune exec bin/fuzz.exe -- --gen objects --start 1000 --count 200
      dune exec bin/fuzz.exe -- --seed 1992 --show   # replay one case
 
-   Exit status 1 when any mismatch was found, so the fuzzer can gate CI. *)
+   Exit status 1 when any failure was found, so the fuzzer can gate CI. *)
 
 let generator_of = function
   | "program" -> Fuzz_gen.program
@@ -15,32 +18,43 @@ let generator_of = function
   | "any" -> Fuzz_gen.any_program
   | g -> invalid_arg ("unknown generator: " ^ g)
 
+(* Distinguish the two failure kinds in counts and output: an output
+   mismatch is a wrong answer, a verifier diagnostic is a broken IR. *)
+type outcome = Pass | Mismatched | Diagnosed
+
 let run_one gen seed ~show =
   let st = Random.State.make [| seed |] in
   let src = gen st in
   if show then Printf.printf "--- seed %d ---\n%s\n" seed src;
   match Fuzz_diff.check src with
-  | None -> true
-  | Some m ->
+  | None -> Pass
+  | Some (Fuzz_diff.Mismatch m) ->
     Printf.printf "=== MISMATCH seed=%d config=%s ===\n" seed m.Fuzz_diff.mm_config;
     Printf.printf "interp : %s\njit    : %s\nprogram:\n%s\n"
       (String.trim m.Fuzz_diff.mm_expected)
       (String.trim m.Fuzz_diff.mm_got)
       src;
-    false
+    Mismatched
+  | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
+    Printf.printf "=== VERIFIER DIAGNOSTIC seed=%d config=%s ===\n" seed vd_config;
+    Printf.printf "%s\nprogram:\n%s\n" (Diag.to_string vd_diag) src;
+    Diagnosed
 
 let main gen_name start count one_seed show =
   let gen = generator_of gen_name in
   match one_seed with
-  | Some seed -> if run_one gen seed ~show then (print_endline "ok"; 0) else 1
+  | Some seed -> if run_one gen seed ~show = Pass then (print_endline "ok"; 0) else 1
   | None ->
-    let failures = ref 0 in
+    let mismatches = ref 0 and diagnostics = ref 0 in
     for seed = start to start + count - 1 do
-      if not (run_one gen seed ~show) then incr failures
+      match run_one gen seed ~show with
+      | Pass -> ()
+      | Mismatched -> incr mismatches
+      | Diagnosed -> incr diagnostics
     done;
-    Printf.printf "%d cases (%s, seeds %d..%d), %d mismatches\n" count gen_name
-      start (start + count - 1) !failures;
-    if !failures = 0 then 0 else 1
+    Printf.printf "%d cases (%s, seeds %d..%d), %d mismatches, %d verifier diagnostics\n"
+      count gen_name start (start + count - 1) !mismatches !diagnostics;
+    if !mismatches = 0 && !diagnostics = 0 then 0 else 1
 
 open Cmdliner
 

@@ -1,0 +1,152 @@
+(* irlint: run the full static-analysis suite over every workload under
+   every Figure-9 configuration (plus the selective / k-entry-cache
+   extensions, which exercise the specialization mask paths).
+
+   For each suite member:
+     1. compile to bytecode and run the bytecode verifier;
+     2. run the program under the engine with per-pass pipeline checks on,
+        so every compilation is re-verified after every pass, audited by
+        the specialization-soundness checker, and code-verified after
+        register allocation.
+
+   Errors are printed individually; warnings are aggregated by kind (pass
+   `--machine` for one tab-separated line per finding instead). Exit 1 on
+   any error — or any warning under `--strict` — so the @lint alias can
+   gate CI.
+
+     dune exec bin/irlint.exe --
+     dune exec bin/irlint.exe -- --suite kraken --config PS+CP+DCE
+     dune exec bin/irlint.exe -- --machine *)
+
+let engine_configs =
+  (("baseline", Engine.default_config ())
+  :: List.map
+       (fun c -> (c.Pipeline.name, Engine.default_config ~opt:c ()))
+       Pipeline.figure9_configs)
+  @ [
+      ("selective", Engine.default_config ~opt:Pipeline.all_on ~selective:true ());
+      ("cache4", Engine.default_config ~opt:Pipeline.all_on ~cache_size:4 ());
+    ]
+
+(* Aggregation key for warnings: layer plus the first words of the message,
+   enough to separate "redundant guard ..." from "dead resume point ...". *)
+let kind_of (d : Diag.t) =
+  let words = String.split_on_char ' ' d.Diag.message in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  Printf.sprintf "%s: %s" d.Diag.layer (String.concat " " (take 3 words))
+
+let main suite_filter config_filter strict machine =
+  let suites =
+    match suite_filter with
+    | None -> Suites.all
+    | Some name -> (
+      match Suites.find name with
+      | Some s -> [ s ]
+      | None ->
+        Printf.eprintf "unknown suite: %s (have: %s)\n" name
+          (String.concat ", " (List.map (fun (s : Suite.t) -> s.Suite.s_name) Suites.all));
+        exit 2)
+  in
+  let configs =
+    match config_filter with
+    | None -> engine_configs
+    | Some name -> (
+      match
+        List.filter
+          (fun (n, _) -> String.lowercase_ascii n = String.lowercase_ascii name)
+          engine_configs
+      with
+      | [] ->
+        Printf.eprintf "unknown config: %s (have: %s)\n" name
+          (String.concat ", " (List.map fst engine_configs));
+        exit 2
+      | cs -> cs)
+  in
+  let errors = ref 0 in
+  let warnings = ref 0 in
+  let warn_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Attribution context for findings reported from inside an engine run. *)
+  let where = ref "" in
+  let report d =
+    if Diag.is_error d then begin
+      incr errors;
+      Printf.printf "%s\t%s\n" !where
+        (if machine then Diag.to_machine_string d else Diag.to_string d)
+    end
+    else begin
+      incr warnings;
+      let k = kind_of d in
+      Hashtbl.replace warn_counts k
+        (1 + Option.value (Hashtbl.find_opt warn_counts k) ~default:0);
+      if machine then Printf.printf "%s\t%s\n" !where (Diag.to_machine_string d)
+    end
+  in
+  Pipeline.checks := true;
+  Engine.diag_warn_hook := Some report;
+  let members = ref 0 and runs = ref 0 in
+  List.iter
+    (fun (suite : Suite.t) ->
+      List.iter
+        (fun (m : Suite.member) ->
+          incr members;
+          let workload = Printf.sprintf "%s/%s" suite.Suite.s_name m.Suite.m_name in
+          where := workload ^ "\tbytecode";
+          match Bytecode.Compile.program_of_source m.Suite.m_source with
+          | exception e ->
+            incr errors;
+            Printf.printf "%s\terror: does not compile: %s\n" !where (Printexc.to_string e)
+          | program ->
+            List.iter report (Bc_verify.run_program program);
+            List.iter
+              (fun (cname, cfg) ->
+                incr runs;
+                where := workload ^ "\t" ^ cname;
+                match Runner.quiet (fun () -> Engine.run_source cfg m.Suite.m_source) with
+                | exception Diag.Failed d -> report d
+                | exception e ->
+                  incr errors;
+                  Printf.printf "%s\terror: run failed: %s\n" !where (Printexc.to_string e)
+                | _report -> ())
+              configs)
+        suite.Suite.members)
+    suites;
+  if not machine then begin
+    Printf.printf "%d workloads x %d configs: %d runs, %d errors, %d warnings\n"
+      !members (List.length configs) !runs !errors !warnings;
+    if !warnings > 0 then begin
+      print_endline "warning kinds:";
+      Hashtbl.fold (fun k n acc -> (n, k) :: acc) warn_counts []
+      |> List.sort compare |> List.rev
+      |> List.iter (fun (n, k) -> Printf.printf "  %6d  %s ...\n" n k)
+    end
+  end;
+  if !errors > 0 || (strict && !warnings > 0) then 1 else 0
+
+open Cmdliner
+
+let suite_arg =
+  let doc = "Lint only this suite (sunspider, v8, kraken); default all." in
+  Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"NAME" ~doc)
+
+let config_arg =
+  let doc = "Lint only this configuration (baseline, a Figure-9 column, selective, cache4)." in
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"NAME" ~doc)
+
+let strict_arg =
+  let doc = "Exit nonzero on warnings too, not just errors." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let machine_arg =
+  let doc = "One tab-separated line per finding (including warnings); no summary." in
+  Arg.(value & flag & info [ "machine" ] ~doc)
+
+let cmd =
+  let doc = "static-analysis lint of all IRs over the benchmark workloads" in
+  Cmd.v
+    (Cmd.info "vs-irlint" ~doc)
+    Term.(const main $ suite_arg $ config_arg $ strict_arg $ machine_arg)
+
+let () = exit (Cmd.eval' cmd)

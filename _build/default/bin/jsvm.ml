@@ -53,9 +53,12 @@ let run_file path no_jit spec selective cache_size config_name stats dump_byteco
       Printf.printf "ok: interpreter and %d configurations agree\n"
         (List.length Fuzz_diff.default_configs);
       exit 0
-    | Some m ->
+    | Some (Fuzz_diff.Mismatch m) ->
       Printf.printf "MISMATCH under %s\n-- interpreter --\n%s-- %s --\n%s" m.Fuzz_diff.mm_config
         m.Fuzz_diff.mm_expected m.Fuzz_diff.mm_config m.Fuzz_diff.mm_got;
+      exit 1
+    | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
+      Printf.printf "VERIFIER DIAGNOSTIC under %s\n%s\n" vd_config (Diag.to_string vd_diag);
       exit 1
   end;
   let opt =

@@ -1,0 +1,1 @@
+lib/analysis/bc_verify.ml: Array Bytecode Diag Instr List Program Queue

@@ -1,0 +1,1 @@
+lib/analysis/spec_check.ml: Array Bytecode Diag Format Hashtbl List Mir Printf Runtime Value

@@ -1,0 +1,139 @@
+(* Bytecode verifier: abstract interpretation of stack effects over
+   [Bytecode.Instr.t].
+
+   The interpreter and the MIR builder both assume the compiler's output is
+   well-formed — jump targets in range, a unique stack depth at every merge
+   point (the compiler only emits reducible code), no stack underflow, every
+   slot index in bounds, and every path ending in a return. None of that was
+   checked anywhere: a compiler bug surfaced as an [Invalid_argument] deep
+   inside the interpreter, or as a builder graph the MIR verifier rejected
+   four stages later. This pass checks it directly on the bytecode, right
+   after [Bytecode.Compile].
+
+   Jump targets are instruction indices, so "landing on an instruction
+   boundary" is the range check; a serialized encoding would additionally
+   validate byte offsets here. *)
+
+open Bytecode
+
+(* Values an instruction pops and pushes, in that order. The net difference
+   agrees with [Instr.stack_effect]; the split matters for underflow. *)
+let stack_io (i : Instr.t) =
+  match i with
+  | Instr.Const _ | Instr.Get_arg _ | Instr.Get_local _ | Instr.Get_cell _
+  | Instr.Get_upval _ | Instr.Get_global _ | Instr.Make_closure _ ->
+    (0, 1)
+  | Instr.Dup -> (1, 2)
+  | Instr.Set_arg _ | Instr.Set_local _ | Instr.Set_cell _ | Instr.Set_upval _
+  | Instr.Set_global _ | Instr.Pop ->
+    (1, 0)
+  | Instr.Binop _ | Instr.Cmp _ -> (2, 1)
+  | Instr.Unop _ -> (1, 1)
+  | Instr.Jump _ | Instr.Loop_head _ -> (0, 0)
+  | Instr.Jump_if_false _ | Instr.Jump_if_true _ -> (1, 0)
+  | Instr.Call n -> (n + 1, 1)
+  | Instr.Method_call (_, n) -> (n + 1, 1)
+  | Instr.Return -> (1, 0)
+  | Instr.Return_undefined -> (0, 0)
+  | Instr.New_array n -> (n, 1)
+  | Instr.New (_, n) -> (n, 1)
+  | Instr.New_object fields -> (Array.length fields, 1)
+  | Instr.Get_elem -> (2, 1)
+  | Instr.Set_elem -> (3, 1)
+  | Instr.Keys -> (1, 1)
+  | Instr.Get_prop _ -> (1, 1)
+  | Instr.Set_prop _ -> (2, 1)
+
+(* Raises [Diag.Failed] at the first malformation. *)
+let verify_func ~(program : Program.t) (f : Program.func) =
+  let fail pc fmt =
+    Diag.error ~layer:"bytecode" ~func:f.Program.name ~fid:f.Program.fid ~pc fmt
+  in
+  let code = f.Program.code in
+  let n = Array.length code in
+  if n = 0 then
+    Diag.error ~layer:"bytecode" ~func:f.Program.name ~fid:f.Program.fid
+      "empty code array (no path can return)";
+  let nglobals = Array.length program.Program.global_names in
+  let check_slot pc what idx bound =
+    if idx < 0 || idx >= bound then
+      fail pc "%s index %d out of bounds (have %d)" what idx bound
+  in
+  let check_target pc t =
+    if t < 0 || t >= n then fail pc "jump target %d out of range [0,%d)" t n
+  in
+  let check_indices pc (i : Instr.t) =
+    match i with
+    | Instr.Get_arg k | Instr.Set_arg k -> check_slot pc "argument" k f.Program.arity
+    | Instr.Get_local k | Instr.Set_local k -> check_slot pc "local" k f.Program.nlocals
+    | Instr.Get_cell k | Instr.Set_cell k -> check_slot pc "cell" k f.Program.ncells
+    | Instr.Get_upval k | Instr.Set_upval k -> check_slot pc "upvalue" k f.Program.nupvals
+    | Instr.Get_global k | Instr.Set_global k -> check_slot pc "global" k nglobals
+    | Instr.Call k | Instr.Method_call (_, k) | Instr.New_array k | Instr.New (_, k)
+      ->
+      if k < 0 then fail pc "negative operand count %d" k
+    | Instr.Make_closure (fid, caps) ->
+      if fid < 0 || fid >= Program.nfuncs program then
+        fail pc "closure references missing function f%d" fid;
+      let target = Program.func program fid in
+      if Array.length caps <> target.Program.nupvals then
+        fail pc "closure passes %d captures but f%d expects %d upvalues"
+          (Array.length caps) fid target.Program.nupvals;
+      Array.iter
+        (function
+          | Instr.Cap_cell k -> check_slot pc "captured cell" k f.Program.ncells
+          | Instr.Cap_upval k -> check_slot pc "captured upvalue" k f.Program.nupvals)
+        caps
+    | _ -> ()
+  in
+  (* Depth propagation: the depth at each reachable pc must be unique
+     (merge-point consistency) and every pop must be covered. *)
+  let depth = Array.make n (-1) in
+  let worklist = Queue.create () in
+  let schedule ~from pc d =
+    check_target from pc;
+    if depth.(pc) = -1 then begin
+      depth.(pc) <- d;
+      Queue.add pc worklist
+    end
+    else if depth.(pc) <> d then
+      fail pc "inconsistent stack depth at merge: %d from pc %d, %d earlier"
+        d from depth.(pc)
+  in
+  schedule ~from:0 0 0;
+  while not (Queue.is_empty worklist) do
+    let pc = Queue.pop worklist in
+    let d = depth.(pc) in
+    let instr = code.(pc) in
+    check_indices pc instr;
+    let pops, pushes = stack_io instr in
+    if d < pops then
+      fail pc "stack underflow: %s pops %d but depth is %d" (Instr.to_string instr)
+        pops d;
+    let d' = d - pops + pushes in
+    if d' >= f.Program.max_stack then
+      fail pc "stack depth %d exceeds declared max_stack %d" d' f.Program.max_stack;
+    match instr with
+    | Instr.Return | Instr.Return_undefined -> ()
+    | Instr.Jump t -> schedule ~from:pc t d'
+    | Instr.Jump_if_false t | Instr.Jump_if_true t ->
+      schedule ~from:pc t d';
+      if pc + 1 >= n then fail pc "conditional jump falls off the end of the code";
+      schedule ~from:pc (pc + 1) d'
+    | _ ->
+      if pc + 1 >= n then
+        fail pc "control falls off the end of the code (missing return)";
+      schedule ~from:pc (pc + 1) d'
+  done
+
+let run_func ~program f =
+  match verify_func ~program f with () -> [] | exception Diag.Failed d -> [ d ]
+
+let run_program (program : Program.t) =
+  Array.to_list program.Program.funcs
+  |> List.concat_map (fun f -> run_func ~program f)
+
+(* Raise on the first malformed function — the always-on form the engine
+   uses before admitting a program for execution. *)
+let check_program (program : Program.t) =
+  Array.iter (fun f -> verify_func ~program f) program.Program.funcs

@@ -1,0 +1,80 @@
+(* Structured diagnostics for the IR lint layer.
+
+   Every verifier in the pipeline — the bytecode verifier, the MIR
+   structural/type verifier, the LIR code verifier, the specialization
+   soundness checker — reports findings as a [Diag.t] instead of a bare
+   string, so a failure carries machine-usable attribution: which layer
+   found it, which pipeline pass introduced it, and where (function, block,
+   value, pc). The pretty renderer is for humans; the machine renderer is
+   one tab-separated line per finding, for CI tooling (bin/irlint). *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  layer : string;  (* "bytecode" | "mir" | "lir" | "spec" *)
+  pass : string option;  (* pipeline pass the finding is attributed to *)
+  func : string option;  (* source-level function name *)
+  fid : int option;
+  block : int option;  (* MIR basic block *)
+  value : int option;  (* MIR def / LIR virtual register *)
+  pc : int option;  (* bytecode pc / LIR code offset *)
+  message : string;
+}
+
+(* Raised by verifiers that abort on the first error. Collecting verifiers
+   return a [t list] instead and never raise. *)
+exception Failed of t
+
+let make ?(severity = Error) ~layer ?pass ?func ?fid ?block ?value ?pc message =
+  { severity; layer; pass; func; fid; block; value; pc; message }
+
+let is_error d = d.severity = Error
+let is_warning d = d.severity = Warning
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter is_warning ds
+let with_pass pass d = { d with pass = Some pass }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let location_to_string d =
+  let parts =
+    List.filter_map Fun.id
+      [
+        (match (d.func, d.fid) with
+        | Some n, Some fid -> Some (Printf.sprintf "%s(f%d)" n fid)
+        | Some n, None -> Some n
+        | None, Some fid -> Some (Printf.sprintf "f%d" fid)
+        | None, None -> None);
+        Option.map (Printf.sprintf "B%d") d.block;
+        Option.map (Printf.sprintf "v%d") d.value;
+        Option.map (Printf.sprintf "@%d") d.pc;
+      ]
+  in
+  match parts with [] -> "<no location>" | _ -> String.concat " " parts
+
+let to_string d =
+  Printf.sprintf "%s[%s%s] %s: %s"
+    (severity_to_string d.severity)
+    d.layer
+    (match d.pass with Some p -> "/" ^ p | None -> "")
+    (location_to_string d) d.message
+
+(* severity, layer, pass, func, fid, block, value, pc, message — "-" for
+   absent fields. Stable field order; greppable and splittable on tabs. *)
+let to_machine_string d =
+  let oi = function Some i -> string_of_int i | None -> "-" in
+  let os = function Some s -> s | None -> "-" in
+  String.concat "\t"
+    [
+      severity_to_string d.severity; d.layer; os d.pass; os d.func; oi d.fid;
+      oi d.block; oi d.value; oi d.pc; d.message;
+    ]
+
+(* Printf-style constructor that raises [Failed] — the one-liner verifiers
+   use at each check site. *)
+let error ~layer ?pass ?func ?fid ?block ?value ?pc fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Failed (make ~layer ?pass ?func ?fid ?block ?value ?pc message)))
+    fmt

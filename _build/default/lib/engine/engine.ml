@@ -32,6 +32,12 @@ let verbose = ref false
    lowering (jsvm --dump-mir; tests inspect pass output in situ). *)
 let mir_hook : (Mir.func -> unit) option ref = ref None
 
+(* Warning sink for the lint layer: when pipeline checks are on, the
+   specialization-soundness checker's warnings (redundant guards, dead
+   resume points) are delivered here instead of aborting compilation.
+   Errors always raise [Diag.Failed]. *)
+let diag_warn_hook : (Diag.t -> unit) option ref = ref None
+
 let log fmt =
   if !verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
 
@@ -102,6 +108,10 @@ type report = {
 }
 
 let make engine_config program =
+  (* Admission check: the interpreter and the MIR builder both trust the
+     compiler's output, so reject malformed bytecode before running any of
+     it. Raises [Diag.Failed]. *)
+  Bc_verify.check_program program;
   {
     cfg = engine_config;
     program;
@@ -169,6 +179,13 @@ let stable_tags fs =
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* The single factory for executable [Code.t]. Every compilation path —
+   hot-call compile (generic or specialized), cache fill beyond the first
+   entry, selective narrowing, generic recompilation after deopt, and OSR
+   compilation from a loop head — goes through this function, so the
+   verification below covers all code the executor can ever run. Keep it
+   that way: a new path that lowers MIR elsewhere would bypass the lint
+   layer. *)
 let compile t fs ?spec_args ?spec_mask ?osr () =
   let func = t.program.Bytecode.Program.funcs.(fs.fid) in
   let arg_tags = stable_tags fs in
@@ -176,7 +193,23 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
     Builder.build ~program:t.program ~func ?spec_args ?spec_mask ~arg_tags ?osr
       ~no_checked_int:fs.overflow_bailed ()
   in
+  let spec_check stage =
+    if !Pipeline.checks then begin
+      let ds = Spec_check.check ~stage mir in
+      List.iter
+        (fun d ->
+          if Diag.is_error d then raise (Diag.Failed d)
+          else match !diag_warn_hook with Some h -> h d | None -> ())
+        ds
+    end
+  in
+  (* Baked constants are audited against the cached tuple on the fresh
+     graph, where the builder's argument-materialization layout still
+     holds; the guard/resume-point audit runs on the optimized graph the
+     lowerer will consume. *)
+  spec_check `Built;
   let pass_stats = Pipeline.apply ~program:t.program t.cfg.opt mir in
+  spec_check `Optimized;
   (match !mir_hook with Some hook -> hook mir | None -> ());
   let vcode = Lower.run mir in
   let code, intervals = Regalloc.run vcode in

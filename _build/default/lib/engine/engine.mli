@@ -83,6 +83,11 @@ val mir_hook : (Mir.func -> unit) option ref
 (** Called with every optimized MIR graph just before lowering
     ([jsvm --dump-mir]); [None] in normal operation. *)
 
+val diag_warn_hook : (Diag.t -> unit) option ref
+(** Warning sink for the lint layer: when {!Pipeline.checks} is on, the
+    specialization-soundness checker's warnings are delivered here
+    (errors always raise {!Diag.Failed}); [None] drops them. *)
+
 exception Runtime_error of string
 
 val run_program : config -> Bytecode.Program.t -> report

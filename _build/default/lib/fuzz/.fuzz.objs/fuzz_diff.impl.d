@@ -1,1 +1,1 @@
-lib/fuzz/fuzz_diff.ml: Buffer Engine Fun List Pipeline Printexc Runtime
+lib/fuzz/fuzz_diff.ml: Buffer Diag Engine Fun List Pipeline Printexc Runtime

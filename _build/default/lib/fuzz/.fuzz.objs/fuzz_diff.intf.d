@@ -1,1 +1,1 @@
-lib/fuzz/fuzz_diff.mli: Engine
+lib/fuzz/fuzz_diff.mli: Diag Engine

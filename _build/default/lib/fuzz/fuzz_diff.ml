@@ -1,6 +1,15 @@
 type mismatch = { mm_config : string; mm_expected : string; mm_got : string }
 
-let run config src =
+(* A differential failure is either a behavioural divergence from the
+   reference interpreter, or an IR verifier rejecting a compilation while
+   pipeline checks were on. The two are distinct kinds on purpose: a
+   miscompile that happens to print the right answer still corrupts the IR,
+   and only the verifier sees it. *)
+type failure =
+  | Mismatch of mismatch
+  | Verifier_diag of { vd_config : string; vd_diag : Diag.t }
+
+let capture k =
   let buf = Buffer.create 64 in
   let saved = !Runtime.Builtins.print_hook in
   Runtime.Builtins.print_hook :=
@@ -10,10 +19,32 @@ let run config src =
   Runtime.Builtins.reset_random 20130223;
   Fun.protect
     ~finally:(fun () -> Runtime.Builtins.print_hook := saved)
-    (fun () ->
+    (fun () -> k buf)
+
+let run config src =
+  capture (fun buf ->
       (try ignore (Engine.run_source config src)
        with e -> Buffer.add_string buf ("EXN " ^ Printexc.to_string e ^ "\n"));
       Buffer.contents buf)
+
+(* Like [run], but with per-pass pipeline checks enabled for the duration;
+   a verifier rejection comes back as [Error diag] instead of being folded
+   into the captured output as an EXN line. *)
+let run_checked config src =
+  let saved = !Pipeline.checks in
+  Pipeline.checks := true;
+  Fun.protect
+    ~finally:(fun () -> Pipeline.checks := saved)
+    (fun () ->
+      capture (fun buf ->
+          try
+            ignore (Engine.run_source config src);
+            Ok (Buffer.contents buf)
+          with
+          | Diag.Failed d -> Error d
+          | e ->
+            Buffer.add_string buf ("EXN " ^ Printexc.to_string e ^ "\n");
+            Ok (Buffer.contents buf)))
 
 let default_configs =
   let opt o = Engine.default_config ~opt:o () in
@@ -34,8 +65,10 @@ let check ?(configs = default_configs) src =
     (fun acc (name, config) ->
       match acc with
       | Some _ -> acc
-      | None ->
-        let got = run config src in
-        if got = reference then None
-        else Some { mm_config = name; mm_expected = reference; mm_got = got })
+      | None -> (
+        match run_checked config src with
+        | Error d -> Some (Verifier_diag { vd_config = name; vd_diag = d })
+        | Ok got ->
+          if got = reference then None
+          else Some (Mismatch { mm_config = name; mm_expected = reference; mm_got = got })))
     None configs

@@ -13,6 +13,12 @@ type mismatch = {
   mm_got : string;  (** the configuration's output *)
 }
 
+(** The two failure kinds, kept distinct so IR corruption is caught even
+    when the miscompiled code prints the right answer. *)
+type failure =
+  | Mismatch of mismatch
+  | Verifier_diag of { vd_config : string; vd_diag : Diag.t }
+
 val run : Engine.config -> string -> string
 (** Run one program under one configuration, capturing everything it
     prints. Reseeds the deterministic [Math.random] before the run. *)
@@ -22,6 +28,12 @@ val default_configs : (string * Engine.config) list
     maximum-extensions configuration, the selective and 4-entry-cache
     engine policies, the SCCP pipeline, and the ten Figure 9 columns. *)
 
-val check : ?configs:(string * Engine.config) list -> string -> mismatch option
-(** Run [src] under the interpreter and every configuration; return the
-    first disagreement, or [None] when all agree. *)
+val run_checked : Engine.config -> string -> (string, Diag.t) result
+(** Like {!run}, but with per-pass pipeline checks enabled for the
+    duration; a verifier rejection is [Error diag] instead of an
+    ["EXN ..."] output line. *)
+
+val check : ?configs:(string * Engine.config) list -> string -> failure option
+(** Run [src] under the interpreter and every configuration (the latter
+    with pipeline checks enabled); return the first failure, or [None]
+    when every configuration agrees and verifies clean. *)

@@ -1,1 +1,1 @@
-lib/lir/code_verify.ml: Array Code Int List Option Printf Queue Regalloc Set
+lib/lir/code_verify.ml: Array Code Diag Int List Option Printf Queue Regalloc Set

@@ -18,7 +18,6 @@
     The engine runs it after every compilation ({!Engine.verbose}-class
     internal assert; model cycles are unaffected). *)
 
-exception Error of string
-
 val run : Code.t -> unit
-(** @raise Error describing the first violation found. *)
+(** @raise Diag.Failed describing the first violation found (layer
+    ["lir"], with the code offset in the diagnostic's [pc] field). *)

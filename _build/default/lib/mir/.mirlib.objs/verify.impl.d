@@ -1,1 +1,1 @@
-lib/mir/verify.ml: Array Cfg Hashtbl List Mir Printf
+lib/mir/verify.ml: Array Bytecode Cfg Diag Hashtbl List Mir Ops Option Runtime

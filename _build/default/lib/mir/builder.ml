@@ -440,6 +440,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
   ignore program;
   let f = Mir.create_func func in
   f.Mir.specialized_args <- spec_args;
+  f.Mir.specialized_mask <- spec_mask;
   (* Selective specialization: [spec_of i] is the constant to burn in for
      argument [i], or [None] when that argument stays a runtime parameter
      (either no specialization at all, or the mask excludes it). *)

@@ -118,6 +118,9 @@ type func = {
   defs : (def, instr) Hashtbl.t;
   def_block : (def, int) Hashtbl.t;
   mutable specialized_args : Value.t array option;
+  mutable specialized_mask : bool array option;
+      (* selective specialization: which positions of [specialized_args] are
+         burned in (None = all of them) *)
   mutable no_checked_int : bool;
       (* overflow feedback: a previous binary of this function bailed on an
          int32 overflow guard, so arithmetic compiles on the double path *)
@@ -140,6 +143,7 @@ let create_func source =
     defs = Hashtbl.create 64;
     def_block = Hashtbl.create 64;
     specialized_args = None;
+    specialized_mask = None;
     no_checked_int = false;
   }
 

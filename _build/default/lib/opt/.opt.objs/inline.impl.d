@@ -1,1 +1,1 @@
-lib/opt/inline.ml: Array Builder Bytecode Hashtbl Lazy List Mir Runtime Value
+lib/opt/inline.ml: Array Builder Bytecode Hashtbl Lazy List Mir Ops Runtime Value

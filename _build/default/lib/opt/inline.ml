@@ -109,9 +109,22 @@ let inline_site (caller : Mir.func) ~program ~site_block ~(site : Mir.instr)
           | Mir.Parameter _ -> ()  (* aliased to the argument *)
           | _ ->
             let kind = remap_kind closure.Value.env map i.Mir.kind in
+            (* Checked int32 arithmetic needs a resume point to bail
+               through, and the copy has none: demote to a guard-free
+               mode (widening the declared result type to match). The
+               typer re-commits the best modes afterwards. *)
+            let kind, ty =
+              match kind with
+              | Mir.Binop (op, a, b, Mir.Mode_int) -> (
+                match op with
+                | Ops.Bit_and | Ops.Bit_or | Ops.Bit_xor | Ops.Shl | Ops.Shr ->
+                  (Mir.Binop (op, a, b, Mir.Mode_int_nocheck), i.Mir.ty)
+                | _ -> (Mir.Binop (op, a, b, Mir.Mode_generic), Mir.Ty_value))
+              | k -> (k, i.Mir.ty)
+            in
             let nd = Hashtbl.find def_map i.Mir.def in
             (* Inlined code carries no resume points (see interface). *)
-            let ni = { Mir.def = nd; kind; ty = i.Mir.ty; rp = None } in
+            let ni = { Mir.def = nd; kind; ty; rp = None } in
             nb.Mir.body <- nb.Mir.body @ [ ni ];
             Hashtbl.replace caller.Mir.defs nd ni;
             Hashtbl.replace caller.Mir.def_block nd nb.Mir.bid)

@@ -51,6 +51,15 @@ let figure9_configs =
     all_on;
   ]
 
+(* Per-pass verification ("sandwich" mode): when enabled, [apply] re-runs
+   the MIR structural verifier and the type-consistency lint after every
+   pass, so the first broken invariant is attributed to the pass that broke
+   it instead of surfacing four passes later. Tests, the fuzzer and
+   bin/irlint flip this on; benchmarks leave it off (the final end-of-
+   pipeline [Verify.run] stays unconditional either way, and cycle
+   accounting via [charge] never includes verification). *)
+let checks = ref false
+
 type run_stats = {
   folded : int;
   inlined : int;
@@ -66,24 +75,43 @@ type run_stats = {
   mir_instrs_processed : int;
 }
 
-let apply ~program config (f : Mir.func) =
+let apply ?check ~program config (f : Mir.func) =
+  let check = match check with Some c -> c | None -> !checks in
+  let sandwich pass =
+    if check then begin
+      Verify.run ~pass f;
+      Verify.check_types ~pass f
+    end
+  in
   let processed = ref 0 in
   let charge () = processed := !processed + Mir.all_instr_count f in
   (* The constant-propagation step: the paper's Aho formulation, or the
      Wegman-Zadeck conditional algorithm under the ablation flag. *)
+  let cp_name = if config.sccp then "sccp" else "constprop" in
   let run_cp () =
-    if config.sccp then (Sccp.run f).Sccp.folded else Constprop.run f
+    let n = if config.sccp then (Sccp.run f).Sccp.folded else Constprop.run f in
+    sandwich cp_name;
+    n
+  in
+  let run_typer () =
+    Typer.run f;
+    sandwich "typer"
+  in
+  let run_gvn () =
+    let n = Gvn.run f in
+    sandwich "gvn";
+    n
   in
   let want_cp = config.constprop || config.sccp in
   (* Baseline: type specialization and GVN, like IonMonkey. GVN's phi
      simplification is what lets constant closure arguments reach call
      sites, so it precedes inlining. *)
   charge ();
-  Typer.run f;
+  run_typer ();
   let gvn_eliminated = ref 0 in
   if config.gvn then begin
     charge ();
-    gvn_eliminated := Gvn.run f
+    gvn_eliminated := run_gvn ()
   end;
   let folded = ref 0 in
   if want_cp then begin
@@ -97,11 +125,12 @@ let apply ~program config (f : Mir.func) =
     if config.param_spec then begin
       charge ();
       let n = Inline.run ~program f in
+      sandwich "inline";
       if n > 0 then begin
         charge ();
-        Typer.run f;
+        run_typer ();
         charge ();
-        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f;
+        if config.gvn then gvn_eliminated := !gvn_eliminated + run_gvn ();
         if want_cp then begin
           charge ();
           folded := !folded + run_cp ()
@@ -118,9 +147,10 @@ let apply ~program config (f : Mir.func) =
     if config.loop_unroll then begin
       charge ();
       let n = Unroll.run f in
+      sandwich "unroll";
       if n > 0 then begin
         charge ();
-        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f;
+        if config.gvn then gvn_eliminated := !gvn_eliminated + run_gvn ();
         if want_cp then begin
           charge ();
           folded := !folded + run_cp ()
@@ -134,12 +164,13 @@ let apply ~program config (f : Mir.func) =
     if config.loop_inversion then begin
       charge ();
       let n = Loop_inversion.run f in
+      sandwich "loop-inversion";
       if n > 0 then begin
         (* The cloned tests duplicate constants and create phi(x, x) merges;
            a value-numbering sweep (baseline hygiene) cleans them before
            lowering would materialize them into registers. *)
         charge ();
-        if config.gvn then gvn_eliminated := !gvn_eliminated + Gvn.run f
+        if config.gvn then gvn_eliminated := !gvn_eliminated + run_gvn ()
       end;
       n
     end
@@ -148,15 +179,21 @@ let apply ~program config (f : Mir.func) =
   let dce_stats =
     if config.dce then begin
       charge ();
-      Dce.run f
+      let s = Dce.run f in
+      sandwich "dce";
+      s
     end
     else { Dce.branches_folded = 0; blocks_removed = 0; instrs_removed = 0 }
   in
   let bce_stats =
     if config.bounds_check_elim then begin
       charge ();
-      Bounds_check.run ~precise_alias:config.precise_alias
-        ~eliminate_overflow_checks:config.overflow_elim f
+      let s =
+        Bounds_check.run ~precise_alias:config.precise_alias
+          ~eliminate_overflow_checks:config.overflow_elim f
+      in
+      sandwich "bounds-check-elim";
+      s
     end
     else { Bounds_check.bounds_removed = 0; overflow_checks_removed = 0 }
   in
@@ -164,9 +201,13 @@ let apply ~program config (f : Mir.func) =
   let licm_hoisted = ref 0 in
   if config.licm then begin
     charge ();
-    licm_hoisted := Licm.run f
+    licm_hoisted := Licm.run f;
+    sandwich "licm"
   end;
-  Verify.run f;
+  (* The end-of-pipeline structural check stays unconditional; the type
+     lint only runs in sandwich mode. *)
+  Verify.run ~pass:"pipeline" f;
+  if check then Verify.check_types ~pass:"pipeline" f;
   {
     folded = !folded;
     inlined;

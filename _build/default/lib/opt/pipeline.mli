@@ -58,8 +58,16 @@ type run_stats = {
           charges per visit, so leaner graphs compile faster, as §4 observes *)
 }
 
-val apply : program:Bytecode.Program.t -> config -> Mir.func -> run_stats
+val checks : bool ref
+(** Default for {!apply}'s [?check]: per-pass verification ("sandwich"
+    mode). Tests, the fuzzer and [bin/irlint] set it; benchmarks leave it
+    off. Verification never contributes to the compile-cycle model. *)
+
+val apply : ?check:bool -> program:Bytecode.Program.t -> config -> Mir.func -> run_stats
 (** Run the configured passes over a freshly built MIR graph, in the
     paper's order: inlining (when specializing), type specialization, GVN,
     constant propagation, loop inversion, DCE, bounds-check elimination,
-    LICM, and a final DCE cleanup. Verifies the graph afterwards. *)
+    LICM, and a final DCE cleanup. Verifies the graph afterwards
+    (structurally always; with {!Verify.check_types} after every pass when
+    [check] — defaulting to {!checks} — is on, raising {!Diag.Failed}
+    attributed to the offending pass). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bc_verify Builder Bytecode Diag Engine Fun Hashtbl List Mir Ops Pipeline Printf Runner Runtime Spec_check String Suite Suites Typer Value Verify

@@ -1,1 +1,1 @@
-test/test_fuzz.ml: Alcotest Bytecode Engine Fuzz_diff Fuzz_gen List Pipeline Printexc Printf Random String
+test/test_fuzz.ml: Alcotest Bytecode Diag Engine Fuzz_diff Fuzz_gen List Pipeline Printexc Printf Random String

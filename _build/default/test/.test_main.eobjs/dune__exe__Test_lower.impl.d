@@ -1,1 +1,1 @@
-test/test_lower.ml: Alcotest Array Builder Bytecode Code Code_verify Exec List Lower Pipeline Regalloc Runtime String Value
+test/test_lower.ml: Alcotest Array Builder Bytecode Code Code_verify Diag Exec List Lower Pipeline Regalloc Runtime String Value

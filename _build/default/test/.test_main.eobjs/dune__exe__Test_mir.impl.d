@@ -1,1 +1,1 @@
-test/test_mir.ml: Alcotest Array Builder Bytecode Cfg Gvn Hashtbl List Mir Ops Runtime Suite Suites Typer Value Verify
+test/test_mir.ml: Alcotest Array Builder Bytecode Cfg Diag Gvn Hashtbl List Mir Ops Runtime Suite Suites Typer Value Verify

@@ -156,9 +156,9 @@ let test_verifier_rejects_virtual_register () =
     }
   in
   match Code_verify.run broken with
-  | exception Code_verify.Error msg ->
+  | exception Diag.Failed d ->
     Alcotest.(check bool) "mentions the vreg" true
-      (String.length msg > 0)
+      (String.length d.Diag.message > 0 && d.Diag.layer = "lir")
   | () -> Alcotest.fail "verifier accepted a surviving virtual register"
 
 let test_verifier_rejects_uninitialized_read () =
@@ -177,9 +177,9 @@ let test_verifier_rejects_uninitialized_read () =
     }
   in
   match Code_verify.run broken with
-  | exception Code_verify.Error msg ->
+  | exception Diag.Failed d ->
     Alcotest.(check bool) "mentions read-before-write" true
-      (String.length msg > 0)
+      (String.length d.Diag.message > 0 && d.Diag.layer = "lir")
   | () -> Alcotest.fail "verifier accepted an uninitialized read"
 
 let test_verifier_rejects_bad_target () =
@@ -190,7 +190,7 @@ let test_verifier_rejects_bad_target () =
     }
   in
   match Code_verify.run broken with
-  | exception Code_verify.Error _ -> ()
+  | exception Diag.Failed _ -> ()
   | () -> Alcotest.fail "verifier accepted an out-of-range jump target"
 
 let suites =

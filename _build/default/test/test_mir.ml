@@ -174,7 +174,7 @@ let test_verifier_catches_bad_phi () =
     f.Mir.blocks;
   Alcotest.(check bool) "did corrupt" true !corrupted;
   match Verify.run f with
-  | exception Verify.Invalid _ -> ()
+  | exception Diag.Failed _ -> ()
   | () -> Alcotest.fail "verifier accepted a corrupted graph"
 
 let test_verifier_catches_missing_rp () =
@@ -187,7 +187,7 @@ let test_verifier_catches_missing_rp () =
       end);
   Alcotest.(check bool) "did strip" true !stripped;
   match Verify.run f with
-  | exception Verify.Invalid _ -> ()
+  | exception Diag.Failed _ -> ()
   | () -> Alcotest.fail "verifier accepted guard without resume point"
 
 let test_resume_points_recorded () =

@@ -1,18 +1,17 @@
-exception Error of string
-
 module Int_set = Set.Make (Int)
 
+(* Raises [Diag.Failed]; the rendered instruction text is folded into the
+   message so a report is self-contained, while fid/offset stay machine-
+   readable in the diagnostic's structured fields. *)
 let fail code offset fmt =
   Printf.ksprintf
     (fun msg ->
-      raise
-        (Error
-           (Printf.sprintf "f%d @%d (%s): %s" code.Code.fid offset
-              (match offset with
-              | o when o >= 0 && o < Array.length code.Code.instrs ->
-                Code.ninstr_to_string code.Code.instrs.(o)
-              | _ -> "<out of range>")
-              msg)))
+      Diag.error ~layer:"lir" ~fid:code.Code.fid ~pc:offset "(%s): %s"
+        (match offset with
+        | o when o >= 0 && o < Array.length code.Code.instrs ->
+          Code.ninstr_to_string code.Code.instrs.(o)
+        | _ -> "<out of range>")
+        msg)
     fmt
 
 (* Locations as small ints: registers first, then spill slots. *)
@@ -63,7 +62,7 @@ let check_target code offset t =
 
 let run (code : Code.t) =
   let n = Array.length code.Code.instrs in
-  if n = 0 then raise (Error (Printf.sprintf "f%d: empty code" code.Code.fid));
+  if n = 0 then Diag.error ~layer:"lir" ~fid:code.Code.fid "empty code";
   (* Pass 1: purely structural checks (also materializes loc ids, which
      reports any surviving virtual register). *)
   Array.iteri
@@ -79,7 +78,7 @@ let run (code : Code.t) =
     code.Code.instrs;
   (match code.Code.osr_offset with
   | Some o when o < 0 || o >= n ->
-    raise (Error (Printf.sprintf "f%d: osr offset %d out of range" code.Code.fid o))
+    Diag.error ~layer:"lir" ~fid:code.Code.fid "osr offset %d out of range" o
   | _ -> ());
   (* Pass 2: definite initialization. [state.(i)] is the set of locations
      certainly written on every path reaching instruction [i]; entry

@@ -65,9 +65,12 @@ let test_diff_check_smoke () =
     let src = gen_at Fuzz_gen.any_program seed in
     match Fuzz_diff.check src with
     | None -> ()
-    | Some m ->
+    | Some (Fuzz_diff.Mismatch m) ->
       Alcotest.failf "seed %d: %s disagreed\ninterp: %s\ngot: %s\n%s" seed
         m.Fuzz_diff.mm_config m.Fuzz_diff.mm_expected m.Fuzz_diff.mm_got src
+    | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
+      Alcotest.failf "seed %d: verifier diagnostic under %s\n%s\n%s" seed
+        vd_config (Diag.to_string vd_diag) src
   done
 
 let test_diff_default_configs_cover_figure9 () =
