@@ -4,9 +4,10 @@
    Test.make per table/figure driver plus ablation benches for the design
    choices DESIGN.md calls out.
 
-     dune exec bench/main.exe             # tables + ablations + wall-clock
-     dune exec bench/main.exe -- tables   # only the paper tables
-     dune exec bench/main.exe -- wall     # only the Bechamel measurements *)
+     dune exec bench/main.exe                  # everything below
+     dune exec bench/main.exe -- tables        # only the paper tables
+     dune exec bench/main.exe -- attribution   # per-pass compile-time split
+     dune exec bench/main.exe -- wall          # only the Bechamel measurements *)
 
 open Bechamel
 open Toolkit
@@ -154,7 +155,72 @@ let print_ablations () =
     [ ("v8 version 6", "richards"); ("sunspider 1.0", "crypto-md5") ]
 
 (* ------------------------------------------------------------------ *)
-(* Part 3: Bechamel wall-clock benches                                 *)
+(* Part 3: compilation-overhead attribution (telemetry)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Where do the compile cycles of Figure 9(c,d) actually go? The engine's
+   [Compile_end] events carry per-pass size deltas; since the model charges
+   {!Cost.compile_per_mir_instr} per instruction a pass visits, the
+   instructions entering each pass attribute the pipeline's share of the
+   compile time pass by pass. *)
+let print_compile_attribution () =
+  print_endline "\n==================================================================";
+  print_endline " Compilation overhead attribution (telemetry compile events)";
+  print_endline "==================================================================";
+  List.iter
+    (fun (sname, mname) ->
+      let m = member_of sname mname in
+      let passes : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+      let spec = ref (0, 0) and gen = ref (0, 0) in
+      let sink = function
+        | Telemetry.Compile_end e ->
+          let bucket = if e.specialized then spec else gen in
+          let n, cy = !bucket in
+          bucket := (n + 1, cy + e.cycles);
+          List.iter
+            (fun pd ->
+              let runs, visited =
+                Option.value (Hashtbl.find_opt passes pd.Telemetry.pd_pass) ~default:(0, 0)
+              in
+              Hashtbl.replace passes pd.Telemetry.pd_pass
+                (runs + 1, visited + pd.Telemetry.pd_before))
+            e.passes
+        | _ -> ()
+      in
+      let r =
+        Telemetry.with_default_sinks [ sink ] (fun () ->
+            quiet (fun () ->
+                Engine.run_source (Engine.default_config ~opt:Pipeline.best ()) m.Suite.m_source))
+      in
+      let spec_n, spec_cy = !spec and gen_n, gen_cy = !gen in
+      Printf.printf "\n%s: compile=%d cycles (%d specialized: %d; %d generic: %d)\n" mname
+        r.Engine.compile_cycles spec_n spec_cy gen_n gen_cy;
+      let rows =
+        Hashtbl.fold
+          (fun pass (runs, visited) acc ->
+            let cycles = Cost.compile_per_mir_instr * visited in
+            ( cycles,
+              [
+                pass; string_of_int runs; string_of_int visited; string_of_int cycles;
+                Printf.sprintf "%.1f%%"
+                  (100. *. float_of_int cycles /. float_of_int (max 1 r.Engine.compile_cycles));
+              ] )
+            :: acc)
+          passes []
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+        |> List.map snd
+      in
+      print_string
+        (Support.Table.render
+           ~header:[ "pass"; "runs"; "instrs in"; "cycles"; "of compile" ]
+           ~rows ()))
+    [
+      ("sunspider 1.0", "bitops-bits-in-byte"); ("sunspider 1.0", "string-unpack-code");
+      ("v8 version 6", "richards");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: Bechamel wall-clock benches                                 *)
 (* ------------------------------------------------------------------ *)
 
 let engine_test name opt (m : Suite.member) =
@@ -255,4 +321,5 @@ let () =
   let want x = args = [] || List.mem x args in
   if want "tables" then print_tables ();
   if want "ablations" then print_ablations ();
+  if want "attribution" then print_compile_attribution ();
   if want "wall" then run_wall ()

@@ -1,0 +1,25 @@
+#!/bin/sh
+# The full local gate, in CI order: build everything, run the static-analysis
+# lint sweep, run the test suite, then smoke the benchmark harness (the paper
+# tables exercise every experiment driver end to end).
+#
+#   bin/check.sh
+#
+# Exits non-zero on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune build @lint =="
+dune build @lint
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (paper tables) =="
+dune exec bench/main.exe -- tables > /dev/null
+
+echo "check: all stages passed"

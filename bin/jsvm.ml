@@ -5,7 +5,9 @@
      jsvm --no-jit program.js              # pure interpretation
      jsvm --spec program.js                # value specialization (all opts)
      jsvm --config PS+CP+DCE program.js    # a specific Figure 9 column
-     jsvm --stats program.js               # engine report after the run *)
+     jsvm --stats program.js               # engine report + counters
+     jsvm --trace program.js               # JIT event stream on stderr
+     jsvm --trace-json t.jsonl program.js  # same stream, as JSONL *)
 
 let find_config name =
   if String.lowercase_ascii name = "baseline" then Some Pipeline.baseline
@@ -41,8 +43,8 @@ let profile_table () =
   in
   (record, dump)
 
-let run_file path no_jit spec selective cache_size config_name stats dump_bytecode dump_mir
-    profile check =
+let run_file path no_jit spec selective cache_size config_name stats trace trace_json
+    dump_bytecode dump_mir profile check =
   let src = In_channel.with_open_text path In_channel.input_all in
   if check then begin
     (* Differential mode: run under the interpreter and every JIT
@@ -103,11 +105,23 @@ let run_file path no_jit spec selective cache_size config_name stats dump_byteco
       end
       else None
     in
-    match Engine.run_program cfg program with
+    let engine = Engine.make cfg program in
+    if trace then Telemetry.attach (Engine.telemetry engine) (Telemetry.text_sink stderr);
+    let json_oc =
+      Option.map
+        (fun file ->
+          let oc = open_out file in
+          Telemetry.attach (Engine.telemetry engine) (Telemetry.jsonl_sink oc);
+          oc)
+        trace_json
+    in
+    match Engine.run engine with
     | exception Engine.Runtime_error msg ->
+      Option.iter close_out json_oc;
       Printf.eprintf "%s: runtime error: %s\n" path msg;
       exit 1
     | report ->
+      Option.iter close_out json_oc;
       Option.iter
         (fun dump ->
           Exec.trace_hook := None;
@@ -137,7 +151,26 @@ let run_file path no_jit spec selective cache_size config_name stats dump_byteco
                    (List.map
                       (fun (s, n) -> Printf.sprintf "%s%d" (if s then "spec:" else "gen:") n)
                       f.Engine.fr_sizes)))
-          report.Engine.functions
+          report.Engine.functions;
+        (* The counter registry the report above is derived from. *)
+        let c = Telemetry.counters (Engine.telemetry engine) in
+        (match Telemetry.Counters.rows c with
+        | [] -> ()
+        | rows ->
+          print_endline "-- telemetry counters --";
+          print_string
+            (Support.Table.render ~header:[ "counter"; "total" ]
+               ~rows:(List.map (fun (k, v) -> [ k; string_of_int v ]) rows)
+               ());
+          List.iter
+            (fun (f : Engine.func_report) ->
+              if f.Engine.fr_compiles > 0 then
+                Printf.printf "  %s: %s\n" f.Engine.fr_name
+                  (String.concat " "
+                     (List.map
+                        (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                        (Telemetry.Counters.fid_rows c f.Engine.fr_fid))))
+            report.Engine.functions)
       end)
 
 open Cmdliner
@@ -176,7 +209,26 @@ let config_name =
     & info [ "config" ] ~docv:"NAME"
         ~doc:"Optimization configuration: 'baseline' or a Figure 9 column, e.g. PS+CP+DCE.")
 
-let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the engine report after the run.")
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the engine report and the telemetry counter registry after the run.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Stream JIT events (compiles, cache probes, specializations, bailouts, \
+           deoptimizations, blacklists, OSR entries) to stderr as they happen.")
+
+let trace_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Write the JIT event stream to $(docv) as JSON Lines.")
 
 let dump_bytecode =
   Arg.(value & flag & info [ "dump-bytecode" ] ~doc:"Disassemble the program before running.")
@@ -207,6 +259,6 @@ let cmd =
     (Cmd.info "jsvm" ~version:"1.0" ~doc)
     Term.(
       const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size $ config_name
-      $ stats $ dump_bytecode $ dump_mir $ profile $ check)
+      $ stats $ trace $ trace_json $ dump_bytecode $ dump_mir $ profile $ check)
 
 let () = exit (Cmd.eval cmd)

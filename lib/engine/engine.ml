@@ -25,9 +25,6 @@ let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = fa
 
 let interp_only = { (default_config ()) with jit = false }
 
-(* Diagnostic logging of compile/bailout/deopt events, to stderr. *)
-let verbose = ref false
-
 (* Observation hook: called with every optimized MIR graph right before
    lowering (jsvm --dump-mir; tests inspect pass output in situ). *)
 let mir_hook : (Mir.func -> unit) option ref = ref None
@@ -38,20 +35,21 @@ let mir_hook : (Mir.func -> unit) option ref = ref None
    Errors always raise [Diag.Failed]. *)
 let diag_warn_hook : (Diag.t -> unit) option ref = ref None
 
-let log fmt =
-  if !verbose then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
-
 type compiled = {
   code : Code.t;
   cached_args : Value.t array option;
   (* Selective specialization: which cached argument positions were burned
      in (and so must match on a cache probe). [None] = all of them. *)
   cached_mask : bool array option;
+  (* In-body guard failures charged against this binary. Strikes are
+     per-binary — a multi-entry cache must not let one binary's failures
+     condemn its neighbours — and a binary is discarded at its
+     [max_bailouts]-th strike. *)
+  mutable strikes : int;
 }
 
 type func_state = {
   fid : int;
-  mutable calls : int;
   mutable loop_edges : int;
   mutable compiled : compiled list;  (* most recently used first; length <= cache_size *)
   mutable no_specialize : bool;
@@ -61,12 +59,6 @@ type func_state = {
      same value, [None] once it varied (sticky). Empty before any call. *)
   mutable stable_args : Value.t option array option;
   mutable last_args : Value.t array option;  (* for §2 argument statistics *)
-  mutable arg_set_changes : int;
-  mutable compile_count : int;
-  mutable was_specialized : bool;
-  mutable deoptimized : bool;
-  mutable bailouts_total : int;
-  mutable bailouts_current : int;  (* against the live binary *)
   mutable sizes : (bool * int) list;
 }
 
@@ -77,6 +69,7 @@ type t = {
   fstates : func_state array;
   native_cycles : int ref;
   compile_cycles : int ref;
+  tel : Telemetry.t;
 }
 
 type func_report = {
@@ -120,7 +113,6 @@ let make engine_config program =
       Array.init (Bytecode.Program.nfuncs program) (fun fid ->
           {
             fid;
-            calls = 0;
             loop_edges = 0;
             compiled = [];
             no_specialize = false;
@@ -129,23 +121,54 @@ let make engine_config program =
               Array.make program.Bytecode.Program.funcs.(fid).Bytecode.Program.arity [];
             stable_args = None;
             last_args = None;
-            arg_set_changes = 0;
-            compile_count = 0;
-            was_specialized = false;
-            deoptimized = false;
-            bailouts_total = 0;
-            bailouts_current = 0;
             sizes = [];
           });
     native_cycles = ref 0;
     compile_cycles = ref 0;
+    tel = Telemetry.create ~nfuncs:(Bytecode.Program.nfuncs program) ();
   }
+
+let telemetry t = t.tel
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let counters t = Telemetry.counters t.tel
+let fname t fid = t.program.Bytecode.Program.funcs.(fid).Bytecode.Program.name
+
+(* Event payloads are only constructed when a sink is listening; counters
+   are always maintained (they are the report's source of truth). Neither
+   charges model cycles, so telemetry cannot perturb the measurements. *)
+let emit t mk = if Telemetry.active t.tel then Telemetry.emit t.tel (mk ())
+
+let bump ?n t fs key = Telemetry.Counters.bump ?n (counters t) ~fid:fs.fid key
+
+let count t fs key = Telemetry.Counters.get (counters t) ~fid:fs.fid key
+
+let display_args args =
+  String.concat ", " (Array.to_list (Array.map Value.to_display_string args))
+
+(* §4 blacklist: never specialize this function again. *)
+let blacklist t fs =
+  if not fs.no_specialize then begin
+    fs.no_specialize <- true;
+    bump t fs Telemetry.Key.blacklists;
+    emit t (fun () -> Telemetry.Blacklist { fid = fs.fid; fname = fname t fs.fid })
+  end
+
+(* A §4 deoptimization event: a specialized binary was invalidated (cache
+   miss or failed entry guard) — distinct from strike-limit discards, which
+   only refresh the binary. *)
+let deopt t fs reason =
+  bump t fs Telemetry.Key.deopts;
+  emit t (fun () -> Telemetry.Deopt { fid = fs.fid; fname = fname t fs.fid; reason })
 
 (* ------------------------------------------------------------------ *)
 (* Profiling                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let observe_args fs args =
+let observe_args t fs args =
   Array.iteri
     (fun i v ->
       if i < Array.length fs.observed_tags then begin
@@ -166,7 +189,7 @@ let observe_args fs args =
       args);
   (match fs.last_args with
   | Some prev when Value.same_args prev args -> ()
-  | Some _ -> fs.arg_set_changes <- fs.arg_set_changes + 1
+  | Some _ -> bump t fs Telemetry.Key.arg_set_changes
   | None -> ());
   fs.last_args <- Some args
 
@@ -188,6 +211,19 @@ let stable_tags fs =
    layer. *)
 let compile t fs ?spec_args ?spec_mask ?osr () =
   let func = t.program.Bytecode.Program.funcs.(fs.fid) in
+  let name = func.Bytecode.Program.name in
+  let specialized = spec_args <> None in
+  let selective = spec_mask <> None in
+  let is_osr = osr <> None in
+  (match spec_args with
+  | Some args ->
+    emit t (fun () ->
+        Telemetry.Specialize
+          { fid = fs.fid; fname = name; args = display_args args; mask = spec_mask })
+  | None -> ());
+  emit t (fun () ->
+      Telemetry.Compile_start { fid = fs.fid; fname = name; specialized; selective; osr = is_osr });
+  let cycles_before = !(t.compile_cycles) in
   let arg_tags = stable_tags fs in
   let mir =
     Builder.build ~program:t.program ~func ?spec_args ?spec_mask ~arg_tags ?osr
@@ -222,18 +258,29 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
     + (Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed)
     + (Cost.compile_per_native_instr * Code.size code)
     + (Cost.compile_per_interval * intervals);
-  log "[jit] compile f%d %s%s%s (size pending)" fs.fid
-    (if spec_args <> None then "specialized" else "generic")
-    (match spec_mask with
-    | Some m when Array.exists not m -> " (selective)"
-    | _ -> "")
-    (if osr <> None then " +OSR" else "");
-  fs.compile_count <- fs.compile_count + 1;
-  fs.bailouts_current <- 0;
-  let specialized = spec_args <> None in
-  if specialized then fs.was_specialized <- true;
+  bump t fs Telemetry.Key.compiles;
+  if specialized then bump t fs Telemetry.Key.compiles_specialized;
+  if is_osr then bump t fs Telemetry.Key.compiles_osr;
+  if pass_stats.Pipeline.inlined > 0 then begin
+    bump ~n:pass_stats.Pipeline.inlined t fs Telemetry.Key.inlined;
+    emit t (fun () ->
+        Telemetry.Inline_decision
+          { fid = fs.fid; fname = name; inlined = pass_stats.Pipeline.inlined })
+  end;
+  emit t (fun () ->
+      Telemetry.Compile_end
+        {
+          fid = fs.fid;
+          fname = name;
+          specialized;
+          selective;
+          osr = is_osr;
+          size = Code.size code;
+          cycles = !(t.compile_cycles) - cycles_before;
+          passes = pass_stats.Pipeline.passes;
+        });
   fs.sizes <- (specialized, Code.size code) :: fs.sizes;
-  { code; cached_args = spec_args; cached_mask = spec_mask }
+  { code; cached_args = spec_args; cached_mask = spec_mask; strikes = 0 }
 
 let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
 
@@ -258,7 +305,8 @@ let rec call_value t (callee : Value.t) args =
   | other -> raise (Runtime_error (Printf.sprintf "%s is not callable" (Value.typeof other)))
 
 (* Cache lookup: a generic binary serves any arguments; a specialized one
-   only its cached tuple. Hits move to the front (LRU). *)
+   only its cached tuple. Hits move to the front (LRU) and report the
+   probed index. *)
 and cache_find fs args =
   let matches entry =
     match entry.cached_args with
@@ -276,21 +324,36 @@ and cache_find fs args =
               mask;
             !ok))
   in
-  match List.find_opt matches fs.compiled with
+  let rec probe i = function
+    | [] -> None
+    | entry :: _ when matches entry -> Some (i, entry)
+    | _ :: rest -> probe (i + 1) rest
+  in
+  match probe 0 fs.compiled with
   | None -> None
-  | Some entry ->
+  | Some (i, entry) ->
     fs.compiled <- entry :: List.filter (fun e -> e != entry) fs.compiled;
-    Some entry
+    Some (i, entry)
 
 and call_closure t (c : Value.closure) args =
   let fs = t.fstates.(c.Value.fid) in
   let func = t.program.Bytecode.Program.funcs.(c.Value.fid) in
-  fs.calls <- fs.calls + 1;
-  observe_args fs args;
+  bump t fs Telemetry.Key.calls;
+  observe_args t fs args;
   match cache_find fs args with
-  | Some { code; _ } -> run_native_entry t fs func c args code
+  | Some (index, entry) ->
+    bump t fs Telemetry.Key.cache_hits;
+    emit t (fun () ->
+        Telemetry.Cache_hit
+          { fid = fs.fid; fname = fname t fs.fid; index;
+            entries = List.length fs.compiled });
+    run_native_entry t fs func c args entry
   | None ->
     if fs.compiled <> [] then begin
+      bump t fs Telemetry.Key.cache_misses;
+      emit t (fun () ->
+          Telemetry.Cache_miss
+            { fid = fs.fid; fname = fname t fs.fid; entries = List.length fs.compiled });
       (* Hot, compiled, but no binary fits these arguments. With the
          paper's one-entry cache this is the deoptimization event: discard,
          recompile generic, never specialize again (§4). The §6 extension
@@ -300,34 +363,34 @@ and call_closure t (c : Value.closure) args =
          the narrowing terminates in at most [arity] recompiles). *)
       if t.cfg.selective && want_specialize t fs then begin
         fs.compiled <- [];
-        fs.deoptimized <- true;
+        deopt t fs Telemetry.Arg_mismatch;
         let compiled = specialize_selectively t fs args in
         fs.compiled <- [ compiled ];
-        run_native_entry t fs func c args compiled.code
+        run_native_entry t fs func c args compiled
       end
       else if want_specialize t fs && List.length fs.compiled < t.cfg.cache_size
       then begin
         let compiled = compile t fs ~spec_args:args () in
         fs.compiled <- compiled :: fs.compiled;
-        run_native_entry t fs func c args compiled.code
+        run_native_entry t fs func c args compiled
       end
       else begin
         fs.compiled <- [];
-        fs.no_specialize <- true;
-        fs.deoptimized <- true;
+        deopt t fs Telemetry.Arg_mismatch;
+        blacklist t fs;
         let compiled = compile t fs () in
         fs.compiled <- [ compiled ];
-        run_native_entry t fs func c args compiled.code
+        run_native_entry t fs func c args compiled
       end
     end
-    else if t.cfg.jit && fs.calls >= t.cfg.hot_calls then begin
+    else if t.cfg.jit && count t fs Telemetry.Key.calls >= t.cfg.hot_calls then begin
       let compiled =
         if not (want_specialize t fs) then compile t fs ()
         else if t.cfg.selective then specialize_selectively t fs args
         else compile t fs ~spec_args:args ()
       in
       fs.compiled <- [ compiled ];
-      run_native_entry t fs func c args compiled.code
+      run_native_entry t fs func c args compiled
     end
     else interpret t func ~upvals:c.Value.env ~args
 
@@ -340,39 +403,69 @@ and specialize_selectively t fs args =
   if Array.length mask = 0 || Array.exists Fun.id mask then
     compile t fs ~spec_args:args ~spec_mask:mask ()
   else begin
-    fs.no_specialize <- true;
+    blacklist t fs;
     compile t fs ()
   end
 
-and run_native_entry t fs func c args code =
+and run_native_entry t fs func c args entry =
   let act = Exec.make_activation ~env:c.Value.env ~func ~args () in
-  run_native t fs func act code ~at_osr:false
+  run_native t fs func act entry ~at_osr:false
 
-and run_native t fs func act code ~at_osr =
+and run_native t fs func act entry ~at_osr =
   let callbacks =
     { Exec.call = (fun v a -> call_value t v a);
       globals = t.istate.Interp.globals;
       cycles = t.native_cycles }
   in
   match
-    (try Exec.run callbacks code act ~at_osr
+    (try Exec.run callbacks entry.code act ~at_osr
      with Objmodel.Error msg -> raise (Runtime_error msg))
   with
   | Exec.Finished v -> v
   | Exec.Bailed b ->
-    log "[jit] bailout f%d at pc %d (%s)%s" fs.fid b.Exec.bo_pc b.Exec.bo_reason
-      (if at_osr then " [osr entry]" else "");
-    fs.bailouts_total <- fs.bailouts_total + 1;
-    fs.bailouts_current <- fs.bailouts_current + 1;
+    bump t fs Telemetry.Key.bailouts;
+    let entry_bail = b.Exec.bo_pc = 0 in
+    if entry_bail then bump t fs Telemetry.Key.bailouts_entry
+    else entry.strikes <- entry.strikes + 1;
+    emit t (fun () ->
+        Telemetry.Bailout
+          {
+            fid = fs.fid;
+            fname = fname t fs.fid;
+            pc = b.Exec.bo_pc;
+            native_pc = b.Exec.bo_native_pc;
+            reason = b.Exec.bo_reason;
+            osr_entry = at_osr;
+            strikes = entry.strikes;
+          });
     (* Overflow feedback: the int32 fast path was wrong for this function's
        actual values; future compiles use double arithmetic instead of
        re-speculating (and bailing) forever. *)
     if b.Exec.bo_reason = "int32 overflow" then fs.overflow_bailed <- true;
-    (* An entry bail means the argument types changed: the binary can never
-       run again, discard it at once. In-body guards get a few strikes
-       before the binary is declared too speculative. *)
-    if b.Exec.bo_pc = 0 || fs.bailouts_current > t.cfg.max_bailouts then
-      fs.compiled <- List.filter (fun e -> e.code != code) fs.compiled;
+    if entry_bail then begin
+      (* An entry bail means the argument types changed: the binary can
+         never run again, discard it at once. On a specialized binary this
+         is a §4 deoptimization — the cache probe admitted a tuple the
+         entry guards then rejected — so it must count as one and consult
+         the blacklist policy; otherwise the next call re-specializes on
+         the very tuple that just failed. Selective mode narrows instead
+         of blacklisting (stability is sticky, so narrowing terminates). *)
+      fs.compiled <- List.filter (fun e -> e != entry) fs.compiled;
+      if entry.cached_args <> None then begin
+        deopt t fs Telemetry.Entry_guard;
+        if not t.cfg.selective then blacklist t fs
+      end
+    end
+    else if entry.strikes >= t.cfg.max_bailouts then begin
+      (* In-body guards get [max_bailouts] strikes — per binary, counted
+         against this binary alone — before it is declared too speculative
+         and discarded for recompilation with refreshed type feedback. *)
+      fs.compiled <- List.filter (fun e -> e != entry) fs.compiled;
+      bump t fs Telemetry.Key.strike_discards;
+      emit t (fun () ->
+          Telemetry.Deopt
+            { fid = fs.fid; fname = fname t fs.fid; reason = Telemetry.Strike_limit })
+    end;
     resume_interp t func act b
 
 and resume_interp t func (act : Exec.activation) (b : Exec.bailout) =
@@ -408,14 +501,16 @@ and maybe_osr t (frame : Interp.frame) =
        the call path. The OSR path of a binary is single-use (its entry
        state is burned in), so it is never re-entered. *)
     if fs.loop_edges >= t.cfg.hot_loop_edges && fs.compiled = [] then begin
+      let edges = fs.loop_edges in
       fs.loop_edges <- 0;
       let func = frame.Interp.func in
       let args_now = Array.copy frame.Interp.args in
       let locals_now = Array.copy frame.Interp.locals in
-      log "[jit] OSR request f%d at pc %d; locals=[%s]"
-        fs.fid frame.Interp.pc
-        (String.concat "; "
-           (Array.to_list (Array.map Value.to_display_string frame.Interp.locals)));
+      bump t fs Telemetry.Key.osr_entries;
+      emit t (fun () ->
+          Telemetry.Osr_enter
+            { fid = fs.fid; fname = fname t fs.fid; pc = frame.Interp.pc;
+              loop_edges = edges });
       let spec = want_specialize t fs in
       let spec_mask =
         if spec && t.cfg.selective then begin
@@ -423,7 +518,7 @@ and maybe_osr t (frame : Interp.frame) =
           (* All-varying arguments: give up on specializing this function,
              as the call path would. *)
           if Array.length mask > 0 && not (Array.exists Fun.id mask) then
-            fs.no_specialize <- true;
+            blacklist t fs;
           Some mask
         end
         else None
@@ -450,7 +545,7 @@ and maybe_osr t (frame : Interp.frame) =
           act_osr_locals = locals_now;
         }
       in
-      Some (run_native t fs func act compiled.code ~at_osr:true)
+      Some (run_native t fs func act compiled ~at_osr:true)
     end
     else None
   end
@@ -459,21 +554,26 @@ and maybe_osr t (frame : Interp.frame) =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The report is derived from the telemetry counter registry: the numbers
+   the paper's tables print are the numbers the event stream counts, by
+   construction. *)
 let report_of t result =
+  let c = counters t in
   let functions =
     Array.to_list
       (Array.map
          (fun fs ->
+           let get key = Telemetry.Counters.get c ~fid:fs.fid key in
            {
              fr_fid = fs.fid;
              fr_name = t.program.Bytecode.Program.funcs.(fs.fid).Bytecode.Program.name;
-             fr_calls = fs.calls;
-             fr_compiles = fs.compile_count;
-             fr_was_specialized = fs.was_specialized;
-             fr_deoptimized = fs.deoptimized;
-             fr_bailouts = fs.bailouts_total;
+             fr_calls = get Telemetry.Key.calls;
+             fr_compiles = get Telemetry.Key.compiles;
+             fr_was_specialized = get Telemetry.Key.compiles_specialized > 0;
+             fr_deoptimized = get Telemetry.Key.deopts > 0;
+             fr_bailouts = get Telemetry.Key.bailouts;
              fr_sizes = List.rev fs.sizes;
-             fr_arg_set_changes = fs.arg_set_changes;
+             fr_arg_set_changes = get Telemetry.Key.arg_set_changes;
              fr_last_arg_tags =
                (match fs.last_args with
                | None -> []
@@ -481,7 +581,7 @@ let report_of t result =
            })
          t.fstates)
   in
-  let compilations = List.fold_left (fun acc f -> acc + f.fr_compiles) 0 functions in
+  let compilations = Telemetry.Counters.total c Telemetry.Key.compiles in
   let recompilations =
     List.fold_left (fun acc f -> acc + max 0 (f.fr_compiles - 1)) 0 functions
   in
@@ -505,10 +605,11 @@ let report_of t result =
     deoptimized_funcs;
   }
 
-let run_program cfg program =
-  let t = make cfg program in
-  let main = program.Bytecode.Program.funcs.(program.Bytecode.Program.main) in
+let run t =
+  let main = t.program.Bytecode.Program.funcs.(t.program.Bytecode.Program.main) in
   let result = interpret t main ~upvals:[||] ~args:[||] in
   report_of t result
+
+let run_program cfg program = run (make cfg program)
 
 let run_source cfg src = run_program cfg (Bytecode.Compile.program_of_source src)

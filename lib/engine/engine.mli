@@ -11,19 +11,27 @@
     with different arguments discards it, recompiles generic code
     immediately, and blacklists the function from further specialization.
     Failing guards bail out to the interpreter through resume-point
-    snapshots; after [max_bailouts] the binary is discarded for
-    recompilation with refreshed type feedback.
+    snapshots; a binary's [max_bailouts]-th in-body guard failure discards
+    it for recompilation with refreshed type feedback (strikes are counted
+    per binary, so one cache entry's failures never condemn another's).
 
     Time is measured in deterministic model cycles (see {!Cost}): the
     report splits interpretation, native execution and compilation, which
-    is exactly the decomposition Figure 9 needs. *)
+    is exactly the decomposition Figure 9 needs.
+
+    Every policy transition — compilation, cache probe, specialization,
+    bailout, deoptimization, blacklisting, OSR entry — is published through
+    {!Telemetry}: counters always (the report is derived from them), events
+    when a sink is attached ([jsvm --trace], the ring buffer in tests). *)
 
 type config = {
   opt : Pipeline.config;
   jit : bool;  (** false: pure interpretation (for differential testing) *)
   hot_calls : int;  (** invocations before a function is deemed hot *)
   hot_loop_edges : int;  (** loop-head visits before OSR kicks in *)
-  max_bailouts : int;  (** guard failures tolerated per binary *)
+  max_bailouts : int;
+      (** in-body guard failures a binary survives: it is discarded at its
+          [max_bailouts]-th strike *)
   cache_size : int;
       (** specialized binaries cached per function. 1 is the paper's policy
           ("we cache only one binary per function", §6); larger values
@@ -75,10 +83,6 @@ type report = {
   deoptimized_funcs : int;
 }
 
-val verbose : bool ref
-(** When set, compile/bailout/deoptimization events are logged to stderr
-    (diagnostics; off by default). *)
-
 val mir_hook : (Mir.func -> unit) option ref
 (** Called with every optimized MIR graph just before lowering
     ([jsvm --dump-mir]); [None] in normal operation. *)
@@ -89,6 +93,22 @@ val diag_warn_hook : (Diag.t -> unit) option ref
     (errors always raise {!Diag.Failed}); [None] drops them. *)
 
 exception Runtime_error of string
+
+type t
+(** A live engine instance: program, per-function JIT state, cycle
+    accumulators and the telemetry hub. *)
+
+val make : config -> Bytecode.Program.t -> t
+(** Verify the bytecode ({!Bc_verify}) and set up a fresh engine. The
+    telemetry hub starts with the sinks registered in
+    {!Telemetry.default_sinks} at this moment. *)
+
+val telemetry : t -> Telemetry.t
+(** The engine's telemetry hub — attach sinks before {!run}, read the
+    counter registry after. *)
+
+val run : t -> report
+(** Execute the program's main function to completion. *)
 
 val run_program : config -> Bytecode.Program.t -> report
 val run_source : config -> string -> report

@@ -15,8 +15,8 @@
       that catches phi-elimination edge-move bugs and snapshot maps that
       mention locations not yet materialized at the guard.
 
-    The engine runs it after every compilation ({!Engine.verbose}-class
-    internal assert; model cycles are unaffected). *)
+    The engine runs it after every compilation (an internal assert;
+    model cycles are unaffected). *)
 
 val run : Code.t -> unit
 (** @raise Diag.Failed describing the first violation found (layer

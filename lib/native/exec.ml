@@ -10,6 +10,7 @@ type activation = {
 
 type bailout = {
   bo_pc : int;
+  bo_native_pc : int;
   bo_args : Value.t array;
   bo_locals : Value.t array;
   bo_stack : Value.t array;
@@ -204,6 +205,9 @@ let run cb (code : Code.t) act ~at_osr =
        Some
          {
            bo_pc = s.Code.sn_pc;
+           (* [pc] still points at the failing instruction: [Bail] is raised
+              during dispatch, before the end-of-instruction increment. *)
+           bo_native_pc = !pc;
            bo_args = values s.Code.sn_args;
            bo_locals = values s.Code.sn_locals;
            bo_stack = values s.Code.sn_stack;

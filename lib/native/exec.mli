@@ -17,6 +17,7 @@ type activation = {
 
 type bailout = {
   bo_pc : int;  (** bytecode pc to resume at *)
+  bo_native_pc : int;  (** native instruction whose guard failed *)
   bo_args : Runtime.Value.t array;
   bo_locals : Runtime.Value.t array;
   bo_stack : Runtime.Value.t array;  (** operand stack, bottom first *)

@@ -73,6 +73,7 @@ type run_stats = {
   gvn_eliminated : int;
   licm_hoisted : int;
   mir_instrs_processed : int;
+  passes : Telemetry.pass_delta list;
 }
 
 let apply ?check ~program config (f : Mir.func) =
@@ -85,23 +86,29 @@ let apply ?check ~program config (f : Mir.func) =
   in
   let processed = ref 0 in
   let charge () = processed := !processed + Mir.all_instr_count f in
+  (* Per-pass attribution for the telemetry layer: graph size entering and
+     leaving every pass that ran, in execution order. [pd_before] is also
+     the pass's compile-time weight, since [charge] bills per instruction
+     present when the pass starts. *)
+  let pass_trace = ref [] in
+  let run_pass name body =
+    let before = Mir.all_instr_count f in
+    let r = body () in
+    sandwich name;
+    pass_trace :=
+      { Telemetry.pd_pass = name; pd_before = before; pd_after = Mir.all_instr_count f }
+      :: !pass_trace;
+    r
+  in
   (* The constant-propagation step: the paper's Aho formulation, or the
      Wegman-Zadeck conditional algorithm under the ablation flag. *)
   let cp_name = if config.sccp then "sccp" else "constprop" in
   let run_cp () =
-    let n = if config.sccp then (Sccp.run f).Sccp.folded else Constprop.run f in
-    sandwich cp_name;
-    n
+    run_pass cp_name (fun () ->
+        if config.sccp then (Sccp.run f).Sccp.folded else Constprop.run f)
   in
-  let run_typer () =
-    Typer.run f;
-    sandwich "typer"
-  in
-  let run_gvn () =
-    let n = Gvn.run f in
-    sandwich "gvn";
-    n
-  in
+  let run_typer () = run_pass "typer" (fun () -> Typer.run f) in
+  let run_gvn () = run_pass "gvn" (fun () -> Gvn.run f) in
   let want_cp = config.constprop || config.sccp in
   (* Baseline: type specialization and GVN, like IonMonkey. GVN's phi
      simplification is what lets constant closure arguments reach call
@@ -124,8 +131,7 @@ let apply ?check ~program config (f : Mir.func) =
   let inlined =
     if config.param_spec then begin
       charge ();
-      let n = Inline.run ~program f in
-      sandwich "inline";
+      let n = run_pass "inline" (fun () -> Inline.run ~program f) in
       if n > 0 then begin
         charge ();
         run_typer ();
@@ -146,8 +152,7 @@ let apply ?check ~program config (f : Mir.func) =
   let unrolled =
     if config.loop_unroll then begin
       charge ();
-      let n = Unroll.run f in
-      sandwich "unroll";
+      let n = run_pass "unroll" (fun () -> Unroll.run f) in
       if n > 0 then begin
         charge ();
         if config.gvn then gvn_eliminated := !gvn_eliminated + run_gvn ();
@@ -163,8 +168,7 @@ let apply ?check ~program config (f : Mir.func) =
   let loops_inverted =
     if config.loop_inversion then begin
       charge ();
-      let n = Loop_inversion.run f in
-      sandwich "loop-inversion";
+      let n = run_pass "loop-inversion" (fun () -> Loop_inversion.run f) in
       if n > 0 then begin
         (* The cloned tests duplicate constants and create phi(x, x) merges;
            a value-numbering sweep (baseline hygiene) cleans them before
@@ -179,21 +183,16 @@ let apply ?check ~program config (f : Mir.func) =
   let dce_stats =
     if config.dce then begin
       charge ();
-      let s = Dce.run f in
-      sandwich "dce";
-      s
+      run_pass "dce" (fun () -> Dce.run f)
     end
     else { Dce.branches_folded = 0; blocks_removed = 0; instrs_removed = 0 }
   in
   let bce_stats =
     if config.bounds_check_elim then begin
       charge ();
-      let s =
-        Bounds_check.run ~precise_alias:config.precise_alias
-          ~eliminate_overflow_checks:config.overflow_elim f
-      in
-      sandwich "bounds-check-elim";
-      s
+      run_pass "bounds-check-elim" (fun () ->
+          Bounds_check.run ~precise_alias:config.precise_alias
+            ~eliminate_overflow_checks:config.overflow_elim f)
     end
     else { Bounds_check.bounds_removed = 0; overflow_checks_removed = 0 }
   in
@@ -201,8 +200,7 @@ let apply ?check ~program config (f : Mir.func) =
   let licm_hoisted = ref 0 in
   if config.licm then begin
     charge ();
-    licm_hoisted := Licm.run f;
-    sandwich "licm"
+    licm_hoisted := run_pass "licm" (fun () -> Licm.run f)
   end;
   (* The end-of-pipeline structural check stays unconditional; the type
      lint only runs in sandwich mode. *)
@@ -221,4 +219,5 @@ let apply ?check ~program config (f : Mir.func) =
     gvn_eliminated = !gvn_eliminated;
     licm_hoisted = !licm_hoisted;
     mir_instrs_processed = !processed;
+    passes = List.rev !pass_trace;
   }

@@ -56,6 +56,10 @@ type run_stats = {
   mir_instrs_processed : int;
       (** total instruction-visits across passes; the compile-time model
           charges per visit, so leaner graphs compile faster, as §4 observes *)
+  passes : Telemetry.pass_delta list;
+      (** every pass that ran, in execution order, with the graph size
+          entering and leaving it — the per-pass attribution the engine
+          forwards on its [Compile_end] telemetry event *)
 }
 
 val checks : bool ref

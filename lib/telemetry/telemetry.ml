@@ -1,0 +1,389 @@
+(* Structured JIT telemetry: every policy decision the engine makes —
+   compile, cache probe, specialize, bail out, deoptimize, blacklist, OSR —
+   is an [event] delivered to pluggable [sink]s, and every countable
+   transition also bumps a named counter in a [Counters.t] registry. The
+   engine's report is derived from the registry, so the numbers the paper's
+   tables print and the numbers an operator sees on a live trace can never
+   disagree.
+
+   Events carry only primitive payloads (ints, strings, bool arrays): this
+   module sits below the IRs and the runtime, like [Diag], so any layer can
+   emit through it without a dependency cycle. *)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pass_delta = {
+  pd_pass : string;
+  pd_before : int;  (* MIR instructions entering the pass *)
+  pd_after : int;  (* MIR instructions after it ran *)
+}
+
+type deopt_reason =
+  | Arg_mismatch  (* call missed the specialization cache (§4 deopt) *)
+  | Entry_guard  (* specialized binary's entry type barrier failed *)
+  | Strike_limit  (* in-body guard failures reached [max_bailouts] *)
+
+type event =
+  | Compile_start of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      selective : bool;
+      osr : bool;
+    }
+  | Compile_end of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      selective : bool;
+      osr : bool;
+      size : int;  (* native instructions produced *)
+      cycles : int;  (* model compile cycles charged *)
+      passes : pass_delta list;  (* pipeline passes, in execution order *)
+    }
+  | Cache_hit of {
+      fid : int;
+      fname : string;
+      index : int;  (* position probed in the MRU-first cache list *)
+      entries : int;  (* cache entries at probe time *)
+    }
+  | Cache_miss of { fid : int; fname : string; entries : int }
+  | Specialize of {
+      fid : int;
+      fname : string;
+      args : string;  (* display form of the burned-in tuple *)
+      mask : bool array option;  (* selective: which positions burn in *)
+    }
+  | Deopt of { fid : int; fname : string; reason : deopt_reason }
+  | Bailout of {
+      fid : int;
+      fname : string;
+      pc : int;  (* bytecode pc interpretation resumes at *)
+      native_pc : int;  (* native instruction that failed *)
+      reason : string;
+      osr_entry : bool;
+      strikes : int;  (* in-body strikes against the binary, after this one *)
+    }
+  | Blacklist of { fid : int; fname : string }
+  | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
+  | Inline_decision of { fid : int; fname : string; inlined : int }
+
+let event_fid = function
+  | Compile_start { fid; _ }
+  | Compile_end { fid; _ }
+  | Cache_hit { fid; _ }
+  | Cache_miss { fid; _ }
+  | Specialize { fid; _ }
+  | Deopt { fid; _ }
+  | Bailout { fid; _ }
+  | Blacklist { fid; _ }
+  | Osr_enter { fid; _ }
+  | Inline_decision { fid; _ } -> fid
+
+let event_fname = function
+  | Compile_start { fname; _ }
+  | Compile_end { fname; _ }
+  | Cache_hit { fname; _ }
+  | Cache_miss { fname; _ }
+  | Specialize { fname; _ }
+  | Deopt { fname; _ }
+  | Bailout { fname; _ }
+  | Blacklist { fname; _ }
+  | Osr_enter { fname; _ }
+  | Inline_decision { fname; _ } -> fname
+
+let event_kind = function
+  | Compile_start _ -> "compile_start"
+  | Compile_end _ -> "compile_end"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Specialize _ -> "specialize"
+  | Deopt _ -> "deopt"
+  | Bailout _ -> "bailout"
+  | Blacklist _ -> "blacklist"
+  | Osr_enter _ -> "osr_enter"
+  | Inline_decision _ -> "inline_decision"
+
+let deopt_reason_to_string = function
+  | Arg_mismatch -> "arg_mismatch"
+  | Entry_guard -> "entry_guard"
+  | Strike_limit -> "strike_limit"
+
+let mask_to_string mask =
+  String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") mask))
+
+let flavor ~specialized ~selective ~osr =
+  (if specialized then "specialized" else "generic")
+  ^ (if selective then " selective" else "")
+  ^ if osr then " +OSR" else ""
+
+(* One human-readable line per event, the replacement for the engine's old
+   [verbose] printf diagnostics (jsvm --trace). *)
+let to_string ev =
+  let site = Printf.sprintf "f%d %s" (event_fid ev) (event_fname ev) in
+  match ev with
+  | Compile_start { specialized; selective; osr; _ } ->
+    Printf.sprintf "compile-start %s %s" site (flavor ~specialized ~selective ~osr)
+  | Compile_end { specialized; selective; osr; size; cycles; passes; _ } ->
+    Printf.sprintf "compile-end   %s %s size=%d cycles=%d passes=[%s]" site
+      (flavor ~specialized ~selective ~osr)
+      size cycles
+      (String.concat " "
+         (List.map
+            (fun p -> Printf.sprintf "%s:%d->%d" p.pd_pass p.pd_before p.pd_after)
+            passes))
+  | Cache_hit { index; entries; _ } ->
+    Printf.sprintf "cache-hit     %s entry %d of %d" site index entries
+  | Cache_miss { entries; _ } ->
+    Printf.sprintf "cache-miss    %s (%d cached)" site entries
+  | Specialize { args; mask; _ } ->
+    Printf.sprintf "specialize    %s args=(%s)%s" site args
+      (match mask with
+      | Some m -> Printf.sprintf " mask=%s" (mask_to_string m)
+      | None -> "")
+  | Deopt { reason; _ } ->
+    Printf.sprintf "deopt         %s (%s)" site (deopt_reason_to_string reason)
+  | Bailout { pc; native_pc; reason; osr_entry; strikes; _ } ->
+    Printf.sprintf "bailout       %s at pc %d (native %d): %s%s strikes=%d" site pc
+      native_pc reason
+      (if osr_entry then " [osr entry]" else "")
+      strikes
+  | Blacklist _ -> Printf.sprintf "blacklist     %s" site
+  | Osr_enter { pc; loop_edges; _ } ->
+    Printf.sprintf "osr-enter     %s at pc %d after %d loop edges" site pc loop_edges
+  | Inline_decision { inlined; _ } ->
+    Printf.sprintf "inline        %s %d call site(s)" site inlined
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (hand-rolled; no json dependency in the image)       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields)
+  ^ "}"
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jbool b = if b then "true" else "false"
+
+(* One JSON object per event (a JSONL stream when written line by line).
+   Every object carries "ev", "fid" and "fn"; the rest is per-kind. *)
+let to_json ev =
+  let base = [ ("ev", jstr (event_kind ev)); ("fid", string_of_int (event_fid ev));
+               ("fn", jstr (event_fname ev)) ]
+  in
+  let extra =
+    match ev with
+    | Compile_start { specialized; selective; osr; _ } ->
+      [ ("specialized", jbool specialized); ("selective", jbool selective);
+        ("osr", jbool osr) ]
+    | Compile_end { specialized; selective; osr; size; cycles; passes; _ } ->
+      [ ("specialized", jbool specialized); ("selective", jbool selective);
+        ("osr", jbool osr); ("size", string_of_int size);
+        ("cycles", string_of_int cycles);
+        ( "passes",
+          "["
+          ^ String.concat ","
+              (List.map
+                 (fun p ->
+                   json_obj
+                     [ ("pass", jstr p.pd_pass);
+                       ("before", string_of_int p.pd_before);
+                       ("after", string_of_int p.pd_after) ])
+                 passes)
+          ^ "]" ) ]
+    | Cache_hit { index; entries; _ } ->
+      [ ("index", string_of_int index); ("entries", string_of_int entries) ]
+    | Cache_miss { entries; _ } -> [ ("entries", string_of_int entries) ]
+    | Specialize { args; mask; _ } ->
+      ("args", jstr args)
+      :: (match mask with Some m -> [ ("mask", jstr (mask_to_string m)) ] | None -> [])
+    | Deopt { reason; _ } -> [ ("reason", jstr (deopt_reason_to_string reason)) ]
+    | Bailout { pc; native_pc; reason; osr_entry; strikes; _ } ->
+      [ ("pc", string_of_int pc); ("native_pc", string_of_int native_pc);
+        ("reason", jstr reason); ("osr_entry", jbool osr_entry);
+        ("strikes", string_of_int strikes) ]
+    | Blacklist _ -> []
+    | Osr_enter { pc; loop_edges; _ } ->
+      [ ("pc", string_of_int pc); ("loop_edges", string_of_int loop_edges) ]
+    | Inline_decision { inlined; _ } -> [ ("inlined", string_of_int inlined) ]
+  in
+  json_obj (base @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = event -> unit
+
+let text_sink ?(prefix = "[jit] ") oc ev =
+  output_string oc (prefix ^ to_string ev ^ "\n");
+  flush oc
+
+let jsonl_sink oc ev =
+  output_string oc (to_json ev ^ "\n")
+
+(* Bounded in-memory buffer: keeps the most recent [capacity] events and
+   counts what it had to drop. The test suite's window into the engine. *)
+module Ring = struct
+  type t = {
+    buf : event option array;
+    mutable next : int;  (* next write position *)
+    mutable stored : int;  (* total events ever written *)
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Telemetry.Ring.create: capacity must be positive";
+    { buf = Array.make capacity None; next = 0; stored = 0 }
+
+  let sink r ev =
+    r.buf.(r.next) <- Some ev;
+    r.next <- (r.next + 1) mod Array.length r.buf;
+    r.stored <- r.stored + 1
+
+  let capacity r = Array.length r.buf
+  let length r = min r.stored (Array.length r.buf)
+  let dropped r = max 0 (r.stored - Array.length r.buf)
+
+  (* Oldest first. *)
+  let contents r =
+    let cap = Array.length r.buf in
+    let n = length r in
+    let start = if r.stored <= cap then 0 else r.next in
+    List.init n (fun i ->
+        match r.buf.((start + i) mod cap) with
+        | Some ev -> ev
+        | None -> assert false)
+
+  let clear r =
+    Array.fill r.buf 0 (Array.length r.buf) None;
+    r.next <- 0;
+    r.stored <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counter registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical counter names. The engine bumps these; the report and
+   [jsvm --stats] read them back. Keeping the names here (rather than as
+   string literals at each engine call site) makes the registry greppable
+   and typo-proof. *)
+module Key = struct
+  let calls = "calls"
+  let compiles = "compiles"
+  let compiles_specialized = "compiles.specialized"
+  let compiles_osr = "compiles.osr"
+  let cache_hits = "cache.hits"
+  let cache_misses = "cache.misses"
+  let bailouts = "bailouts"
+  let bailouts_entry = "bailouts.entry"
+  let deopts = "deopts"
+  let strike_discards = "discards.strikes"
+  let blacklists = "blacklists"
+  let osr_entries = "osr.entries"
+  let arg_set_changes = "args.set_changes"
+  let inlined = "inlined.sites"
+end
+
+module Counters = struct
+  type t = {
+    nfuncs : int;
+    totals : (string, int ref) Hashtbl.t;
+    per_fid : (string, int array) Hashtbl.t;
+  }
+
+  let create ~nfuncs () =
+    { nfuncs; totals = Hashtbl.create 16; per_fid = Hashtbl.create 16 }
+
+  let total_ref t name =
+    match Hashtbl.find_opt t.totals name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.totals name r;
+      r
+
+  let fid_array t name =
+    match Hashtbl.find_opt t.per_fid name with
+    | Some a -> a
+    | None ->
+      let a = Array.make (max t.nfuncs 1) 0 in
+      Hashtbl.replace t.per_fid name a;
+      a
+
+  (* A per-function bump also maintains the global total, so
+     [total c Key.compiles] is always the sum over functions. *)
+  let bump ?(n = 1) t ~fid name =
+    (fid_array t name).(fid) <- (fid_array t name).(fid) + n;
+    let r = total_ref t name in
+    r := !r + n
+
+  let bump_global ?(n = 1) t name =
+    let r = total_ref t name in
+    r := !r + n
+
+  let get t ~fid name =
+    match Hashtbl.find_opt t.per_fid name with Some a -> a.(fid) | None -> 0
+
+  let total t name =
+    match Hashtbl.find_opt t.totals name with Some r -> !r | None -> 0
+
+  let names t =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.totals [])
+
+  (* (name, total) rows, name-sorted — the --stats global table. *)
+  let rows t = List.map (fun name -> (name, total t name)) (names t)
+
+  (* Non-zero counters of one function, name-sorted. *)
+  let fid_rows t fid =
+    List.filter_map
+      (fun name ->
+        let v = get t ~fid name in
+        if v = 0 then None else Some (name, v))
+      (names t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The hub: one per engine instance                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = { counters : Counters.t; mutable sinks : sink list }
+
+(* Sinks installed on every hub created afterwards — how the CLI and the
+   tests observe engines they do not construct themselves. *)
+let default_sinks : sink list ref = ref []
+
+let create ~nfuncs () =
+  { counters = Counters.create ~nfuncs (); sinks = !default_sinks }
+
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+let counters t = t.counters
+
+(* Emission is allocation-free when nobody listens: callers guard event
+   construction behind [active]. *)
+let active t = t.sinks <> []
+let emit t ev = List.iter (fun sink -> sink ev) t.sinks
+
+let with_default_sinks sinks f =
+  let saved = !default_sinks in
+  default_sinks := sinks;
+  Fun.protect ~finally:(fun () -> default_sinks := saved) f

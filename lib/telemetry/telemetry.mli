@@ -1,0 +1,188 @@
+(** Structured JIT telemetry.
+
+    The paper's whole argument is about {e when} the engine compiles,
+    specializes, bails out, deoptimizes and blacklists (§4, §6). This module
+    makes those decisions first-class: the engine emits an {!event} at every
+    policy transition, pluggable {!sink}s consume them (an in-memory
+    {!Ring} for tests, {!text_sink} for humans, {!jsonl_sink} for tools),
+    and a {!Counters} registry of named per-function/global counters is the
+    single source of truth the engine report is derived from.
+
+    The module carries only primitive payloads and sits below the IRs (like
+    [Diag]), so any layer can emit through it without dependency cycles.
+    Emission is free when no sink is attached — callers guard event
+    construction behind {!active} — and counters never charge model cycles,
+    so telemetry cannot perturb the paper's measurements. *)
+
+type pass_delta = {
+  pd_pass : string;  (** pipeline pass name *)
+  pd_before : int;  (** MIR instructions entering the pass *)
+  pd_after : int;  (** MIR instructions after it ran *)
+}
+(** Per-pass size attribution for one compilation. The model charges
+    compile time per instruction visited, so [pd_before] is also the pass's
+    cost weight. *)
+
+type deopt_reason =
+  | Arg_mismatch
+      (** a call missed the specialization cache: discard, recompile
+          generic, blacklist (the paper's §4 deoptimization) *)
+  | Entry_guard
+      (** a specialized binary's entry type barrier failed at pc 0 *)
+  | Strike_limit
+      (** in-body guard failures reached [max_bailouts] for one binary *)
+
+type event =
+  | Compile_start of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      selective : bool;
+      osr : bool;
+    }
+  | Compile_end of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      selective : bool;
+      osr : bool;
+      size : int;  (** native instructions produced *)
+      cycles : int;  (** model compile cycles charged *)
+      passes : pass_delta list;  (** pipeline passes, in execution order *)
+    }
+  | Cache_hit of {
+      fid : int;
+      fname : string;
+      index : int;  (** position found in the MRU-first cache list *)
+      entries : int;  (** entries at probe time *)
+    }
+  | Cache_miss of { fid : int; fname : string; entries : int }
+  | Specialize of {
+      fid : int;
+      fname : string;
+      args : string;  (** display form of the burned-in tuple *)
+      mask : bool array option;  (** selective: which positions burn in *)
+    }
+  | Deopt of { fid : int; fname : string; reason : deopt_reason }
+  | Bailout of {
+      fid : int;
+      fname : string;
+      pc : int;  (** bytecode pc interpretation resumes at *)
+      native_pc : int;  (** native instruction that failed *)
+      reason : string;
+      osr_entry : bool;
+      strikes : int;  (** strikes against the binary, after this one *)
+    }
+  | Blacklist of { fid : int; fname : string }
+  | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
+  | Inline_decision of { fid : int; fname : string; inlined : int }
+
+val event_fid : event -> int
+val event_fname : event -> string
+
+val event_kind : event -> string
+(** Stable snake_case tag, e.g. ["cache_hit"] (the JSON ["ev"] field). *)
+
+val deopt_reason_to_string : deopt_reason -> string
+
+val to_string : event -> string
+(** One human-readable line (the [--trace] format). *)
+
+val to_json : event -> string
+(** One JSON object, no trailing newline (the JSONL format). *)
+
+(** {1 Sinks} *)
+
+type sink = event -> unit
+
+val text_sink : ?prefix:string -> out_channel -> sink
+(** Writes [prefix ^ to_string ev] per event and flushes (default prefix
+    ["[jit] "]). *)
+
+val jsonl_sink : out_channel -> sink
+(** Writes [to_json ev] per event, newline-terminated, unflushed. *)
+
+(** Bounded in-memory event buffer: keeps the most recent [capacity]
+    events, oldest first in {!contents}, and counts what it dropped. *)
+module Ring : sig
+  type t
+
+  val create : int -> t
+  (** @raise Invalid_argument when the capacity is not positive. *)
+
+  val sink : t -> sink
+  val contents : t -> event list
+  val length : t -> int
+  val capacity : t -> int
+  val dropped : t -> int
+  val clear : t -> unit
+end
+
+(** {1 Counters} *)
+
+(** Canonical counter names bumped by the engine. *)
+module Key : sig
+  val calls : string
+  val compiles : string
+  val compiles_specialized : string
+  val compiles_osr : string
+  val cache_hits : string
+  val cache_misses : string
+  val bailouts : string
+  val bailouts_entry : string
+
+  val deopts : string
+  (** §4 deoptimizations: [Arg_mismatch] + [Entry_guard] (not strike
+      discards, which recompile with the same rights) *)
+
+  val strike_discards : string
+  val blacklists : string
+  val osr_entries : string
+  val arg_set_changes : string
+  val inlined : string
+end
+
+(** Named monotonic counters, per-function and global. A per-function
+    {!Counters.bump} also maintains the global total, so totals are always
+    the sum over functions. Reads of a name never bumped return 0. *)
+module Counters : sig
+  type t
+
+  val create : nfuncs:int -> unit -> t
+  val bump : ?n:int -> t -> fid:int -> string -> unit
+  val bump_global : ?n:int -> t -> string -> unit
+  val get : t -> fid:int -> string -> int
+  val total : t -> string -> int
+
+  val rows : t -> (string * int) list
+  (** (name, global total), name-sorted. *)
+
+  val fid_rows : t -> int -> (string * int) list
+  (** One function's non-zero counters, name-sorted. *)
+end
+
+(** {1 The hub}
+
+    One [t] per engine instance: its counter registry plus the sinks
+    receiving its events. *)
+
+type t
+
+val create : nfuncs:int -> unit -> t
+(** A fresh hub; starts with the current {!default_sinks} installed. *)
+
+val attach : t -> sink -> unit
+val counters : t -> Counters.t
+
+val active : t -> bool
+(** [true] when at least one sink is attached. Emitters guard event
+    construction behind this so disabled telemetry allocates nothing. *)
+
+val emit : t -> event -> unit
+
+val default_sinks : sink list ref
+(** Sinks copied into every subsequently created hub — how [jsvm --trace]
+    and the tests observe engines they don't construct themselves. *)
+
+val with_default_sinks : sink list -> (unit -> 'a) -> 'a
+(** Run [f] with {!default_sinks} temporarily replaced. *)

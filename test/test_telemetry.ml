@@ -1,0 +1,429 @@
+(* Telemetry-layer tests: the ring/JSON sinks themselves, exact event
+   sequences through the engine's policy transitions, the counter registry
+   as the report's source of truth, and regression coverage for the two
+   deoptimization-policy bugs (per-binary strike counting; entry bails on
+   specialized binaries counting as §4 deoptimizations). *)
+
+open Runtime
+
+(* Run a source program on an explicit engine so the test can attach ring
+   sinks and read the counter registry afterwards. *)
+let run ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) ?(sinks = []) src =
+  let buf = Buffer.create 64 in
+  let saved = !Builtins.print_hook in
+  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
+  Fun.protect
+    ~finally:(fun () -> Builtins.print_hook := saved)
+    (fun () ->
+      let engine = Engine.make cfg (Bytecode.Compile.program_of_source src) in
+      List.iter (Telemetry.attach (Engine.telemetry engine)) sinks;
+      let report = Engine.run engine in
+      (engine, report, Buffer.contents buf))
+
+let fn report name =
+  List.find (fun (f : Engine.func_report) -> f.Engine.fr_name = name) report.Engine.functions
+
+let events_of ring name =
+  List.filter (fun e -> Telemetry.event_fname e = name) (Telemetry.Ring.contents ring)
+
+let kinds events = List.map Telemetry.event_kind events
+
+(* The paper's guards survive in PS-only pipelines; the full pipeline would
+   constant-fold a bounds check whose array and index are both burned in. *)
+let ps_only = Pipeline.make ~ps:true "PS-only"
+
+(* ------------------------------------------------------------------ *)
+(* The sinks themselves                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_buffer () =
+  let ring = Telemetry.Ring.create 3 in
+  let sink = Telemetry.Ring.sink ring in
+  for i = 0 to 4 do
+    sink (Telemetry.Blacklist { fid = i; fname = "f" ^ string_of_int i })
+  done;
+  Alcotest.(check int) "capacity" 3 (Telemetry.Ring.capacity ring);
+  Alcotest.(check int) "length" 3 (Telemetry.Ring.length ring);
+  Alcotest.(check int) "dropped" 2 (Telemetry.Ring.dropped ring);
+  Alcotest.(check (list int)) "keeps the most recent, oldest first" [ 2; 3; 4 ]
+    (List.map Telemetry.event_fid (Telemetry.Ring.contents ring));
+  Telemetry.Ring.clear ring;
+  Alcotest.(check int) "clear empties" 0 (Telemetry.Ring.length ring)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_escaping () =
+  let j = Telemetry.to_json (Telemetry.Blacklist { fid = 3; fname = "we\"ird\\name" }) in
+  Alcotest.(check bool) "kind tag" true (contains ~sub:{|"ev":"blacklist"|} j);
+  Alcotest.(check bool) "escapes quotes and backslashes" true
+    (contains ~sub:{|we\"ird\\name|} j)
+
+(* ------------------------------------------------------------------ *)
+(* Event sequences through the engine                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A global index keeps the bounds guard live in the specialized binary
+   (the arguments are burned in; the global is not), so mutating it drives
+   an in-body bailout through a cache hit. *)
+let bailing_src tail =
+  "var idx = 1;\n\
+   function f(s) { return s[idx]; }\n\
+   var a = [1, 2, 3];\n\
+   var t = 0;\n\
+   for (var k = 0; k < 20; k++) t = (t + f(a)) | 0;\n\
+   idx = 99;\n" ^ tail ^ "\nprint(t);"
+
+let test_exact_event_sequence () =
+  (* The life cycle of one specialized binary, event by event: specialize
+     and compile when hot, serve cache hits, then one in-body bailout that
+     (with max_bailouts = 1) immediately strikes the binary out. *)
+  let ring = Telemetry.Ring.create 256 in
+  let cfg = { (Engine.default_config ~opt:ps_only ()) with Engine.max_bailouts = 1 } in
+  let _, report, out =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ] (bailing_src "f(a);")
+  in
+  Alcotest.(check string) "result" "40\n" out;
+  Alcotest.(check (list string)) "exact event sequence"
+    ([ "specialize"; "compile_start"; "compile_end" ]
+    @ List.init 11 (fun _ -> "cache_hit")
+    @ [ "bailout"; "deopt" ])
+    (kinds (events_of ring "f"));
+  (match List.rev (events_of ring "f") with
+  | Telemetry.Deopt { reason = Telemetry.Strike_limit; _ }
+    :: Telemetry.Bailout { strikes = 1; pc; osr_entry = false; _ } :: _ ->
+    Alcotest.(check bool) "in-body bailout" true (pc > 0)
+  | _ -> Alcotest.fail "expected a strike-limit deopt right after the bailout");
+  Alcotest.(check int) "one discard, one recompile pending" 1 (fn report "f").Engine.fr_bailouts
+
+let test_strike_limit_is_exact () =
+  (* Regression (off-by-one): max_bailouts = 2 must mean the binary dies at
+     its second bailout, not survive into a third. *)
+  let ring = Telemetry.Ring.create 1024 in
+  let cfg = { (Engine.default_config ~opt:ps_only ()) with Engine.max_bailouts = 2 } in
+  let engine, report, _ =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ]
+      (bailing_src "for (var k = 0; k < 6; k++) f(a);")
+  in
+  let events = events_of ring "f" in
+  let rec before_first_strike acc = function
+    | [] -> List.rev acc
+    | Telemetry.Deopt { reason = Telemetry.Strike_limit; _ } :: _ -> List.rev acc
+    | e :: rest -> before_first_strike (e :: acc) rest
+  in
+  let bailouts_before =
+    List.length
+      (List.filter
+         (function Telemetry.Bailout _ -> true | _ -> false)
+         (before_first_strike [] events))
+  in
+  Alcotest.(check int) "discarded at exactly the second bailout" 2 bailouts_before;
+  (* Every strike-out happens at exactly max_bailouts strikes. *)
+  let arr = Array.of_list events in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Telemetry.Deopt { reason = Telemetry.Strike_limit; _ } -> (
+        match arr.(i - 1) with
+        | Telemetry.Bailout { strikes; _ } ->
+          Alcotest.(check int) "strikes at discard" 2 strikes
+        | _ -> Alcotest.fail "strike deopt not preceded by its bailout")
+      | _ -> ())
+    arr;
+  (* 6 bailing calls: strike out at calls 2/4/6, recompile at calls 3/5. *)
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  let fid = (fn report "f").Engine.fr_fid in
+  let get key = Telemetry.Counters.get c ~fid key in
+  Alcotest.(check int) "bailouts" 6 (get Telemetry.Key.bailouts);
+  Alcotest.(check int) "strike discards" 3 (get Telemetry.Key.strike_discards);
+  Alcotest.(check int) "compiles" 3 (get Telemetry.Key.compiles);
+  (* Strike discards refresh the binary; they are not §4 deoptimizations
+     and must not cost the function its specialization rights. *)
+  Alcotest.(check int) "no §4 deopt" 0 (get Telemetry.Key.deopts);
+  Alcotest.(check bool) "not reported deoptimized" false (fn report "f").Engine.fr_deoptimized
+
+let test_strikes_are_per_binary () =
+  (* Regression (cross-binary leak): with a k-entry cache, each binary
+     carries its own strike count. Two bailing tuples interleaved with a
+     healthy one: the healthy binary compiles once and is never discarded,
+     and every strike-out happens at exactly max_bailouts strikes of its
+     own binary. *)
+  let ring = Telemetry.Ring.create 4096 in
+  let cfg =
+    {
+      (Engine.default_config ~opt:ps_only ~cache_size:3 ()) with
+      Engine.max_bailouts = 3;
+    }
+  in
+  let engine, report, _ =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ]
+      "function f(s, i) { return s[i]; }\n\
+       var a = [1, 2, 3, 4];\n\
+       var t = 0;\n\
+       for (var k = 0; k < 20; k++) t = (t + f(a, 1)) | 0;\n\
+       for (var k = 0; k < 8; k++) { f(a, 5); f(a, 6); t = (t + f(a, 1)) | 0; }\n\
+       print(t);"
+  in
+  let events = Array.of_list (events_of ring "f") in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Telemetry.Deopt { reason = Telemetry.Strike_limit; _ } -> (
+        match events.(i - 1) with
+        | Telemetry.Bailout { strikes; _ } ->
+          Alcotest.(check int) "own binary at its limit" 3 strikes
+        | _ -> Alcotest.fail "strike deopt not preceded by its bailout")
+      | _ -> ())
+    events;
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  let fid = (fn report "f").Engine.fr_fid in
+  let get key = Telemetry.Counters.get c ~fid key in
+  (* Per bailing tuple: 8 bailouts, struck out twice, compiled 3 times.
+     The healthy tuple compiles once and never bails: under the old shared
+     counter its binary would have been condemned by its neighbours'
+     strikes. *)
+  Alcotest.(check int) "bailouts" 16 (get Telemetry.Key.bailouts);
+  Alcotest.(check int) "strike discards" 4 (get Telemetry.Key.strike_discards);
+  Alcotest.(check int) "compiles" 7 (get Telemetry.Key.compiles);
+  Alcotest.(check int) "no §4 deopt" 0 (get Telemetry.Key.deopts);
+  (* The healthy binary kept serving to the end: the last events are its
+     cache hits, not recompiles. *)
+  (match events.(Array.length events - 1) with
+  | Telemetry.Cache_hit _ -> ()
+  | e -> Alcotest.fail ("last event should be a cache hit, got " ^ Telemetry.event_kind e))
+
+let test_entry_bail_is_a_deopt () =
+  (* Regression: an entry-guard failure on a specialized binary is a §4
+     deoptimization — the probe admitted the call, the entry type barrier
+     rejected it — and must be visible as one. Selective mode narrows and
+     respecializes instead of blacklisting, and the widened type feedback
+     makes the replacement binary guard-free on that argument. *)
+  let ring = Telemetry.Ring.create 1024 in
+  let cfg = Engine.default_config ~opt:Pipeline.all_on ~selective:true () in
+  let src =
+    "function g(a, b) { return (a * 10 + b) | 0; }\n\
+     var t = 0;\n\
+     for (var k = 0; k < 30; k++) t = (t + g(5, k % 7)) | 0;\n\
+     t = (t + g(5, \"x\")) | 0;\n\
+     for (var k = 0; k < 10; k++) t = (t + g(5, k % 7)) | 0;\n\
+     print(t);"
+  in
+  let engine, report, out = run ~cfg ~sinks:[ Telemetry.Ring.sink ring ] src in
+  let _, _, interp_out = run ~cfg:Engine.interp_only src in
+  Alcotest.(check string) "matches the interpreter" interp_out out;
+  let g = fn report "g" in
+  Alcotest.(check bool) "counted as deoptimized" true g.Engine.fr_deoptimized;
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  let get key = Telemetry.Counters.get c ~fid:g.Engine.fr_fid key in
+  Alcotest.(check int) "one entry bailout" 1 (get Telemetry.Key.bailouts_entry);
+  Alcotest.(check int) "one §4 deopt" 1 (get Telemetry.Key.deopts);
+  (* The burned position matched, so the probe hit: the type change is
+     caught by the entry guard, never by the cache probe. *)
+  Alcotest.(check int) "no cache miss" 0 (get Telemetry.Key.cache_misses);
+  Alcotest.(check int) "narrowed once, not blacklisted" 2 (get Telemetry.Key.compiles);
+  Alcotest.(check int) "no blacklist" 0 (get Telemetry.Key.blacklists);
+  (match
+     List.filter
+       (function Telemetry.Deopt _ | Telemetry.Bailout _ -> true | _ -> false)
+       (events_of ring "g")
+   with
+  | [ Telemetry.Bailout { pc = 0; strikes = 0; _ };
+      Telemetry.Deopt { reason = Telemetry.Entry_guard; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one entry bailout followed by an entry-guard deopt");
+  (* After narrowing, the replacement binary serves every remaining call. *)
+  (match List.rev (events_of ring "g") with
+  | Telemetry.Cache_hit _ :: _ -> ()
+  | _ -> Alcotest.fail "expected the narrowed binary to serve the tail calls")
+
+(* ------------------------------------------------------------------ *)
+(* Cache policy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_move_to_front () =
+  (* With a 3-entry cache, hit positions expose the MRU reordering. *)
+  let ring = Telemetry.Ring.create 1024 in
+  let cfg = Engine.default_config ~opt:Pipeline.all_on ~cache_size:3 () in
+  let _, report, _ =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ]
+      "function f(x) { return (x * 3) | 0; }\n\
+       var t = 0;\n\
+       for (var k = 0; k < 30; k++) t = (t + f(1)) | 0;\n\
+       t = (t + f(2)) | 0;\n\
+       t = (t + f(3)) | 0;\n\
+       t = (t + f(1)) | 0;\n\
+       t = (t + f(3)) | 0;\n\
+       t = (t + f(3)) | 0;\n\
+       t = (t + f(2)) | 0;\n\
+       print(t);"
+  in
+  Alcotest.(check int) "three specialized binaries" 3 (fn report "f").Engine.fr_compiles;
+  Alcotest.(check bool) "no deopt" true (not (fn report "f").Engine.fr_deoptimized);
+  let hits =
+    List.filter_map
+      (function Telemetry.Cache_hit { index; _ } -> Some index | _ -> None)
+      (events_of ring "f")
+  in
+  (* Cache [3;2;1] after the fills; then f(1) hits slot 2 (-> [1;3;2]),
+     f(3) slot 1 (-> [3;1;2]), f(3) slot 0, f(2) slot 2. *)
+  let tail4 = List.filteri (fun i _ -> i >= List.length hits - 4) hits in
+  Alcotest.(check (list int)) "MRU positions" [ 2; 1; 0; 2 ] tail4
+
+let test_full_cache_blacklists () =
+  (* The eviction-vs-blacklist boundary: a miss on a FULL cache is the §4
+     deoptimization — discard everything, blacklist, go generic — not an
+     eviction of the least-recent entry. *)
+  let ring = Telemetry.Ring.create 1024 in
+  let cfg = Engine.default_config ~opt:Pipeline.all_on ~cache_size:2 () in
+  let engine, report, _ =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ]
+      "function f(x) { return (x * 3) | 0; }\n\
+       var t = 0;\n\
+       for (var k = 0; k < 30; k++) t = (t + f(1)) | 0;\n\
+       t = (t + f(2)) | 0;\n\
+       t = (t + f(3)) | 0;\n\
+       t = (t + f(1)) | 0;\n\
+       print(t);"
+  in
+  let f = fn report "f" in
+  Alcotest.(check bool) "deoptimized" true f.Engine.fr_deoptimized;
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  let get key = Telemetry.Counters.get c ~fid:f.Engine.fr_fid key in
+  Alcotest.(check int) "blacklisted" 1 (get Telemetry.Key.blacklists);
+  Alcotest.(check int) "one deopt" 1 (get Telemetry.Key.deopts);
+  (* The miss on the full cache (the LAST miss: f(2)'s earlier miss just
+     filled the free slot) deopts, blacklists, and compiles generic, in
+     that order; the final f(1) is then served by the generic binary. *)
+  let after_last_miss events =
+    let rec go tail = function
+      | [] -> ( match tail with Some t -> t | None -> Alcotest.fail "no cache miss recorded")
+      | Telemetry.Cache_miss _ :: rest -> go (Some rest) rest
+      | _ :: rest -> go tail rest
+    in
+    go None events
+  in
+  (match kinds (after_last_miss (events_of ring "f")) with
+  | "deopt" :: "blacklist" :: "compile_start" :: "compile_end" :: rest ->
+    Alcotest.(check (list string)) "generic binary serves the tail" [ "cache_hit" ] rest
+  | ks -> Alcotest.fail ("unexpected tail: " ^ String.concat "," ks));
+  match List.rev f.Engine.fr_sizes with
+  | (specialized, _) :: _ -> Alcotest.(check bool) "last compile generic" false specialized
+  | [] -> Alcotest.fail "expected compiles"
+
+(* ------------------------------------------------------------------ *)
+(* Counters as the source of truth                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_agree_with_report () =
+  let cfg = { (Engine.default_config ~opt:ps_only ()) with Engine.max_bailouts = 2 } in
+  let engine, report, _ =
+    run ~cfg (bailing_src "for (var k = 0; k < 6; k++) f(a);")
+  in
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  List.iter
+    (fun (f : Engine.func_report) ->
+      let get key = Telemetry.Counters.get c ~fid:f.Engine.fr_fid key in
+      Alcotest.(check int) (f.Engine.fr_name ^ " calls") (get Telemetry.Key.calls)
+        f.Engine.fr_calls;
+      Alcotest.(check int) (f.Engine.fr_name ^ " compiles") (get Telemetry.Key.compiles)
+        f.Engine.fr_compiles;
+      Alcotest.(check int) (f.Engine.fr_name ^ " bailouts") (get Telemetry.Key.bailouts)
+        f.Engine.fr_bailouts;
+      Alcotest.(check bool) (f.Engine.fr_name ^ " specialized")
+        (get Telemetry.Key.compiles_specialized > 0)
+        f.Engine.fr_was_specialized;
+      Alcotest.(check bool) (f.Engine.fr_name ^ " deoptimized")
+        (get Telemetry.Key.deopts > 0) f.Engine.fr_deoptimized)
+    report.Engine.functions;
+  Alcotest.(check int) "global compiles = report compilations"
+    (Telemetry.Counters.total c Telemetry.Key.compiles)
+    report.Engine.compilations
+
+let test_sinks_do_not_cost_cycles () =
+  (* Attaching sinks must not change the model-cycle accounting the paper
+     tables are built from. *)
+  let src =
+    "function f(s, i) { return s[i]; }\n\
+     var a = [1, 2, 3, 4];\n\
+     var t = 0;\n\
+     for (var k = 0; k < 25; k++) t = (t + f(a, 1)) | 0;\n\
+     for (var k = 0; k < 4; k++) f(a, 9);\n\
+     print(t);"
+  in
+  let cfg = Engine.default_config ~opt:ps_only ~cache_size:2 () in
+  let _, bare, out_bare = run ~cfg src in
+  let ring = Telemetry.Ring.create 4096 in
+  let _, traced, out_traced =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring; ignore ] src
+  in
+  Alcotest.(check string) "same output" out_bare out_traced;
+  Alcotest.(check bool) "events actually flowed" true (Telemetry.Ring.length ring > 0);
+  Alcotest.(check int) "same total cycles" bare.Engine.total_cycles traced.Engine.total_cycles;
+  Alcotest.(check int) "same compile cycles" bare.Engine.compile_cycles
+    traced.Engine.compile_cycles;
+  Alcotest.(check int) "same native cycles" bare.Engine.native_cycles
+    traced.Engine.native_cycles
+
+let test_compile_end_carries_pass_deltas () =
+  (* The per-pass attribution the bench harness aggregates: every
+     Compile_end lists the configured passes in order, with coherent sizes. *)
+  let ring = Telemetry.Ring.create 256 in
+  let _, _, _ =
+    run ~sinks:[ Telemetry.Ring.sink ring ]
+      "function f(x) { return x + 1; } var t = 0;\n\
+       for (var k = 0; k < 20; k++) t += f(7);\n\
+       print(t);"
+  in
+  let ends =
+    List.filter_map
+      (function
+        | Telemetry.Compile_end { passes; cycles; _ } -> Some (passes, cycles)
+        | _ -> None)
+      (Telemetry.Ring.contents ring)
+  in
+  Alcotest.(check bool) "at least one compile" true (ends <> []);
+  List.iter
+    (fun (passes, cycles) ->
+      Alcotest.(check bool) "passes recorded" true (passes <> []);
+      List.iter
+        (fun (pd : Telemetry.pass_delta) ->
+          Alcotest.(check bool) (pd.Telemetry.pd_pass ^ " sizes positive") true
+            (pd.Telemetry.pd_before > 0 && pd.Telemetry.pd_after > 0))
+        passes;
+      Alcotest.(check bool) "cycles charged" true (cycles > 0))
+    ends
+
+let suites =
+  [
+    ( "telemetry.sinks",
+      [
+        Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+        Alcotest.test_case "json escaping" `Quick test_json_escaping;
+      ] );
+    ( "telemetry.sequence",
+      [
+        Alcotest.test_case "compile/hit/bailout/deopt sequence" `Quick
+          test_exact_event_sequence;
+        Alcotest.test_case "strike limit is exact (regression)" `Quick
+          test_strike_limit_is_exact;
+        Alcotest.test_case "strikes are per binary (regression)" `Quick
+          test_strikes_are_per_binary;
+        Alcotest.test_case "entry bail counts as deopt (regression)" `Quick
+          test_entry_bail_is_a_deopt;
+      ] );
+    ( "telemetry.cache",
+      [
+        Alcotest.test_case "LRU move-to-front" `Quick test_lru_move_to_front;
+        Alcotest.test_case "full cache blacklists, not evicts" `Quick
+          test_full_cache_blacklists;
+      ] );
+    ( "telemetry.counters",
+      [
+        Alcotest.test_case "counters agree with the report" `Quick
+          test_counters_agree_with_report;
+        Alcotest.test_case "sinks never cost cycles" `Quick test_sinks_do_not_cost_cycles;
+        Alcotest.test_case "compile events carry pass deltas" `Quick
+          test_compile_end_carries_pass_deltas;
+      ] );
+  ]
