@@ -19,6 +19,9 @@ dune build @lint
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @chaos (fault-injection fuzz smoke) =="
+dune build @chaos
+
 echo "== bench smoke (paper tables) =="
 dune exec bench/main.exe -- tables > /dev/null
 

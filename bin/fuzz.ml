@@ -7,6 +7,13 @@
      dune exec bin/fuzz.exe -- --count 500
      dune exec bin/fuzz.exe -- --gen objects --start 1000 --count 200
      dune exec bin/fuzz.exe -- --seed 1992 --show   # replay one case
+     dune exec bin/fuzz.exe -- --chaos --count 60   # + injected faults
+
+   With --chaos each seed additionally samples a deterministic fault plan
+   (Faults.sample seed) injected into every JIT run: compile aborts,
+   rejected binaries, forced guard bailouts, cache exhaustion. The
+   invariant stays the same — the interpreter's output, from every
+   configuration, under every fault schedule.
 
    Exit status 1 when any failure was found, so the fuzzer can gate CI. *)
 
@@ -22,11 +29,15 @@ let generator_of = function
    mismatch is a wrong answer, a verifier diagnostic is a broken IR. *)
 type outcome = Pass | Mismatched | Diagnosed
 
-let run_one gen seed ~show =
+let run_one gen seed ~chaos ~show =
   let st = Random.State.make [| seed |] in
   let src = gen st in
-  if show then Printf.printf "--- seed %d ---\n%s\n" seed src;
-  match Fuzz_diff.check src with
+  if show then begin
+    Printf.printf "--- seed %d ---\n%s\n" seed src;
+    if chaos then
+      Printf.printf "chaos plan: %s\n" (Faults.describe (Faults.sample seed))
+  end;
+  match if chaos then Fuzz_diff.check_chaos ~seed src else Fuzz_diff.check src with
   | None -> Pass
   | Some (Fuzz_diff.Mismatch m) ->
     Printf.printf "=== MISMATCH seed=%d config=%s ===\n" seed m.Fuzz_diff.mm_config;
@@ -40,20 +51,22 @@ let run_one gen seed ~show =
     Printf.printf "%s\nprogram:\n%s\n" (Diag.to_string vd_diag) src;
     Diagnosed
 
-let main gen_name start count one_seed show =
+let main gen_name start count one_seed chaos show =
   let gen = generator_of gen_name in
   match one_seed with
-  | Some seed -> if run_one gen seed ~show = Pass then (print_endline "ok"; 0) else 1
+  | Some seed -> if run_one gen seed ~chaos ~show = Pass then (print_endline "ok"; 0) else 1
   | None ->
     let mismatches = ref 0 and diagnostics = ref 0 in
     for seed = start to start + count - 1 do
-      match run_one gen seed ~show with
+      match run_one gen seed ~chaos ~show with
       | Pass -> ()
       | Mismatched -> incr mismatches
       | Diagnosed -> incr diagnostics
     done;
-    Printf.printf "%d cases (%s, seeds %d..%d), %d mismatches, %d verifier diagnostics\n"
-      count gen_name start (start + count - 1) !mismatches !diagnostics;
+    Printf.printf "%d cases (%s%s, seeds %d..%d), %d mismatches, %d verifier diagnostics\n"
+      count gen_name
+      (if chaos then ", chaos" else "")
+      start (start + count - 1) !mismatches !diagnostics;
     if !mismatches = 0 && !diagnostics = 0 then 0 else 1
 
 open Cmdliner
@@ -74,6 +87,14 @@ let seed_arg =
   let doc = "Replay exactly this seed (ignores --start/--count)." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
 
+let chaos_arg =
+  let doc =
+    "Inject the deterministic fault plan sampled from each case's seed into every JIT \
+     run (compile aborts, rejected binaries, forced guard bailouts, cache exhaustion); \
+     the interpreter's output is still required from all of them."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
 let show_arg =
   let doc = "Print each generated program." in
   Arg.(value & flag & info [ "show" ] ~doc)
@@ -82,6 +103,6 @@ let cmd =
   let doc = "differential fuzzing of the MiniJS JIT against the interpreter" in
   Cmd.v
     (Cmd.info "vs-fuzz" ~doc)
-    Term.(const main $ gen_arg $ start_arg $ count_arg $ seed_arg $ show_arg)
+    Term.(const main $ gen_arg $ start_arg $ count_arg $ seed_arg $ chaos_arg $ show_arg)
 
 let () = exit (Cmd.eval' cmd)

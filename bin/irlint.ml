@@ -86,6 +86,10 @@ let main suite_filter config_filter strict machine =
   in
   Pipeline.checks := true;
   Engine.diag_warn_hook := Some report;
+  (* The engine contains mid-run compile diagnostics (quarantine + interpreter
+     fallback) instead of letting [Diag.Failed] escape; the abort hook is how
+     those findings still reach the lint report. *)
+  Engine.diag_abort_hook := Some report;
   let members = ref 0 and runs = ref 0 in
   List.iter
     (fun (suite : Suite.t) ->

@@ -43,9 +43,29 @@ let profile_table () =
   in
   (record, dump)
 
-let run_file path no_jit spec selective cache_size config_name stats trace trace_json
-    dump_bytecode dump_mir profile check =
+let run_file path no_jit spec selective cache_size code_cache_bytes max_depth config_name
+    stats trace trace_json dump_bytecode dump_mir profile check chaos =
   let src = In_channel.with_open_text path In_channel.input_all in
+  (match chaos with
+  | None -> ()
+  | Some seed -> (
+    (* Chaos differential: the fault plan sampled from SEED is injected
+       into every JIT configuration; all of them must still produce the
+       pure interpreter's output. *)
+    let plan = Faults.sample seed in
+    Printf.printf "chaos plan: %s\n" (Faults.describe plan);
+    match Fuzz_diff.check_chaos ~seed src with
+    | None ->
+      Printf.printf "ok: %d configurations survive the fault plan\n"
+        (List.length Fuzz_diff.default_configs);
+      exit 0
+    | Some (Fuzz_diff.Mismatch m) ->
+      Printf.printf "MISMATCH under %s\n-- interpreter --\n%s-- %s --\n%s" m.Fuzz_diff.mm_config
+        m.Fuzz_diff.mm_expected m.Fuzz_diff.mm_config m.Fuzz_diff.mm_got;
+      exit 1
+    | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
+      Printf.printf "VERIFIER DIAGNOSTIC under %s\n%s\n" vd_config (Diag.to_string vd_diag);
+      exit 1));
   if check then begin
     (* Differential mode: run under the interpreter and every JIT
        configuration (including the selective / k-entry-cache / SCCP
@@ -75,7 +95,11 @@ let run_file path no_jit spec selective cache_size config_name stats trace trace
     | None -> if spec || selective then Pipeline.all_on else Pipeline.baseline
   in
   let cfg =
-    { (Engine.default_config ~opt ~cache_size ~selective ()) with Engine.jit = not no_jit }
+    {
+      (Engine.default_config ~opt ~cache_size ~selective ~code_cache_bytes ~max_depth ())
+      with
+      Engine.jit = not no_jit
+    }
   in
   match Bytecode.Compile.program_of_source src with
   | exception Jsfront.Lexer.Error (pos, msg) ->
@@ -202,6 +226,22 @@ let cache_size =
           "Specialized binaries cached per function (the paper uses 1; larger values \
            are the section-6 extension).")
 
+let code_cache_bytes =
+  Arg.(
+    value & opt int 0
+    & info [ "code-cache-bytes" ] ~docv:"N"
+        ~doc:
+          "Global code-cache byte budget across all functions, with cross-function LRU \
+           eviction on admission (0 = unbounded).")
+
+let max_depth =
+  Arg.(
+    value & opt int Interp.default_max_depth
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:
+          "MiniJS call-depth limit; deeper recursion is a runtime error ('stack \
+           overflow') instead of a process crash.")
+
 let config_name =
   Arg.(
     value
@@ -253,12 +293,24 @@ let profile =
     & info [ "profile" ]
         ~doc:"Print a per-opcode execution profile of the compiled code after the run.")
 
+let chaos =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Chaos differential: inject the deterministic fault plan sampled from $(docv) \
+           (aborted compilations, rejected binaries, forced guard bailouts, cache \
+           exhaustion) into every JIT configuration and require the interpreter's \
+           output from all of them (exit 1 on divergence).")
+
 let cmd =
   let doc = "Run MiniJS programs under a JIT with parameter-based value specialization" in
   Cmd.v
     (Cmd.info "jsvm" ~version:"1.0" ~doc)
     Term.(
-      const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size $ config_name
-      $ stats $ trace $ trace_json $ dump_bytecode $ dump_mir $ profile $ check)
+      const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size
+      $ code_cache_bytes $ max_depth $ config_name $ stats $ trace $ trace_json
+      $ dump_bytecode $ dump_mir $ profile $ check $ chaos)
 
 let () = exit (Cmd.eval cmd)

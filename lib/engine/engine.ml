@@ -10,9 +10,14 @@ type config = {
   max_bailouts : int;
   cache_size : int;
   selective : bool;
+  compile_retries : int;
+  storm_threshold : int;
+  code_cache_bytes : int;
+  max_depth : int;
 }
 
-let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = false) () =
+let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = false)
+    ?(code_cache_bytes = 0) ?(max_depth = Interp.default_max_depth) () =
   {
     opt;
     jit = true;
@@ -21,6 +26,10 @@ let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = fa
     max_bailouts = 3;
     cache_size;
     selective;
+    compile_retries = 3;
+    storm_threshold = 8;
+    code_cache_bytes;
+    max_depth;
   }
 
 let interp_only = { (default_config ()) with jit = false }
@@ -35,6 +44,13 @@ let mir_hook : (Mir.func -> unit) option ref = ref None
    Errors always raise [Diag.Failed]. *)
 let diag_warn_hook : (Diag.t -> unit) option ref = ref None
 
+(* Abort sink for the containment barrier: every diagnostic that aborts a
+   compilation (a real verifier error or an injected fault) is delivered
+   here before the engine recovers by quarantining the function. This is
+   how the lint tooling observes mid-run IR corruption now that
+   [Diag.Failed] no longer escapes [run]. *)
+let diag_abort_hook : (Diag.t -> unit) option ref = ref None
+
 type compiled = {
   code : Code.t;
   cached_args : Value.t array option;
@@ -46,6 +62,9 @@ type compiled = {
      condemn its neighbours — and a binary is discarded at its
      [max_bailouts]-th strike. *)
   mutable strikes : int;
+  (* Global-LRU clock value of the entry's last installation or cache hit;
+     the code-cache budget evicts the smallest across all functions. *)
+  mutable last_use : int;
 }
 
 type func_state = {
@@ -60,6 +79,15 @@ type func_state = {
   mutable stable_args : Value.t option array option;
   mutable last_args : Value.t array option;  (* for §2 argument statistics *)
   mutable sizes : (bool * int) list;
+  (* Failure-domain state. Compilation failures (aborted compiles, cache
+     admission failures, deopt storms) quarantine the function: no compile
+     attempt until the call counter reaches [quarantine_until], with the
+     backoff doubling per failure, and a permanent interpreter-tier pin
+     once [q_failures] exceeds the retry cap. *)
+  mutable quarantine_until : int;
+  mutable q_failures : int;
+  mutable pinned : bool;
+  mutable discards : int;  (* binary discards since the last storm check *)
 }
 
 type t = {
@@ -70,6 +98,9 @@ type t = {
   native_cycles : int ref;
   compile_cycles : int ref;
   tel : Telemetry.t;
+  cache_bytes : int ref;  (* code-cache bytes in use across all functions *)
+  lru_tick : int ref;  (* global LRU clock (bumped per install / cache hit) *)
+  depth : int ref;  (* live MiniJS call nesting *)
 }
 
 type func_report = {
@@ -108,7 +139,7 @@ let make engine_config program =
   {
     cfg = engine_config;
     program;
-    istate = Interp.make_state program;
+    istate = Interp.make_state ~max_depth:engine_config.max_depth program;
     fstates =
       Array.init (Bytecode.Program.nfuncs program) (fun fid ->
           {
@@ -122,10 +153,17 @@ let make engine_config program =
             stable_args = None;
             last_args = None;
             sizes = [];
+            quarantine_until = 0;
+            q_failures = 0;
+            pinned = false;
+            discards = 0;
           });
     native_cycles = ref 0;
     compile_cycles = ref 0;
     tel = Telemetry.create ~nfuncs:(Bytecode.Program.nfuncs program) ();
+    cache_bytes = ref 0;
+    lru_tick = ref 0;
+    depth = ref 0;
   }
 
 let telemetry t = t.tel
@@ -245,19 +283,30 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
      lowerer will consume. *)
   spec_check `Built;
   let pass_stats = Pipeline.apply ~program:t.program t.cfg.opt mir in
+  (* The optimizer's work is paid for as soon as it happened — an abort
+     below (a diagnostic or an injected fault) still charges it, which is
+     what makes compile failures costly rather than free retries. The
+     split charge sums to exactly the old single charge on a clean run. *)
+  t.compile_cycles :=
+    !(t.compile_cycles)
+    + (Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed);
+  if Faults.fire Faults.Compile_diag then
+    Diag.error ~layer:"fault" ~func:name ~fid:fs.fid "injected compile_diag fault";
   spec_check `Optimized;
   (match !mir_hook with Some hook -> hook mir | None -> ());
   let vcode = Lower.run mir in
   let code, intervals = Regalloc.run vcode in
-  (* Internal assert on the backend's output (no model cycles charged):
-     catches allocation and snapshot bugs at their source instead of as a
-     downstream miscomputation. *)
-  Code_verify.run code;
   t.compile_cycles :=
     !(t.compile_cycles)
-    + (Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed)
     + (Cost.compile_per_native_instr * Code.size code)
     + (Cost.compile_per_interval * intervals);
+  (* Internal assert on the backend's output (no model cycles charged):
+     catches allocation and snapshot bugs at their source instead of as a
+     downstream miscomputation. A failure here aborts the compilation with
+     the backend work already charged. *)
+  Code_verify.run code;
+  if Faults.fire Faults.Code_verify then
+    Diag.error ~layer:"fault" ~func:name ~fid:fs.fid "injected code_verify fault";
   bump t fs Telemetry.Key.compiles;
   if specialized then bump t fs Telemetry.Key.compiles_specialized;
   if is_osr then bump t fs Telemetry.Key.compiles_osr;
@@ -280,7 +329,156 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
           passes = pass_stats.Pipeline.passes;
         });
   fs.sizes <- (specialized, Code.size code) :: fs.sizes;
-  { code; cached_args = spec_args; cached_mask = spec_mask; strikes = 0 }
+  { code; cached_args = spec_args; cached_mask = spec_mask; strikes = 0; last_use = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Failure containment: quarantine, code-cache budget, the barrier      *)
+(* ------------------------------------------------------------------ *)
+
+(* Quarantine with exponential backoff: after the [n]-th compile failure
+   the function may not attempt compilation again until [2^n] hot-call
+   thresholds' worth of further calls have accumulated; past the retry cap
+   it is pinned to the interpreter tier for good. Loop-edge credit is
+   dropped too, so OSR does not sneak a quarantined function back into the
+   compiler early (its threshold scales by the same power of two). *)
+let quarantine t fs reason =
+  fs.q_failures <- fs.q_failures + 1;
+  if fs.q_failures > t.cfg.compile_retries then begin
+    if not fs.pinned then begin
+      fs.pinned <- true;
+      bump t fs Telemetry.Key.pins;
+      emit t (fun () ->
+          Telemetry.Quarantine
+            { fid = fs.fid; fname = fname t fs.fid; reason; backoff_calls = 0;
+              permanent = true })
+    end
+  end
+  else begin
+    let backoff = t.cfg.hot_calls * (1 lsl min fs.q_failures 16) in
+    fs.quarantine_until <- count t fs Telemetry.Key.calls + backoff;
+    fs.loop_edges <- 0;
+    bump t fs Telemetry.Key.quarantines;
+    emit t (fun () ->
+        Telemetry.Quarantine
+          { fid = fs.fid; fname = fname t fs.fid; reason; backoff_calls = backoff;
+            permanent = false })
+  end
+
+let can_compile t fs =
+  (not fs.pinned) && count t fs Telemetry.Key.calls >= fs.quarantine_until
+
+(* Deopt-storm detector: a function oscillating compile→bailout→discard
+   burns compile cycles without settling. [storm_threshold] binary
+   discards (entry bails and strike limits — not §4 argument-mismatch
+   deopts, which blacklist and settle by themselves) trip a quarantine. *)
+let note_discard t fs =
+  fs.discards <- fs.discards + 1;
+  if fs.discards >= t.cfg.storm_threshold then begin
+    fs.discards <- 0;
+    bump t fs Telemetry.Key.storms;
+    quarantine t fs Telemetry.Deopt_storm
+  end
+
+(* Code-cache byte accounting. Every install/detach goes through these
+   helpers so [cache_bytes] is exact; none of this charges model cycles. *)
+let entry_bytes entry = Code.size entry.code * Cost.bytes_per_native_instr
+
+let touch t entry =
+  t.lru_tick := !(t.lru_tick) + 1;
+  entry.last_use <- !(t.lru_tick)
+
+let install_entry t fs entry =
+  fs.compiled <- entry :: fs.compiled;
+  t.cache_bytes := !(t.cache_bytes) + entry_bytes entry
+
+let detach t fs entry =
+  if List.memq entry fs.compiled then begin
+    fs.compiled <- List.filter (fun e -> e != entry) fs.compiled;
+    t.cache_bytes := !(t.cache_bytes) - entry_bytes entry
+  end
+
+let clear_compiled t fs =
+  List.iter (fun e -> t.cache_bytes := !(t.cache_bytes) - entry_bytes e) fs.compiled;
+  fs.compiled <- []
+
+(* Cross-function LRU eviction: free room for [need] bytes by discarding
+   the least recently touched binaries anywhere in the engine. Eviction is
+   a capacity decision, not a policy one — no deopt, no blacklist, no
+   strike or storm accounting; a later hot call simply recompiles. *)
+let evict_for t need =
+  let victim () =
+    let best = ref None in
+    Array.iter
+      (fun fs ->
+        List.iter
+          (fun e ->
+            match !best with
+            | Some (_, b) when b.last_use <= e.last_use -> ()
+            | _ -> best := Some (fs, e))
+          fs.compiled)
+      t.fstates;
+    !best
+  in
+  let rec go () =
+    if !(t.cache_bytes) + need > t.cfg.code_cache_bytes then
+      match victim () with
+      | None -> ()
+      | Some (owner, e) ->
+        let bytes = entry_bytes e in
+        detach t owner e;
+        bump t owner Telemetry.Key.cache_evictions;
+        emit t (fun () ->
+            Telemetry.Cache_evict
+              { fid = owner.fid; fname = fname t owner.fid; bytes;
+                in_use = !(t.cache_bytes) });
+        go ()
+  in
+  go ()
+
+(* Admission: a freshly compiled binary may enter the code cache if the
+   byte budget (0 = unbounded) can accommodate it after LRU eviction —
+   a single binary larger than the whole budget is refused outright. *)
+let admit t entry =
+  if Faults.fire Faults.Cache_oom then false
+  else if t.cfg.code_cache_bytes <= 0 then true
+  else begin
+    let need = entry_bytes entry in
+    evict_for t need;
+    !(t.cache_bytes) + need <= t.cfg.code_cache_bytes
+  end
+
+(* The containment barrier around the compile factory: a compilation that
+   fails — a verifier/lint diagnostic or an injected fault — is charged
+   for the work it did, reported ([Compile_abort], [diag_abort_hook]) and
+   answered with a quarantine; the caller falls back to the interpreter.
+   This is the boundary that keeps [Diag.Failed] from escaping [run]. *)
+let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
+  let cycles_before = !(t.compile_cycles) in
+  match compile t fs ?spec_args ?spec_mask ?osr () with
+  | entry ->
+    if admit t entry then begin
+      touch t entry;
+      Some entry
+    end
+    else begin
+      quarantine t fs Telemetry.Cache_oom;
+      None
+    end
+  | exception Diag.Failed d ->
+    bump t fs Telemetry.Key.compiles_aborted;
+    (match !diag_abort_hook with Some h -> h d | None -> ());
+    emit t (fun () ->
+        Telemetry.Compile_abort
+          {
+            fid = fs.fid;
+            fname = fname t fs.fid;
+            specialized = spec_args <> None;
+            osr = osr <> None;
+            reason = d.Diag.message;
+            cycles = !(t.compile_cycles) - cycles_before;
+          });
+    quarantine t fs Telemetry.Compile_fault;
+    None
 
 let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
 
@@ -305,9 +503,9 @@ let rec call_value t (callee : Value.t) args =
   | other -> raise (Runtime_error (Printf.sprintf "%s is not callable" (Value.typeof other)))
 
 (* Cache lookup: a generic binary serves any arguments; a specialized one
-   only its cached tuple. Hits move to the front (LRU) and report the
-   probed index. *)
-and cache_find fs args =
+   only its cached tuple. Hits move to the front (LRU), refresh the
+   global-LRU clock, and report the probed index. *)
+and cache_find t fs args =
   let matches entry =
     match entry.cached_args with
     | None -> true
@@ -333,14 +531,31 @@ and cache_find fs args =
   | None -> None
   | Some (i, entry) ->
     fs.compiled <- entry :: List.filter (fun e -> e != entry) fs.compiled;
+    touch t entry;
     Some (i, entry)
 
 and call_closure t (c : Value.closure) args =
+  if !(t.depth) >= t.cfg.max_depth then raise (Runtime_error "stack overflow");
+  t.depth := !(t.depth) + 1;
+  Fun.protect
+    ~finally:(fun () -> t.depth := !(t.depth) - 1)
+    (fun () -> call_closure_at_depth t c args)
+
+and call_closure_at_depth t (c : Value.closure) args =
   let fs = t.fstates.(c.Value.fid) in
   let func = t.program.Bytecode.Program.funcs.(c.Value.fid) in
   bump t fs Telemetry.Key.calls;
   observe_args t fs args;
-  match cache_find fs args with
+  (* Any compile attempt below may abort (returning [None]): the call then
+     falls back to plain interpretation and the quarantine clock decides
+     when compilation is tried again. *)
+  let run_or_interp = function
+    | Some entry ->
+      install_entry t fs entry;
+      run_native_entry t fs func c args entry
+    | None -> interpret t func ~upvals:c.Value.env ~args
+  in
+  match cache_find t fs args with
   | Some (index, entry) ->
     bump t fs Telemetry.Key.cache_hits;
     emit t (fun () ->
@@ -360,38 +575,32 @@ and call_closure t (c : Value.closure) args =
          (cache_size > 1) first fills the cache with further specialized
          versions; the selective extension instead narrows the burned-in
          argument set to the positions still observed stable (sticky, so
-         the narrowing terminates in at most [arity] recompiles). *)
-      if t.cfg.selective && want_specialize t fs then begin
-        fs.compiled <- [];
+         the narrowing terminates in at most [arity] recompiles). A
+         quarantined function keeps its binaries but does not recompile:
+         the miss just interprets. *)
+      if not (can_compile t fs) then interpret t func ~upvals:c.Value.env ~args
+      else if t.cfg.selective && want_specialize t fs then begin
+        clear_compiled t fs;
         deopt t fs Telemetry.Arg_mismatch;
-        let compiled = specialize_selectively t fs args in
-        fs.compiled <- [ compiled ];
-        run_native_entry t fs func c args compiled
+        run_or_interp (specialize_selectively t fs args)
       end
       else if want_specialize t fs && List.length fs.compiled < t.cfg.cache_size
-      then begin
-        let compiled = compile t fs ~spec_args:args () in
-        fs.compiled <- compiled :: fs.compiled;
-        run_native_entry t fs func c args compiled
-      end
+      then run_or_interp (try_compile t fs ~spec_args:args ())
       else begin
-        fs.compiled <- [];
+        clear_compiled t fs;
         deopt t fs Telemetry.Arg_mismatch;
         blacklist t fs;
-        let compiled = compile t fs () in
-        fs.compiled <- [ compiled ];
-        run_native_entry t fs func c args compiled
+        run_or_interp (try_compile t fs ())
       end
     end
-    else if t.cfg.jit && count t fs Telemetry.Key.calls >= t.cfg.hot_calls then begin
-      let compiled =
-        if not (want_specialize t fs) then compile t fs ()
-        else if t.cfg.selective then specialize_selectively t fs args
-        else compile t fs ~spec_args:args ()
-      in
-      fs.compiled <- [ compiled ];
-      run_native_entry t fs func c args compiled
-    end
+    else if
+      t.cfg.jit && can_compile t fs
+      && count t fs Telemetry.Key.calls >= t.cfg.hot_calls
+    then
+      run_or_interp
+        (if not (want_specialize t fs) then try_compile t fs ()
+         else if t.cfg.selective then specialize_selectively t fs args
+         else try_compile t fs ~spec_args:args ())
     else interpret t func ~upvals:c.Value.env ~args
 
 (* Compile with only the stable argument positions burned in; if nothing is
@@ -401,10 +610,10 @@ and specialize_selectively t fs args =
   (* Zero-arity functions are vacuously stable (specialization then only
      affects OSR locals baking). *)
   if Array.length mask = 0 || Array.exists Fun.id mask then
-    compile t fs ~spec_args:args ~spec_mask:mask ()
+    try_compile t fs ~spec_args:args ~spec_mask:mask ()
   else begin
     blacklist t fs;
-    compile t fs ()
+    try_compile t fs ()
   end
 
 and run_native_entry t fs func c args entry =
@@ -450,21 +659,23 @@ and run_native t fs func act entry ~at_osr =
          the blacklist policy; otherwise the next call re-specializes on
          the very tuple that just failed. Selective mode narrows instead
          of blacklisting (stability is sticky, so narrowing terminates). *)
-      fs.compiled <- List.filter (fun e -> e != entry) fs.compiled;
+      detach t fs entry;
       if entry.cached_args <> None then begin
         deopt t fs Telemetry.Entry_guard;
         if not t.cfg.selective then blacklist t fs
-      end
+      end;
+      note_discard t fs
     end
     else if entry.strikes >= t.cfg.max_bailouts then begin
       (* In-body guards get [max_bailouts] strikes — per binary, counted
          against this binary alone — before it is declared too speculative
          and discarded for recompilation with refreshed type feedback. *)
-      fs.compiled <- List.filter (fun e -> e != entry) fs.compiled;
+      detach t fs entry;
       bump t fs Telemetry.Key.strike_discards;
       emit t (fun () ->
           Telemetry.Deopt
-            { fid = fs.fid; fname = fname t fs.fid; reason = Telemetry.Strike_limit })
+            { fid = fs.fid; fname = fname t fs.fid; reason = Telemetry.Strike_limit });
+      note_discard t fs
     end;
     resume_interp t func act b
 
@@ -499,8 +710,14 @@ and maybe_osr t (frame : Interp.frame) =
     (* Only OSR when no binary is installed: an installed binary either
        already serves this activation or is about to be replaced through
        the call path. The OSR path of a binary is single-use (its entry
-       state is burned in), so it is never re-entered. *)
-    if fs.loop_edges >= t.cfg.hot_loop_edges && fs.compiled = [] then begin
+       state is burned in), so it is never re-entered. A quarantined
+       function's loop-edge threshold scales by the same power of two as
+       its call backoff; a pinned one never OSRs again. *)
+    if
+      (not fs.pinned)
+      && fs.loop_edges >= t.cfg.hot_loop_edges * (1 lsl min fs.q_failures 16)
+      && fs.compiled = []
+    then begin
       let edges = fs.loop_edges in
       fs.loop_edges <- 0;
       let func = frame.Interp.func in
@@ -534,18 +751,20 @@ and maybe_osr t (frame : Interp.frame) =
       in
       let spec_args = if spec then Some args_now else None in
       let spec_mask = if spec then spec_mask else None in
-      let compiled = compile t fs ?spec_args ?spec_mask ~osr () in
-      fs.compiled <- [ compiled ];
-      let act =
-        {
-          Exec.act_args = args_now;
-          act_env = frame.Interp.upvals;
-          act_cells = frame.Interp.cells;
-          act_osr_args = args_now;
-          act_osr_locals = locals_now;
-        }
-      in
-      Some (run_native t fs func act compiled ~at_osr:true)
+      match try_compile t fs ?spec_args ?spec_mask ~osr () with
+      | None -> None  (* aborted: keep interpreting this activation *)
+      | Some compiled ->
+        install_entry t fs compiled;
+        let act =
+          {
+            Exec.act_args = args_now;
+            act_env = frame.Interp.upvals;
+            act_cells = frame.Interp.cells;
+            act_osr_args = args_now;
+            act_osr_locals = locals_now;
+          }
+        in
+        Some (run_native t fs func act compiled ~at_osr:true)
     end
     else None
   end
@@ -607,7 +826,13 @@ let report_of t result =
 
 let run t =
   let main = t.program.Bytecode.Program.funcs.(t.program.Bytecode.Program.main) in
-  let result = interpret t main ~upvals:[||] ~args:[||] in
+  let result =
+    (* Backstop for the depth limit: should MiniJS recursion exhaust the
+       OCaml stack before [max_depth] trips (a misconfigured limit), it
+       still surfaces as the same MiniJS-level error, not a crash. *)
+    try interpret t main ~upvals:[||] ~args:[||]
+    with Stack_overflow -> raise (Runtime_error "stack overflow")
+  in
   report_of t result
 
 let run_program cfg program = run (make cfg program)

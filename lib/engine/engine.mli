@@ -44,13 +44,40 @@ type config = {
           respecializes instead of blacklisting; since stability is sticky,
           a function respecializes at most [arity] times before settling on
           its stable core (or generic code). *)
+  compile_retries : int;
+      (** compile failures (aborted compilations, cache-admission failures,
+          deopt storms) a function may accumulate before it is pinned to
+          the interpreter tier permanently. Until then each failure
+          quarantines it with exponential backoff: the [n]-th failure defers
+          the next compile attempt by [hot_calls * 2^n] further calls (and
+          scales the OSR loop-edge threshold by the same factor). *)
+  storm_threshold : int;
+      (** binary discards (entry-guard bails and strike limits) before the
+          deopt-storm detector trips and quarantines the function *)
+  code_cache_bytes : int;
+      (** global code-cache byte budget across all functions, with
+          cross-function LRU eviction on admission; 0 = unbounded. A binary
+          occupies [Cost.bytes_per_native_instr] bytes per native
+          instruction. *)
+  max_depth : int;
+      (** MiniJS call-depth limit; deeper recursion raises
+          [Runtime_error "stack overflow"] (a MiniJS-level error, not an
+          OCaml crash) *)
 }
 
 val default_config :
-  ?opt:Pipeline.config -> ?cache_size:int -> ?selective:bool -> unit -> config
+  ?opt:Pipeline.config ->
+  ?cache_size:int ->
+  ?selective:bool ->
+  ?code_cache_bytes:int ->
+  ?max_depth:int ->
+  unit ->
+  config
 (** Defaults: [jit = true], [hot_calls = 10], [hot_loop_edges = 40],
     [max_bailouts = 3], [cache_size = 1], [selective = false], baseline
-    pipeline. *)
+    pipeline, [compile_retries = 3], [storm_threshold = 8],
+    [code_cache_bytes = 0] (unbounded), [max_depth =
+    Interp.default_max_depth]. *)
 
 val interp_only : config
 
@@ -89,8 +116,17 @@ val mir_hook : (Mir.func -> unit) option ref
 
 val diag_warn_hook : (Diag.t -> unit) option ref
 (** Warning sink for the lint layer: when {!Pipeline.checks} is on, the
-    specialization-soundness checker's warnings are delivered here
-    (errors always raise {!Diag.Failed}); [None] drops them. *)
+    specialization-soundness checker's warnings are delivered here;
+    [None] drops them. *)
+
+val diag_abort_hook : (Diag.t -> unit) option ref
+(** Called with every diagnostic that aborts a mid-run compilation — a
+    verifier/lint error or an injected {!Faults} failure — just before the
+    engine recovers (charges the wasted cycles, emits
+    [Telemetry.Compile_abort], quarantines the function and falls back to
+    the interpreter). {!Diag.Failed} never escapes {!run}: this hook is how
+    the lint tooling still observes mid-run IR corruption. [None] drops
+    them. *)
 
 exception Runtime_error of string
 
@@ -108,7 +144,11 @@ val telemetry : t -> Telemetry.t
     counter registry after. *)
 
 val run : t -> report
-(** Execute the program's main function to completion. *)
+(** Execute the program's main function to completion. Compilation is a
+    contained failure domain: a verifier diagnostic or injected fault mid-
+    run aborts that compilation (quarantining the function) instead of
+    escaping — the only exception [run] raises for a MiniJS-level problem
+    is {!Runtime_error}. *)
 
 val run_program : config -> Bytecode.Program.t -> report
 val run_source : config -> string -> report

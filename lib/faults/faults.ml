@@ -1,0 +1,88 @@
+(* Deterministic fault injection. See faults.mli for the contract. *)
+
+type point = Compile_diag | Code_verify | Exec_guard | Cache_oom
+
+type mode = Nth of int | Every of int | Prob of float
+
+type spec = (point * mode) list
+
+type rule = { r_point : point; r_mode : mode; mutable r_hits : int }
+
+type plan = { seed : int; rules : rule list; prng : Support.Prng.t }
+
+let make ~seed spec =
+  {
+    seed;
+    rules = List.map (fun (p, m) -> { r_point = p; r_mode = m; r_hits = 0 }) spec;
+    prng = Support.Prng.create seed;
+  }
+
+let seed_of p = p.seed
+let spec_of p = List.map (fun r -> (r.r_point, r.r_mode)) p.rules
+
+let point_to_string = function
+  | Compile_diag -> "compile_diag"
+  | Code_verify -> "code_verify"
+  | Exec_guard -> "exec_guard"
+  | Cache_oom -> "cache_oom"
+
+let mode_to_string = function
+  | Nth n -> Printf.sprintf "nth(%d)" n
+  | Every n -> Printf.sprintf "every(%d)" n
+  | Prob p -> Printf.sprintf "prob(%.2f)" p
+
+let describe p =
+  let rules =
+    List.map
+      (fun r -> Printf.sprintf "%s:%s" (point_to_string r.r_point) (mode_to_string r.r_mode))
+      p.rules
+  in
+  String.concat " " (Printf.sprintf "seed=%d" p.seed :: (if rules = [] then [ "(empty)" ] else rules))
+
+(* Random plans for the chaos fuzzer. Each point independently gets a
+   rule with probability ~0.55; an empty draw is re-rolled once so most
+   seeds actually inject something. Exec_guard rules lean towards
+   Every/Prob because guard sites see many occurrences per run, whereas
+   compile-side points see only a handful. *)
+let sample seed =
+  let prng = Support.Prng.create ((seed * 2) + 1) in
+  let draw_mode ~occurrences_many =
+    match Support.Prng.int prng 3 with
+    | 0 -> Nth (1 + Support.Prng.int prng (if occurrences_many then 25 else 12))
+    | 1 -> Every (2 + Support.Prng.int prng 6)
+    | _ -> Prob (0.05 +. (0.40 *. Support.Prng.float prng 1.0))
+  in
+  let draw () =
+    List.filter_map
+      (fun point ->
+        if Support.Prng.float prng 1.0 < 0.55 then
+          Some (point, draw_mode ~occurrences_many:(point = Exec_guard))
+        else None)
+      [ Compile_diag; Code_verify; Exec_guard; Cache_oom ]
+  in
+  let spec = match draw () with [] -> draw () | s -> s in
+  make ~seed spec
+
+let current : plan option ref = ref None
+
+let install p = current := p
+let installed () = !current
+let active () = !current <> None
+
+let fire point =
+  match !current with
+  | None -> false
+  | Some plan -> (
+      match List.find_opt (fun r -> r.r_point = point) plan.rules with
+      | None -> false
+      | Some r -> (
+          r.r_hits <- r.r_hits + 1;
+          match r.r_mode with
+          | Nth n -> r.r_hits = n
+          | Every n -> n > 0 && r.r_hits mod n = 0
+          | Prob p -> Support.Prng.float plan.prng 1.0 < p))
+
+let with_plan plan f =
+  let previous = !current in
+  install (Some (make ~seed:plan.seed (spec_of plan)));
+  Fun.protect ~finally:(fun () -> install previous) f

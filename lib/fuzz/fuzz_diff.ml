@@ -29,22 +29,39 @@ let run config src =
 
 (* Like [run], but with per-pass pipeline checks enabled for the duration;
    a verifier rejection comes back as [Error diag] instead of being folded
-   into the captured output as an EXN line. *)
+   into the captured output as an EXN line. The engine contains mid-run
+   compile diagnostics (quarantining the function and interpreting on), so
+   they are collected through [Engine.diag_abort_hook]; [Diag.Failed] can
+   now only escape from bytecode admission in [Engine.make]. Either way the
+   first diagnostic of the run is the [Error]. *)
 let run_checked config src =
   let saved = !Pipeline.checks in
+  let saved_abort = !Engine.diag_abort_hook in
+  let first_diag = ref None in
   Pipeline.checks := true;
+  Engine.diag_abort_hook :=
+    Some (fun d -> if !first_diag = None then first_diag := Some d);
   Fun.protect
-    ~finally:(fun () -> Pipeline.checks := saved)
+    ~finally:(fun () ->
+      Pipeline.checks := saved;
+      Engine.diag_abort_hook := saved_abort)
     (fun () ->
       capture (fun buf ->
-          try
-            ignore (Engine.run_source config src);
-            Ok (Buffer.contents buf)
+          match
+            (try
+               ignore (Engine.run_source config src);
+               Ok ()
+             with
+            | Diag.Failed d -> Error d
+            | e ->
+              Buffer.add_string buf ("EXN " ^ Printexc.to_string e ^ "\n");
+              Ok ())
           with
-          | Diag.Failed d -> Error d
-          | e ->
-            Buffer.add_string buf ("EXN " ^ Printexc.to_string e ^ "\n");
-            Ok (Buffer.contents buf)))
+          | Error d -> Error d
+          | Ok () -> (
+            match !first_diag with
+            | Some d -> Error d
+            | None -> Ok (Buffer.contents buf))))
 
 let default_configs =
   let opt o = Engine.default_config ~opt:o () in
@@ -58,6 +75,42 @@ let default_configs =
   :: ("cache4", Engine.default_config ~opt:Pipeline.all_on ~cache_size:4 ())
   :: ("sccp", opt (Pipeline.make ~ps:true ~sccp:true ~li:true ~dce:true ~bce:true "sccp"))
   :: List.map (fun c -> (c.Pipeline.name, opt c)) Pipeline.figure9_configs
+
+(* Chaos differential: the reference is the pure interpreter with no
+   faults installed; every JIT configuration then runs under the fault
+   plan sampled from [seed] ([Faults.with_plan] arms a fresh copy per
+   configuration, so occurrence counts restart each time). The invariant
+   is the containment layer's contract: under any injected fault schedule
+   the run terminates with the interpreter's observable output — injected
+   compile failures quarantine, injected guard failures bail out, and
+   nothing but [Engine.Runtime_error] may escape (anything else shows up
+   as a divergent EXN line). Pipeline checks are on so the barrier is
+   exercised with the full lint machinery in the loop. *)
+let check_chaos ?(configs = default_configs) ~seed src =
+  let reference = run Engine.interp_only src in
+  let plan = Faults.sample seed in
+  let saved = !Pipeline.checks in
+  Pipeline.checks := true;
+  Fun.protect
+    ~finally:(fun () -> Pipeline.checks := saved)
+    (fun () ->
+      List.fold_left
+        (fun acc (name, config) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let got = Faults.with_plan plan (fun () -> run config src) in
+            if got = reference then None
+            else
+              Some
+                (Mismatch
+                   {
+                     mm_config =
+                       Printf.sprintf "%s+chaos(%s)" name (Faults.describe plan);
+                     mm_expected = reference;
+                     mm_got = got;
+                   }))
+        None configs)
 
 let check ?(configs = default_configs) src =
   let reference = run Engine.interp_only src in

@@ -37,3 +37,15 @@ val check : ?configs:(string * Engine.config) list -> string -> failure option
 (** Run [src] under the interpreter and every configuration (the latter
     with pipeline checks enabled); return the first failure, or [None]
     when every configuration agrees and verifies clean. *)
+
+val check_chaos :
+  ?configs:(string * Engine.config) list -> seed:int -> string -> failure option
+(** The chaos differential: run [src] under the fault-free interpreter for
+    reference, then under every JIT configuration with the fault plan
+    [Faults.sample seed] installed (a fresh copy per configuration) and
+    pipeline checks on. The containment invariant under test: every run
+    terminates with the interpreter's observable output — injected compile
+    failures quarantine, injected guard failures bail out, and no exception
+    other than [Engine.Runtime_error] escapes (one would surface as a
+    divergent ["EXN ..."] line). The failing configuration's name carries
+    the plan description for replay. *)

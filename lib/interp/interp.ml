@@ -19,6 +19,8 @@ type state = {
   program : Bytecode.Program.t;
   globals : Value.t array;
   mutable icount : int;
+  mutable depth : int;
+  max_depth : int;
 }
 
 type hooks = {
@@ -26,7 +28,9 @@ type hooks = {
   loop_head : frame -> Value.t option;
 }
 
-let make_state program =
+let default_max_depth = 10_000
+
+let make_state ?(max_depth = default_max_depth) program =
   let globals = Array.make (Array.length program.Bytecode.Program.global_names) Value.Undefined in
   List.iter
     (fun (name, v) ->
@@ -34,7 +38,7 @@ let make_state program =
       | Some slot -> globals.(slot) <- v
       | None -> ())
     (Builtins.globals ());
-  { program; globals; icount = 0 }
+  { program; globals; icount = 0; depth = 0; max_depth }
 
 let make_frame (func : Bytecode.Program.func) ~args ~upvals =
   let padded =
@@ -219,9 +223,13 @@ let rec run state hooks frame =
 and call_value state hooks callee args =
   match callee with
   | Value.Closure c ->
+    if state.depth >= state.max_depth then raise (Runtime_error "stack overflow");
     let func = state.program.Bytecode.Program.funcs.(c.Value.fid) in
     let frame = make_frame func ~args ~upvals:c.Value.env in
-    run state hooks frame
+    state.depth <- state.depth + 1;
+    Fun.protect
+      ~finally:(fun () -> state.depth <- state.depth - 1)
+      (fun () -> run state hooks frame)
   | Value.Native_fun name -> (
     try Builtins.call name args with Builtins.Runtime_error msg -> raise (Runtime_error msg))
   | other -> error "value of type %s is not callable" (Value.typeof other)

@@ -25,6 +25,10 @@ type state = {
   program : Bytecode.Program.t;
   globals : Runtime.Value.t array;
   mutable icount : int;  (** bytecode instructions interpreted (cost model) *)
+  mutable depth : int;  (** live MiniJS call nesting (via {!call_value}) *)
+  max_depth : int;
+      (** calls beyond this raise [Runtime_error "stack overflow"] — a
+          MiniJS-level error, well before the OCaml stack is at risk *)
 }
 
 type hooks = {
@@ -36,8 +40,12 @@ type hooks = {
           completed the rest of the frame natively (OSR) with result [v]. *)
 }
 
-val make_state : Bytecode.Program.t -> state
-(** Fresh state with builtin globals installed. *)
+val default_max_depth : int
+(** The default call-depth limit (10_000). *)
+
+val make_state : ?max_depth:int -> Bytecode.Program.t -> state
+(** Fresh state with builtin globals installed. [max_depth] bounds MiniJS
+    call nesting (default {!default_max_depth}). *)
 
 val make_frame :
   Bytecode.Program.func ->

@@ -67,3 +67,4 @@ let bailout_penalty = 60
 let compile_per_mir_instr = 4
 let compile_per_native_instr = 30
 let compile_per_interval = 12
+let bytes_per_native_instr = 16

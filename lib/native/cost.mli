@@ -33,4 +33,9 @@ val compile_per_native_instr : int
 val compile_per_interval : int
 (** Compile-time cycles per live interval processed by the allocator. *)
 
+val bytes_per_native_instr : int
+(** Code-cache bytes one emitted native instruction occupies — the unit of
+    the engine's [code_cache_bytes] budget. Not a cycle cost: cache
+    accounting never charges model cycles. *)
+
 val slot_penalty : int

@@ -89,6 +89,10 @@ let run cb (code : Code.t) act ~at_osr =
            | Some id -> raise (Bail (id, reason))
            | None -> invalid_arg ("Exec.run: guard without snapshot: " ^ reason)
          in
+         (* Chaos layer: a passing guard may be forced down its bailout
+            path (snapshot and all). Only guards with a snapshot count as
+            occurrences — a snapshot-less site has no bail path to take. *)
+         let inject () = snap <> None && Faults.fire Faults.Exec_guard in
          let value =
            match op with
            | Code.Move -> Some (arg 0)
@@ -102,7 +106,7 @@ let run cb (code : Code.t) act ~at_osr =
                (* Checked int32 arithmetic: bail when the JS result leaves
                   the int32 domain (overflow, NaN from x%0, >>> overflow). *)
                match r with
-               | Value.Int _ -> Some r
+               | Value.Int _ -> if inject () then bail "int32 overflow" else Some r
                | _ -> bail "int32 overflow")
              | Mir.Mode_int_nocheck | Mir.Mode_double | Mir.Mode_generic -> Some r)
            | Code.Cmp_op cop -> Some (Ops.cmp cop (arg 0) (arg 1))
@@ -110,12 +114,17 @@ let run cb (code : Code.t) act ~at_osr =
            | Code.To_bool_op -> Some (Value.Bool (Convert.to_boolean (arg 0)))
            | Code.Guard_type tag ->
              let v = arg 0 in
-             if Value.tag_of v = tag then Some v else bail "type barrier"
+             if Value.tag_of v = tag then
+               if inject () then bail "type barrier" else Some v
+             else bail "type barrier"
            | Code.Guard_array -> (
-             match arg 0 with Value.Arr _ as v -> Some v | _ -> bail "not an array")
+             match arg 0 with
+             | Value.Arr _ as v -> if inject () then bail "not an array" else Some v
+             | _ -> bail "not an array")
            | Code.Guard_bounds -> (
              match (arg 0, arg 1) with
-             | Value.Int i, Value.Arr a when i >= 0 && i < a.Value.length -> None
+             | Value.Int i, Value.Arr a when i >= 0 && i < a.Value.length ->
+               if inject () then bail "bounds check" else None
              | _ -> bail "bounds check")
            | Code.Load_elem_op -> (
              match (arg 0, arg 1) with

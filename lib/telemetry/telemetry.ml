@@ -25,6 +25,11 @@ type deopt_reason =
   | Entry_guard  (* specialized binary's entry type barrier failed *)
   | Strike_limit  (* in-body guard failures reached [max_bailouts] *)
 
+type quarantine_reason =
+  | Compile_fault  (* a compilation aborted (verifier/diag/injected fault) *)
+  | Deopt_storm  (* compile→bailout→recompile oscillation past threshold *)
+  | Cache_oom  (* code-cache admission failed *)
+
 type event =
   | Compile_start of {
       fid : int;
@@ -69,6 +74,27 @@ type event =
   | Blacklist of { fid : int; fname : string }
   | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
   | Inline_decision of { fid : int; fname : string; inlined : int }
+  | Compile_abort of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      osr : bool;
+      reason : string;  (* the diagnostic's message (or the injected fault) *)
+      cycles : int;  (* wasted compile cycles, still charged *)
+    }
+  | Quarantine of {
+      fid : int;
+      fname : string;
+      reason : quarantine_reason;
+      backoff_calls : int;  (* calls until the next compile attempt; 0 if permanent *)
+      permanent : bool;  (* pinned to the interpreter tier *)
+    }
+  | Cache_evict of {
+      fid : int;
+      fname : string;  (* owner of the evicted binary *)
+      bytes : int;  (* bytes reclaimed *)
+      in_use : int;  (* cache bytes in use after the eviction *)
+    }
 
 let event_fid = function
   | Compile_start { fid; _ }
@@ -80,7 +106,10 @@ let event_fid = function
   | Bailout { fid; _ }
   | Blacklist { fid; _ }
   | Osr_enter { fid; _ }
-  | Inline_decision { fid; _ } -> fid
+  | Inline_decision { fid; _ }
+  | Compile_abort { fid; _ }
+  | Quarantine { fid; _ }
+  | Cache_evict { fid; _ } -> fid
 
 let event_fname = function
   | Compile_start { fname; _ }
@@ -92,7 +121,10 @@ let event_fname = function
   | Bailout { fname; _ }
   | Blacklist { fname; _ }
   | Osr_enter { fname; _ }
-  | Inline_decision { fname; _ } -> fname
+  | Inline_decision { fname; _ }
+  | Compile_abort { fname; _ }
+  | Quarantine { fname; _ }
+  | Cache_evict { fname; _ } -> fname
 
 let event_kind = function
   | Compile_start _ -> "compile_start"
@@ -105,11 +137,19 @@ let event_kind = function
   | Blacklist _ -> "blacklist"
   | Osr_enter _ -> "osr_enter"
   | Inline_decision _ -> "inline_decision"
+  | Compile_abort _ -> "compile_abort"
+  | Quarantine _ -> "quarantine"
+  | Cache_evict _ -> "cache_evict"
 
 let deopt_reason_to_string = function
   | Arg_mismatch -> "arg_mismatch"
   | Entry_guard -> "entry_guard"
   | Strike_limit -> "strike_limit"
+
+let quarantine_reason_to_string = function
+  | Compile_fault -> "compile_fault"
+  | Deopt_storm -> "deopt_storm"
+  | Cache_oom -> "cache_oom"
 
 let mask_to_string mask =
   String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") mask))
@@ -155,6 +195,20 @@ let to_string ev =
     Printf.sprintf "osr-enter     %s at pc %d after %d loop edges" site pc loop_edges
   | Inline_decision { inlined; _ } ->
     Printf.sprintf "inline        %s %d call site(s)" site inlined
+  | Compile_abort { specialized; osr; reason; cycles; _ } ->
+    Printf.sprintf "compile-abort %s %s: %s (%d cycles wasted)" site
+      (flavor ~specialized ~selective:false ~osr)
+      reason cycles
+  | Quarantine { reason; backoff_calls; permanent; _ } ->
+    if permanent then
+      Printf.sprintf "quarantine    %s (%s) pinned to interpreter" site
+        (quarantine_reason_to_string reason)
+    else
+      Printf.sprintf "quarantine    %s (%s) retry after %d calls" site
+        (quarantine_reason_to_string reason)
+        backoff_calls
+  | Cache_evict { bytes; in_use; _ } ->
+    Printf.sprintf "cache-evict   %s %d bytes freed (%d in use)" site bytes in_use
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled; no json dependency in the image)       *)
@@ -225,6 +279,15 @@ let to_json ev =
     | Osr_enter { pc; loop_edges; _ } ->
       [ ("pc", string_of_int pc); ("loop_edges", string_of_int loop_edges) ]
     | Inline_decision { inlined; _ } -> [ ("inlined", string_of_int inlined) ]
+    | Compile_abort { specialized; osr; reason; cycles; _ } ->
+      [ ("specialized", jbool specialized); ("osr", jbool osr);
+        ("reason", jstr reason); ("cycles", string_of_int cycles) ]
+    | Quarantine { reason; backoff_calls; permanent; _ } ->
+      [ ("reason", jstr (quarantine_reason_to_string reason));
+        ("backoff_calls", string_of_int backoff_calls);
+        ("permanent", jbool permanent) ]
+    | Cache_evict { bytes; in_use; _ } ->
+      [ ("bytes", string_of_int bytes); ("in_use", string_of_int in_use) ]
   in
   json_obj (base @ extra)
 
@@ -302,6 +365,11 @@ module Key = struct
   let osr_entries = "osr.entries"
   let arg_set_changes = "args.set_changes"
   let inlined = "inlined.sites"
+  let compiles_aborted = "compiles.aborted"
+  let quarantines = "quarantines"
+  let pins = "quarantines.pinned"
+  let storms = "deopt.storms"
+  let cache_evictions = "cache.evictions"
 end
 
 module Counters = struct

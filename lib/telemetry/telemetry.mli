@@ -32,6 +32,15 @@ type deopt_reason =
   | Strike_limit
       (** in-body guard failures reached [max_bailouts] for one binary *)
 
+type quarantine_reason =
+  | Compile_fault
+      (** a compilation aborted mid-pipeline: a verifier or lint diagnostic,
+          or an injected [Faults] failure *)
+  | Deopt_storm
+      (** the function oscillated compile→bailout→recompile past the
+          engine's [storm_threshold] *)
+  | Cache_oom  (** code-cache admission failed for the function's binary *)
+
 type event =
   | Compile_start of {
       fid : int;
@@ -76,6 +85,28 @@ type event =
   | Blacklist of { fid : int; fname : string }
   | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
   | Inline_decision of { fid : int; fname : string; inlined : int }
+  | Compile_abort of {
+      fid : int;
+      fname : string;
+      specialized : bool;
+      osr : bool;
+      reason : string;  (** the diagnostic (or injected fault) message *)
+      cycles : int;  (** wasted compile cycles — still charged to the run *)
+    }
+  | Quarantine of {
+      fid : int;
+      fname : string;
+      reason : quarantine_reason;
+      backoff_calls : int;
+          (** calls until compilation may be retried; 0 when permanent *)
+      permanent : bool;  (** the function is pinned to the interpreter tier *)
+    }
+  | Cache_evict of {
+      fid : int;
+      fname : string;  (** owner of the evicted binary *)
+      bytes : int;  (** bytes reclaimed *)
+      in_use : int;  (** cache bytes in use after the eviction *)
+    }
 
 val event_fid : event -> int
 val event_fname : event -> string
@@ -84,6 +115,7 @@ val event_kind : event -> string
 (** Stable snake_case tag, e.g. ["cache_hit"] (the JSON ["ev"] field). *)
 
 val deopt_reason_to_string : deopt_reason -> string
+val quarantine_reason_to_string : quarantine_reason -> string
 
 val to_string : event -> string
 (** One human-readable line (the [--trace] format). *)
@@ -140,6 +172,21 @@ module Key : sig
   val osr_entries : string
   val arg_set_changes : string
   val inlined : string
+
+  val compiles_aborted : string
+  (** compilations that aborted mid-pipeline (contained, cycles charged) *)
+
+  val quarantines : string
+  (** quarantine entries (with backoff); includes the final pinning one *)
+
+  val pins : string
+  (** functions pinned to the interpreter tier permanently *)
+
+  val storms : string
+  (** deopt-storm detector trips *)
+
+  val cache_evictions : string
+  (** binaries evicted by the code-cache byte budget *)
 end
 
 (** Named monotonic counters, per-function and global. A per-function

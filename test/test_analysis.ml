@@ -300,12 +300,22 @@ let test_pipeline_sandwich_clean_on_all_on () =
   ignore (Pipeline.apply ~check:true ~program Pipeline.all_on f)
 
 (* One member per suite under the kitchen-sink config with every per-pass
-   check enabled; bin/irlint covers the full workload x config matrix. *)
+   check enabled; bin/irlint covers the full workload x config matrix. The
+   engine contains mid-run compile diagnostics (quarantine + interpreter
+   fallback) rather than raising, so corruption is observed through
+   [Engine.diag_abort_hook]; [Diag.Failed] can still escape [Engine.make]'s
+   bytecode admission check. *)
 let test_engine_checked_sweep () =
   let saved = !Pipeline.checks in
+  let saved_abort = !Engine.diag_abort_hook in
+  let aborted = ref None in
   Pipeline.checks := true;
+  Engine.diag_abort_hook :=
+    Some (fun d -> if !aborted = None then aborted := Some d);
   Fun.protect
-    ~finally:(fun () -> Pipeline.checks := saved)
+    ~finally:(fun () ->
+      Pipeline.checks := saved;
+      Engine.diag_abort_hook := saved_abort)
     (fun () ->
       List.iter
         (fun (suite : Suite.t) ->
@@ -313,10 +323,16 @@ let test_engine_checked_sweep () =
           | [] -> ()
           | m :: _ -> (
             let cfg = Engine.default_config ~opt:Pipeline.all_on () in
+            aborted := None;
             match
               Runner.quiet (fun () -> Engine.run_source cfg m.Suite.m_source)
             with
-            | _ -> ()
+            | _ -> (
+              match !aborted with
+              | None -> ()
+              | Some d ->
+                Alcotest.failf "%s/%s: compile aborted: %s" suite.Suite.s_name
+                  m.Suite.m_name (Diag.to_string d))
             | exception Diag.Failed d ->
               Alcotest.failf "%s/%s: %s" suite.Suite.s_name m.Suite.m_name
                 (Diag.to_string d)))
