@@ -12,10 +12,9 @@
 open Bechamel
 open Toolkit
 
-let quiet f =
-  let saved = !Runtime.Builtins.print_hook in
-  Runtime.Builtins.print_hook := ignore;
-  Fun.protect ~finally:(fun () -> Runtime.Builtins.print_hook := saved) f
+(* Domain-safe print silencing: the hook is a [Support.Tls] slot now, so
+   this composes with the drivers fanning out over the pool. *)
+let quiet f = Runtime.Builtins.with_print_hook ignore f
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures (model cycles)               *)
@@ -254,41 +253,82 @@ let compile_test name ~spec =
          ignore (Pipeline.apply ~program Pipeline.all_on f);
          ignore (Regalloc.run (Lower.run f))))
 
+(* The engine-level benches, listed once so BENCH_wall.json can pair each
+   wall-clock estimate with the deterministic model-cycle cost of the same
+   run — the data needed to recalibrate the cost model against reality. *)
+let engine_benches =
+  [
+    ("fig9_sunspider_bitsinbyte_base", Pipeline.baseline, ("sunspider 1.0", "bitops-bits-in-byte"));
+    ("fig9_sunspider_bitsinbyte_spec", Pipeline.best, ("sunspider 1.0", "bitops-bits-in-byte"));
+    ("fig9_sunspider_unpack_base", Pipeline.baseline, ("sunspider 1.0", "string-unpack-code"));
+    ("fig9_sunspider_unpack_spec", Pipeline.best, ("sunspider 1.0", "string-unpack-code"));
+    ("fig9_v8_earleyboyer_base", Pipeline.baseline, ("v8 version 6", "earley-boyer"));
+    ("fig9_v8_earleyboyer_spec", Pipeline.best, ("v8 version 6", "earley-boyer"));
+    ("fig9_kraken_desaturate_base", Pipeline.baseline, ("kraken 1.1", "imaging-desaturate"));
+    ("fig9_kraken_desaturate_spec", Pipeline.best, ("kraken 1.1", "imaging-desaturate"));
+  ]
+
+(* Dispatch ablation: the interpreter alone on a hot arithmetic loop — the
+   series the dispatch overhaul (exception-based loop exit, unsafe in-bounds
+   code fetch, allocation-free operand handling) is measured by. *)
+let interp_hotloop_program =
+  lazy
+    (Bytecode.Compile.program_of_source
+       "function work(n) { var s = 0; var i = 0; while (i < n) { s = s + i % 7 + (i * 3 \
+        - s % 13); i = i + 1; } return s; }\n\
+        var t = 0; var j = 0; while (j < 20) { t = t + work(2500); j = j + 1; } print(t);")
+
 let wall_tests () =
   Test.make_grouped ~name:"vs" ~fmt:"%s.%s"
-    [
-      (* One wall-clock series per paper artifact family. *)
-      engine_test "fig9_sunspider_bitsinbyte_base" Pipeline.baseline
-        (member_of "sunspider 1.0" "bitops-bits-in-byte");
-      engine_test "fig9_sunspider_bitsinbyte_spec" Pipeline.best
-        (member_of "sunspider 1.0" "bitops-bits-in-byte");
-      engine_test "fig9_sunspider_unpack_base" Pipeline.baseline
-        (member_of "sunspider 1.0" "string-unpack-code");
-      engine_test "fig9_sunspider_unpack_spec" Pipeline.best
-        (member_of "sunspider 1.0" "string-unpack-code");
-      engine_test "fig9_v8_earleyboyer_base" Pipeline.baseline
-        (member_of "v8 version 6" "earley-boyer");
-      engine_test "fig9_v8_earleyboyer_spec" Pipeline.best
-        (member_of "v8 version 6" "earley-boyer");
-      engine_test "fig9_kraken_desaturate_base" Pipeline.baseline
-        (member_of "kraken 1.1" "imaging-desaturate");
-      engine_test "fig9_kraken_desaturate_spec" Pipeline.best
-        (member_of "kraken 1.1" "imaging-desaturate");
-      (* Figure 9(c,d): compilation time itself. *)
-      compile_test "fig9cd_compile_generic" ~spec:false;
-      compile_test "fig9cd_compile_specialized" ~spec:true;
-      (* Figures 1/2/4: the workload generator. *)
-      Test.make ~name:"fig1_2_4_web_session"
-        (Staged.stage (fun () -> ignore (Web.session ~seed:1 ~nfunctions:4000)));
-      (* Figure 10: code-size measurement of one site program. *)
-      Test.make ~name:"fig10_site_program"
-        (Staged.stage (fun () ->
-             quiet (fun () ->
-                 ignore
-                   (Engine.run_source
-                      (Engine.default_config ~opt:Pipeline.all_on ())
-                      (Web.synthetic_site ~seed:1 Web.google)))));
-    ]
+    ((* One wall-clock series per paper artifact family. *)
+     List.map
+       (fun (name, opt, (sname, mname)) -> engine_test name opt (member_of sname mname))
+       engine_benches
+    @ [
+        Test.make ~name:"interp_dispatch_hotloop"
+          (Staged.stage (fun () ->
+               quiet (fun () -> ignore (Interp.run_program (Lazy.force interp_hotloop_program)))));
+        (* Figure 9(c,d): compilation time itself. *)
+        compile_test "fig9cd_compile_generic" ~spec:false;
+        compile_test "fig9cd_compile_specialized" ~spec:true;
+        (* Figures 1/2/4: the workload generator. *)
+        Test.make ~name:"fig1_2_4_web_session"
+          (Staged.stage (fun () -> ignore (Web.session ~seed:1 ~nfunctions:4000)));
+        (* Figure 10: code-size measurement of one site program. *)
+        Test.make ~name:"fig10_site_program"
+          (Staged.stage (fun () ->
+               quiet (fun () ->
+                   ignore
+                     (Engine.run_source
+                        (Engine.default_config ~opt:Pipeline.all_on ())
+                        (Web.synthetic_site ~seed:1 Web.google)))));
+      ])
+
+(* Machine-readable companion to the wall table: one object per bench with
+   the OLS ns/run estimate, its r-square, and (for the engine benches) the
+   model cycles the identical run charges. *)
+let write_wall_json rows =
+  let model_cycles =
+    List.map
+      (fun (name, opt, (sname, mname)) -> ("vs." ^ name, cycles opt (member_of sname mname)))
+      engine_benches
+  in
+  let oc = open_out "BENCH_wall.json" in
+  output_string oc "{\n  \"schema\": \"vs-bench-wall/1\",\n  \"benches\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      let opt_f = function Some f -> Printf.sprintf "%.2f" f | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s, \"r_square\": %s, \"model_cycles\": %s }%s\n"
+        name (opt_f ns)
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "null")
+        (match List.assoc_opt name model_cycles with
+        | Some c -> string_of_int c
+        | None -> "null")
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "\nwrote BENCH_wall.json"
 
 let run_wall () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -301,20 +341,40 @@ let run_wall () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let est =
-        match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Printf.sprintf "%.0f" x
-        | _ -> "n/a"
+      let ns =
+        match Analyze.OLS.estimates ols_result with Some (x :: _) -> Some x | _ -> None
       in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      rows := [ name; est; r2 ] :: !rows)
+      let r2 = Analyze.OLS.r_square ols_result in
+      rows := (name, ns, r2) :: !rows)
     results;
   let rows = List.sort compare !rows in
-  print_string (Support.Table.render ~header:[ "bench"; "ns/run"; "r2" ] ~rows ())
+  print_string
+    (Support.Table.render ~header:[ "bench"; "ns/run"; "r2" ]
+       ~rows:
+         (List.map
+            (fun (name, ns, r2) ->
+              [
+                name;
+                (match ns with Some x -> Printf.sprintf "%.0f" x | None -> "n/a");
+                (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
+              ])
+            rows)
+       ());
+  write_wall_json rows
+
+let print_pool_stats () =
+  (* Where the fan-out went: tasks per participant, steals (tasks run by a
+     domain other than their submitter) and time spent inside joins. Only
+     present when a pool was created (the tables fan out; [wall] alone
+     never touches it). *)
+  match Pool.peek_default () with
+  | None -> ()
+  | Some pool ->
+    let s = Pool.stats pool in
+    Printf.printf
+      "\npool utilization: jobs=%d steals=%d joins=%d join_wait=%.3fs tasks/participant=[%s]\n"
+      s.Pool.st_jobs s.Pool.st_steals s.Pool.st_joins s.Pool.st_join_wait
+      (String.concat ";" (Array.to_list (Array.map string_of_int s.Pool.st_tasks)))
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -322,4 +382,5 @@ let () =
   if want "tables" then print_tables ();
   if want "ablations" then print_ablations ();
   if want "attribution" then print_compile_attribution ();
-  if want "wall" then run_wall ()
+  if want "wall" then run_wall ();
+  print_pool_stats ()

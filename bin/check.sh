@@ -22,6 +22,9 @@ dune runtest
 echo "== dune build @chaos (fault-injection fuzz smoke) =="
 dune build @chaos
 
+echo "== dune build @parallel (pool determinism: --jobs 4 == --jobs 1) =="
+dune build @parallel
+
 echo "== bench smoke (paper tables) =="
 dune exec bench/main.exe -- tables > /dev/null
 

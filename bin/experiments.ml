@@ -1,8 +1,13 @@
 (* vs-experiments: regenerate the paper's figures and tables.
 
-     vs-experiments fig1 fig2   # web histograms
-     vs-experiments fig9        # the optimization grid
-     vs-experiments all         # everything, in paper order *)
+     vs-experiments fig1 fig2          # web histograms
+     vs-experiments fig9               # the optimization grid
+     vs-experiments all                # everything, in paper order
+     vs-experiments all --jobs 4       # same bytes, fanned out over 4 domains
+
+   --jobs N (or VS_JOBS=N) sizes the task pool the drivers fan their
+   (workload, configuration) cells over; output is byte-identical at any
+   value, --jobs 1 runs strictly serially. *)
 
 let known = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig9"; "fig10"; "policy"; "recomp" ]
 
@@ -38,6 +43,27 @@ let dedup names =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_jobs acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some jobs when jobs >= 1 ->
+        Pool.set_default_jobs jobs;
+        strip_jobs acc rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 2)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some jobs when jobs >= 1 ->
+        Pool.set_default_jobs jobs;
+        strip_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad flag %S\n" arg;
+        exit 2)
+    | arg :: rest -> strip_jobs (arg :: acc) rest
+  in
+  let args = strip_jobs [] args in
   let names =
     match args with
     | [] | [ "all" ] -> [ "fig1"; "fig3"; "fig9"; "fig10"; "policy"; "recomp" ]

@@ -8,6 +8,7 @@
      dune exec bin/fuzz.exe -- --gen objects --start 1000 --count 200
      dune exec bin/fuzz.exe -- --seed 1992 --show   # replay one case
      dune exec bin/fuzz.exe -- --chaos --count 60   # + injected faults
+     dune exec bin/fuzz.exe -- --count 500 --jobs 4 # same bytes, 4 domains
 
    With --chaos each seed additionally samples a deterministic fault plan
    (Faults.sample seed) injected into every JIT run: compile aborts,
@@ -29,40 +30,57 @@ let generator_of = function
    mismatch is a wrong answer, a verifier diagnostic is a broken IR. *)
 type outcome = Pass | Mismatched | Diagnosed
 
+(* A seed's run is a pure task: it renders everything it would print into a
+   string, so seeds can fan out over the domain pool and the main domain
+   replays the outputs in seed order — byte-identical to the serial run. *)
 let run_one gen seed ~chaos ~show =
+  let buf = Buffer.create 64 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let st = Random.State.make [| seed |] in
   let src = gen st in
   if show then begin
-    Printf.printf "--- seed %d ---\n%s\n" seed src;
-    if chaos then
-      Printf.printf "chaos plan: %s\n" (Faults.describe (Faults.sample seed))
+    pr "--- seed %d ---\n%s\n" seed src;
+    if chaos then pr "chaos plan: %s\n" (Faults.describe (Faults.sample seed))
   end;
-  match if chaos then Fuzz_diff.check_chaos ~seed src else Fuzz_diff.check src with
-  | None -> Pass
-  | Some (Fuzz_diff.Mismatch m) ->
-    Printf.printf "=== MISMATCH seed=%d config=%s ===\n" seed m.Fuzz_diff.mm_config;
-    Printf.printf "interp : %s\njit    : %s\nprogram:\n%s\n"
-      (String.trim m.Fuzz_diff.mm_expected)
-      (String.trim m.Fuzz_diff.mm_got)
-      src;
-    Mismatched
-  | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
-    Printf.printf "=== VERIFIER DIAGNOSTIC seed=%d config=%s ===\n" seed vd_config;
-    Printf.printf "%s\nprogram:\n%s\n" (Diag.to_string vd_diag) src;
-    Diagnosed
+  let outcome =
+    match if chaos then Fuzz_diff.check_chaos ~seed src else Fuzz_diff.check src with
+    | None -> Pass
+    | Some (Fuzz_diff.Mismatch m) ->
+      pr "=== MISMATCH seed=%d config=%s ===\n" seed m.Fuzz_diff.mm_config;
+      pr "interp : %s\njit    : %s\nprogram:\n%s\n"
+        (String.trim m.Fuzz_diff.mm_expected)
+        (String.trim m.Fuzz_diff.mm_got)
+        src;
+      Mismatched
+    | Some (Fuzz_diff.Verifier_diag { vd_config; vd_diag }) ->
+      pr "=== VERIFIER DIAGNOSTIC seed=%d config=%s ===\n" seed vd_config;
+      pr "%s\nprogram:\n%s\n" (Diag.to_string vd_diag) src;
+      Diagnosed
+  in
+  (outcome, Buffer.contents buf)
 
-let main gen_name start count one_seed chaos show =
+let main gen_name start count one_seed chaos show jobs =
+  (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let gen = generator_of gen_name in
   match one_seed with
-  | Some seed -> if run_one gen seed ~chaos ~show = Pass then (print_endline "ok"; 0) else 1
+  | Some seed ->
+    let outcome, out = run_one gen seed ~chaos ~show in
+    print_string out;
+    if outcome = Pass then (print_endline "ok"; 0) else 1
   | None ->
+    let seeds = List.init count (fun i -> start + i) in
+    let results =
+      Pool.map (Pool.default ()) (fun seed -> run_one gen seed ~chaos ~show) seeds
+    in
     let mismatches = ref 0 and diagnostics = ref 0 in
-    for seed = start to start + count - 1 do
-      match run_one gen seed ~chaos ~show with
-      | Pass -> ()
-      | Mismatched -> incr mismatches
-      | Diagnosed -> incr diagnostics
-    done;
+    List.iter
+      (fun (outcome, out) ->
+        print_string out;
+        match outcome with
+        | Pass -> ()
+        | Mismatched -> incr mismatches
+        | Diagnosed -> incr diagnostics)
+      results;
     Printf.printf "%d cases (%s%s, seeds %d..%d), %d mismatches, %d verifier diagnostics\n"
       count gen_name
       (if chaos then ", chaos" else "")
@@ -99,10 +117,19 @@ let show_arg =
   let doc = "Print each generated program." in
   Arg.(value & flag & info [ "show" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains the seeds fan out over (default: \\$(b,VS_JOBS) or the machine's core \
+     count, capped at 8); 1 runs serially. Output is byte-identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "differential fuzzing of the MiniJS JIT against the interpreter" in
   Cmd.v
     (Cmd.info "vs-fuzz" ~doc)
-    Term.(const main $ gen_arg $ start_arg $ count_arg $ seed_arg $ chaos_arg $ show_arg)
+    Term.(
+      const main $ gen_arg $ start_arg $ count_arg $ seed_arg $ chaos_arg $ show_arg
+      $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

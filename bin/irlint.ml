@@ -16,7 +16,13 @@
 
      dune exec bin/irlint.exe --
      dune exec bin/irlint.exe -- --suite kraken --config PS+CP+DCE
-     dune exec bin/irlint.exe -- --machine *)
+     dune exec bin/irlint.exe -- --machine --jobs 4
+
+   The workload x config sweep fans out over the domain pool (--jobs /
+   VS_JOBS): every cell runs with its own lint sinks installed
+   domain-locally and returns its findings, which are replayed on the
+   main domain in serial sweep order — the report is byte-identical at
+   any pool size. *)
 
 let engine_configs =
   (("baseline", Engine.default_config ())
@@ -38,7 +44,30 @@ let kind_of (d : Diag.t) =
   in
   Printf.sprintf "%s: %s" d.Diag.layer (String.concat " " (take 3 words))
 
-let main suite_filter config_filter strict machine =
+(* One (workload, config) cell's findings, in the order the engine produced
+   them. [Hard] is a pre-formatted non-diagnostic error line. *)
+type item = Diagnostic of Diag.t | Hard of string
+
+let run_cell cfg src =
+  let acc = ref [] in
+  let report d = acc := Diagnostic d :: !acc in
+  (match
+     Pipeline.with_checks true (fun () ->
+       Engine.with_diag_warn_hook report (fun () ->
+         (* The engine contains mid-run compile diagnostics (quarantine +
+            interpreter fallback) instead of letting [Diag.Failed] escape;
+            the abort hook is how those findings still reach the report. *)
+         Engine.with_diag_abort_hook report (fun () ->
+           Runner.quiet (fun () -> Engine.run_source cfg src))))
+   with
+  | exception Diag.Failed d -> report d
+  | exception e ->
+    acc := Hard (Printf.sprintf "error: run failed: %s" (Printexc.to_string e)) :: !acc
+  | _report -> ());
+  List.rev !acc
+
+let main suite_filter config_filter strict machine jobs =
+  (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let suites =
     match suite_filter with
     | None -> Suites.all
@@ -65,61 +94,91 @@ let main suite_filter config_filter strict machine =
         exit 2
       | cs -> cs)
   in
+  let members =
+    List.concat_map
+      (fun (suite : Suite.t) ->
+        List.map
+          (fun (m : Suite.member) ->
+            (Printf.sprintf "%s/%s" suite.Suite.s_name m.Suite.m_name, m))
+          suite.Suite.members)
+      suites
+  in
+  let pool = Pool.default () in
+  (* Phase 1: bytecode compile + verifier, one task per workload. *)
+  let bc =
+    Pool.map pool
+      (fun (_, (m : Suite.member)) ->
+        match Bytecode.Compile.program_of_source m.Suite.m_source with
+        | exception e -> Error (Printexc.to_string e)
+        | program -> Ok (Bc_verify.run_program program))
+      members
+  in
+  (* Phase 2: one engine run per (workload, config) cell, for every workload
+     that compiled. *)
+  let cells =
+    List.concat
+      (List.map2
+         (fun (workload, (m : Suite.member)) bc_result ->
+           match bc_result with
+           | Error _ -> []
+           | Ok _ -> List.map (fun (_, cfg) -> (workload, cfg, m)) configs)
+         members bc)
+  in
+  let cell_findings =
+    Pool.map pool (fun ((_, cfg, m) : string * Engine.config * Suite.member) ->
+        run_cell cfg m.Suite.m_source)
+      cells
+  in
+  (* Replay the findings on the main domain in serial sweep order: the
+     printed report and the counters are exactly the serial ones. *)
   let errors = ref 0 in
   let warnings = ref 0 in
   let warn_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  (* Attribution context for findings reported from inside an engine run. *)
-  let where = ref "" in
-  let report d =
-    if Diag.is_error d then begin
+  let emit where = function
+    | Diagnostic d ->
+      if Diag.is_error d then begin
+        incr errors;
+        Printf.printf "%s\t%s\n" where
+          (if machine then Diag.to_machine_string d else Diag.to_string d)
+      end
+      else begin
+        incr warnings;
+        let k = kind_of d in
+        Hashtbl.replace warn_counts k
+          (1 + Option.value (Hashtbl.find_opt warn_counts k) ~default:0);
+        if machine then Printf.printf "%s\t%s\n" where (Diag.to_machine_string d)
+      end
+    | Hard msg ->
       incr errors;
-      Printf.printf "%s\t%s\n" !where
-        (if machine then Diag.to_machine_string d else Diag.to_string d)
-    end
-    else begin
-      incr warnings;
-      let k = kind_of d in
-      Hashtbl.replace warn_counts k
-        (1 + Option.value (Hashtbl.find_opt warn_counts k) ~default:0);
-      if machine then Printf.printf "%s\t%s\n" !where (Diag.to_machine_string d)
-    end
+      Printf.printf "%s\t%s\n" where msg
   in
-  Pipeline.checks := true;
-  Engine.diag_warn_hook := Some report;
-  (* The engine contains mid-run compile diagnostics (quarantine + interpreter
-     fallback) instead of letting [Diag.Failed] escape; the abort hook is how
-     those findings still reach the lint report. *)
-  Engine.diag_abort_hook := Some report;
-  let members = ref 0 and runs = ref 0 in
-  List.iter
-    (fun (suite : Suite.t) ->
-      List.iter
-        (fun (m : Suite.member) ->
-          incr members;
-          let workload = Printf.sprintf "%s/%s" suite.Suite.s_name m.Suite.m_name in
-          where := workload ^ "\tbytecode";
-          match Bytecode.Compile.program_of_source m.Suite.m_source with
-          | exception e ->
-            incr errors;
-            Printf.printf "%s\terror: does not compile: %s\n" !where (Printexc.to_string e)
-          | program ->
-            List.iter report (Bc_verify.run_program program);
-            List.iter
-              (fun (cname, cfg) ->
-                incr runs;
-                where := workload ^ "\t" ^ cname;
-                match Runner.quiet (fun () -> Engine.run_source cfg m.Suite.m_source) with
-                | exception Diag.Failed d -> report d
-                | exception e ->
-                  incr errors;
-                  Printf.printf "%s\terror: run failed: %s\n" !where (Printexc.to_string e)
-                | _report -> ())
-              configs)
-        suite.Suite.members)
-    suites;
+  let n_members = ref 0 and runs = ref 0 in
+  let remaining_cells = ref cell_findings in
+  let next_cell () =
+    match !remaining_cells with
+    | [] -> assert false
+    | x :: tl ->
+      remaining_cells := tl;
+      x
+  in
+  List.iter2
+    (fun (workload, _) bc_result ->
+      incr n_members;
+      let where = workload ^ "\tbytecode" in
+      match bc_result with
+      | Error msg -> emit where (Hard (Printf.sprintf "error: does not compile: %s" msg))
+      | Ok findings ->
+        List.iter (fun d -> emit where (Diagnostic d)) findings;
+        List.iter
+          (fun (cname, _) ->
+            incr runs;
+            List.iter (emit (workload ^ "\t" ^ cname)) (next_cell ()))
+          configs)
+    members bc;
+  assert (!remaining_cells = []);
   if not machine then begin
     Printf.printf "%d workloads x %d configs: %d runs, %d errors, %d warnings\n"
-      !members (List.length configs) !runs !errors !warnings;
+      !n_members (List.length configs) !runs !errors !warnings;
     if !warnings > 0 then begin
       print_endline "warning kinds:";
       Hashtbl.fold (fun k n acc -> (n, k) :: acc) warn_counts []
@@ -147,10 +206,18 @@ let machine_arg =
   let doc = "One tab-separated line per finding (including warnings); no summary." in
   Arg.(value & flag & info [ "machine" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains the workload x config sweep fans out over (default: \\$(b,VS_JOBS) or the \
+     machine's core count, capped at 8); 1 runs serially. Output is byte-identical at \
+     any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "static-analysis lint of all IRs over the benchmark workloads" in
   Cmd.v
     (Cmd.info "vs-irlint" ~doc)
-    Term.(const main $ suite_arg $ config_arg $ strict_arg $ machine_arg)
+    Term.(const main $ suite_arg $ config_arg $ strict_arg $ machine_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -43,8 +43,23 @@ let profile_table () =
   in
   (record, dump)
 
+(* Pool utilization for the differential modes (--check / --chaos fan their
+   configuration runs out over the domain pool). Printed only when a pool
+   was actually created; join_wait is wall-clock, so this section is
+   diagnostic output, not part of the deterministic report. *)
+let print_pool_stats () =
+  match Pool.peek_default () with
+  | None -> ()
+  | Some pool ->
+    let s = Pool.stats pool in
+    print_endline "-- pool utilization --";
+    Printf.printf "jobs=%d steals=%d joins=%d join_wait=%.3fs tasks/participant=[%s]\n"
+      s.Pool.st_jobs s.Pool.st_steals s.Pool.st_joins s.Pool.st_join_wait
+      (String.concat ";" (Array.to_list (Array.map string_of_int s.Pool.st_tasks)))
+
 let run_file path no_jit spec selective cache_size code_cache_bytes max_depth config_name
-    stats trace trace_json dump_bytecode dump_mir profile check chaos =
+    stats trace trace_json dump_bytecode dump_mir profile check chaos jobs =
+  (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let src = In_channel.with_open_text path In_channel.input_all in
   (match chaos with
   | None -> ()
@@ -58,6 +73,7 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
     | None ->
       Printf.printf "ok: %d configurations survive the fault plan\n"
         (List.length Fuzz_diff.default_configs);
+      if stats then print_pool_stats ();
       exit 0
     | Some (Fuzz_diff.Mismatch m) ->
       Printf.printf "MISMATCH under %s\n-- interpreter --\n%s-- %s --\n%s" m.Fuzz_diff.mm_config
@@ -74,6 +90,7 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
     | None ->
       Printf.printf "ok: interpreter and %d configurations agree\n"
         (List.length Fuzz_diff.default_configs);
+      if stats then print_pool_stats ();
       exit 0
     | Some (Fuzz_diff.Mismatch m) ->
       Printf.printf "MISMATCH under %s\n-- interpreter --\n%s-- %s --\n%s" m.Fuzz_diff.mm_config
@@ -114,17 +131,17 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
   | program -> (
     if dump_bytecode then print_endline (Bytecode.Program.disassemble program);
     if dump_mir then
-      Engine.mir_hook :=
-        Some
-          (fun f ->
-            Printf.printf "-- optimized MIR (%s%s) --\n"
-              f.Mir.source.Bytecode.Program.name
-              (if f.Mir.specialized_args <> None then ", specialized" else "");
-            print_string (Mir.to_string f));
+      Engine.set_mir_hook
+        (Some
+           (fun f ->
+             Printf.printf "-- optimized MIR (%s%s) --\n"
+               f.Mir.source.Bytecode.Program.name
+               (if f.Mir.specialized_args <> None then ", specialized" else "");
+             print_string (Mir.to_string f)));
     let dump_profile =
       if profile then begin
         let record, dump = profile_table () in
-        Exec.trace_hook := Some record;
+        Exec.set_trace_hook (Some record);
         Some dump
       end
       else None
@@ -148,7 +165,7 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
       Option.iter close_out json_oc;
       Option.iter
         (fun dump ->
-          Exec.trace_hook := None;
+          Exec.set_trace_hook None;
           print_endline "-- native execution profile --";
           dump ())
         dump_profile;
@@ -194,7 +211,8 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
                      (List.map
                         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
                         (Telemetry.Counters.fid_rows c f.Engine.fr_fid))))
-            report.Engine.functions)
+            report.Engine.functions);
+        print_pool_stats ()
       end)
 
 open Cmdliner
@@ -304,6 +322,16 @@ let chaos =
            exhaustion) into every JIT configuration and require the interpreter's \
            output from all of them (exit 1 on divergence).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains the differential modes (--check, --chaos) fan their configuration \
+           runs out over (default: \\$(b,VS_JOBS) or the machine's core count, capped \
+           at 8); 1 runs serially. Output is byte-identical at any value.")
+
 let cmd =
   let doc = "Run MiniJS programs under a JIT with parameter-based value specialization" in
   Cmd.v
@@ -311,6 +339,6 @@ let cmd =
     Term.(
       const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size
       $ code_cache_bytes $ max_depth $ config_name $ stats $ trace $ trace_json
-      $ dump_bytecode $ dump_mir $ profile $ check $ chaos)
+      $ dump_bytecode $ dump_mir $ profile $ check $ chaos $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

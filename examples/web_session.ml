@@ -9,11 +9,12 @@ let () =
   let source = Web.synthetic_site ~seed:2013 profile in
   Printf.printf "site: %s (%d generated functions)\n\n" profile.Web.site_name
     profile.Web.site_functions;
-  let quiet = !Runtime.Builtins.print_hook in
-  Runtime.Builtins.print_hook := ignore;
-  let base = Engine.run_source (Engine.default_config ()) source in
-  let spec = Engine.run_source (Engine.default_config ~opt:Pipeline.all_on ()) source in
-  Runtime.Builtins.print_hook := quiet;
+  let base, spec =
+    Runtime.Builtins.with_print_hook ignore (fun () ->
+        let base = Engine.run_source (Engine.default_config ()) source in
+        let spec = Engine.run_source (Engine.default_config ~opt:Pipeline.all_on ()) source in
+        (base, spec))
+  in
   Printf.printf "%-14s %10s %10s\n" "" "baseline" "specialized";
   Printf.printf "%-14s %10d %10d\n" "total cycles" base.Engine.total_cycles
     spec.Engine.total_cycles;

@@ -34,22 +34,38 @@ let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = fa
 
 let interp_only = { (default_config ()) with jit = false }
 
-(* Observation hook: called with every optimized MIR graph right before
-   lowering (jsvm --dump-mir; tests inspect pass output in situ). *)
-let mir_hook : (Mir.func -> unit) option ref = ref None
+(* Observation hooks, all domain-local so a lint task collecting findings
+   on a pool worker never leaks its closures into unrelated engine runs.
+   Installers that need scoping use the [with_...] combinators. *)
+
+(* Called with every optimized MIR graph right before lowering
+   (jsvm --dump-mir; tests inspect pass output in situ). *)
+let mir_hook : (Mir.func -> unit) option Support.Tls.t = Support.Tls.make (fun () -> None)
+
+let set_mir_hook h = Support.Tls.set mir_hook h
+let with_mir_hook h f = Support.Tls.with_value mir_hook (Some h) f
 
 (* Warning sink for the lint layer: when pipeline checks are on, the
    specialization-soundness checker's warnings (redundant guards, dead
    resume points) are delivered here instead of aborting compilation.
    Errors always raise [Diag.Failed]. *)
-let diag_warn_hook : (Diag.t -> unit) option ref = ref None
+let diag_warn_hook : (Diag.t -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_diag_warn_hook h = Support.Tls.set diag_warn_hook h
+let with_diag_warn_hook h f = Support.Tls.with_value diag_warn_hook (Some h) f
 
 (* Abort sink for the containment barrier: every diagnostic that aborts a
    compilation (a real verifier error or an injected fault) is delivered
    here before the engine recovers by quarantining the function. This is
    how the lint tooling observes mid-run IR corruption now that
    [Diag.Failed] no longer escapes [run]. *)
-let diag_abort_hook : (Diag.t -> unit) option ref = ref None
+let diag_abort_hook : (Diag.t -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_diag_abort_hook h = Support.Tls.set diag_abort_hook h
+
+let with_diag_abort_hook h f = Support.Tls.with_value diag_abort_hook (Some h) f
 
 type compiled = {
   code : Code.t;
@@ -268,12 +284,12 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
       ~no_checked_int:fs.overflow_bailed ()
   in
   let spec_check stage =
-    if !Pipeline.checks then begin
+    if Pipeline.checks () then begin
       let ds = Spec_check.check ~stage mir in
       List.iter
         (fun d ->
           if Diag.is_error d then raise (Diag.Failed d)
-          else match !diag_warn_hook with Some h -> h d | None -> ())
+          else match Support.Tls.get diag_warn_hook with Some h -> h d | None -> ())
         ds
     end
   in
@@ -293,7 +309,7 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
   if Faults.fire Faults.Compile_diag then
     Diag.error ~layer:"fault" ~func:name ~fid:fs.fid "injected compile_diag fault";
   spec_check `Optimized;
-  (match !mir_hook with Some hook -> hook mir | None -> ());
+  (match Support.Tls.get mir_hook with Some hook -> hook mir | None -> ());
   let vcode = Lower.run mir in
   let code, intervals = Regalloc.run vcode in
   t.compile_cycles :=
@@ -466,7 +482,7 @@ let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
     end
   | exception Diag.Failed d ->
     bump t fs Telemetry.Key.compiles_aborted;
-    (match !diag_abort_hook with Some h -> h d | None -> ());
+    (match Support.Tls.get diag_abort_hook with Some h -> h d | None -> ());
     emit t (fun () ->
         Telemetry.Compile_abort
           {

@@ -110,16 +110,28 @@ type report = {
   deoptimized_funcs : int;
 }
 
-val mir_hook : (Mir.func -> unit) option ref
-(** Called with every optimized MIR graph just before lowering
-    ([jsvm --dump-mir]); [None] in normal operation. *)
+(** {2 Observation hooks}
 
-val diag_warn_hook : (Diag.t -> unit) option ref
+    All hooks are domain-local ({!Support.Tls}): a lint or trace closure
+    installed by one pool task is invisible to engine runs on other
+    domains, so hooks never race and never leak across harness cells. *)
+
+val set_mir_hook : (Mir.func -> unit) option -> unit
+(** Called with every optimized MIR graph just before lowering
+    ([jsvm --dump-mir]); [None] (the default) in normal operation. *)
+
+val with_mir_hook : (Mir.func -> unit) -> (unit -> 'a) -> 'a
+(** Run with the MIR hook temporarily installed on this domain. *)
+
+val set_diag_warn_hook : (Diag.t -> unit) option -> unit
 (** Warning sink for the lint layer: when {!Pipeline.checks} is on, the
     specialization-soundness checker's warnings are delivered here;
     [None] drops them. *)
 
-val diag_abort_hook : (Diag.t -> unit) option ref
+val with_diag_warn_hook : (Diag.t -> unit) -> (unit -> 'a) -> 'a
+(** Run with the warning sink temporarily installed on this domain. *)
+
+val set_diag_abort_hook : (Diag.t -> unit) option -> unit
 (** Called with every diagnostic that aborts a mid-run compilation — a
     verifier/lint error or an injected {!Faults} failure — just before the
     engine recovers (charges the wasted cycles, emits
@@ -127,6 +139,9 @@ val diag_abort_hook : (Diag.t -> unit) option ref
     the interpreter). {!Diag.Failed} never escapes {!run}: this hook is how
     the lint tooling still observes mid-run IR corruption. [None] drops
     them. *)
+
+val with_diag_abort_hook : (Diag.t -> unit) -> (unit -> 'a) -> 'a
+(** Run with the abort sink temporarily installed on this domain. *)
 
 exception Runtime_error of string
 

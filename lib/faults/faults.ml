@@ -63,14 +63,17 @@ let sample seed =
   let spec = match draw () with [] -> draw () | s -> s in
   make ~seed spec
 
-let current : plan option ref = ref None
+(* Domain-local: plans carry mutable occurrence counters, and the chaos
+   fuzzer arms a fresh plan per (seed, configuration) task — a shared ref
+   would make concurrent tasks consume each other's occurrences. *)
+let current : plan option Support.Tls.t = Support.Tls.make (fun () -> None)
 
-let install p = current := p
-let installed () = !current
-let active () = !current <> None
+let install p = Support.Tls.set current p
+let installed () = Support.Tls.get current
+let active () = Support.Tls.get current <> None
 
 let fire point =
-  match !current with
+  match Support.Tls.get current with
   | None -> false
   | Some plan -> (
       match List.find_opt (fun r -> r.r_point = point) plan.rules with
@@ -83,6 +86,6 @@ let fire point =
           | Prob p -> Support.Prng.float plan.prng 1.0 < p))
 
 let with_plan plan f =
-  let previous = !current in
+  let previous = installed () in
   install (Some (make ~seed:plan.seed (spec_of plan)));
   Fun.protect ~finally:(fun () -> install previous) f

@@ -47,7 +47,7 @@ let spec_config = Engine.default_config ~opt:Pipeline.all_on ()
 let base_config = Engine.default_config ()
 
 let run_suites () =
-  List.map
+  Pool.map (Pool.default ())
     (fun (suite : Suite.t) ->
       let base = Runner.run_suite base_config suite in
       let spec = Runner.run_suite spec_config suite in
@@ -58,7 +58,7 @@ let run_suites () =
     Suites.all
 
 let run_sites ?(seed = 7) () =
-  List.map
+  Pool.map (Pool.default ())
     (fun profile ->
       let src = Web.synthetic_site ~seed profile in
       let member = Suite.member profile.Web.site_name src in

@@ -7,7 +7,7 @@ type t = {
 
 let run () =
   let config = Engine.default_config ~opt:Pipeline.all_on () in
-  List.map
+  Pool.map (Pool.default ())
     (fun (suite : Suite.t) ->
       let runs = Runner.run_suite config suite in
       let specialized = ref 0 and deoptimized = ref 0 in

@@ -11,7 +11,7 @@ let total_compilations runs =
 let run () =
   let base_config = Engine.default_config () in
   let spec_config = Engine.default_config ~opt:Pipeline.all_on () in
-  List.map
+  Pool.map (Pool.default ())
     (fun (suite : Suite.t) ->
       let base = total_compilations (Runner.run_suite base_config suite) in
       let spec = total_compilations (Runner.run_suite spec_config suite) in

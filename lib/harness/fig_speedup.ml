@@ -4,14 +4,20 @@ type cell = { speedups : float list; overheads : float list }
 
 type t = { config_names : string list; suites : (string * cell list) list }
 
+(* Every (suite, configuration) cell is independent: suites fan out, and
+   within a suite the ten Figure-9 configurations fan out again (each
+   cell's [run_suite] then fans out per member — the pool absorbs the
+   nesting). Merges are by list position throughout, so the table is the
+   serial one. *)
 let run () =
   let configs = Pipeline.figure9_configs in
+  let pool = Pool.default () in
   let suites =
-    List.map
+    Pool.map pool
       (fun (suite : Suite.t) ->
         let base_runs = Runner.run_suite (Engine.default_config ()) suite in
         let cells =
-          List.map
+          Pool.map pool
             (fun opt ->
               let runs = Runner.run_suite (Engine.default_config ~opt ()) suite in
               let speedups =

@@ -68,7 +68,7 @@ let suite_stats (suite : Suite.t) =
         categories;
   }
 
-let run () = List.map suite_stats Suites.all
+let run () = Pool.map (Pool.default ()) suite_stats Suites.all
 
 let print stats =
   let pct x = Table.fmt_pct (100.0 *. x) ^ "%" in

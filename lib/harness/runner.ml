@@ -1,14 +1,22 @@
+(* [quiet] is what makes suite members valid pool tasks: it installs the
+   domain-local print sink and reseeds the domain-local PRNG, so a member
+   run is self-contained wherever it executes and cycle results cannot
+   depend on scheduling. *)
 let quiet f =
-  let saved = !Runtime.Builtins.print_hook in
-  Runtime.Builtins.print_hook := ignore;
-  Runtime.Builtins.reset_random 20130223;  (* CGO'13 *)
-  Fun.protect ~finally:(fun () -> Runtime.Builtins.print_hook := saved) f
+  Runtime.Builtins.with_print_hook ignore
+    (fun () ->
+      Runtime.Builtins.reset_random 20130223;  (* CGO'13 *)
+      f ())
 
 let run_member config (m : Suite.member) =
   quiet (fun () -> Engine.run_source config m.Suite.m_source)
 
+(* Members fan out over the default pool; the merge is by member index, so
+   the (name, report) list is identical to the serial one. *)
 let run_suite config (suite : Suite.t) =
-  List.map (fun (m : Suite.member) -> (m.Suite.m_name, run_member config m)) suite.Suite.members
+  Pool.map (Pool.default ())
+    (fun (m : Suite.member) -> (m.Suite.m_name, run_member config m))
+    suite.Suite.members
 
 let called_functions (r : Engine.report) =
   List.filter

@@ -3,13 +3,15 @@
 
 val quiet : (unit -> 'a) -> 'a
 (** Evaluate with the [print] builtin suppressed and [Math.random]
-    reseeded, restoring the hooks afterwards. *)
+    reseeded, restoring the hooks afterwards. Both are domain-local, which
+    makes a [quiet] thunk a self-contained pool task. *)
 
 val run_member : Engine.config -> Suite.member -> Engine.report
 (** Run one suite member quietly. *)
 
 val run_suite : Engine.config -> Suite.t -> (string * Engine.report) list
-(** Run every member; returns (member name, report) pairs. *)
+(** Run every member — fanned out over {!Pool.default}, merged back in
+    member order, so the result is byte-for-byte the serial one. *)
 
 val called_functions : Engine.report -> Engine.func_report list
 (** Function reports with at least one call, excluding the toplevel. *)

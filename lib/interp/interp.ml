@@ -66,6 +66,12 @@ let pop frame =
   frame.sp <- frame.sp - 1;
   frame.stack.(frame.sp)
 
+(* A fresh array per call on purpose: callee argument arrays escape into
+   engine state (argument-profile snapshots, specialization burn-in, frame
+   aliasing in [make_frame] when no padding is needed), so a reused scratch
+   buffer here would alias live frames. Opcodes whose operands do *not*
+   escape ([New_array], [New_object]) read the operand stack in place
+   instead of going through this. *)
 let pop_n frame n =
   let vs = Array.sub frame.stack (frame.sp - n) n in
   frame.sp <- frame.sp - n;
@@ -81,14 +87,26 @@ let get_elem_value recv idx = om (fun () -> Objmodel.get_elem recv idx)
 let set_elem_value recv idx v = om (fun () -> Objmodel.set_elem recv idx v)
 let construct ctor args = om (fun () -> Objmodel.construct ctor args)
 
+(* Dispatch-loop exit. The seed looped on [while !result = None], paying a
+   polymorphic compare against an option per executed instruction; raising
+   a no-trace exception on the three exit opcodes makes the loop condition
+   free. The exception never crosses a frame: each [run] has its own
+   handler, and nested calls recurse through [hooks.call] into a fresh
+   [run]. *)
+exception Returned of Value.t
+
 let rec run state hooks frame =
   let code = frame.func.Bytecode.Program.code in
-  let result = ref None in
-  while !result = None do
-    let instr = code.(frame.pc) in
-    state.icount <- state.icount + 1;
-    let next = frame.pc + 1 in
-    (match instr with
+  try
+    while true do
+      (* Code arrays come out of the bytecode compiler, whose emitted jump
+         targets are in bounds by construction (and re-checked by
+         Bc_verify under the lint gate), so the fetch skips the bounds
+         check. *)
+      let instr = Array.unsafe_get code frame.pc in
+      state.icount <- state.icount + 1;
+      let next = frame.pc + 1 in
+      (match instr with
     | Bytecode.Instr.Const v ->
       push frame v;
       frame.pc <- next
@@ -152,7 +170,7 @@ let rec run state hooks frame =
       frame.pc <- (if Convert.to_boolean v then t else next)
     | Bytecode.Instr.Loop_head _ -> (
       match hooks.loop_head frame with
-      | Some v -> result := Some v
+      | Some v -> raise_notrace (Returned v)
       | None -> frame.pc <- next)
     | Bytecode.Instr.Call n ->
       let args = pop_n frame n in
@@ -165,20 +183,29 @@ let rec run state hooks frame =
       let value = om (fun () -> Objmodel.dispatch_method ~call:hooks.call recv name args) in
       push frame value;
       frame.pc <- next
-    | Bytecode.Instr.Return -> result := Some (pop frame)
-    | Bytecode.Instr.Return_undefined -> result := Some Value.Undefined
+    | Bytecode.Instr.Return -> raise_notrace (Returned (pop frame))
+    | Bytecode.Instr.Return_undefined -> raise_notrace (Returned Value.Undefined)
     | Bytecode.Instr.New_array n ->
-      let elems = pop_n frame n in
-      push frame (Value.Arr (Value.arr_of_list (Array.to_list elems)));
+      (* Elements are consumed immediately: read them off the operand
+         stack in place instead of allocating an intermediate array. *)
+      let a = Value.new_arr n in
+      let base = frame.sp - n in
+      for i = 0 to n - 1 do
+        a.Value.elems.(i) <- frame.stack.(base + i)
+      done;
+      frame.sp <- base;
+      push frame (Value.Arr a);
       frame.pc <- next
     | Bytecode.Instr.New (ctor, n) ->
       let args = pop_n frame n in
       push frame (construct ctor args);
       frame.pc <- next
     | Bytecode.Instr.New_object fields ->
-      let values = pop_n frame (Array.length fields) in
+      let n = Array.length fields in
+      let base = frame.sp - n in
       let obj = Value.new_obj () in
-      Array.iteri (fun i key -> Value.obj_set obj key values.(i)) fields;
+      Array.iteri (fun i key -> Value.obj_set obj key frame.stack.(base + i)) fields;
+      frame.sp <- base;
       push frame (Value.Obj obj);
       frame.pc <- next
     | Bytecode.Instr.Get_elem ->
@@ -217,8 +244,9 @@ let rec run state hooks frame =
       in
       push frame (Value.Closure { Value.fid; env; cid = Value.fresh_id () });
       frame.pc <- next)
-  done;
-  match !result with Some v -> v | None -> assert false
+    done;
+    assert false
+  with Returned v -> v
 
 and call_value state hooks callee args =
   match callee with

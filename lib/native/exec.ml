@@ -44,8 +44,18 @@ let make_activation ?(env = [||]) ?osr ~(func : Bytecode.Program.func) ~args () 
 exception Bail of int * string  (* snapshot id, reason *)
 
 (* Optional instrumentation: invoked on every executed instruction. Used by
-   the benchmark harness for per-opcode profiles; None in production. *)
-let trace_hook : (Code.ninstr -> unit) option ref = ref None
+   the benchmark harness for per-opcode profiles; None in production.
+   Domain-local (a profile closure must not leak into pool workers) and
+   read once per [run], not per instruction. *)
+let trace_hook : (Code.ninstr -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_trace_hook h = Support.Tls.set trace_hook h
+
+(* Dispatch-loop exit, same idiom as the interpreter: [Ret] raises instead
+   of the loop comparing an option per executed instruction. Never escapes
+   [run]. *)
+exception Returned of Value.t
 
 let run cb (code : Code.t) act ~at_osr =
   let regs = Array.make Regalloc.num_registers Value.Undefined in
@@ -70,18 +80,17 @@ let run cb (code : Code.t) act ~at_osr =
          | None -> invalid_arg "Exec.run: code has no OSR entry"
        else 0)
   in
-  let result = ref None in
-  let bailed = ref None in
-  (try
-     while !result = None do
-       let instr = code.Code.instrs.(!pc) in
-       cb.cycles := !(cb.cycles) + Cost.instr instr;
-       (match !trace_hook with Some hook -> hook instr | None -> ());
-       (match instr with
+  let trace = Support.Tls.get trace_hook in
+  try
+    while true do
+      let instr = Array.unsafe_get code.Code.instrs !pc in
+      cb.cycles := !(cb.cycles) + Cost.instr instr;
+      (match trace with Some hook -> hook instr | None -> ());
+      (match instr with
        | Code.Jump t -> pc := t
        | Code.Branch (c, t1, t2) ->
          pc := (if Convert.to_boolean (read_src c) then t1 else t2)
-       | Code.Ret s -> result := Some (read_src s)
+       | Code.Ret s -> raise_notrace (Returned (read_src s))
        | Code.Op { dst; op; args; snap } ->
          let arg i = read_src args.(i) in
          let bail reason =
@@ -205,24 +214,22 @@ let run cb (code : Code.t) act ~at_osr =
          | Some l, None -> write_loc l Value.Undefined
          | None, _ -> ());
          incr pc)
-     done
-   with Bail (id, reason) ->
-     cb.cycles := !(cb.cycles) + Cost.bailout_penalty;
-     let s = code.Code.snapshots.(id) in
-     let values srcs = Array.map read_src srcs in
-     bailed :=
-       Some
-         {
-           bo_pc = s.Code.sn_pc;
-           (* [pc] still points at the failing instruction: [Bail] is raised
-              during dispatch, before the end-of-instruction increment. *)
-           bo_native_pc = !pc;
-           bo_args = values s.Code.sn_args;
-           bo_locals = values s.Code.sn_locals;
-           bo_stack = values s.Code.sn_stack;
-           bo_reason = reason;
-         });
-  match (!result, !bailed) with
-  | Some v, _ -> Finished v
-  | None, Some b -> Bailed b
-  | None, None -> assert false
+    done;
+    assert false
+  with
+  | Returned v -> Finished v
+  | Bail (id, reason) ->
+    cb.cycles := !(cb.cycles) + Cost.bailout_penalty;
+    let s = code.Code.snapshots.(id) in
+    let values srcs = Array.map read_src srcs in
+    Bailed
+      {
+        bo_pc = s.Code.sn_pc;
+        (* [pc] still points at the failing instruction: [Bail] is raised
+           during dispatch, before the end-of-instruction increment. *)
+        bo_native_pc = !pc;
+        bo_args = values s.Code.sn_args;
+        bo_locals = values s.Code.sn_locals;
+        bo_stack = values s.Code.sn_stack;
+        bo_reason = reason;
+      }

@@ -33,9 +33,11 @@ type callbacks = {
   cycles : int ref;  (** cycle accumulator, shared with the engine *)
 }
 
-val trace_hook : (Code.ninstr -> unit) option ref
+val set_trace_hook : (Code.ninstr -> unit) option -> unit
 (** Optional per-executed-instruction instrumentation (per-opcode profiles
-    in the benchmark harness). [None] in normal operation. *)
+    in the benchmark harness). [None] (the default) in normal operation.
+    Domain-local, and sampled once at [run] entry — installing a hook
+    mid-execution does not affect code already running. *)
 
 val run : callbacks -> Code.t -> activation -> at_osr:bool -> outcome
 (** Execute allocated code (no virtual registers). [at_osr] starts at the

@@ -58,7 +58,10 @@ let figure9_configs =
    bin/irlint flip this on; benchmarks leave it off (the final end-of-
    pipeline [Verify.run] stays unconditional either way, and cycle
    accounting via [charge] never includes verification). *)
-let checks = ref false
+let checks_slot = Support.Tls.make (fun () -> false)
+let checks () = Support.Tls.get checks_slot
+let set_checks b = Support.Tls.set checks_slot b
+let with_checks b f = Support.Tls.with_value checks_slot b f
 
 type run_stats = {
   folded : int;
@@ -77,7 +80,7 @@ type run_stats = {
 }
 
 let apply ?check ~program config (f : Mir.func) =
-  let check = match check with Some c -> c | None -> !checks in
+  let check = match check with Some c -> c | None -> checks () in
   let sandwich pass =
     if check then begin
       Verify.run ~pass f;

@@ -62,10 +62,18 @@ type run_stats = {
           forwards on its [Compile_end] telemetry event *)
 }
 
-val checks : bool ref
+val checks : unit -> bool
 (** Default for {!apply}'s [?check]: per-pass verification ("sandwich"
-    mode). Tests, the fuzzer and [bin/irlint] set it; benchmarks leave it
-    off. Verification never contributes to the compile-cycle model. *)
+    mode). Tests, the fuzzer and [bin/irlint] turn it on; benchmarks leave
+    it off. Domain-local, so a checked fuzz task and an unchecked bench
+    task can share a pool. Verification never contributes to the
+    compile-cycle model. *)
+
+val set_checks : bool -> unit
+(** Set the current domain's check mode. *)
+
+val with_checks : bool -> (unit -> 'a) -> 'a
+(** Run with the current domain's check mode temporarily replaced. *)
 
 val apply : ?check:bool -> program:Bytecode.Program.t -> config -> Mir.func -> run_stats
 (** Run the configured passes over a freshly built MIR graph, in the

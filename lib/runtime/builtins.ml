@@ -2,19 +2,28 @@ exception Runtime_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
-let print_hook = ref print_endline
+(* Domain-local ambient state: pool tasks running engine instances on
+   worker domains each get their own print sink and Math.random stream, so
+   parallel harness cells cannot interleave output or perturb each other's
+   random sequences. Tasks are self-contained — a fresh domain starts from
+   the same defaults a fresh process would. *)
+let print_hook = Support.Tls.make (fun () -> print_endline)
+
+let set_print_hook h = Support.Tls.set print_hook h
+let print_line s = (Support.Tls.get print_hook) s
+let with_print_hook h f = Support.Tls.with_value print_hook h f
 
 (* Deterministic xorshift for Math.random: reproducible benchmark runs. *)
-let random_state = ref 0x2545F4914F6CDD1D
+let random_state = Support.Tls.make (fun () -> 0x2545F4914F6CDD1D)
 
-let reset_random seed = random_state := if seed = 0 then 1 else seed
+let reset_random seed = Support.Tls.set random_state (if seed = 0 then 1 else seed)
 
 let next_random () =
-  let x = !random_state in
+  let x = Support.Tls.get random_state in
   let x = x lxor (x lsl 13) in
   let x = x lxor (x lsr 7) in
   let x = x lxor (x lsl 17) in
-  random_state := x;
+  Support.Tls.set random_state x;
   float_of_int (x land 0x3FFFFFFFFFFFFF) /. float_of_int 0x40000000000000
 
 let arg args i = if i < Array.length args then args.(i) else Value.Undefined
@@ -28,7 +37,7 @@ let call name args =
   match name with
   | "print" ->
     let parts = Array.to_list (Array.map Convert.to_string args) in
-    !print_hook (String.concat " " parts);
+    print_line (String.concat " " parts);
     Value.Undefined
   | "__keys" -> (
     (* Enumerable property names (for-in support): objects in insertion

@@ -7,11 +7,18 @@
 
 exception Runtime_error of string
 
-val print_hook : (string -> unit) ref
-(** Where [print] writes. Tests and the harness redirect this. *)
+val set_print_hook : (string -> unit) -> unit
+(** Where [print] writes on the current domain; defaults to
+    [print_endline]. Domain-local, so pool tasks redirecting their own
+    output never race. *)
+
+val with_print_hook : (string -> unit) -> (unit -> 'a) -> 'a
+(** Run with this domain's print sink temporarily replaced, restoring it
+    afterwards (also on exception). *)
 
 val reset_random : int -> unit
-(** Reseed [Math.random]'s deterministic generator. *)
+(** Reseed [Math.random]'s deterministic generator (domain-local: each
+    pool task reseeds its own stream). *)
 
 val call : string -> Value.t array -> Value.t
 (** Invoke a native function by name.

@@ -62,11 +62,13 @@ let norm_num f =
 
 let of_int n = if n >= int32_min && n <= int32_max then Int n else Double (float_of_int n)
 
-let id_counter = ref 0
+(* Identity ids are only ever compared for equality (strict_eq, GVN value
+   numbers), never for order, so an atomic counter shared by all domains
+   keeps identity sound under a parallel harness without affecting any
+   observable output. *)
+let id_counter = Atomic.make 0
 
-let next_id () =
-  incr id_counter;
-  !id_counter
+let next_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 let fresh_id = next_id
 

@@ -1,0 +1,10 @@
+type 'a t = 'a Domain.DLS.key
+
+let make init = Domain.DLS.new_key init
+let get k = Domain.DLS.get k
+let set k v = Domain.DLS.set k v
+
+let with_value k v f =
+  let saved = get k in
+  set k v;
+  Fun.protect ~finally:(fun () -> set k saved) f

@@ -436,12 +436,18 @@ end
 
 type t = { counters : Counters.t; mutable sinks : sink list }
 
-(* Sinks installed on every hub created afterwards — how the CLI and the
-   tests observe engines they do not construct themselves. *)
-let default_sinks : sink list ref = ref []
+(* Sinks installed on every hub created afterwards on the same domain —
+   how the CLI and the tests observe engines they do not construct
+   themselves. Domain-local: sinks are arbitrary closures over mutable
+   accumulators, so they must never leak into engine runs fanned out to
+   pool workers. *)
+let default_sinks_slot : sink list Support.Tls.t = Support.Tls.make (fun () -> [])
+
+let default_sinks () = Support.Tls.get default_sinks_slot
+let set_default_sinks sinks = Support.Tls.set default_sinks_slot sinks
 
 let create ~nfuncs () =
-  { counters = Counters.create ~nfuncs (); sinks = !default_sinks }
+  { counters = Counters.create ~nfuncs (); sinks = default_sinks () }
 
 let attach t sink = t.sinks <- t.sinks @ [ sink ]
 let counters t = t.counters
@@ -451,7 +457,4 @@ let counters t = t.counters
 let active t = t.sinks <> []
 let emit t ev = List.iter (fun sink -> sink ev) t.sinks
 
-let with_default_sinks sinks f =
-  let saved = !default_sinks in
-  default_sinks := sinks;
-  Fun.protect ~finally:(fun () -> default_sinks := saved) f
+let with_default_sinks sinks f = Support.Tls.with_value default_sinks_slot sinks f

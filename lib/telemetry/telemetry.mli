@@ -227,9 +227,13 @@ val active : t -> bool
 
 val emit : t -> event -> unit
 
-val default_sinks : sink list ref
-(** Sinks copied into every subsequently created hub — how [jsvm --trace]
-    and the tests observe engines they don't construct themselves. *)
+val default_sinks : unit -> sink list
+(** Sinks copied into every hub subsequently created {e on this domain} —
+    how [jsvm --trace] and the tests observe engines they don't construct
+    themselves. Domain-local: sinks close over mutable accumulators, so
+    they deliberately do not propagate into pool tasks. *)
+
+val set_default_sinks : sink list -> unit
 
 val with_default_sinks : sink list -> (unit -> 'a) -> 'a
-(** Run [f] with {!default_sinks} temporarily replaced. *)
+(** Run [f] with this domain's {!default_sinks} temporarily replaced. *)

@@ -306,16 +306,10 @@ let test_pipeline_sandwich_clean_on_all_on () =
    [Engine.diag_abort_hook]; [Diag.Failed] can still escape [Engine.make]'s
    bytecode admission check. *)
 let test_engine_checked_sweep () =
-  let saved = !Pipeline.checks in
-  let saved_abort = !Engine.diag_abort_hook in
   let aborted = ref None in
-  Pipeline.checks := true;
-  Engine.diag_abort_hook :=
-    Some (fun d -> if !aborted = None then aborted := Some d);
-  Fun.protect
-    ~finally:(fun () ->
-      Pipeline.checks := saved;
-      Engine.diag_abort_hook := saved_abort)
+  Pipeline.with_checks true @@ fun () ->
+  Engine.with_diag_abort_hook
+    (fun d -> if !aborted = None then aborted := Some d)
     (fun () ->
       List.iter
         (fun (suite : Suite.t) ->

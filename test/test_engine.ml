@@ -6,10 +6,8 @@ open Runtime
 
 let run ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) src =
   let buf = Buffer.create 64 in
-  let saved = !Builtins.print_hook in
-  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
-  Fun.protect
-    ~finally:(fun () -> Builtins.print_hook := saved)
+  Builtins.with_print_hook
+    (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')
     (fun () ->
       let report = Engine.run_source cfg src in
       (report, Buffer.contents buf))

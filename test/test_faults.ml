@@ -13,10 +13,8 @@ open Runtime
    optional ring sinks for event inspection. *)
 let run ?(cfg = Engine.default_config ()) ?(sinks = []) src =
   let buf = Buffer.create 64 in
-  let saved = !Builtins.print_hook in
-  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
-  Fun.protect
-    ~finally:(fun () -> Builtins.print_hook := saved)
+  Builtins.with_print_hook
+    (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')
     (fun () ->
       let engine = Engine.make cfg (Bytecode.Compile.program_of_source src) in
       List.iter (Telemetry.attach (Engine.telemetry engine)) sinks;
@@ -164,17 +162,11 @@ let test_poisoned_pass_pins () =
   let cfg = { (Engine.default_config ()) with Engine.hot_calls = 2 } in
   let src = hot_src 35 in
   let aborted = ref 0 in
-  let saved_hook = !Engine.mir_hook in
-  let saved_abort = !Engine.diag_abort_hook in
-  Engine.mir_hook :=
-    Some (fun _ -> Diag.error ~layer:"mir" ~pass:"poisoned" "synthetic pass corruption");
-  Engine.diag_abort_hook := Some (fun _ -> incr aborted);
   let engine, report, out =
-    Fun.protect
-      ~finally:(fun () ->
-        Engine.mir_hook := saved_hook;
-        Engine.diag_abort_hook := saved_abort)
-      (fun () -> run ~cfg src)
+    Engine.with_mir_hook
+      (fun _ -> Diag.error ~layer:"mir" ~pass:"poisoned" "synthetic pass corruption")
+      (fun () ->
+        Engine.with_diag_abort_hook (fun _ -> incr aborted) (fun () -> run ~cfg src))
   in
   Alcotest.(check string) "completes with the interpreter's answer" (interp_out src) out;
   let get = counter engine report "f" in

@@ -6,10 +6,8 @@ open Runtime
 (* Run a source string, capturing everything [print] outputs. *)
 let run_capture src =
   let out = Buffer.create 64 in
-  let saved = !Builtins.print_hook in
-  Builtins.print_hook := (fun s -> Buffer.add_string out s; Buffer.add_char out '\n');
-  Fun.protect
-    ~finally:(fun () -> Builtins.print_hook := saved)
+  Builtins.with_print_hook
+    (fun s -> Buffer.add_string out s; Buffer.add_char out '\n')
     (fun () ->
       let program = Bytecode.Compile.program_of_source src in
       let _state, _v = Interp.run_program program in

@@ -167,11 +167,7 @@ let test_inversion_preserves_zero_trip () =
   in
   let run opt =
     let buf = Buffer.create 16 in
-    let saved = !Builtins.print_hook in
-    Builtins.print_hook := Buffer.add_string buf;
-    Fun.protect
-      ~finally:(fun () -> Builtins.print_hook := saved)
-      (fun () ->
+    Builtins.with_print_hook (Buffer.add_string buf) (fun () ->
         ignore (Engine.run_source (Engine.default_config ~opt ()) src);
         Buffer.contents buf)
   in
@@ -442,10 +438,8 @@ let test_licm_hoists_invariants () =
 
 let run_with config src =
   let buf = Buffer.create 64 in
-  let saved = !Builtins.print_hook in
-  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
-  Fun.protect
-    ~finally:(fun () -> Builtins.print_hook := saved)
+  Builtins.with_print_hook
+    (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')
     (fun () ->
       ignore (Engine.run_source config src);
       Buffer.contents buf)
@@ -541,10 +535,8 @@ let test_sccp_pipeline_end_to_end () =
   in
   let out opt =
     let buf = Buffer.create 16 in
-    let saved = !Builtins.print_hook in
-    Builtins.print_hook := (fun s -> Buffer.add_string buf s);
-    Fun.protect
-      ~finally:(fun () -> Builtins.print_hook := saved)
+    Builtins.with_print_hook
+      (fun s -> Buffer.add_string buf s)
       (fun () ->
         let r = Engine.run_source (Engine.default_config ~opt ()) src in
         (Buffer.contents buf, r.Engine.total_cycles))

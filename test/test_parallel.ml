@@ -1,0 +1,156 @@
+(* The domain pool: unit tests of the fork-join contract (ordering,
+   first-failure-by-index propagation, nested submission, utilization
+   stats) and end-to-end determinism of the ported drivers — the same
+   bytes at --jobs 4 as at --jobs 1. *)
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_map_ordering () =
+  with_pool 4 (fun pool ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int))
+        "map ≡ List.map" (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs);
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map pool (fun x -> x * x) [ 3 ]);
+      Alcotest.(check (list string))
+        "mapi carries indices"
+        (List.mapi (fun i s -> Printf.sprintf "%d:%s" i s) [ "a"; "b"; "c" ])
+        (Pool.mapi pool (fun i s -> Printf.sprintf "%d:%s" i s) [ "a"; "b"; "c" ]))
+
+let test_serial_pool () =
+  (* A 1-job pool is the serial escape hatch: same results, no workers. *)
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "jobs clamped" 1 (Pool.jobs pool);
+      Alcotest.(check (list int))
+        "inline map" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_first_failure_by_index () =
+  with_pool 4 (fun pool ->
+      let ran = Atomic.make 0 in
+      let f i =
+        Atomic.incr ran;
+        if i mod 7 = 3 then failwith (string_of_int i) else i
+      in
+      (match Pool.map pool f (List.init 50 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected a failure"
+      | exception Failure msg ->
+        (* Failures exist at 3, 10, 17, ...; the serial run would hit 3
+           first, so that is the one the merge must re-raise. *)
+        Alcotest.(check string) "smallest-index failure wins" "3" msg);
+      (* The batch drains fully even when tasks fail. *)
+      Alcotest.(check int) "every task still ran" 50 (Atomic.get ran))
+
+let test_nested_submit () =
+  (* A task that itself maps on the same pool: joining participants help
+     drain the queue, so this terminates (and is exact). *)
+  with_pool 4 (fun pool ->
+      let sums =
+        Pool.map pool
+          (fun base -> List.fold_left ( + ) 0 (Pool.map pool (fun i -> (base * 10) + i) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      Alcotest.(check (list int))
+        "nested fan-out is exact"
+        (List.map (fun base -> (3 * base * 10) + 6) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+        sums)
+
+let test_stats () =
+  with_pool 4 (fun pool ->
+      let n = 64 in
+      ignore (Pool.map pool (fun i -> i * i) (List.init n (fun i -> i)));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "jobs" 4 s.Pool.st_jobs;
+      Alcotest.(check int) "participant slots" 4 (Array.length s.Pool.st_tasks);
+      Alcotest.(check int)
+        "every task accounted"
+        n
+        (Array.fold_left ( + ) 0 s.Pool.st_tasks);
+      Alcotest.(check bool) "joins counted" true (s.Pool.st_joins >= 1);
+      Alcotest.(check bool) "steals within bounds" true (s.Pool.st_steals <= n))
+
+(* --- determinism of the ported drivers ------------------------------- *)
+
+(* Capture everything a driver prints (they print straight to stdout). *)
+let capture_stdout f =
+  let tmp = Filename.temp_file "vs_parallel" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    (fun () -> ignore (f ()));
+  let out = In_channel.with_open_bin tmp In_channel.input_all in
+  Sys.remove tmp;
+  out
+
+let at_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let check_driver_deterministic name f =
+  let serial = at_jobs 1 (fun () -> capture_stdout f) in
+  let parallel = at_jobs 4 (fun () -> capture_stdout f) in
+  Alcotest.(check bool) "serial output nonempty" true (String.length serial > 0);
+  Alcotest.(check string) (name ^ ": jobs 4 ≡ jobs 1") serial parallel
+
+let test_fig_policy_deterministic () =
+  check_driver_deterministic "fig_policy" (fun () -> Fig_policy.print (Fig_policy.run ()))
+
+let test_fig_suite_calls_deterministic () =
+  check_driver_deterministic "fig_suite_calls" (fun () ->
+      Fig_suite_calls.print (Fig_suite_calls.run ()))
+
+let fuzz_verdict = function
+  | None -> "pass"
+  | Some (Fuzz_diff.Mismatch m) -> "mismatch:" ^ m.Fuzz_diff.mm_config
+  | Some (Fuzz_diff.Verifier_diag { vd_config; _ }) -> "diag:" ^ vd_config
+
+let fixed_seed_sources n =
+  List.init n (fun seed -> (seed, Fuzz_gen.any_program (Random.State.make [| seed |])))
+
+let test_fuzz_deterministic () =
+  let cases = fixed_seed_sources 12 in
+  let verdicts jobs =
+    at_jobs jobs (fun () ->
+        List.map (fun (_, src) -> fuzz_verdict (Fuzz_diff.check src)) cases)
+  in
+  Alcotest.(check (list string)) "fuzz verdicts: jobs 4 ≡ jobs 1" (verdicts 1) (verdicts 4)
+
+let test_chaos_deterministic () =
+  let cases = fixed_seed_sources 6 in
+  let verdicts jobs =
+    at_jobs jobs (fun () ->
+        List.map (fun (seed, src) -> fuzz_verdict (Fuzz_diff.check_chaos ~seed src)) cases)
+  in
+  Alcotest.(check (list string)) "chaos verdicts: jobs 4 ≡ jobs 1" (verdicts 1) (verdicts 4)
+
+let suites =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_ordering;
+        Alcotest.test_case "1-job pool runs inline" `Quick test_serial_pool;
+        Alcotest.test_case "smallest-index failure re-raised" `Quick
+          test_first_failure_by_index;
+        Alcotest.test_case "nested submission drains" `Quick test_nested_submit;
+        Alcotest.test_case "utilization stats" `Quick test_stats;
+      ] );
+    ( "parallel.determinism",
+      [
+        Alcotest.test_case "fig_policy bytes" `Slow test_fig_policy_deterministic;
+        Alcotest.test_case "fig_suite_calls bytes" `Slow test_fig_suite_calls_deterministic;
+        Alcotest.test_case "fuzz verdicts" `Slow test_fuzz_deterministic;
+        Alcotest.test_case "chaos verdicts" `Slow test_chaos_deterministic;
+      ] );
+  ]

@@ -10,10 +10,8 @@ open Runtime
    sinks and read the counter registry afterwards. *)
 let run ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) ?(sinks = []) src =
   let buf = Buffer.create 64 in
-  let saved = !Builtins.print_hook in
-  Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
-  Fun.protect
-    ~finally:(fun () -> Builtins.print_hook := saved)
+  Builtins.with_print_hook
+    (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')
     (fun () ->
       let engine = Engine.make cfg (Bytecode.Compile.program_of_source src) in
       List.iter (Telemetry.attach (Engine.telemetry engine)) sinks;

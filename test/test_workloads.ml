@@ -4,10 +4,8 @@
 
 let quiet_run cfg src =
   let buf = Buffer.create 64 in
-  let saved = !Runtime.Builtins.print_hook in
-  Runtime.Builtins.print_hook := (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n');
-  Fun.protect
-    ~finally:(fun () -> Runtime.Builtins.print_hook := saved)
+  Runtime.Builtins.with_print_hook
+    (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n')
     (fun () ->
       let r = Engine.run_source cfg src in
       (r, Buffer.contents buf))
