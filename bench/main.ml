@@ -362,6 +362,92 @@ let run_wall () =
        ());
   write_wall_json rows
 
+(* ------------------------------------------------------------------ *)
+(* check-model: guard the committed model cycles                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The model cycles in BENCH_wall.json are part of the repo's record: they
+   pair each wall-clock estimate with the deterministic cost of the same
+   run. Any change to the VM that shifts them must regenerate the file
+   deliberately (run `bench wall`), never silently — this mode recomputes
+   the engine benches' cycles and fails on drift, and check.sh runs it. *)
+
+(* Minimal extraction from our own writer's output: one bench object per
+   line, ["name"] a JSON string, ["model_cycles"] an integer or null. *)
+let parse_wall_json path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  (match lines with
+  | _ :: schema :: _
+    when Support.Strings.contains_substring schema "vs-bench-wall/1" ->
+    ()
+  | _ ->
+    Printf.eprintf "check-model: %s is not a vs-bench-wall/1 file\n" path;
+    exit 1);
+  List.filter_map
+    (fun line ->
+      let find_field key =
+        let marker = Printf.sprintf "\"%s\": " key in
+        Option.map
+          (fun i -> i + String.length marker)
+          (Support.Strings.find_substring line marker)
+      in
+      match find_field "name" with
+      | None -> None
+      | Some start -> (
+        match String.index_from_opt line start '"' with
+        | None -> None
+        | Some _ ->
+          let stop = String.index_from line (start + 1) '"' in
+          let name =
+            Telemetry.json_unescape (String.sub line (start + 1) (stop - start - 1))
+          in
+          let cycles =
+            match find_field "model_cycles" with
+            | None -> None
+            | Some i ->
+              let j = ref i in
+              while
+                !j < String.length line
+                && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+              do
+                incr j
+              done;
+              int_of_string_opt (String.sub line i (!j - i))
+          in
+          Some (name, cycles)))
+    lines
+
+let check_model () =
+  let path = "BENCH_wall.json" in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "check-model: %s not found (run `bench wall` and commit it)\n" path;
+    exit 1
+  end;
+  let committed = parse_wall_json path in
+  let drifted =
+    List.filter_map
+      (fun (name, opt, (sname, mname)) ->
+        let name = "vs." ^ name in
+        let current = cycles opt (member_of sname mname) in
+        match List.assoc_opt name committed with
+        | Some (Some c) when c = current -> None
+        | Some (Some c) -> Some (name, string_of_int c, current)
+        | Some None | None -> Some (name, "absent", current))
+      engine_benches
+  in
+  match drifted with
+  | [] ->
+    Printf.printf "check-model: %d benches match %s\n" (List.length engine_benches) path
+  | _ ->
+    Printf.eprintf "check-model: model cycles drifted from %s:\n" path;
+    List.iter
+      (fun (name, committed, current) ->
+        Printf.eprintf "  %-36s committed=%s current=%d\n" name committed current)
+      drifted;
+    Printf.eprintf
+      "if the change is intentional, regenerate with `dune exec bench/main.exe -- wall`\n";
+    exit 1
+
 let print_pool_stats () =
   (* Where the fan-out went: tasks per participant, steals (tasks run by a
      domain other than their submitter) and time spent inside joins. Only
@@ -379,6 +465,11 @@ let print_pool_stats () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want x = args = [] || List.mem x args in
+  if List.mem "check-model" args then begin
+    (* Standalone gate: just the drift check, nothing else. *)
+    check_model ();
+    exit 0
+  end;
   if want "tables" then print_tables ();
   if want "ablations" then print_ablations ();
   if want "attribution" then print_compile_attribution ();

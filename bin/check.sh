@@ -25,6 +25,12 @@ dune build @chaos
 echo "== dune build @parallel (pool determinism: --jobs 4 == --jobs 1) =="
 dune build @parallel
 
+echo "== dune build @profile (attribution balance + trace-event export) =="
+dune build @profile
+
+echo "== bench check-model (model cycles vs committed BENCH_wall.json) =="
+dune exec bench/main.exe -- check-model
+
 echo "== bench smoke (paper tables) =="
 dune exec bench/main.exe -- tables > /dev/null
 

@@ -9,7 +9,8 @@
    (workload, configuration) cells over; output is byte-identical at any
    value, --jobs 1 runs strictly serially. *)
 
-let known = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig9"; "fig10"; "policy"; "recomp" ]
+let known =
+  [ "fig1"; "fig2"; "fig3"; "fig4"; "fig9"; "fig10"; "attrib"; "policy"; "recomp" ]
 
 let run_one name =
   match name with
@@ -20,6 +21,7 @@ let run_one name =
   | "fig3" -> Fig_suite_calls.print (Fig_suite_calls.run ())
   | "fig9" -> Fig_speedup.print (Fig_speedup.run ())
   | "fig10" -> Fig_codesize.print (Fig_codesize.run_suites ()) (Fig_codesize.run_sites ())
+  | "attrib" -> Fig_attribution.print (Fig_attribution.run ())
   | "policy" -> Fig_policy.print (Fig_policy.run ())
   | "recomp" -> Fig_recompile.print (Fig_recompile.run ())
   | other ->
@@ -66,7 +68,7 @@ let () =
   let args = strip_jobs [] args in
   let names =
     match args with
-    | [] | [ "all" ] -> [ "fig1"; "fig3"; "fig9"; "fig10"; "policy"; "recomp" ]
+    | [] | [ "all" ] -> [ "fig1"; "fig3"; "fig9"; "fig10"; "attrib"; "policy"; "recomp" ]
     | names -> names
   in
   List.iteri

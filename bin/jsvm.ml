@@ -7,7 +7,10 @@
      jsvm --config PS+CP+DCE program.js    # a specific Figure 9 column
      jsvm --stats program.js               # engine report + counters
      jsvm --trace program.js               # JIT event stream on stderr
-     jsvm --trace-json t.jsonl program.js  # same stream, as JSONL *)
+     jsvm --trace-json t.jsonl program.js  # same stream, as JSONL
+     jsvm --profile program.js             # per-function cycle attribution
+     jsvm --profile-folded p.folded x.js   # flamegraph folded stacks
+     jsvm --trace-spans t.json x.js        # Chrome trace (Perfetto) spans *)
 
 let find_config name =
   if String.lowercase_ascii name = "baseline" then Some Pipeline.baseline
@@ -57,8 +60,22 @@ let print_pool_stats () =
       s.Pool.st_jobs s.Pool.st_steals s.Pool.st_joins s.Pool.st_join_wait
       (String.concat ";" (Array.to_list (Array.map string_of_int s.Pool.st_tasks)))
 
+(* Serialize collected spans (emission order) as a Chrome trace-event file:
+   loadable in Perfetto / chrome://tracing. *)
+let write_trace_spans file spans =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc "{\"traceEvents\":[";
+      List.iteri
+        (fun i s ->
+          if i > 0 then output_string oc ",";
+          output_string oc "\n";
+          output_string oc (Telemetry.span_to_chrome_json s))
+        spans;
+      output_string oc "\n]}\n")
+
 let run_file path no_jit spec selective cache_size code_cache_bytes max_depth config_name
-    stats trace trace_json dump_bytecode dump_mir profile check chaos jobs =
+    stats trace trace_json trace_spans profile_folded dump_bytecode dump_mir profile
+    check chaos jobs =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let src = In_channel.with_open_text path In_channel.input_all in
   (match chaos with
@@ -146,6 +163,17 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
       end
       else None
     in
+    (* The cycle-attribution recorder (--profile table, --profile-folded). *)
+    let recorder =
+      if profile || profile_folded <> None then Some (Profile.Recorder.create ~program)
+      else None
+    in
+    (* Span collection must be registered as a default span sink before the
+       engine is created: the engine only builds its tracer when the hub has
+       a span sink at construction time. *)
+    let spans_acc = ref [] in
+    if trace_spans <> None then
+      Telemetry.set_default_span_sinks [ (fun s -> spans_acc := s :: !spans_acc) ];
     let engine = Engine.make cfg program in
     if trace then Telemetry.attach (Engine.telemetry engine) (Telemetry.text_sink stderr);
     let json_oc =
@@ -156,13 +184,32 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
           oc)
         trace_json
     in
-    match Engine.run engine with
+    let run_engine () =
+      match recorder with
+      | Some r -> Profile.with_recorder r (fun () -> Engine.run engine)
+      | None -> Engine.run engine
+    in
+    match run_engine () with
     | exception Engine.Runtime_error msg ->
       Option.iter close_out json_oc;
       Printf.eprintf "%s: runtime error: %s\n" path msg;
       exit 1
     | report ->
       Option.iter close_out json_oc;
+      Option.iter (fun file -> write_trace_spans file (List.rev !spans_acc)) trace_spans;
+      (match (recorder, profile_folded) with
+      | Some r, Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (Profile.Recorder.folded r))
+      | _ -> ());
+      (match recorder with
+      | Some r when profile ->
+        print_endline "-- cycle attribution --";
+        print_string (Profile.Recorder.table r);
+        (* Sanity anchor: the attribution is exact by construction. *)
+        Printf.printf "attributed=%d of total=%d\n" (Profile.Recorder.total_cycles r)
+          report.Engine.total_cycles
+      | _ -> ());
       Option.iter
         (fun dump ->
           Exec.set_trace_hook None;
@@ -288,6 +335,26 @@ let trace_json =
     & info [ "trace-json" ] ~docv:"FILE"
         ~doc:"Write the JIT event stream to $(docv) as JSON Lines.")
 
+let trace_spans =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-spans" ] ~docv:"FILE"
+        ~doc:
+          "Write engine lifecycle spans (interpret, compile with per-pass children, \
+           codegen, native runs, bailouts, OSR) to $(docv) as Chrome trace-event JSON \
+           on the model-cycle clock — load it in Perfetto or chrome://tracing.")
+
+let profile_folded =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-folded" ] ~docv:"FILE"
+        ~doc:
+          "Write the cycle attribution as folded stacks \
+           (function;tier;pass;category cycles) to $(docv), ready for any flamegraph \
+           tool.")
+
 let dump_bytecode =
   Arg.(value & flag & info [ "dump-bytecode" ] ~doc:"Disassemble the program before running.")
 
@@ -309,7 +376,10 @@ let profile =
   Arg.(
     value & flag
     & info [ "profile" ]
-        ~doc:"Print a per-opcode execution profile of the compiled code after the run.")
+        ~doc:
+          "Print the per-function cycle-attribution table (interp / native-gen / \
+           native-spec / compile split plus the native guard/alu/mem percentages) and \
+           the per-opcode execution profile of the compiled code after the run.")
 
 let chaos =
   Arg.(
@@ -339,6 +409,7 @@ let cmd =
     Term.(
       const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size
       $ code_cache_bytes $ max_depth $ config_name $ stats $ trace $ trace_json
-      $ dump_bytecode $ dump_mir $ profile $ check $ chaos $ jobs_arg)
+      $ trace_spans $ profile_folded $ dump_bytecode $ dump_mir $ profile $ check
+      $ chaos $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

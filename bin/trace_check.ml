@@ -1,0 +1,251 @@
+(* Hermetic validator for the profiler's export artifacts, used by the
+   `dune build @profile` gate (bin/dune) so CI needs no external JSON tool.
+
+     trace_check FILE.json ...           validate Chrome trace-event files
+     trace_check --profile-out FILE ...  validate `jsvm --profile` output
+
+   A trace file must be a single JSON object {"traceEvents": [...]} whose
+   events are complete ("ph":"X") with a non-empty name, non-negative
+   integer ts/dur, and pid/tid fields. A profile dump must contain the
+   attribution table and an exactly balanced "attributed=N of total=N"
+   line. Exits non-zero with a message on the first violation. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("trace_check: " ^ s);
+      exit 1)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* A minimal recursive-descent JSON reader — just enough of RFC 8259   *)
+(* for trace files we emit ourselves (no surrogate-pair decoding; the   *)
+(* escapes are validated and the string kept verbatim).                 *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let parse_json ~file s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let error msg = fail "%s: invalid JSON at byte %d: %s" file !pos msg in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= len then error "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf e
+         | 'u' ->
+           if !pos + 4 > len then error "truncated \\u escape";
+           for _ = 1 to 4 do
+             (match s.[!pos] with
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+             | _ -> error "bad \\u escape");
+             advance ()
+           done;
+           Buffer.add_string buf "\\u";
+           Buffer.add_string buf (String.sub s (!pos - 4) 4)
+         | _ -> error "bad escape character");
+        go ()
+      | c when Char.code c < 0x20 -> error "raw control byte in string"
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            J_obj (List.rev ((key, v) :: acc))
+          | _ -> error "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_list []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            J_list (List.rev (v :: acc))
+          | _ -> error "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some 't' -> J_bool (literal "true" true)
+    | Some 'f' -> J_bool (literal "false" false)
+    | Some 'n' -> literal "null" J_null
+    | Some ('-' | '0' .. '9') -> J_num (parse_number ())
+    | _ -> error "expected a value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then error "trailing garbage after document";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Shape checks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = try open_in_bin file with Sys_error e -> fail "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let field obj key =
+  match obj with
+  | J_obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let check_event ~file i ev =
+  let get key =
+    match field ev key with
+    | Some v -> v
+    | None -> fail "%s: event %d: missing %S field" file i key
+  in
+  (match get "name" with
+  | J_str "" -> fail "%s: event %d: empty name" file i
+  | J_str _ -> ()
+  | _ -> fail "%s: event %d: name is not a string" file i);
+  (match get "cat" with
+  | J_str _ -> ()
+  | _ -> fail "%s: event %d: cat is not a string" file i);
+  (match get "ph" with
+  | J_str "X" -> ()
+  | _ -> fail "%s: event %d: ph is not \"X\"" file i);
+  let non_negative_int key =
+    match get key with
+    | J_num f when Float.is_integer f && f >= 0.0 -> ()
+    | _ -> fail "%s: event %d: %s is not a non-negative integer" file i key
+  in
+  non_negative_int "ts";
+  non_negative_int "dur";
+  non_negative_int "pid";
+  non_negative_int "tid"
+
+let check_trace file =
+  let doc = parse_json ~file (read_file file) in
+  match field doc "traceEvents" with
+  | Some (J_list events) ->
+    if events = [] then fail "%s: traceEvents is empty" file;
+    List.iteri (check_event ~file) events;
+    Printf.printf "trace_check: %s: %d events OK\n" file (List.length events)
+  | Some _ -> fail "%s: traceEvents is not an array" file
+  | None -> fail "%s: no traceEvents key" file
+
+(* `jsvm --profile` output: the attribution table header must be present
+   and the profiler's total must equal the engine's (the exact-attribution
+   contract, end to end through the CLI). *)
+let check_profile_out file =
+  let s = read_file file in
+  let lines = String.split_on_char '\n' s in
+  if not (List.exists (fun l -> l = "-- cycle attribution --") lines) then
+    fail "%s: no cycle attribution table" file;
+  match
+    List.find_map
+      (fun l -> Scanf.sscanf_opt l "attributed=%d of total=%d" (fun a t -> (a, t)))
+      lines
+  with
+  | None -> fail "%s: no attributed/total line" file
+  | Some (a, t) when a <> t -> fail "%s: attributed=%d but total=%d" file a t
+  | Some (a, _) -> Printf.printf "trace_check: %s: attributed=%d balanced OK\n" file a
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then fail "usage: trace_check [--profile-out] FILE ...";
+  let rec go profile_mode = function
+    | [] -> ()
+    | "--profile-out" :: rest -> go true rest
+    | file :: rest ->
+      (if profile_mode then check_profile_out file else check_trace file);
+      go profile_mode rest
+  in
+  go false args

@@ -117,6 +117,9 @@ type t = {
   cache_bytes : int ref;  (* code-cache bytes in use across all functions *)
   lru_tick : int ref;  (* global LRU clock (bumped per install / cache hit) *)
   depth : int ref;  (* live MiniJS call nesting *)
+  (* Lifecycle span tracer, present only when the hub had a span sink at
+     construction: with tracing off every span site is one [None] match. *)
+  tracer : Profile.Tracer.t option;
 }
 
 type func_report = {
@@ -152,6 +155,7 @@ let make engine_config program =
      compiler's output, so reject malformed bytecode before running any of
      it. Raises [Diag.Failed]. *)
   Bc_verify.check_program program;
+  let tel = Telemetry.create ~nfuncs:(Bytecode.Program.nfuncs program) () in
   {
     cfg = engine_config;
     program;
@@ -176,10 +180,14 @@ let make engine_config program =
           });
     native_cycles = ref 0;
     compile_cycles = ref 0;
-    tel = Telemetry.create ~nfuncs:(Bytecode.Program.nfuncs program) ();
+    tel;
     cache_bytes = ref 0;
     lru_tick = ref 0;
     depth = ref 0;
+    tracer =
+      (if Telemetry.spans_active tel then
+         Some (Profile.Tracer.create ~emit:(Telemetry.emit_span tel))
+       else None);
   }
 
 let telemetry t = t.tel
@@ -190,6 +198,49 @@ let telemetry t = t.tel
 
 let counters t = Telemetry.counters t.tel
 let fname t fid = t.program.Bytecode.Program.funcs.(fid).Bytecode.Program.name
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle spans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Span timestamps use the model-cycle clock — the sum the report calls
+   [total_cycles], read at the moment of the event — so traces are
+   byte-reproducible and durations line up exactly with the cycle
+   accounting. Wall time never appears. *)
+let now t =
+  (t.istate.Interp.icount * Cost.interp_per_instr)
+  + !(t.native_cycles) + !(t.compile_cycles)
+
+let span_begin t ~name ~cat fid =
+  match t.tracer with
+  | Some tr -> Profile.Tracer.begin_span tr ~name ~cat ~fid ~fname:(fname t fid) ~now:(now t)
+  | None -> ()
+
+let span_end ?args t =
+  match t.tracer with
+  | Some tr -> Profile.Tracer.end_span ?args tr ~now:(now t)
+  | None -> ()
+
+let span_mark ?args t ~name ~cat ~start ~dur fid =
+  match t.tracer with
+  | Some tr ->
+    Profile.Tracer.complete ?args tr ~name ~cat ~fid ~fname:(fname t fid) ~start ~dur
+  | None -> ()
+
+(* Close the open span even when [f] escapes by exception (a runtime error
+   unwinding through nested frames must not corrupt span nesting). *)
+let in_span t ~name ~cat ?end_args fid f =
+  match t.tracer with
+  | None -> f ()
+  | Some _ -> (
+    span_begin t ~name ~cat fid;
+    match f () with
+    | v ->
+      span_end ?args:(match end_args with Some g -> Some (g ()) | None -> None) t;
+      v
+    | exception e ->
+      span_end ~args:[ ("unwound", "true") ] t;
+      raise e)
 
 (* Event payloads are only constructed when a sink is listening; counters
    are always maintained (they are the report's source of truth). Neither
@@ -278,6 +329,10 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
   emit t (fun () ->
       Telemetry.Compile_start { fid = fs.fid; fname = name; specialized; selective; osr = is_osr });
   let cycles_before = !(t.compile_cycles) in
+  (* Compilation charges no interpreter or native cycles, so the whole
+     compile occupies [start_now, start_now + charged) on the span clock
+     and pass/codegen children can be placed retroactively inside it. *)
+  let start_now = now t in
   let arg_tags = stable_tags fs in
   let mir =
     Builder.build ~program:t.program ~func ?spec_args ?spec_mask ~arg_tags ?osr
@@ -303,19 +358,44 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
      below (a diagnostic or an injected fault) still charges it, which is
      what makes compile failures costly rather than free retries. The
      split charge sums to exactly the old single charge on a clean run. *)
-  t.compile_cycles :=
-    !(t.compile_cycles)
-    + (Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed);
+  let mir_charge = Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed in
+  t.compile_cycles := !(t.compile_cycles) + mir_charge;
+  Profile.note_compile ~fid:fs.fid ~stage:"mir" mir_charge;
+  (* Per-pass child spans, sequential from the compile's start. Each pass
+     was charged [compile_per_mir_instr] per instruction it entered with
+     ([pd_before]), and every recorded pass was preceded by exactly one
+     such charge, so the children sum to at most [mir_charge] and always
+     fit inside the parent compile span. *)
+  (match t.tracer with
+  | Some _ ->
+    ignore
+      (List.fold_left
+         (fun at pd ->
+           let dur = Cost.compile_per_mir_instr * pd.Telemetry.pd_before in
+           span_mark t ~name:("pass:" ^ pd.Telemetry.pd_pass) ~cat:"pass" ~start:at ~dur
+             ~args:
+               [ ("before", string_of_int pd.Telemetry.pd_before);
+                 ("after", string_of_int pd.Telemetry.pd_after) ]
+             fs.fid;
+           at + dur)
+         start_now pass_stats.Pipeline.passes)
+  | None -> ());
   if Faults.fire Faults.Compile_diag then
     Diag.error ~layer:"fault" ~func:name ~fid:fs.fid "injected compile_diag fault";
   spec_check `Optimized;
   (match Support.Tls.get mir_hook with Some hook -> hook mir | None -> ());
   let vcode = Lower.run mir in
   let code, intervals = Regalloc.run vcode in
-  t.compile_cycles :=
-    !(t.compile_cycles)
-    + (Cost.compile_per_native_instr * Code.size code)
-    + (Cost.compile_per_interval * intervals);
+  let backend_charge =
+    (Cost.compile_per_native_instr * Code.size code)
+    + (Cost.compile_per_interval * intervals)
+  in
+  t.compile_cycles := !(t.compile_cycles) + backend_charge;
+  Profile.note_compile ~fid:fs.fid ~stage:"codegen" backend_charge;
+  span_mark t ~name:"codegen" ~cat:"codegen" ~start:(start_now + mir_charge)
+    ~dur:backend_charge
+    ~args:[ ("size", string_of_int (Code.size code)) ]
+    fs.fid;
   (* Internal assert on the backend's output (no model cycles charged):
      catches allocation and snapshot bugs at their source instead of as a
      downstream miscomputation. A failure here aborts the compilation with
@@ -470,8 +550,18 @@ let admit t entry =
    This is the boundary that keeps [Diag.Failed] from escaping [run]. *)
 let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
   let cycles_before = !(t.compile_cycles) in
+  (* The span covers successful and aborted compiles alike — wasted cycles
+     are charged, so they must be visible in the trace too. *)
+  span_begin t
+    ~name:(if count t fs Telemetry.Key.compiles > 0 then "recompile" else "compile")
+    ~cat:"compile" fs.fid;
   match compile t fs ?spec_args ?spec_mask ?osr () with
   | entry ->
+    span_end
+      ~args:
+        [ ("specialized", if spec_args <> None then "true" else "false");
+          ("osr", if osr <> None then "true" else "false") ]
+      t;
     if admit t entry then begin
       touch t entry;
       Some entry
@@ -481,6 +571,7 @@ let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
       None
     end
   | exception Diag.Failed d ->
+    span_end ~args:[ ("aborted", "true") ] t;
     bump t fs Telemetry.Key.compiles_aborted;
     (match Support.Tls.get diag_abort_hook with Some h -> h d | None -> ());
     emit t (fun () ->
@@ -612,11 +703,17 @@ and call_closure_at_depth t (c : Value.closure) args =
     else if
       t.cfg.jit && can_compile t fs
       && count t fs Telemetry.Key.calls >= t.cfg.hot_calls
-    then
+    then begin
+      (* Zero-length marker: the hot-detection instant that triggered this
+         compile attempt (the compile span itself follows). *)
+      span_mark t ~name:"hot" ~cat:"interp" ~start:(now t) ~dur:0
+        ~args:[ ("calls", string_of_int (count t fs Telemetry.Key.calls)) ]
+        fs.fid;
       run_or_interp
         (if not (want_specialize t fs) then try_compile t fs ()
          else if t.cfg.selective then specialize_selectively t fs args
          else try_compile t fs ~spec_args:args ())
+    end
     else interpret t func ~upvals:c.Value.env ~args
 
 (* Compile with only the stable argument positions burned in; if nothing is
@@ -642,10 +739,28 @@ and run_native t fs func act entry ~at_osr =
       globals = t.istate.Interp.globals;
       cycles = t.native_cycles }
   in
-  match
-    (try Exec.run callbacks entry.code act ~at_osr
-     with Objmodel.Error msg -> raise (Runtime_error msg))
-  with
+  let outcome =
+    in_span t ~name:"native" ~cat:"native" fs.fid (fun () ->
+        let o =
+          try Exec.run callbacks entry.code act ~at_osr
+          with Objmodel.Error msg -> raise (Runtime_error msg)
+        in
+        (match o with
+        | Exec.Finished _ -> ()
+        | Exec.Bailed b ->
+          (* The bailout penalty was charged inside [Exec.run] just before
+             it returned, so the frame-reconstruction interval is the
+             [bailout_penalty] cycles ending now — emitted retroactively,
+             nested in the still-open native span. *)
+          span_mark t ~name:"bailout" ~cat:"bailout"
+            ~start:(now t - Cost.bailout_penalty) ~dur:Cost.bailout_penalty
+            ~args:
+              [ ("reason", "\"" ^ Telemetry.json_escape b.Exec.bo_reason ^ "\"");
+                ("pc", string_of_int b.Exec.bo_pc) ]
+            fs.fid);
+        o)
+  in
+  match outcome with
   | Exec.Finished v -> v
   | Exec.Bailed b ->
     bump t fs Telemetry.Key.bailouts;
@@ -715,8 +830,10 @@ and run_frame t frame =
       loop_head = (fun fr -> maybe_osr t fr);
     }
   in
-  try Interp.run t.istate hooks frame
-  with Interp.Runtime_error msg -> raise (Runtime_error msg)
+  in_span t ~name:"interpret" ~cat:"interp" frame.Interp.func.Bytecode.Program.fid
+    (fun () ->
+      try Interp.run t.istate hooks frame
+      with Interp.Runtime_error msg -> raise (Runtime_error msg))
 
 and maybe_osr t (frame : Interp.frame) =
   if not t.cfg.jit then None
@@ -744,6 +861,10 @@ and maybe_osr t (frame : Interp.frame) =
           Telemetry.Osr_enter
             { fid = fs.fid; fname = fname t fs.fid; pc = frame.Interp.pc;
               loop_edges = edges });
+      span_mark t ~name:"osr-trigger" ~cat:"interp" ~start:(now t) ~dur:0
+        ~args:[ ("pc", string_of_int frame.Interp.pc);
+                ("loop_edges", string_of_int edges) ]
+        fs.fid;
       let spec = want_specialize t fs in
       let spec_mask =
         if spec && t.cfg.selective then begin

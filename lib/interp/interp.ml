@@ -95,8 +95,20 @@ let construct ctor args = om (fun () -> Objmodel.construct ctor args)
    [run]. *)
 exception Returned of Value.t
 
+(* Cycle-attribution hook for the profiler: fired with (fid, pc) for every
+   interpreted bytecode instruction, exactly where [icount] increments, so
+   per-pc attribution sums to icount. Domain-local and read once per [run];
+   None in production. *)
+let profile_hook : (int -> int -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_profile_hook h = Support.Tls.set profile_hook h
+let with_profile_hook h f = Support.Tls.with_value profile_hook h f
+
 let rec run state hooks frame =
   let code = frame.func.Bytecode.Program.code in
+  let fid = frame.func.Bytecode.Program.fid in
+  let prof = Support.Tls.get profile_hook in
   try
     while true do
       (* Code arrays come out of the bytecode compiler, whose emitted jump
@@ -105,6 +117,7 @@ let rec run state hooks frame =
          check. *)
       let instr = Array.unsafe_get code frame.pc in
       state.icount <- state.icount + 1;
+      (match prof with Some hook -> hook fid frame.pc | None -> ());
       let next = frame.pc + 1 in
       (match instr with
     | Bytecode.Instr.Const v ->

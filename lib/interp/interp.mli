@@ -59,6 +59,16 @@ val make_frame :
 val run : state -> hooks -> frame -> Runtime.Value.t
 (** Execute the frame from its current [pc]/[sp] until it returns. *)
 
+val set_profile_hook : (int -> int -> unit) option -> unit
+(** Install (or clear) the domain-local profiler hook, fired with
+    [(fid, pc)] for every interpreted instruction — exactly once per
+    [icount] increment, so per-pc counts sum to [icount]. The hook is read
+    once per {!run}; it never alters execution or the cost model. *)
+
+val with_profile_hook : (int -> int -> unit) option -> (unit -> 'a) -> 'a
+(** Run a thunk with the profiler hook bound, restoring the previous hook
+    afterwards (exception-safe). *)
+
 val default_hooks : state -> hooks
 (** Pure-interpretation hooks: calls recurse into the interpreter, loop
     heads never OSR. *)

@@ -73,6 +73,10 @@ type snapshot = {
 type t = {
   fid : int;
   instrs : ninstr array;
+  origins : Mir.origin array;
+      (* provenance, index-aligned with [instrs]: which bytecode construct
+         (and which pass) each native instruction derives from. Regalloc
+         rewrites instructions 1:1, so the alignment survives allocation. *)
   snapshots : snapshot array;
   nslots : int;
   osr_offset : int option;

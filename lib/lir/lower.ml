@@ -13,28 +13,33 @@ let resolve_src (f : Mir.func) d : Code.src =
   | _ -> Code.L (Code.V d)
 
 (* Sequentialize a parallel copy (all destinations distinct). Cycles are
-   broken through a fresh virtual register. *)
+   broken through a fresh virtual register. Each move carries the origin of
+   the phi it implements, so edge-copy cycles are charged to their phi. *)
 let sequentialize_moves (f : Mir.func) moves =
   let emitted = ref [] in
-  let emit dst src = emitted := I_op { Code.dst = Some dst; op = Code.Move; args = [| src |]; snap = None } :: !emitted in
+  let emit dst src org =
+    emitted :=
+      (I_op { Code.dst = Some dst; op = Code.Move; args = [| src |]; snap = None }, org)
+      :: !emitted
+  in
   let pending = ref moves in
   let reads_of src = match src with Code.L (Code.V d) -> Some d | _ -> None in
   while !pending <> [] do
     let read_by_pending d =
-      List.exists (fun (_, s) -> reads_of s = Some d) !pending
+      List.exists (fun (_, s, _) -> reads_of s = Some d) !pending
     in
-    match List.partition (fun (dst, _) -> not (read_by_pending dst)) !pending with
+    match List.partition (fun (dst, _, _) -> not (read_by_pending dst)) !pending with
     | ready, rest when ready <> [] ->
-      List.iter (fun (dst, src) -> emit (Code.V dst) src) ready;
+      List.iter (fun (dst, src, org) -> emit (Code.V dst) src org) ready;
       pending := rest
-    | _, (dst, src) :: rest ->
+    | _, (dst, src, org) :: rest ->
       (* Cycle: save the about-to-be-clobbered destination in a temp. *)
       let tmp = Mir.fresh_def f in
-      emit (Code.V tmp) (Code.L (Code.V dst));
-      let retarget (d, s) =
-        if reads_of s = Some dst then (d, Code.L (Code.V tmp)) else (d, s)
+      emit (Code.V tmp) (Code.L (Code.V dst)) org;
+      let retarget (d, s, o) =
+        if reads_of s = Some dst then (d, Code.L (Code.V tmp), o) else (d, s, o)
       in
-      pending := (dst, src) :: List.map retarget rest
+      pending := (dst, src, org) :: List.map retarget rest
     | _, [] -> assert false
   done;
   List.rev !emitted
@@ -117,6 +122,20 @@ let run (f : Mir.func) =
       Hashtbl.replace snap_cache key id;
       id
   in
+  (* Control-flow items (jumps, branches, rets) and blocks with no lowered
+     body are charged to the block's last instruction, or to a synthetic
+     "lower" origin at the function head when the block is empty. *)
+  let fallback_org =
+    { Mir.o_fid = f.Mir.source.Bytecode.Program.fid; o_pc = 0; o_def = -1; o_pass = "lower" }
+  in
+  let block_org (b : Mir.block) =
+    match List.rev b.Mir.body with
+    | (i : Mir.instr) :: _ -> i.Mir.org
+    | [] -> (
+      match List.rev b.Mir.phis with
+      | (i : Mir.instr) :: _ -> i.Mir.org
+      | [] -> fallback_org)
+  in
   (* Edge moves: for each edge (pred -> succ) collect the phi copies. *)
   let edge_moves pred succ =
     let sb = Mir.block f succ in
@@ -135,7 +154,8 @@ let run (f : Mir.func) =
           | Mir.Phi ops ->
             let s = resolve_src f ops.(pred_index) in
             (* Skip self-moves. *)
-            if s = Code.L (Code.V phi.Mir.def) then None else Some (phi.Mir.def, s)
+            if s = Code.L (Code.V phi.Mir.def) then None
+            else Some (phi.Mir.def, s, phi.Mir.org)
           | _ -> None)
         sb.Mir.phis
   in
@@ -154,18 +174,19 @@ let run (f : Mir.func) =
   List.iter
     (fun bid ->
       let b = Mir.block f bid in
+      let borg = block_org b in
       let body =
         List.filter_map
           (fun (i : Mir.instr) ->
             let snap = Option.map snapshot_of i.Mir.rp in
-            lower_kind f i ~snap)
+            Option.map (fun item -> (item, i.Mir.org)) (lower_kind f i ~snap))
           b.Mir.body
       in
       let items =
         match b.Mir.term with
         | Mir.Goto t ->
           let moves = sequentialize_moves f (edge_moves bid t) in
-          body @ moves @ [ I_jump t ]
+          body @ moves @ [ (I_jump t, borg) ]
         | Mir.Branch (c, t1, t2) ->
           let cs = resolve_src f c in
           let m1 = edge_moves bid t1 and m2 = edge_moves bid t2 in
@@ -174,13 +195,13 @@ let run (f : Mir.func) =
             else begin
               let key = !stub_key in
               decr stub_key;
-              add_stub key (sequentialize_moves f edge_m @ [ I_jump t ]);
+              add_stub key (sequentialize_moves f edge_m @ [ (I_jump t, borg) ]);
               key
             end
           in
           let t1' = target m1 t1 and t2' = target m2 t2 in
-          body @ [ I_branch (cs, t1', t2') ]
-        | Mir.Return d -> body @ [ I_ret (resolve_src f d) ]
+          body @ [ (I_branch (cs, t1', t2'), borg) ]
+        | Mir.Return d -> body @ [ (I_ret (resolve_src f d), borg) ]
         | Mir.Unreachable -> body
       in
       add_chunk bid items)
@@ -214,7 +235,7 @@ let run (f : Mir.func) =
       | (k1, items1) :: ((k2, _) :: _ as rest) ->
         let items1 =
           match List.rev items1 with
-          | I_jump t :: body_rev when t = k2 -> List.rev body_rev
+          | (I_jump t, _) :: body_rev when t = k2 -> List.rev body_rev
           | _ -> items1
         in
         (k1, items1) :: elide rest
@@ -231,23 +252,26 @@ let run (f : Mir.func) =
     ordered;
   let target key = Hashtbl.find offsets key in
   let instrs = Array.make !total (Code.Ret (Code.Imm Value.Undefined)) in
+  let origins = Array.make !total fallback_org in
   let pos = ref 0 in
   List.iter
     (fun (_, items) ->
       List.iter
-        (fun item ->
+        (fun (item, org) ->
           instrs.(!pos) <-
             (match item with
             | I_op i -> Code.Op i
             | I_jump t -> Code.Jump (target t)
             | I_branch (c, a, b) -> Code.Branch (c, target a, target b)
             | I_ret s -> Code.Ret s);
+          origins.(!pos) <- org;
           incr pos)
         items)
     ordered;
   {
     Code.fid = f.Mir.source.Bytecode.Program.fid;
     instrs;
+    origins;
     snapshots = Array.of_list (List.rev !snapshots);
     nslots = 0;
     osr_offset = Option.map target f.Mir.osr_entry;

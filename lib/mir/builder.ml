@@ -276,6 +276,7 @@ let process_span ctx blk leader (state : bstate) =
   let stop = Hashtbl.find ctx.span_end leader in
   let b = Mir.block ctx.f blk in
   let rec go pc st =
+    ctx.f.Mir.cur_pc <- pc;
     if pc >= stop then begin
       (* fallthrough into the next block *)
       let target = target_block ctx pc in
@@ -549,6 +550,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
   (match osr with
   | None -> ()
   | Some { osr_pc; osr_args; osr_locals; osr_specialize } ->
+    f.Mir.cur_pc <- osr_pc;
     let ob = Mir.new_block f in
     f.Mir.osr_entry <- Some ob.Mir.bid;
     f.Mir.osr_loop_header <- Some (target_block ctx osr_pc);
@@ -581,6 +583,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
   List.iter
     (fun leader ->
       let blk = target_block ctx leader in
+      f.Mir.cur_pc <- leader;
       match Hashtbl.find_opt ctx.edges leader with
       | None | Some { contents = [] } -> ()  (* unreachable code *)
       | Some { contents = edges } ->

@@ -25,6 +25,18 @@ type ty =
 
 type def = int
 
+(* Provenance tag threaded from bytecode through every lowering stage so the
+   profiler can charge simulated cycles back to the source construct that
+   caused them. [o_pass] names the stage that created the instruction:
+   "build" for the builder, a pipeline pass name for pass-inserted
+   instructions, "lower" for LIR-only artifacts such as phi edge copies. *)
+type origin = {
+  o_fid : int;  (* bytecode function id *)
+  o_pc : int;  (* bytecode pc the instruction derives from *)
+  o_def : int;  (* MIR def id at creation time *)
+  o_pass : string;  (* stage that produced the instruction *)
+}
+
 type resume_point = {
   rp_pc : int;  (* bytecode pc to resume at (instruction to re-execute) *)
   rp_args : def array;
@@ -90,6 +102,7 @@ type instr = {
   mutable kind : instr_kind;
   mutable ty : ty;
   mutable rp : resume_point option;
+  mutable org : origin;
 }
 
 type terminator =
@@ -124,6 +137,13 @@ type func = {
   mutable no_checked_int : bool;
       (* overflow feedback: a previous binary of this function bailed on an
          int32 overflow guard, so arithmetic compiles on the double path *)
+  mutable cur_pc : int;
+      (* provenance context: bytecode pc the builder is currently
+         translating; instructions created while it is set inherit it *)
+  mutable cur_pass : string;
+      (* provenance context: stage currently creating instructions
+         ("build" during construction, the pass name during a pipeline
+         pass — maintained by [Pipeline.run_pass]) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -145,6 +165,8 @@ let create_func source =
     specialized_args = None;
     specialized_mask = None;
     no_checked_int = false;
+    cur_pc = 0;
+    cur_pass = "build";
   }
 
 let block f bid = Hashtbl.find f.blocks bid
@@ -248,11 +270,22 @@ let result_ty ty_of kind =
 
 let ty_of_def f d = (Hashtbl.find f.defs d).ty
 
+(* Origin for an instruction created right now: the builder/pass context
+   recorded on the function, stamped with the fresh def id. *)
+let cur_origin f def =
+  {
+    o_fid = f.source.Bytecode.Program.fid;
+    o_pc = f.cur_pc;
+    o_def = def;
+    o_pass = f.cur_pass;
+  }
+
 (* Append an instruction to a block's body, registering its def. *)
-let append f b ?rp kind =
+let append f b ?rp ?org kind =
   let def = fresh_def f in
   let ty = result_ty (ty_of_def f) kind in
-  let instr = { def; kind; ty; rp } in
+  let org = match org with Some o -> o | None -> cur_origin f def in
+  let instr = { def; kind; ty; rp; org } in
   b.body <- b.body @ [ instr ];
   Hashtbl.replace f.defs def instr;
   Hashtbl.replace f.def_block def b.bid;
@@ -261,17 +294,19 @@ let append f b ?rp kind =
 (* Create and register an instruction without appending it to any body;
    callers splice it into a block themselves (used by passes that insert
    guards mid-block). *)
-let make_instr f bid ?rp kind =
+let make_instr f bid ?rp ?org kind =
   let def = fresh_def f in
   let ty = result_ty (ty_of_def f) kind in
-  let instr = { def; kind; ty; rp } in
+  let org = match org with Some o -> o | None -> cur_origin f def in
+  let instr = { def; kind; ty; rp; org } in
   Hashtbl.replace f.defs def instr;
   Hashtbl.replace f.def_block def bid;
   instr
 
-let append_phi f b operands =
+let append_phi f b ?org operands =
   let def = fresh_def f in
-  let instr = { def; kind = Phi operands; ty = Ty_value; rp = None } in
+  let org = match org with Some o -> o | None -> cur_origin f def in
+  let instr = { def; kind = Phi operands; ty = Ty_value; rp = None; org } in
   b.phis <- b.phis @ [ instr ];
   Hashtbl.replace f.defs def instr;
   Hashtbl.replace f.def_block def b.bid;

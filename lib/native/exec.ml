@@ -52,6 +52,17 @@ let trace_hook : (Code.ninstr -> unit) option Support.Tls.t =
 
 let set_trace_hook h = Support.Tls.set trace_hook h
 
+(* Cycle-attribution hook for the profiler: fired with the executing code,
+   the native pc and the cycle delta at every site that charges [cb.cycles]
+   (per-instruction cost, call overheads, the bailout penalty). The charge
+   itself is untouched — with the hook unset the cycle stream is
+   byte-identical to an unprofiled run. Domain-local, read once per [run]. *)
+let profile_hook : (Code.t -> int -> int -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_profile_hook h = Support.Tls.set profile_hook h
+let with_profile_hook h f = Support.Tls.with_value profile_hook h f
+
 (* Dispatch-loop exit, same idiom as the interpreter: [Ret] raises instead
    of the loop comparing an option per executed instruction. Never escapes
    [run]. *)
@@ -81,10 +92,13 @@ let run cb (code : Code.t) act ~at_osr =
        else 0)
   in
   let trace = Support.Tls.get trace_hook in
+  let prof = Support.Tls.get profile_hook in
+  let note pc n = match prof with Some hook -> hook code pc n | None -> () in
   try
     while true do
       let instr = Array.unsafe_get code.Code.instrs !pc in
       cb.cycles := !(cb.cycles) + Cost.instr instr;
+      note !pc (Cost.instr instr);
       (match trace with Some hook -> hook instr | None -> ());
       (match instr with
        | Code.Jump t -> pc := t
@@ -162,14 +176,17 @@ let run cb (code : Code.t) act ~at_osr =
              | _ -> invalid_arg "Exec.run: strlen on non-string")
            | Code.Call_dyn | Code.Call_known_op _ ->
              cb.cycles := !(cb.cycles) + Cost.call_overhead;
+             note !pc Cost.call_overhead;
              let callee = arg 0 in
              let actuals = Array.sub args 1 (Array.length args - 1) in
              Some (cb.call callee (Array.map read_src actuals))
            | Code.Call_native_op name ->
              cb.cycles := !(cb.cycles) + Cost.native_call_overhead;
+             note !pc Cost.native_call_overhead;
              Some (Builtins.call name (Array.map read_src args))
            | Code.Method_call_op name ->
              cb.cycles := !(cb.cycles) + Cost.method_call_overhead;
+             note !pc Cost.method_call_overhead;
              let recv = arg 0 in
              let actuals =
                Array.map read_src (Array.sub args 1 (Array.length args - 1))
@@ -220,6 +237,9 @@ let run cb (code : Code.t) act ~at_osr =
   | Returned v -> Finished v
   | Bail (id, reason) ->
     cb.cycles := !(cb.cycles) + Cost.bailout_penalty;
+    (* The penalty is attributed to the guard that failed: [pc] still
+       points at the raising instruction. *)
+    note !pc Cost.bailout_penalty;
     let s = code.Code.snapshots.(id) in
     let values srcs = Array.map read_src srcs in
     Bailed

@@ -39,6 +39,19 @@ val set_trace_hook : (Code.ninstr -> unit) option -> unit
     Domain-local, and sampled once at [run] entry — installing a hook
     mid-execution does not affect code already running. *)
 
+val set_profile_hook : (Code.t -> int -> int -> unit) option -> unit
+(** Install (or clear) the domain-local cycle-attribution hook, fired as
+    [hook code pc cycles] at every site that charges the cycle accumulator:
+    per-instruction cost, call overheads, and the bailout penalty (charged
+    to the failing guard's pc). The charges themselves are unchanged, so
+    with the hook unset a run is byte-identical to an unprofiled one.
+    Sampled once at [run] entry. [code.origins.(pc)] recovers the
+    provenance of each charge. *)
+
+val with_profile_hook : (Code.t -> int -> int -> unit) option -> (unit -> 'a) -> 'a
+(** Run a thunk with the attribution hook bound, restoring the previous
+    hook afterwards (exception-safe). *)
+
 val run : callbacks -> Code.t -> activation -> at_osr:bool -> outcome
 (** Execute allocated code (no virtual registers). [at_osr] starts at the
     code's OSR offset. @raise Runtime.Objmodel.Error for genuine JS type

@@ -96,7 +96,15 @@ let inline_site (caller : Mir.func) ~program ~site_block ~(site : Mir.instr)
           | Mir.Phi ops ->
             let nd = Hashtbl.find def_map phi.Mir.def in
             let ni =
-              { Mir.def = nd; kind = Mir.Phi (Array.map map ops); ty = phi.Mir.ty; rp = None }
+              {
+                Mir.def = nd;
+                kind = Mir.Phi (Array.map map ops);
+                ty = phi.Mir.ty;
+                rp = None;
+                (* keep callee provenance (fid/pc) so inlined cycles are
+                   attributed to the function they came from *)
+                org = { phi.Mir.org with Mir.o_def = nd };
+              }
             in
             nb.Mir.phis <- nb.Mir.phis @ [ ni ];
             Hashtbl.replace caller.Mir.defs nd ni;
@@ -124,7 +132,9 @@ let inline_site (caller : Mir.func) ~program ~site_block ~(site : Mir.instr)
             in
             let nd = Hashtbl.find def_map i.Mir.def in
             (* Inlined code carries no resume points (see interface). *)
-            let ni = { Mir.def = nd; kind; ty; rp = None } in
+            let ni =
+              { Mir.def = nd; kind; ty; rp = None; org = { i.Mir.org with Mir.o_def = nd } }
+            in
             nb.Mir.body <- nb.Mir.body @ [ ni ];
             Hashtbl.replace caller.Mir.defs nd ni;
             Hashtbl.replace caller.Mir.def_block nd nb.Mir.bid)

@@ -96,7 +96,12 @@ let apply ?check ~program config (f : Mir.func) =
   let pass_trace = ref [] in
   let run_pass name body =
     let before = Mir.all_instr_count f in
-    let r = body () in
+    (* Provenance context: instructions a pass creates are tagged with the
+       pass's name (see [Mir.cur_origin]). Restored afterwards so the
+       builder default survives nested/aborted runs. *)
+    let saved_pass = f.Mir.cur_pass in
+    f.Mir.cur_pass <- name;
+    let r = Fun.protect ~finally:(fun () -> f.Mir.cur_pass <- saved_pass) body in
     sandwich name;
     pass_trace :=
       { Telemetry.pd_pass = name; pd_before = before; pd_after = Mir.all_instr_count f }

@@ -207,6 +207,8 @@ let unroll_one (f : Mir.func) (c : candidate) =
               kind = Mir.map_operands map i.Mir.kind;
               ty = i.Mir.ty;
               rp = Option.map (Mir.map_resume_point map) i.Mir.rp;
+              (* unrolled copies keep the original iteration's provenance *)
+              org = { i.Mir.org with Mir.o_def = nd };
             }
           in
           Hashtbl.replace f.Mir.defs nd ni;

@@ -214,6 +214,10 @@ let to_string ev =
 (* JSON rendering (hand-rolled; no json dependency in the image)       *)
 (* ------------------------------------------------------------------ *)
 
+(* RFC 8259 string escaping: the two mandatory escapes, the five short
+   forms (\b \t \n \f \r), and \u00XX for every remaining control char
+   (which covers the whole <0x10 range). Everything >= 0x20 passes through
+   byte-for-byte. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -221,12 +225,56 @@ let json_escape s =
       match c with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
+      | '\b' -> Buffer.add_string buf "\\b"
       | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\012' -> Buffer.add_string buf "\\f"
       | '\r' -> Buffer.add_string buf "\\r"
       | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
+  Buffer.contents buf
+
+(* Inverse of [json_escape], for the round-trip test and the trace-JSON
+   validator: decodes the escapes [json_escape] emits (including \uXXXX
+   for XXXX < 0x100) back to raw bytes. Unknown escapes raise. *)
+let json_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Telemetry.json_unescape: bad hex digit"
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '\\' ->
+        if i + 1 >= n then invalid_arg "Telemetry.json_unescape: trailing backslash";
+        (match s.[i + 1] with
+        | '"' -> Buffer.add_char buf '"'; go (i + 2)
+        | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+        | '/' -> Buffer.add_char buf '/'; go (i + 2)
+        | 'b' -> Buffer.add_char buf '\b'; go (i + 2)
+        | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+        | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+        | 'f' -> Buffer.add_char buf '\012'; go (i + 2)
+        | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+        | 'u' ->
+          if i + 5 >= n then invalid_arg "Telemetry.json_unescape: short \\u escape";
+          let code =
+            (hex s.[i + 2] lsl 12) lor (hex s.[i + 3] lsl 8) lor (hex s.[i + 4] lsl 4)
+            lor hex s.[i + 5]
+          in
+          if code > 0xff then invalid_arg "Telemetry.json_unescape: non-byte \\u escape";
+          Buffer.add_char buf (Char.chr code);
+          go (i + 6)
+        | c -> invalid_arg (Printf.sprintf "Telemetry.json_unescape: bad escape \\%c" c))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go 0;
   Buffer.contents buf
 
 let json_obj fields =
@@ -343,6 +391,53 @@ module Ring = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Lifecycle spans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A completed interval on the VM's deterministic model-cycle clock
+   (interp cycles + native cycles + compile cycles at emission time — never
+   wall time, so traces are reproducible). Spans describe engine lifecycle
+   phases: interpreting a frame, each pipeline pass, codegen, a native run,
+   a bailout's frame reconstruction, a recompilation. *)
+type span = {
+  sp_name : string;  (* e.g. "interpret", "pass:gvn", "native", "bailout" *)
+  sp_cat : string;  (* taxonomy bucket: interp|compile|pass|codegen|native|bailout *)
+  sp_fid : int;
+  sp_fname : string;
+  sp_start : int;  (* model-cycle timestamp at which the phase began *)
+  sp_dur : int;  (* model cycles spent in the phase *)
+  sp_depth : int;  (* nesting depth when the span was opened (0 = root) *)
+  sp_args : (string * string) list;
+      (* extra Chrome-trace args: (key, already-rendered JSON value) *)
+}
+
+type span_sink = span -> unit
+
+let span_to_string s =
+  Printf.sprintf "%*s%s f%d %s [%s] @%d +%d" (2 * s.sp_depth) "" s.sp_name s.sp_fid
+    s.sp_fname s.sp_cat s.sp_start s.sp_dur
+
+(* One Chrome trace-event object ("ph":"X" complete event), loadable in
+   Perfetto / chrome://tracing when wrapped as {"traceEvents":[...]}. The
+   model-cycle clock maps onto the format's microsecond timestamps. *)
+let span_to_chrome_json s =
+  json_obj
+    [
+      ("name", jstr s.sp_name);
+      ("cat", jstr s.sp_cat);
+      ("ph", jstr "X");
+      ("ts", string_of_int s.sp_start);
+      ("dur", string_of_int s.sp_dur);
+      (* one process/track: Perfetto nests same-track "X" events by
+         timestamp containment, which our begin/end discipline guarantees *)
+      ("pid", "1");
+      ("tid", "1");
+      ( "args",
+        json_obj
+          (("fid", string_of_int s.sp_fid) :: ("fn", jstr s.sp_fname) :: s.sp_args) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Counter registry                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -428,13 +523,23 @@ module Counters = struct
         let v = get t ~fid name in
         if v = 0 then None else Some (name, v))
       (names t)
+
+  (* Zero every registered counter (totals and per-function), keeping the
+     registry identity so sinks holding a reference observe the reset. *)
+  let reset t =
+    Hashtbl.iter (fun _ r -> r := 0) t.totals;
+    Hashtbl.iter (fun _ a -> Array.fill a 0 (Array.length a) 0) t.per_fid
 end
 
 (* ------------------------------------------------------------------ *)
 (* The hub: one per engine instance                                    *)
 (* ------------------------------------------------------------------ *)
 
-type t = { counters : Counters.t; mutable sinks : sink list }
+type t = {
+  counters : Counters.t;
+  mutable sinks : sink list;
+  mutable span_sinks : span_sink list;
+}
 
 (* Sinks installed on every hub created afterwards on the same domain —
    how the CLI and the tests observe engines they do not construct
@@ -446,10 +551,22 @@ let default_sinks_slot : sink list Support.Tls.t = Support.Tls.make (fun () -> [
 let default_sinks () = Support.Tls.get default_sinks_slot
 let set_default_sinks sinks = Support.Tls.set default_sinks_slot sinks
 
+(* Same mechanism for span consumers (the tracer, --trace-spans). *)
+let default_span_sinks_slot : span_sink list Support.Tls.t =
+  Support.Tls.make (fun () -> [])
+
+let default_span_sinks () = Support.Tls.get default_span_sinks_slot
+let set_default_span_sinks sinks = Support.Tls.set default_span_sinks_slot sinks
+
 let create ~nfuncs () =
-  { counters = Counters.create ~nfuncs (); sinks = default_sinks () }
+  {
+    counters = Counters.create ~nfuncs ();
+    sinks = default_sinks ();
+    span_sinks = default_span_sinks ();
+  }
 
 let attach t sink = t.sinks <- t.sinks @ [ sink ]
+let attach_span t sink = t.span_sinks <- t.span_sinks @ [ sink ]
 let counters t = t.counters
 
 (* Emission is allocation-free when nobody listens: callers guard event
@@ -457,4 +574,30 @@ let counters t = t.counters
 let active t = t.sinks <> []
 let emit t ev = List.iter (fun sink -> sink ev) t.sinks
 
+(* Same contract for spans: the engine computes timestamps and allocates
+   span records only behind [spans_active], so tracing off costs nothing. *)
+let spans_active t = t.span_sinks <> []
+let emit_span t sp = List.iter (fun sink -> sink sp) t.span_sinks
+
 let with_default_sinks sinks f = Support.Tls.with_value default_sinks_slot sinks f
+
+let with_default_span_sinks sinks f =
+  Support.Tls.with_value default_span_sinks_slot sinks f
+
+(* Zero a hub's counter registry in place (registry identity preserved). *)
+let reset_counters t = Counters.reset t.counters
+
+(* A sink that folds the event stream into a standalone registry: one
+   per-fid bump per event, keyed by [event_kind]. This is how a driver
+   counts events across engines it does not construct (the engines bump
+   their own hubs; this registry sees whatever the default sinks see). *)
+let counting_sink c ev = Counters.bump c ~fid:(event_fid ev) (event_kind ev)
+
+(* Scoped per-cell counting for the fig drivers: a *fresh* registry plus a
+   [counting_sink] appended to this domain's default sinks for the duration
+   of [f]. Because the registry is created here and discarded after, event
+   counts can never bleed between workloads of a suite sweep, even when the
+   surrounding driver reuses its other sinks across cells. *)
+let with_fresh_counters ~nfuncs f =
+  let c = Counters.create ~nfuncs () in
+  with_default_sinks (default_sinks () @ [ counting_sink c ]) (fun () -> f c)

@@ -123,6 +123,44 @@ val to_string : event -> string
 val to_json : event -> string
 (** One JSON object, no trailing newline (the JSONL format). *)
 
+val json_escape : string -> string
+(** RFC 8259 string-body escaping: double quote and backslash always, the
+    short forms [\b \t \n \f \r], and [\u00XX] for every remaining control
+    character (everything below [0x20], including the whole [<0x10]
+    range). *)
+
+val json_unescape : string -> string
+(** Inverse of {!json_escape} (accepts any escape {!json_escape} emits,
+    plus [\/]; [\uXXXX] must encode a single byte).
+    @raise Invalid_argument on a malformed escape. *)
+
+(** {1 Lifecycle spans} *)
+
+type span = {
+  sp_name : string;  (** e.g. ["interpret"], ["pass:gvn"], ["native"] *)
+  sp_cat : string;
+      (** taxonomy bucket: [interp], [compile], [pass], [codegen],
+          [native], [bailout] *)
+  sp_fid : int;
+  sp_fname : string;
+  sp_start : int;  (** model-cycle timestamp at which the phase began *)
+  sp_dur : int;  (** model cycles spent in the phase *)
+  sp_depth : int;  (** nesting depth when the span was opened (0 = root) *)
+  sp_args : (string * string) list;
+      (** extra Chrome-trace args: (key, already-rendered JSON value) *)
+}
+(** A completed engine-lifecycle interval on the deterministic model-cycle
+    clock (never wall time: traces are byte-reproducible). *)
+
+type span_sink = span -> unit
+
+val span_to_string : span -> string
+(** One indented human-readable line per span. *)
+
+val span_to_chrome_json : span -> string
+(** One Chrome trace-event object (a ["ph":"X"] complete event); a file of
+    these wrapped as [{"traceEvents":[...]}] loads in Perfetto. *)
+
 (** {1 Sinks} *)
 
 type sink = event -> unit
@@ -206,6 +244,11 @@ module Counters : sig
 
   val fid_rows : t -> int -> (string * int) list
   (** One function's non-zero counters, name-sorted. *)
+
+  val reset : t -> unit
+  (** Zero every registered counter (totals and per-function) in place,
+      preserving the registry identity: sinks or reports holding the
+      registry observe the reset. *)
 end
 
 (** {1 The hub}
@@ -219,13 +262,24 @@ val create : nfuncs:int -> unit -> t
 (** A fresh hub; starts with the current {!default_sinks} installed. *)
 
 val attach : t -> sink -> unit
+val attach_span : t -> span_sink -> unit
 val counters : t -> Counters.t
+
+val reset_counters : t -> unit
+(** {!Counters.reset} on the hub's registry. *)
 
 val active : t -> bool
 (** [true] when at least one sink is attached. Emitters guard event
     construction behind this so disabled telemetry allocates nothing. *)
 
 val emit : t -> event -> unit
+
+val spans_active : t -> bool
+(** [true] when at least one span sink is attached. The engine computes
+    span timestamps and allocates span records only behind this, so
+    tracing off charges nothing and allocates nothing. *)
+
+val emit_span : t -> span -> unit
 
 val default_sinks : unit -> sink list
 (** Sinks copied into every hub subsequently created {e on this domain} —
@@ -237,3 +291,25 @@ val set_default_sinks : sink list -> unit
 
 val with_default_sinks : sink list -> (unit -> 'a) -> 'a
 (** Run [f] with this domain's {!default_sinks} temporarily replaced. *)
+
+val default_span_sinks : unit -> span_sink list
+(** Span sinks copied into subsequently created hubs on this domain (the
+    span analogue of {!default_sinks}; same domain-locality contract). *)
+
+val set_default_span_sinks : span_sink list -> unit
+
+val with_default_span_sinks : span_sink list -> (unit -> 'a) -> 'a
+(** Run [f] with this domain's {!default_span_sinks} temporarily
+    replaced. *)
+
+val counting_sink : Counters.t -> sink
+(** A sink that folds the event stream into [c]: one per-function bump per
+    event, named by {!event_kind}. Lets a driver count events across
+    engines it does not construct. *)
+
+val with_fresh_counters : nfuncs:int -> (Counters.t -> 'a) -> 'a
+(** Scoped per-cell event counting: creates a {e fresh} registry, appends
+    [counting_sink] on it to this domain's {!default_sinks} for the
+    duration of [f], and passes the registry to [f]. Used by the fig
+    drivers so per-function counts cannot bleed between the workloads of a
+    suite sweep even when other sinks are reused across cells. *)

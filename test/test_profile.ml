@@ -1,0 +1,298 @@
+(* Profiler tests: the exact-attribution contract (per-origin cycle cells
+   sum to precisely the engine report's totals, per tier), the
+   byte-identical-when-off contract, span nesting well-formedness, and
+   determinism of the folded flamegraph rendering across runs and across
+   pool job counts. *)
+
+let fib_src =
+  "function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+   var i = 0; while (i < 30) { fib(10); i = i + 1; } print(fib(12));"
+
+let loop_src =
+  "function sum(a, n) { var s = 0; var i = 0; while (i < n) { s = s + a[i]; i = i + 1; } \
+   return s; }\n\
+   var a = [1, 2, 3, 4, 5, 6, 7, 8];\n\
+   var j = 0; var t = 0; while (j < 60) { t = t + sum(a, 8); j = j + 1; } print(t);"
+
+(* Run [src] under [cfg] with a fresh recorder installed; returns the
+   recorder, the report, and everything the program printed. *)
+let run_recorded ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) src =
+  let buf = Buffer.create 64 in
+  Runtime.Builtins.with_print_hook
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    (fun () ->
+      let program = Bytecode.Compile.program_of_source src in
+      let r = Profile.Recorder.create ~program in
+      let report =
+        Profile.with_recorder r (fun () -> Engine.run_program cfg program)
+      in
+      (r, report, Buffer.contents buf))
+
+let run_plain ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) src =
+  let buf = Buffer.create 64 in
+  Runtime.Builtins.with_print_hook
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    (fun () ->
+      let report = Engine.run_source cfg src in
+      (report, Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Exact attribution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_exact cfg name src =
+  let r, report, _ = run_recorded ~cfg src in
+  Alcotest.(check int)
+    (name ^ ": attributed = total")
+    report.Engine.total_cycles
+    (Profile.Recorder.total_cycles r);
+  Alcotest.(check int)
+    (name ^ ": interp tier exact")
+    report.Engine.interp_cycles
+    (Profile.Recorder.tier_cycles r Profile.T_interp);
+  Alcotest.(check int)
+    (name ^ ": native tiers exact")
+    report.Engine.native_cycles
+    (Profile.Recorder.tier_cycles r Profile.T_native_gen
+    + Profile.Recorder.tier_cycles r Profile.T_native_spec);
+  Alcotest.(check int)
+    (name ^ ": compile tier exact")
+    report.Engine.compile_cycles
+    (Profile.Recorder.tier_cycles r Profile.T_compile)
+
+let test_exact_sum () =
+  List.iter
+    (fun src ->
+      check_exact (Engine.default_config ~opt:Pipeline.all_on ()) "spec" src;
+      check_exact (Engine.default_config ()) "baseline" src;
+      check_exact Engine.interp_only "interp-only" src)
+    [ fib_src; loop_src ]
+
+let test_exact_sum_selective () =
+  (* Mixed-stability arguments: deopts, recompiles and the selective
+     narrowing path all stay exactly attributed. *)
+  let src =
+    "function f(a, b) { return a * 10 + b; }\n\
+     var i = 0; var t = 0; while (i < 40) { t = t + f(3, i % 4); i = i + 1; } print(t);"
+  in
+  check_exact
+    (Engine.default_config ~opt:Pipeline.all_on ~selective:true ())
+    "selective" src;
+  check_exact (Engine.default_config ~opt:Pipeline.all_on ~cache_size:3 ()) "3-entry" src
+
+let test_rows_consistent () =
+  let r, report, _ = run_recorded fib_src in
+  let rows = Profile.Recorder.rows r in
+  Alcotest.(check int)
+    "rows sum to total" report.Engine.total_cycles
+    (List.fold_left (fun acc (row : Profile.row) -> acc + row.Profile.r_cycles) 0 rows);
+  List.iter
+    (fun (row : Profile.row) ->
+      Alcotest.(check bool) "positive cycles" true (row.Profile.r_cycles > 0);
+      Alcotest.(check bool) "positive count" true (row.Profile.r_count > 0))
+    rows;
+  let summaries = Profile.Recorder.by_function r in
+  Alcotest.(check int)
+    "function summaries sum to total" report.Engine.total_cycles
+    (List.fold_left
+       (fun acc (s : Profile.Recorder.func_summary) -> acc + s.Profile.Recorder.fs_total)
+       0 summaries)
+
+(* ------------------------------------------------------------------ *)
+(* Profiling off: byte-identical                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_off_identical () =
+  List.iter
+    (fun src ->
+      let plain_report, plain_out = run_plain src in
+      let _, recorded_report, recorded_out = run_recorded src in
+      (* A second plain run after the profiled one: the hooks were fully
+         uninstalled by [with_recorder]. *)
+      let plain2_report, _ = run_plain src in
+      Alcotest.(check int)
+        "profiled run charges identical cycles" plain_report.Engine.total_cycles
+        recorded_report.Engine.total_cycles;
+      Alcotest.(check string) "identical output" plain_out recorded_out;
+      Alcotest.(check int)
+        "hooks fully restored" plain_report.Engine.total_cycles
+        plain2_report.Engine.total_cycles)
+    [ fib_src; loop_src ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let collect_spans ?(cfg = Engine.default_config ~opt:Pipeline.all_on ()) src =
+  let acc = ref [] in
+  let report =
+    Telemetry.with_default_span_sinks
+      [ (fun s -> acc := s :: !acc) ]
+      (fun () ->
+        Runtime.Builtins.with_print_hook ignore (fun () -> Engine.run_source cfg src))
+  in
+  (List.rev !acc, report)
+
+let test_span_nesting () =
+  let spans, report = collect_spans fib_src in
+  Alcotest.(check bool) "spans were emitted" true (spans <> []);
+  List.iter
+    (fun (s : Telemetry.span) ->
+      Alcotest.(check bool) "non-negative duration" true (s.Telemetry.sp_dur >= 0);
+      Alcotest.(check bool) "non-negative start" true (s.Telemetry.sp_start >= 0);
+      Alcotest.(check bool) "within the run" true
+        (s.Telemetry.sp_start + s.Telemetry.sp_dur <= report.Engine.total_cycles))
+    spans;
+  (* Well-formed nesting: every non-root span lies within some span one
+     level shallower (timestamp containment on the model-cycle clock). *)
+  List.iter
+    (fun (s : Telemetry.span) ->
+      if s.Telemetry.sp_depth > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "span %s at depth %d has an enclosing parent"
+             s.Telemetry.sp_name s.Telemetry.sp_depth)
+          true
+          (List.exists
+             (fun (p : Telemetry.span) ->
+               p.Telemetry.sp_depth = s.Telemetry.sp_depth - 1
+               && p.Telemetry.sp_start <= s.Telemetry.sp_start
+               && s.Telemetry.sp_start + s.Telemetry.sp_dur
+                  <= p.Telemetry.sp_start + p.Telemetry.sp_dur)
+             spans))
+    spans;
+  (* The expected lifecycle phases all appear. *)
+  let names = List.map (fun (s : Telemetry.span) -> s.Telemetry.sp_name) spans in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("has a " ^ expected ^ " span") true (List.mem expected names))
+    [ "interpret"; "compile"; "codegen"; "native"; "hot" ];
+  Alcotest.(check bool) "has pass children" true
+    (List.exists
+       (fun n -> String.length n > 5 && String.sub n 0 5 = "pass:")
+       names)
+
+let test_span_pass_children_contained () =
+  let spans, _ = collect_spans loop_src in
+  let compiles =
+    List.filter
+      (fun (s : Telemetry.span) ->
+        s.Telemetry.sp_name = "compile" || s.Telemetry.sp_name = "recompile")
+      spans
+  in
+  Alcotest.(check bool) "at least one compile span" true (compiles <> []);
+  List.iter
+    (fun (s : Telemetry.span) ->
+      if s.Telemetry.sp_cat = "pass" || s.Telemetry.sp_cat = "codegen" then
+        Alcotest.(check bool)
+          (s.Telemetry.sp_name ^ " inside a compile span")
+          true
+          (List.exists
+             (fun (c : Telemetry.span) ->
+               c.Telemetry.sp_start <= s.Telemetry.sp_start
+               && s.Telemetry.sp_start + s.Telemetry.sp_dur
+                  <= c.Telemetry.sp_start + c.Telemetry.sp_dur)
+             compiles))
+    spans
+
+let test_spans_off_identical () =
+  let plain_report, _ = run_plain fib_src in
+  let _, traced_report = collect_spans fib_src in
+  Alcotest.(check int) "tracing charges nothing" plain_report.Engine.total_cycles
+    traced_report.Engine.total_cycles
+
+let test_tracer_discipline () =
+  let acc = ref [] in
+  let tr = Profile.Tracer.create ~emit:(fun s -> acc := s :: !acc) in
+  Profile.Tracer.begin_span tr ~name:"outer" ~cat:"x" ~fid:0 ~fname:"f" ~now:0;
+  Profile.Tracer.begin_span tr ~name:"inner" ~cat:"x" ~fid:0 ~fname:"f" ~now:10;
+  Alcotest.(check int) "depth tracks opens" 2 (Profile.Tracer.depth tr);
+  Profile.Tracer.end_span tr ~now:20;
+  Profile.Tracer.end_span tr ~now:30;
+  Alcotest.(check int) "drained" 0 (Profile.Tracer.depth tr);
+  Alcotest.(check int) "both emitted" 2 (Profile.Tracer.emitted tr);
+  (match !acc with
+  | [ outer; inner ] ->
+    Alcotest.(check string) "LIFO emission" "inner" inner.Telemetry.sp_name;
+    Alcotest.(check int) "inner depth" 1 inner.Telemetry.sp_depth;
+    Alcotest.(check int) "inner dur" 10 inner.Telemetry.sp_dur;
+    Alcotest.(check string) "outer last" "outer" outer.Telemetry.sp_name;
+    Alcotest.(check int) "outer dur" 30 outer.Telemetry.sp_dur
+  | _ -> Alcotest.fail "expected exactly two spans");
+  Alcotest.check_raises "unbalanced end raises"
+    (Invalid_argument "Profile.Tracer.end_span: no open span") (fun () ->
+      Profile.Tracer.end_span tr ~now:40)
+
+let test_chrome_json_shape () =
+  let spans, _ = collect_spans fib_src in
+  List.iter
+    (fun s ->
+      let j = Telemetry.span_to_chrome_json s in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in %s" sub j)
+            true
+            (Support.Strings.contains_substring j sub))
+        [ {|"ph":"X"|}; {|"ts":|}; {|"dur":|}; {|"pid":1|}; {|"tid":1|}; {|"args":|} ])
+    (match spans with [] -> [] | s :: _ -> [ s ])
+
+(* ------------------------------------------------------------------ *)
+(* Folded output determinism                                           *)
+(* ------------------------------------------------------------------ *)
+
+let folded_of src =
+  let r, _, _ = run_recorded src in
+  Profile.Recorder.folded r
+
+let test_folded_deterministic () =
+  Alcotest.(check string) "two runs render identical folded stacks" (folded_of fib_src)
+    (folded_of fib_src)
+
+let at_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let test_folded_jobs_invariant () =
+  (* Fan recorder runs out over the pool: each cell installs its recorder
+     on whichever worker domain runs it, and the folded rendering is sorted,
+     so the merged output cannot depend on scheduling. *)
+  let cells jobs =
+    at_jobs jobs (fun () ->
+        Pool.map (Pool.default ()) folded_of [ fib_src; loop_src; fib_src ])
+  in
+  Alcotest.(check (list string)) "folded: jobs 4 ≡ jobs 1" (cells 1) (cells 4)
+
+let suites =
+  [
+    ( "profile.exact",
+      [
+        Alcotest.test_case "per-origin sums equal report totals" `Quick test_exact_sum;
+        Alcotest.test_case "exact under deopt/selective/k-entry" `Quick
+          test_exact_sum_selective;
+        Alcotest.test_case "rows and summaries are consistent" `Quick test_rows_consistent;
+      ] );
+    ( "profile.off",
+      [
+        Alcotest.test_case "profiling off is cycle- and output-identical" `Quick
+          test_off_identical;
+        Alcotest.test_case "tracing charges nothing" `Quick test_spans_off_identical;
+      ] );
+    ( "profile.spans",
+      [
+        Alcotest.test_case "nesting well-formed, phases present" `Quick test_span_nesting;
+        Alcotest.test_case "pass/codegen children inside compile" `Quick
+          test_span_pass_children_contained;
+        Alcotest.test_case "tracer begin/end discipline" `Quick test_tracer_discipline;
+        Alcotest.test_case "chrome trace-event shape" `Quick test_chrome_json_shape;
+      ] );
+    ( "profile.folded",
+      [
+        Alcotest.test_case "deterministic across runs" `Quick test_folded_deterministic;
+        Alcotest.test_case "deterministic across job counts" `Quick
+          test_folded_jobs_invariant;
+      ] );
+  ]

@@ -59,6 +59,49 @@ let test_json_escaping () =
   Alcotest.(check bool) "escapes quotes and backslashes" true
     (contains ~sub:{|we\"ird\\name|} j)
 
+let test_json_escape_controls () =
+  (* RFC 8259: the short escapes where they exist, \u00XX elsewhere —
+     including the whole < 0x10 range, whose hex digits need the leading
+     zero the old %02x form already gave but \b and \f previously fell into. *)
+  Alcotest.(check string) "short forms" {|a\bb\tc\nd\fe\rf|}
+    (Telemetry.json_escape "a\bb\tc\nd\012e\rf");
+  Alcotest.(check string) "below 0x10" {|\u0000\u0001\u000e\u000f|}
+    (Telemetry.json_escape "\000\001\014\015");
+  Alcotest.(check string) "0x10..0x1f" {|\u0010\u001f|}
+    (Telemetry.json_escape "\016\031");
+  Alcotest.(check string) "plain text untouched" "plain text!"
+    (Telemetry.json_escape "plain text!")
+
+let test_json_roundtrip () =
+  let roundtrips s =
+    Alcotest.(check string)
+      (Printf.sprintf "roundtrip %S" s)
+      s
+      (Telemetry.json_unescape (Telemetry.json_escape s))
+  in
+  List.iter roundtrips
+    [
+      ""; "plain"; "quote\" backslash\\"; "\b\t\n\012\r"; "\000\001\015\016\031";
+      "mixed \127\255 high bytes"; "trailing\\";
+    ];
+  (* Property: every byte string round-trips. *)
+  let all_bytes = String.init 256 Char.chr in
+  roundtrips all_bytes;
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"json escape roundtrip" ~count:500
+       QCheck.(string_gen Gen.char)
+       (fun s -> Telemetry.json_unescape (Telemetry.json_escape s) = s));
+  (* Malformed escapes are rejected, not silently mangled. *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" bad)
+        true
+        (match Telemetry.json_unescape bad with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ {|\q|}; {|\u12|}; {|\u12zz|}; "tail\\"; {|\u0100|} ]
+
 (* ------------------------------------------------------------------ *)
 (* Event sequences through the engine                                  *)
 (* ------------------------------------------------------------------ *)
@@ -398,6 +441,8 @@ let suites =
       [
         Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
         Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        Alcotest.test_case "control-byte escapes" `Quick test_json_escape_controls;
+        Alcotest.test_case "escape/unescape round-trip" `Quick test_json_roundtrip;
       ] );
     ( "telemetry.sequence",
       [
