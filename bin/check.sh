@@ -19,6 +19,9 @@ dune build @lint
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @absint (translation validation + missed-guard golden) =="
+dune build @absint
+
 echo "== dune build @chaos (fault-injection fuzz smoke) =="
 dune build @chaos
 

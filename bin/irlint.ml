@@ -48,9 +48,28 @@ let kind_of (d : Diag.t) =
    them. [Hard] is a pre-formatted non-diagnostic error line. *)
 type item = Diagnostic of Diag.t | Hard of string
 
-let run_cell cfg src =
+let run_cell ~missed_guards cfg src =
   let acc = ref [] in
   let report d = acc := Diagnostic d :: !acc in
+  (* Missed-guard report: re-run the abstract interpreter over every
+     post-pipeline MIR graph and warn about guards still standing that
+     [Absint.prove] certifies can never fail — elisions the pipeline left
+     on the table (e.g. a barrier whose declared type disagrees, or a
+     bounds check whose def is still referenced). *)
+  let missed_hook (mir : Mir.func) =
+    let r = Absint.analyze mir in
+    List.iter
+      (fun (bid, (i : Mir.instr)) ->
+        report
+          (Diag.make ~severity:Diag.Warning ~layer:"missed-guard"
+             ~func:mir.Mir.source.Bytecode.Program.name
+             ~fid:mir.Mir.source.Bytecode.Program.fid ~block:bid
+             ~value:i.Mir.def ~pc:i.Mir.org.Mir.o_pc
+             (Printf.sprintf "provably redundant %s guard not elided"
+                (Mir.guard_kind_name i.Mir.kind))))
+      (Absint.survivors r mir)
+  in
+  let with_hook body = if missed_guards then Engine.with_mir_hook missed_hook body else body () in
   (match
      Pipeline.with_checks true (fun () ->
        Engine.with_diag_warn_hook report (fun () ->
@@ -58,7 +77,8 @@ let run_cell cfg src =
             interpreter fallback) instead of letting [Diag.Failed] escape;
             the abort hook is how those findings still reach the report. *)
          Engine.with_diag_abort_hook report (fun () ->
-           Runner.quiet (fun () -> Engine.run_source cfg src))))
+           with_hook (fun () ->
+             Runner.quiet (fun () -> Engine.run_source cfg src)))))
    with
   | exception Diag.Failed d -> report d
   | exception e ->
@@ -66,7 +86,7 @@ let run_cell cfg src =
   | _report -> ());
   List.rev !acc
 
-let main suite_filter config_filter strict machine jobs =
+let main suite_filter config_filter strict machine missed_guards jobs =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let suites =
     match suite_filter with
@@ -126,7 +146,7 @@ let main suite_filter config_filter strict machine jobs =
   in
   let cell_findings =
     Pool.map pool (fun ((_, cfg, m) : string * Engine.config * Suite.member) ->
-        run_cell cfg m.Suite.m_source)
+        run_cell ~missed_guards cfg m.Suite.m_source)
       cells
   in
   (* Replay the findings on the main domain in serial sweep order: the
@@ -206,6 +226,14 @@ let machine_arg =
   let doc = "One tab-separated line per finding (including warnings); no summary." in
   Arg.(value & flag & info [ "machine" ] ~doc)
 
+let missed_guards_arg =
+  let doc =
+    "Also run the abstract interpreter over every post-pipeline MIR graph and report \
+     (as warnings) guards still present that it proves can never fail — the \
+     missed-guard report gated by the @absint alias."
+  in
+  Arg.(value & flag & info [ "missed-guards" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Domains the workload x config sweep fans out over (default: \\$(b,VS_JOBS) or the \
@@ -218,6 +246,8 @@ let cmd =
   let doc = "static-analysis lint of all IRs over the benchmark workloads" in
   Cmd.v
     (Cmd.info "vs-irlint" ~doc)
-    Term.(const main $ suite_arg $ config_arg $ strict_arg $ machine_arg $ jobs_arg)
+    Term.(
+      const main $ suite_arg $ config_arg $ strict_arg $ machine_arg
+      $ missed_guards_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -113,6 +113,41 @@ let check ~stage (f : Mir.func) =
               "entry slot %d is '%s', expected a parameter materialization" i
               (Mir.kind_to_string instr.Mir.kind)
         done);
+    (* The abstract interpreter seeds its fixpoint from the same cache key
+       ([Absint.entry_state]). Audit the seeding against the tuple the
+       probe actually compares: a burned position must seed as exactly the
+       cached constant and a free position must seed unconstrained — drift
+       here would let the analysis (and so guard elision and translation
+       validation) assume facts no cache probe established. *)
+    (match f.Mir.specialized_args with
+    | None -> ()
+    | Some args ->
+      let st = Absint.entry_state f in
+      Array.iteri
+        (fun i av ->
+          match av with
+          | Absint.Const v ->
+            if not (burned i) then
+              emit
+                "abstract entry state pins argument %d to %s but the cache \
+                 mask leaves it free"
+                i (pp_value v)
+            else if i < Array.length args && not (Value.same_value v args.(i))
+            then
+              emit
+                "abstract entry state pins argument %d to %s but the cached \
+                 tuple entry is %s"
+                i (pp_value v)
+                (pp_value args.(i))
+          | _ ->
+            if burned i && i < Array.length args then
+              emit
+                "argument %d is burned into the cache tuple (%s) but the \
+                 abstract entry state is %s"
+                i
+                (pp_value args.(i))
+                (Absint.to_string av))
+        st);
     (* The OSR entry bakes the same cached tuple (plus the frame's locals,
        which have no cache to disagree with). *)
     match (f.Mir.specialized_args, f.Mir.osr_entry) with

@@ -412,6 +412,21 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
         Telemetry.Inline_decision
           { fid = fs.fid; fname = name; inlined = pass_stats.Pipeline.inlined })
   end;
+  if pass_stats.Pipeline.guards_elided > 0 then begin
+    bump ~n:pass_stats.Pipeline.guards_elided t fs Telemetry.Key.guards_elided;
+    List.iter
+      (fun (e : Mir.elision) ->
+        emit t (fun () ->
+            Telemetry.Guard_elided
+              {
+                fid = fs.fid;
+                fname = name;
+                guard = e.Mir.el_kind;
+                origin_fid = e.Mir.el_ofid;
+                pc = e.Mir.el_pc;
+              }))
+      pass_stats.Pipeline.elisions
+  end;
   emit t (fun () ->
       Telemetry.Compile_end
         {

@@ -428,6 +428,75 @@ let substitute f subst =
     f.blocks
 
 (* ------------------------------------------------------------------ *)
+(* Guard elision                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Record of a deleted guard, keeping the bytecode-level provenance of the
+   instruction so telemetry and diagnostics can attribute the deletion to
+   the original program point even after the instruction is gone. *)
+type elision = {
+  el_def : def;
+  el_kind : string;  (* "type" | "array" | "bounds" *)
+  el_ofid : int;     (* origin function (differs from host after inlining) *)
+  el_pc : int;       (* origin bytecode pc *)
+  el_block : int;
+}
+
+let guard_kind_name = function
+  | Type_barrier _ -> "type"
+  | Check_array _ -> "array"
+  | Bounds_check _ -> "bounds"
+  | _ -> "?"
+
+(* Delete a batch of guards, each optionally substituting its def by a
+   replacement (a guard's result is the guarded value itself, so a
+   [Type_barrier]/[Check_array] def is replaced by its operand; a
+   [Bounds_check] def is normally unused and needs no replacement). The
+   instruction records stay in [defs] exactly like other deleting passes
+   leave them; the returned elisions preserve each guard's origin. *)
+let elide_guards f (victims : (def * def option) list) =
+  if victims = [] then []
+  else begin
+    let by_def = Hashtbl.create (List.length victims) in
+    List.iter (fun (d, repl) -> Hashtbl.replace by_def d repl) victims;
+    let elisions = ref [] in
+    List.iter
+      (fun bid ->
+        let b = block f bid in
+        b.body <-
+          List.filter
+            (fun (i : instr) ->
+              if Hashtbl.mem by_def i.def && is_guard i.kind then begin
+                elisions :=
+                  {
+                    el_def = i.def;
+                    el_kind = guard_kind_name i.kind;
+                    el_ofid = i.org.o_fid;
+                    el_pc = i.org.o_pc;
+                    el_block = bid;
+                  }
+                  :: !elisions;
+                false
+              end
+              else true)
+            b.body)
+      f.block_order;
+    let subst d =
+      match Hashtbl.find_opt by_def d with Some (Some r) -> r | _ -> d
+    in
+    (* Chase chains (a deleted guard replaced by another deleted guard). *)
+    let rec resolve fuel d =
+      if fuel = 0 then d
+      else
+        let d' = subst d in
+        if d' = d then d else resolve (fuel - 1) d'
+    in
+    if List.exists (fun (_, r) -> r <> None) victims then
+      substitute f (resolve 64);
+    List.rev !elisions
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ordering and traversal                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -101,7 +101,12 @@ let upper_bound (f : Mir.func) (loop : Cfg.loop) p step =
     loop.Cfg.body;
   !found
 
-let run ?(precise_alias = false) ?(eliminate_overflow_checks = false) (f : Mir.func) =
+(* [defer_bounds]: when the abstract-interpretation guard-elision pass is
+   also enabled, this pass leaves Bounds_check removal to it (Guard_elim
+   subsumes the local induction reasoning and records the deletion in
+   telemetry exactly once); only the overflow-check rewrite stays here. *)
+let run ?(precise_alias = false) ?(eliminate_overflow_checks = false)
+    ?(defer_bounds = false) (f : Mir.func) =
   let has_blocker = ref false in
   Mir.iter_instrs f (fun i -> if blocking ~precise_alias i.Mir.kind then has_blocker := true);
   (* Ranges of induction variables (and their step defs), each valid only
@@ -119,8 +124,12 @@ let run ?(precise_alias = false) ?(eliminate_overflow_checks = false) (f : Mir.f
         List.iter
           (fun (p, step, n0, c) ->
             match upper_bound f loop p step with
-            | Some (hi, s_block) when n0 >= 0 ->
-              let hi = max n0 hi in
+            (* [hi >= n0] rules out a zero-trip bound (e.g. i = 5 while
+               i < 3): a test that never admits the loop body must not be
+               turned into a synthetic non-empty range, or guards in the
+               (dynamically dead but still present) body would be removed
+               on the strength of an interval no execution satisfies. *)
+            | Some (hi, s_block) when n0 >= 0 && hi >= n0 ->
               Hashtbl.replace ranges p ({ lo = n0; hi }, s_block);
               Hashtbl.replace ranges step ({ lo = n0 + c; hi = hi + c }, s_block)
             | _ -> ())
@@ -137,7 +146,7 @@ let run ?(precise_alias = false) ?(eliminate_overflow_checks = false) (f : Mir.f
   in
   (* Remove provably safe bounds checks on compile-time-constant arrays. *)
   let bounds_removed = ref 0 in
-  if not !has_blocker then
+  if (not !has_blocker) && not defer_bounds then
     List.iter
       (fun bid ->
         let b = Mir.block f bid in

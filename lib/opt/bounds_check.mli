@@ -19,8 +19,23 @@
     With [~eliminate_overflow_checks:true] the same ranges also rewrite
     checked int32 arithmetic on the induction variable to unchecked
     arithmetic when no overflow is possible (the Sol et al. style
-    overflow-check elimination listed as future work in §6). *)
+    overflow-check elimination listed as future work in §6).
+
+    With [~defer_bounds:true] the Bounds_check removal sweep is skipped:
+    the abstract-interpretation pass (Guard_elim) subsumes it and records
+    each deletion in telemetry exactly once. The overflow-check rewrite is
+    unaffected. *)
 
 type stats = { bounds_removed : int; overflow_checks_removed : int }
 
-val run : ?precise_alias:bool -> ?eliminate_overflow_checks:bool -> Mir.func -> stats
+val blocking : precise_alias:bool -> Mir.instr_kind -> bool
+(** Can this instruction shrink some array's length? The alias discipline
+    shared with {!Gvn} (bounds-check numbering) and {!Guard_elim} (via
+    [Absint]'s blocker scan). *)
+
+val run :
+  ?precise_alias:bool ->
+  ?eliminate_overflow_checks:bool ->
+  ?defer_bounds:bool ->
+  Mir.func ->
+  stats

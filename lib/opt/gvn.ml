@@ -1,8 +1,13 @@
 open Runtime
 
 (* Hash key for a pure instruction, after operand resolution. [None] means
-   the instruction is not eligible for value numbering. *)
-let key_of resolve (kind : Mir.instr_kind) =
+   the instruction is not eligible for value numbering. [bounds_stable] says
+   no instruction in the function can shrink an array length (the
+   Bounds_check alias discipline): only then is a later Bounds_check on the
+   same (index, array) pair guaranteed to pass because a dominating one did
+   — found by the translation-validation sandwich, which refused to certify
+   the dedup across a potentially shrinking call. *)
+let key_of ~bounds_stable resolve (kind : Mir.instr_kind) =
   let d x = string_of_int (resolve x) in
   let open Printf in
   match kind with
@@ -33,7 +38,8 @@ let key_of resolve (kind : Mir.instr_kind) =
   | Mir.Type_barrier (a, tag) ->
     Some (sprintf "barrier:%s:%s" (Value.tag_to_string tag) (d a))
   | Mir.Check_array a -> Some (sprintf "chkarr:%s" (d a))
-  | Mir.Bounds_check (i, a) -> Some (sprintf "bc:%s:%s" (d i) (d a))
+  | Mir.Bounds_check (i, a) ->
+    if bounds_stable then Some (sprintf "bc:%s:%s" (d i) (d a)) else None
   | Mir.Array_length _
   (* length is mutable: do not number across possible stores *)
   | Mir.Parameter _ | Mir.Osr_value _ | Mir.Phi _ | Mir.Load_elem _ | Mir.Store_elem _
@@ -46,6 +52,11 @@ let key_of resolve (kind : Mir.instr_kind) =
 
 let run (f : Mir.func) =
   let doms = Cfg.dominators f in
+  let bounds_stable = ref true in
+  Mir.iter_instrs f (fun i ->
+      if Bounds_check.blocking ~precise_alias:false i.Mir.kind then
+        bounds_stable := false);
+  let bounds_stable = !bounds_stable in
   let subst : (Mir.def, Mir.def) Hashtbl.t = Hashtbl.create 32 in
   let rec resolve d =
     match Hashtbl.find_opt subst d with Some d' when d' <> d -> resolve d' | _ -> d
@@ -93,7 +104,7 @@ let run (f : Mir.func) =
               incr eliminated;
               false
             | _ ->
-            match key_of resolve instr.Mir.kind with
+            match key_of ~bounds_stable resolve instr.Mir.kind with
             | None -> true
             | Some key -> (
               let candidates = Option.value (Hashtbl.find_opt available key) ~default:[] in

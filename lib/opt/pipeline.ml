@@ -11,11 +11,12 @@ type config = {
   loop_unroll : bool;
   licm : bool;
   gvn : bool;
+  guard_elim : bool;
 }
 
 let make ?(ps = false) ?(cp = false) ?(sccp = false) ?(li = false) ?(dce = false)
     ?(bce = false) ?(precise_alias = false) ?(overflow_elim = false)
-    ?(loop_unroll = false) ?(licm = true) ?(gvn = true) name =
+    ?(loop_unroll = false) ?(licm = true) ?(gvn = true) ?(ge = true) name =
   {
     name;
     param_spec = ps;
@@ -29,6 +30,7 @@ let make ?(ps = false) ?(cp = false) ?(sccp = false) ?(li = false) ?(dce = false
     loop_unroll;
     licm;
     gvn;
+    guard_elim = ge;
   }
 
 let baseline = make "baseline"
@@ -75,6 +77,8 @@ type run_stats = {
   unrolled : int;
   gvn_eliminated : int;
   licm_hoisted : int;
+  guards_elided : int;
+  elisions : Mir.elision list;
   mir_instrs_processed : int;
   passes : Telemetry.pass_delta list;
 }
@@ -94,6 +98,17 @@ let apply ?check ~program config (f : Mir.func) =
      the pass's compile-time weight, since [charge] bills per instruction
      present when the pass starts. *)
   let pass_trace = ref [] in
+  (* Translation validation (sandwich mode only): before each pass we hold
+     a guard snapshot and the abstract state of the pre-pass graph; after
+     the pass, every guard it removed must be provably redundant (or
+     relocated, or in dead code) under that pre-pass state. The post-pass
+     state becomes the next pass's pre-state, so the whole pipeline is
+     audited pass by pass. *)
+  let tv =
+    if check then
+      Some (ref (Guard_elim.snapshot f, Absint.analyze ~precise_alias:config.precise_alias f))
+    else None
+  in
   let run_pass name body =
     let before = Mir.all_instr_count f in
     (* Provenance context: instructions a pass creates are tagged with the
@@ -103,6 +118,13 @@ let apply ?check ~program config (f : Mir.func) =
     f.Mir.cur_pass <- name;
     let r = Fun.protect ~finally:(fun () -> f.Mir.cur_pass <- saved_pass) body in
     sandwich name;
+    (match tv with
+    | Some st ->
+      let snap, pre = !st in
+      Guard_elim.validate ~pass:name ~pre ~snap f;
+      st :=
+        (Guard_elim.snapshot f, Absint.analyze ~precise_alias:config.precise_alias f)
+    | None -> ());
     pass_trace :=
       { Telemetry.pd_pass = name; pd_before = before; pd_after = Mir.all_instr_count f }
       :: !pass_trace;
@@ -200,7 +222,8 @@ let apply ?check ~program config (f : Mir.func) =
       charge ();
       run_pass "bounds-check-elim" (fun () ->
           Bounds_check.run ~precise_alias:config.precise_alias
-            ~eliminate_overflow_checks:config.overflow_elim f)
+            ~eliminate_overflow_checks:config.overflow_elim
+            ~defer_bounds:config.guard_elim f)
     end
     else { Bounds_check.bounds_removed = 0; overflow_checks_removed = 0 }
   in
@@ -209,6 +232,15 @@ let apply ?check ~program config (f : Mir.func) =
   if config.licm then begin
     charge ();
     licm_hoisted := run_pass "licm" (fun () -> Licm.run f)
+  end;
+  (* Abstract-interpretation guard elision, last: it harvests whatever
+     specialization + constprop/SCCP/GVN and the loop passes exposed. *)
+  let elisions = ref [] in
+  if config.guard_elim then begin
+    charge ();
+    elisions :=
+      run_pass "guard-elim" (fun () ->
+          Guard_elim.run ~precise_alias:config.precise_alias f)
   end;
   (* The end-of-pipeline structural check stays unconditional; the type
      lint only runs in sandwich mode. *)
@@ -226,6 +258,8 @@ let apply ?check ~program config (f : Mir.func) =
     unrolled;
     gvn_eliminated = !gvn_eliminated;
     licm_hoisted = !licm_hoisted;
+    guards_elided = List.length !elisions;
+    elisions = !elisions;
     mir_instrs_processed = !processed;
     passes = List.rev !pass_trace;
   }

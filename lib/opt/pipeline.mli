@@ -26,6 +26,9 @@ type config = {
   loop_unroll : bool;  (** §6 future work: unrolling under known trip counts *)
   licm : bool;  (** baseline invariant code motion; off only for ablations *)
   gvn : bool;  (** baseline value numbering; off only for ablations *)
+  guard_elim : bool;
+      (** abstract-interpretation guard elision ({!Guard_elim}); on by
+          default, off only for ablations and differential testing *)
 }
 
 val baseline : config
@@ -38,7 +41,7 @@ val figure9_configs : config list
 val make :
   ?ps:bool -> ?cp:bool -> ?sccp:bool -> ?li:bool -> ?dce:bool -> ?bce:bool ->
   ?precise_alias:bool -> ?overflow_elim:bool -> ?loop_unroll:bool ->
-  ?licm:bool -> ?gvn:bool -> string -> config
+  ?licm:bool -> ?gvn:bool -> ?ge:bool -> string -> config
 
 (** Pass-execution statistics, for the compile-time model and the tests. *)
 type run_stats = {
@@ -53,6 +56,9 @@ type run_stats = {
   unrolled : int;
   gvn_eliminated : int;
   licm_hoisted : int;
+  guards_elided : int;  (** guards deleted by the {!Guard_elim} pass *)
+  elisions : Mir.elision list;
+      (** origin provenance of each deleted guard, for telemetry events *)
   mir_instrs_processed : int;
       (** total instruction-visits across passes; the compile-time model
           charges per visit, so leaner graphs compile faster, as §4 observes *)

@@ -74,6 +74,13 @@ type event =
   | Blacklist of { fid : int; fname : string }
   | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
   | Inline_decision of { fid : int; fname : string; inlined : int }
+  | Guard_elided of {
+      fid : int;
+      fname : string;
+      guard : string;  (* "type" | "array" | "bounds" *)
+      origin_fid : int;  (* function the guard came from (inlining) *)
+      pc : int;  (* bytecode pc of the guarded operation *)
+    }
   | Compile_abort of {
       fid : int;
       fname : string;
@@ -107,6 +114,7 @@ let event_fid = function
   | Blacklist { fid; _ }
   | Osr_enter { fid; _ }
   | Inline_decision { fid; _ }
+  | Guard_elided { fid; _ }
   | Compile_abort { fid; _ }
   | Quarantine { fid; _ }
   | Cache_evict { fid; _ } -> fid
@@ -122,6 +130,7 @@ let event_fname = function
   | Blacklist { fname; _ }
   | Osr_enter { fname; _ }
   | Inline_decision { fname; _ }
+  | Guard_elided { fname; _ }
   | Compile_abort { fname; _ }
   | Quarantine { fname; _ }
   | Cache_evict { fname; _ } -> fname
@@ -137,6 +146,7 @@ let event_kind = function
   | Blacklist _ -> "blacklist"
   | Osr_enter _ -> "osr_enter"
   | Inline_decision _ -> "inline_decision"
+  | Guard_elided _ -> "guard_elided"
   | Compile_abort _ -> "compile_abort"
   | Quarantine _ -> "quarantine"
   | Cache_evict _ -> "cache_evict"
@@ -195,6 +205,8 @@ let to_string ev =
     Printf.sprintf "osr-enter     %s at pc %d after %d loop edges" site pc loop_edges
   | Inline_decision { inlined; _ } ->
     Printf.sprintf "inline        %s %d call site(s)" site inlined
+  | Guard_elided { guard; origin_fid; pc; _ } ->
+    Printf.sprintf "guard-elided  %s %s guard from f%d@%d" site guard origin_fid pc
   | Compile_abort { specialized; osr; reason; cycles; _ } ->
     Printf.sprintf "compile-abort %s %s: %s (%d cycles wasted)" site
       (flavor ~specialized ~selective:false ~osr)
@@ -327,6 +339,9 @@ let to_json ev =
     | Osr_enter { pc; loop_edges; _ } ->
       [ ("pc", string_of_int pc); ("loop_edges", string_of_int loop_edges) ]
     | Inline_decision { inlined; _ } -> [ ("inlined", string_of_int inlined) ]
+    | Guard_elided { guard; origin_fid; pc; _ } ->
+      [ ("guard", jstr guard); ("origin_fid", string_of_int origin_fid);
+        ("pc", string_of_int pc) ]
     | Compile_abort { specialized; osr; reason; cycles; _ } ->
       [ ("specialized", jbool specialized); ("osr", jbool osr);
         ("reason", jstr reason); ("cycles", string_of_int cycles) ]
@@ -460,6 +475,7 @@ module Key = struct
   let osr_entries = "osr.entries"
   let arg_set_changes = "args.set_changes"
   let inlined = "inlined.sites"
+  let guards_elided = "guards.elided"
   let compiles_aborted = "compiles.aborted"
   let quarantines = "quarantines"
   let pins = "quarantines.pinned"

@@ -85,6 +85,13 @@ type event =
   | Blacklist of { fid : int; fname : string }
   | Osr_enter of { fid : int; fname : string; pc : int; loop_edges : int }
   | Inline_decision of { fid : int; fname : string; inlined : int }
+  | Guard_elided of {
+      fid : int;
+      fname : string;
+      guard : string;  (** "type" | "array" | "bounds" *)
+      origin_fid : int;  (** function the guard originated in (inlining) *)
+      pc : int;  (** bytecode pc of the guarded operation *)
+    }
   | Compile_abort of {
       fid : int;
       fname : string;
@@ -210,6 +217,7 @@ module Key : sig
   val osr_entries : string
   val arg_set_changes : string
   val inlined : string
+  val guards_elided : string
 
   val compiles_aborted : string
   (** compilations that aborted mid-pipeline (contained, cycles charged) *)

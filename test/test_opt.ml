@@ -194,7 +194,7 @@ let build_sumto () =
 
 let test_bce_removes_proven_checks () =
   let program, f = build_sumto () in
-  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") f in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true ~ge:false "bce") f in
   Alcotest.(check bool) "bounds checks removed" true (stats.Pipeline.bounds_removed > 0);
   Alcotest.(check int) "none remain" 0
     (count f (function Mir.Bounds_check _ -> true | _ -> false))
@@ -205,7 +205,7 @@ let test_bce_keeps_unprovable_checks () =
   let arr = Value.Arr (Value.arr_of_list (List.init 8 (fun i -> Value.Int i))) in
   (* Bound 9 exceeds the array length: the check must stay. *)
   let f = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 9 |] () in
-  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") f in
+  let stats = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true ~ge:false "bce") f in
   Alcotest.(check int) "nothing removed" 0 stats.Pipeline.bounds_removed
 
 let test_bce_store_conservatism () =
@@ -218,7 +218,7 @@ let test_bce_store_conservatism () =
   let func = program.Bytecode.Program.funcs.(1) in
   let arr = Value.Arr (Value.new_arr 8) in
   let build () = Builder.build ~program ~func ~spec_args:[| arr; Value.Int 8 |] () in
-  let s1 = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") (build ()) in
+  let s1 = apply program (Pipeline.make ~ps:true ~cp:true ~bce:true ~ge:false "bce") (build ()) in
   Alcotest.(check bool) "growth-only stores do not block" true
     (s1.Pipeline.bounds_removed > 0);
   (* ...but an opaque call might reach a pop on an alias, so it blocks the
@@ -234,11 +234,11 @@ let test_bce_store_conservatism () =
     Builder.build ~program:programc ~func:funcc
       ~spec_args:[| Value.Arr (Value.new_arr 8); Value.Int 8; clo |] ()
   in
-  let s2 = apply programc (Pipeline.make ~ps:true ~cp:true ~bce:true "bce") (buildc ()) in
+  let s2 = apply programc (Pipeline.make ~ps:true ~cp:true ~bce:true ~ge:false "bce") (buildc ()) in
   Alcotest.(check int) "call blocks conservative mode" 0 s2.Pipeline.bounds_removed;
   let s3 =
     apply programc
-      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true "bce+")
+      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true ~ge:false "bce+")
       (buildc ())
   in
   Alcotest.(check bool) "precise aliasing eliminates past the call" true
@@ -256,7 +256,7 @@ let test_bce_store_conservatism () =
   in
   let s4 =
     apply programp
-      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true "bce+")
+      (Pipeline.make ~ps:true ~cp:true ~bce:true ~precise_alias:true ~ge:false "bce+")
       fp
   in
   Alcotest.(check int) "pop blocks even precise mode" 0 s4.Pipeline.bounds_removed

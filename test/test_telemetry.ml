@@ -128,7 +128,7 @@ let test_exact_event_sequence () =
   in
   Alcotest.(check string) "result" "40\n" out;
   Alcotest.(check (list string)) "exact event sequence"
-    ([ "specialize"; "compile_start"; "compile_end" ]
+    ([ "specialize"; "compile_start"; "guard_elided"; "compile_end" ]
     @ List.init 11 (fun _ -> "cache_hit")
     @ [ "bailout"; "deopt" ])
     (kinds (events_of ring "f"));
