@@ -52,10 +52,10 @@ let member_of suite_name member_name =
   let suite = Option.get (Suites.find suite_name) in
   List.find (fun (m : Suite.member) -> m.Suite.m_name = member_name) suite.Suite.members
 
-let cycles opt (m : Suite.member) =
-  quiet (fun () ->
-      (Engine.run_source (Engine.default_config ~opt ()) m.Suite.m_source)
-        .Engine.total_cycles)
+let cycles cfg (m : Suite.member) =
+  quiet (fun () -> (Engine.run_source cfg m.Suite.m_source).Engine.total_cycles)
+
+let cfg_of opt = Engine.default_config ~opt ()
 
 let print_ablations () =
   let pct base v =
@@ -66,11 +66,11 @@ let print_ablations () =
     " Ablations (model cycles; positive % = variant costs more than PS+CP+DCE)";
   print_endline "==================================================================";
   let bench_row name m pairs =
-    let base = cycles Pipeline.best m in
+    let base = cycles (cfg_of Pipeline.best) m in
     Printf.printf "%-34s PS+CP+DCE = %d cycles\n" name base;
     List.iter
       (fun (label, opt) ->
-        let v = cycles opt m in
+        let v = cycles (cfg_of opt) m in
         Printf.printf "  %-32s %10d  (%+.2f%%)\n" label v (pct v base))
       pairs
   in
@@ -222,11 +222,10 @@ let print_compile_attribution () =
 (* Part 4: Bechamel wall-clock benches                                 *)
 (* ------------------------------------------------------------------ *)
 
-let engine_test name opt (m : Suite.member) =
+let engine_test name cfg (m : Suite.member) =
   Test.make ~name
     (Staged.stage (fun () ->
-         quiet (fun () ->
-             ignore (Engine.run_source (Engine.default_config ~opt ()) m.Suite.m_source))))
+         quiet (fun () -> ignore (Engine.run_source cfg m.Suite.m_source))))
 
 let compile_test name ~spec =
   (* Wall-clock cost of one full compilation (build -> passes -> lowering ->
@@ -272,16 +271,22 @@ let bounds_hotloop_member =
    run — the data needed to recalibrate the cost model against reality. *)
 let engine_benches =
   [
-    ("fig9_sunspider_bitsinbyte_base", Pipeline.baseline, member_of "sunspider 1.0" "bitops-bits-in-byte");
-    ("fig9_sunspider_bitsinbyte_spec", Pipeline.best, member_of "sunspider 1.0" "bitops-bits-in-byte");
-    ("fig9_sunspider_unpack_base", Pipeline.baseline, member_of "sunspider 1.0" "string-unpack-code");
-    ("fig9_sunspider_unpack_spec", Pipeline.best, member_of "sunspider 1.0" "string-unpack-code");
-    ("fig9_v8_earleyboyer_base", Pipeline.baseline, member_of "v8 version 6" "earley-boyer");
-    ("fig9_v8_earleyboyer_spec", Pipeline.best, member_of "v8 version 6" "earley-boyer");
-    ("fig9_kraken_desaturate_base", Pipeline.baseline, member_of "kraken 1.1" "imaging-desaturate");
-    ("fig9_kraken_desaturate_spec", Pipeline.best, member_of "kraken 1.1" "imaging-desaturate");
-    ("bounds_hotloop_base", Pipeline.baseline, bounds_hotloop_member);
-    ("bounds_hotloop_spec", Pipeline.all_on, bounds_hotloop_member);
+    ("fig9_sunspider_bitsinbyte_base", cfg_of Pipeline.baseline, member_of "sunspider 1.0" "bitops-bits-in-byte");
+    ("fig9_sunspider_bitsinbyte_spec", cfg_of Pipeline.best, member_of "sunspider 1.0" "bitops-bits-in-byte");
+    ("fig9_sunspider_unpack_base", cfg_of Pipeline.baseline, member_of "sunspider 1.0" "string-unpack-code");
+    ("fig9_sunspider_unpack_spec", cfg_of Pipeline.best, member_of "sunspider 1.0" "string-unpack-code");
+    ("fig9_v8_earleyboyer_base", cfg_of Pipeline.baseline, member_of "v8 version 6" "earley-boyer");
+    ("fig9_v8_earleyboyer_spec", cfg_of Pipeline.best, member_of "v8 version 6" "earley-boyer");
+    (* The polyvariant recovery of the earley-boyer specialization loss:
+       same pipeline as the _spec row, tiered policy, two-slot cache. *)
+    ( "fig9_v8_earleyboyer_poly",
+      Engine.default_config ~opt:Pipeline.best ~policy:Policy.Polyvariant
+        ~cache_size:2 (),
+      member_of "v8 version 6" "earley-boyer" );
+    ("fig9_kraken_desaturate_base", cfg_of Pipeline.baseline, member_of "kraken 1.1" "imaging-desaturate");
+    ("fig9_kraken_desaturate_spec", cfg_of Pipeline.best, member_of "kraken 1.1" "imaging-desaturate");
+    ("bounds_hotloop_base", cfg_of Pipeline.baseline, bounds_hotloop_member);
+    ("bounds_hotloop_spec", cfg_of Pipeline.all_on, bounds_hotloop_member);
   ]
 
 (* Dispatch ablation: the interpreter alone on a hot arithmetic loop — the
@@ -297,7 +302,7 @@ let interp_hotloop_program =
 let wall_tests () =
   Test.make_grouped ~name:"vs" ~fmt:"%s.%s"
     ((* One wall-clock series per paper artifact family. *)
-     List.map (fun (name, opt, m) -> engine_test name opt m) engine_benches
+     List.map (fun (name, cfg, m) -> engine_test name cfg m) engine_benches
     @ [
         Test.make ~name:"interp_dispatch_hotloop"
           (Staged.stage (fun () ->
@@ -323,7 +328,7 @@ let wall_tests () =
    model cycles the identical run charges. *)
 let write_wall_json rows =
   let model_cycles =
-    List.map (fun (name, opt, m) -> ("vs." ^ name, cycles opt m)) engine_benches
+    List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
   in
   let oc = open_out "BENCH_wall.json" in
   output_string oc "{\n  \"schema\": \"vs-bench-wall/1\",\n  \"benches\": [\n";
@@ -438,9 +443,9 @@ let check_model () =
   let committed = parse_wall_json path in
   let drifted =
     List.filter_map
-      (fun (name, opt, m) ->
+      (fun (name, cfg, m) ->
         let name = "vs." ^ name in
-        let current = cycles opt m in
+        let current = cycles cfg m in
         match List.assoc_opt name committed with
         | Some (Some c) when c = current -> None
         | Some (Some c) -> Some (name, string_of_int c, current)

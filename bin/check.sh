@@ -22,6 +22,9 @@ dune runtest
 echo "== dune build @absint (translation validation + missed-guard golden) =="
 dune build @absint
 
+echo "== dune build @policy (specialization-policy census golden) =="
+dune build @policy
+
 echo "== dune build @chaos (fault-injection fuzz smoke) =="
 dune build @chaos
 

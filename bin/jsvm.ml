@@ -73,9 +73,10 @@ let write_trace_spans file spans =
         spans;
       output_string oc "\n]}\n")
 
-let run_file path no_jit spec selective cache_size code_cache_bytes max_depth config_name
-    stats trace trace_json trace_spans profile_folded dump_bytecode dump_mir profile
-    check chaos jobs =
+let run_file path no_jit spec selective policy_name cache_size code_cache_bytes max_depth
+    config_name
+    stats trace trace_json trace_spans profile_folded dump_bytecode dump_mir profile check
+    chaos jobs =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let src = In_channel.with_open_text path In_channel.input_all in
   (match chaos with
@@ -117,6 +118,13 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
       Printf.printf "VERIFIER DIAGNOSTIC under %s\n%s\n" vd_config (Diag.to_string vd_diag);
       exit 1
   end;
+  let policy =
+    match Policy.kind_of_string policy_name with
+    | Some k -> k
+    | None ->
+      prerr_endline ("unknown policy: " ^ policy_name ^ " (expected 'paper' or 'polyvariant')");
+      exit 2
+  in
   let opt =
     match config_name with
     | Some name -> (
@@ -126,11 +134,14 @@ let run_file path no_jit spec selective cache_size code_cache_bytes max_depth co
         prerr_endline
           ("unknown config: " ^ name ^ " (expected 'baseline' or a Figure 9 column name)");
         exit 2)
-    | None -> if spec || selective then Pipeline.all_on else Pipeline.baseline
+    | None ->
+      if spec || selective || policy = Policy.Polyvariant then Pipeline.all_on
+      else Pipeline.baseline
   in
   let cfg =
     {
-      (Engine.default_config ~opt ~cache_size ~selective ~code_cache_bytes ~max_depth ())
+      (Engine.default_config ~opt ~policy ~cache_size ~selective ~code_cache_bytes
+         ~max_depth ())
       with
       Engine.jit = not no_jit
     }
@@ -283,6 +294,16 @@ let selective =
           "Selective specialization: burn in only arguments observed value-stable; \
            implies --spec unless --config overrides the pipeline.")
 
+let policy_arg =
+  Arg.(
+    value & opt string "paper"
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Specialization policy: $(b,paper) (one-entry cache, miss deoptimizes and \
+           blacklists, \u{00a7}4) or $(b,polyvariant) (multi-entry version cache; a miss \
+           widens values\u{2192}tags\u{2192}generic instead of discarding). Implies --spec's \
+           pipeline for $(b,polyvariant).")
+
 let cache_size =
   Arg.(
     value & opt int 1
@@ -407,7 +428,7 @@ let cmd =
   Cmd.v
     (Cmd.info "jsvm" ~version:"1.0" ~doc)
     Term.(
-      const run_file $ path_arg $ no_jit $ spec $ selective $ cache_size
+      const run_file $ path_arg $ no_jit $ spec $ selective $ policy_arg $ cache_size
       $ code_cache_bytes $ max_depth $ config_name $ stats $ trace $ trace_json
       $ trace_spans $ profile_folded $ dump_bytecode $ dump_mir $ profile $ check
       $ chaos $ jobs_arg)

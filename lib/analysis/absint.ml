@@ -199,12 +199,26 @@ let spec_value (f : Mir.func) i =
     in
     if masked && i < Array.length args then Some args.(i) else None
 
+(* Tag-keyed (widened polyvariant) version: the cache probe compares the
+   runtime tag of every argument against the key, so position [i] is known
+   to carry [specialized_tags.(i)] — no value, no range. *)
+let spec_tag (f : Mir.func) i =
+  match f.Mir.specialized_tags with
+  | Some tags when i < Array.length tags -> Some tags.(i)
+  | _ -> None
+
 (* The abstract entry state the argument cache key implies: burned-in
-   arguments are precise constants, everything else is unknown. *)
+   arguments are precise constants, tag-keyed arguments are tag-constrained
+   unknowns, everything else is unknown. *)
 let entry_state (f : Mir.func) =
   let arity = f.Mir.source.Bytecode.Program.arity in
   Array.init arity (fun i ->
-      match spec_value f i with Some v -> Const v | None -> top)
+      match spec_value f i with
+      | Some v -> Const v
+      | None -> (
+        match spec_tag f i with
+        | Some tag -> vals (tag_bit tag) None
+        | None -> top))
 
 (* ------------------------------------------------------------------ *)
 (* Analysis result                                                     *)
@@ -369,7 +383,12 @@ let analyze ?(precise_alias = false) (f : Mir.func) =
     match i.Mir.kind with
     | Mir.Constant v -> Const v
     | Mir.Parameter idx -> (
-      match spec_value f idx with Some v -> Const v | None -> top)
+      match spec_value f idx with
+      | Some v -> Const v
+      | None -> (
+        match spec_tag f idx with
+        | Some tag -> vals (tag_bit tag) None
+        | None -> top))
     | Mir.Osr_value _ -> top
     | Mir.Phi _ -> assert false (* handled per-edge in eval_block *)
     | Mir.Box a -> lookup a

@@ -148,6 +148,74 @@ let check ~stage (f : Mir.func) =
                 (pp_value args.(i))
                 (Absint.to_string av))
         st);
+    (* Tag-keyed (widened polyvariant) versions. Values and tags are
+       mutually exclusive keys — the cache probe compares one or the other.
+       Every argument must stay a runtime [Parameter] (no baked values),
+       each must be covered by an entry type barrier for exactly its key
+       tag (the barrier is what guard elision removes once the probe is
+       trusted, so it must exist on the fresh graph), and the abstract
+       entry state must assume the key's tag and nothing tighter. *)
+    (match f.Mir.specialized_tags with
+    | None -> ()
+    | Some tags ->
+      if f.Mir.specialized_args <> None then
+        emit "version keyed by both values and tags: the cache probe compares only one";
+      if Array.length tags <> arity then
+        emit "tag key has %d entries but arity is %d" (Array.length tags) arity;
+      let entry = f.Mir.entry in
+      let body = Array.of_list (Mir.block f entry).Mir.body in
+      if Array.length body < arity then
+        emit ~block:entry "entry block materializes %d slots but arity is %d"
+          (Array.length body) arity
+      else
+        for i = 0 to arity - 1 do
+          let instr = body.(i) in
+          match instr.Mir.kind with
+          | Mir.Parameter k ->
+            if k <> i then
+              emit ~block:entry ~value:instr.Mir.def
+                "entry slot %d materializes parameter %d" i k;
+            if
+              i < Array.length tags
+              && not
+                   (List.exists
+                      (fun (j : Mir.instr) ->
+                        match j.Mir.kind with
+                        | Mir.Type_barrier (a, tag) ->
+                          a = instr.Mir.def && tag = tags.(i)
+                        | _ -> false)
+                      (Mir.block f entry).Mir.body)
+            then
+              emit ~block:entry ~value:instr.Mir.def
+                "argument %d is tag-keyed (%s) but the entry block carries no \
+                 matching type barrier"
+                i
+                (Value.tag_to_string tags.(i))
+          | _ ->
+            emit ~block:entry ~value:instr.Mir.def
+              "entry slot %d is '%s' in a tag-keyed version, expected a runtime \
+               parameter"
+              i
+              (Mir.kind_to_string instr.Mir.kind)
+        done;
+      let st = Absint.entry_state f in
+      Array.iteri
+        (fun i av ->
+          if i < Array.length tags then
+            match av with
+            | Absint.Const v ->
+              emit
+                "abstract entry state pins argument %d to %s but only its tag is \
+                 in the cache key"
+                i (pp_value v)
+            | av ->
+              if Absint.tags_of av <> Absint.tag_bit tags.(i) then
+                emit
+                  "abstract entry state assumes %s for argument %d but the cache \
+                   key guarantees exactly tag %s"
+                  (Absint.to_string av) i
+                  (Value.tag_to_string tags.(i)))
+        st);
     (* The OSR entry bakes the same cached tuple (plus the frame's locals,
        which have no cache to disagree with). *)
     match (f.Mir.specialized_args, f.Mir.osr_entry) with

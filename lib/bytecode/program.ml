@@ -25,6 +25,32 @@ let global_slot t name =
   in
   find 0
 
+(* Global slots that provably hold one fixed function forever: assigned
+   exactly once in the whole program, by the toplevel's hoisting prologue
+   ([Make_closure fid; Set_global i] with no captures). A call through such
+   a slot is monomorphic — the MIR builder may lower it as a known call to
+   [fid] (the callee value is still loaded and invoked at run time, so
+   this is a strength reduction, never a semantic bet). *)
+let known_global_funcs t =
+  let res = Array.make (Array.length t.global_names) None in
+  let sets = Array.make (Array.length t.global_names) 0 in
+  Array.iter
+    (fun f ->
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Instr.Set_global i ->
+            sets.(i) <- sets.(i) + 1;
+            if f.fid = t.main && pc > 0 then
+              (match f.code.(pc - 1) with
+              | Instr.Make_closure (fid, [||]) -> res.(i) <- Some fid
+              | _ -> ())
+          | _ -> ())
+        f.code)
+    t.funcs;
+  Array.iteri (fun i n -> if n <> 1 then res.(i) <- None) sets;
+  res
+
 (* Conservative max-stack: walk instructions propagating depth through
    jumps with a worklist; the compiler only emits reducible code, so depth
    at each pc is unique. *)

@@ -9,6 +9,7 @@ type config = {
   hot_loop_edges : int;
   max_bailouts : int;
   cache_size : int;
+  policy : Policy.kind;
   selective : bool;
   compile_retries : int;
   storm_threshold : int;
@@ -16,8 +17,9 @@ type config = {
   max_depth : int;
 }
 
-let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = false)
-    ?(code_cache_bytes = 0) ?(max_depth = Interp.default_max_depth) () =
+let default_config ?(opt = Pipeline.baseline) ?(policy = Policy.Paper) ?(cache_size = 1)
+    ?(selective = false) ?(code_cache_bytes = 0) ?(max_depth = Interp.default_max_depth)
+    () =
   {
     opt;
     jit = true;
@@ -30,6 +32,7 @@ let default_config ?(opt = Pipeline.baseline) ?(cache_size = 1) ?(selective = fa
     storm_threshold = 8;
     code_cache_bytes;
     max_depth;
+    policy;
   }
 
 let interp_only = { (default_config ()) with jit = false }
@@ -69,17 +72,20 @@ let with_diag_abort_hook h f = Support.Tls.with_value diag_abort_hook (Some h) f
 
 type compiled = {
   code : Code.t;
-  cached_args : Value.t array option;
-  (* Selective specialization: which cached argument positions were burned
-     in (and so must match on a cache probe). [None] = all of them. *)
-  cached_mask : bool array option;
+  (* What calls this version may serve: the burned-in argument tuple (plus
+     the selective mask), a widened tag signature, or anything (generic).
+     The probe ([Policy.matches]) is the soundness contract every
+     specialized binary relies on. *)
+  key : Policy.vkey;
   (* In-body guard failures charged against this binary. Strikes are
      per-binary — a multi-entry cache must not let one binary's failures
      condemn its neighbours — and a binary is discarded at its
      [max_bailouts]-th strike. *)
   mutable strikes : int;
   (* Global-LRU clock value of the entry's last installation or cache hit;
-     the code-cache budget evicts the smallest across all functions. *)
+     the code-cache budget evicts the smallest across all functions. Only
+     installs and hits refresh it: a probe that walks past (or misses) an
+     entry must leave it cold, or the byte budget could never reclaim it. *)
   mutable last_use : int;
 }
 
@@ -104,6 +110,17 @@ type func_state = {
   mutable q_failures : int;
   mutable pinned : bool;
   mutable discards : int;  (* binary discards since the last storm check *)
+  mutable next_version : int;
+  (* Monotone version-cache id (polyvariant policy): stamped into
+     [Code.version] at compile time so telemetry and the profiler can
+     attribute work per version even after the entry is replaced. *)
+  mutable anticipated : Value.t array list;
+  (* Interprocedural facts (polyvariant policy): constant argument
+     signatures this function receives at monomorphic call sites inside
+     already-compiled callers — a specialized caller's burned-in values
+     constant-fold into its call sites, so the callee can expect exactly
+     these tuples and value-specialize against them. Deduplicated, oldest
+     first, capped. *)
 }
 
 type t = {
@@ -120,6 +137,9 @@ type t = {
   (* Lifecycle span tracer, present only when the hub had a span sink at
      construction: with tracing off every span site is one [None] match. *)
   tracer : Profile.Tracer.t option;
+  known_globals : int option array;
+      (* write-once function globals (polyvariant only; [||] under the
+         paper policy, which keeps its call lowering byte-identical) *)
 }
 
 type func_report = {
@@ -177,6 +197,8 @@ let make engine_config program =
             q_failures = 0;
             pinned = false;
             discards = 0;
+            next_version = 0;
+            anticipated = [];
           });
     native_cycles = ref 0;
     compile_cycles = ref 0;
@@ -188,6 +210,10 @@ let make engine_config program =
       (if Telemetry.spans_active tel then
          Some (Profile.Tracer.create ~emit:(Telemetry.emit_span tel))
        else None);
+    known_globals =
+      (if engine_config.policy = Policy.Polyvariant then
+         Bytecode.Program.known_global_funcs program
+       else [||]);
   }
 
 let telemetry t = t.tel
@@ -303,6 +329,76 @@ let stable_tags fs =
     (fun history -> match history with [ tag ] -> Some tag | _ -> None)
     fs.observed_tags
 
+(* Interprocedural fact harvesting (polyvariant policy): after the pipeline
+   has run, a call site whose arguments all folded to constants — because
+   the caller's burned-in values propagated into them, or because they were
+   literals to begin with — announces the exact tuple the callee will
+   receive there. The callee's policy view can then value-specialize
+   against that signature even when its own call history looks varied.
+   Deterministic: the scan follows [block_order] and the per-callee list is
+   deduplicated and capped, so pool fan-out cannot reorder it. *)
+let max_anticipated = 4
+
+let record_anticipated t (mir : Mir.func) =
+  List.iter
+    (fun bid ->
+      let b = Mir.block mir bid in
+      List.iter
+        (fun (i : Mir.instr) ->
+          match i.Mir.kind with
+          | Mir.Call_known (cfid, _, argdefs)
+            when cfid >= 0 && cfid < Array.length t.fstates
+                 && Array.length argdefs > 0 ->
+            let consts =
+              Array.map
+                (fun d ->
+                  match Hashtbl.find_opt mir.Mir.defs d with
+                  | Some { Mir.kind = Mir.Constant v; _ } -> Some v
+                  | _ -> None)
+                argdefs
+            in
+            if Array.for_all Option.is_some consts then begin
+              let signature = Array.map Option.get consts in
+              let callee = t.fstates.(cfid) in
+              if
+                List.length callee.anticipated < max_anticipated
+                && not
+                     (List.exists
+                        (fun s -> Value.same_args s signature)
+                        callee.anticipated)
+              then begin
+                callee.anticipated <- callee.anticipated @ [ signature ];
+                bump t callee Telemetry.Key.interpro_facts
+              end
+            end
+          | _ -> ())
+        b.Mir.body)
+    mir.Mir.block_order
+
+(* The argument tuple as the callee's entry sees it: missing arguments
+   padded with [Undefined], surplus arguments dropped (exactly the frame
+   adaptation the interpreter and the native activation both perform). Tag
+   signatures are always built from this view, never from the raw call. *)
+let as_entry t fs args =
+  let arity = t.program.Bytecode.Program.funcs.(fs.fid).Bytecode.Program.arity in
+  if Array.length args = arity then args
+  else
+    Array.init arity (fun i -> if i < Array.length args then args.(i) else Value.Undefined)
+
+(* The policy's read-only projection of this function's JIT state. *)
+let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
+
+let policy_view t fs =
+  {
+    Policy.pv_cache_size = t.cfg.cache_size;
+    pv_selective = t.cfg.selective;
+    pv_want_specialize = want_specialize t fs;
+    pv_calls = count t fs Telemetry.Key.calls;
+    pv_arg_set_changes = count t fs Telemetry.Key.arg_set_changes;
+    pv_keys = List.map (fun e -> e.key) fs.compiled;
+    pv_anticipated = fs.anticipated;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -314,7 +410,7 @@ let stable_tags fs =
    verification below covers all code the executor can ever run. Keep it
    that way: a new path that lowers MIR elsewhere would bypass the lint
    layer. *)
-let compile t fs ?spec_args ?spec_mask ?osr () =
+let compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () =
   let func = t.program.Bytecode.Program.funcs.(fs.fid) in
   let name = func.Bytecode.Program.name in
   let specialized = spec_args <> None in
@@ -325,7 +421,21 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
     emit t (fun () ->
         Telemetry.Specialize
           { fid = fs.fid; fname = name; args = display_args args; mask = spec_mask })
-  | None -> ());
+  | None ->
+    (* Tag-keyed (widened) version: announce what it specializes on. Only
+       the polyvariant policy passes [spec_tags], so the paper policy's
+       event stream is untouched. *)
+    (match spec_tags with
+    | Some tags ->
+      emit t (fun () ->
+          Telemetry.Specialize
+            {
+              fid = fs.fid;
+              fname = name;
+              args = Policy.key_to_string (Policy.Key_tags tags);
+              mask = None;
+            })
+    | None -> ()));
   emit t (fun () ->
       Telemetry.Compile_start { fid = fs.fid; fname = name; specialized; selective; osr = is_osr });
   let cycles_before = !(t.compile_cycles) in
@@ -335,8 +445,8 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
   let start_now = now t in
   let arg_tags = stable_tags fs in
   let mir =
-    Builder.build ~program:t.program ~func ?spec_args ?spec_mask ~arg_tags ?osr
-      ~no_checked_int:fs.overflow_bailed ()
+    Builder.build ~program:t.program ~func ?spec_args ?spec_mask ?spec_tags ~arg_tags
+      ?osr ~no_checked_int:fs.overflow_bailed ~known_globals:t.known_globals ()
   in
   let spec_check stage =
     if Pipeline.checks () then begin
@@ -353,7 +463,15 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
      holds; the guard/resume-point audit runs on the optimized graph the
      lowerer will consume. *)
   spec_check `Built;
-  let pass_stats = Pipeline.apply ~program:t.program t.cfg.opt mir in
+  (* Tiered pipelines: the polyvariant policy compiles generic versions
+     with the quick baseline schedule (the policy decides; the paper
+     policy always returns [cfg.opt] unchanged). *)
+  let opt =
+    Policy.compile_opt t.cfg.policy t.cfg.opt
+      ~specialized:(spec_args <> None || spec_tags <> None)
+      ~size:(Array.length func.Bytecode.Program.code)
+  in
+  let pass_stats = Pipeline.apply ~program:t.program opt mir in
   (* The optimizer's work is paid for as soon as it happened — an abort
      below (a diagnostic or an injected fault) still charges it, which is
      what makes compile failures costly rather than free retries. The
@@ -403,8 +521,17 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
   Code_verify.run code;
   if Faults.fire Faults.Code_verify then
     Diag.error ~layer:"fault" ~func:name ~fid:fs.fid "injected code_verify fault";
+  (* Interprocedural facts and version ids exist only under the
+     polyvariant policy; the paper policy's counters and code records stay
+     byte-identical to the pre-policy engine. *)
+  if t.cfg.policy = Policy.Polyvariant then begin
+    record_anticipated t mir;
+    fs.next_version <- fs.next_version + 1;
+    code.Code.version <- fs.next_version
+  end;
   bump t fs Telemetry.Key.compiles;
   if specialized then bump t fs Telemetry.Key.compiles_specialized;
+  if spec_tags <> None then bump t fs Telemetry.Key.compiles_widened;
   if is_osr then bump t fs Telemetry.Key.compiles_osr;
   if pass_stats.Pipeline.inlined > 0 then begin
     bump ~n:pass_stats.Pipeline.inlined t fs Telemetry.Key.inlined;
@@ -440,7 +567,15 @@ let compile t fs ?spec_args ?spec_mask ?osr () =
           passes = pass_stats.Pipeline.passes;
         });
   fs.sizes <- (specialized, Code.size code) :: fs.sizes;
-  { code; cached_args = spec_args; cached_mask = spec_mask; strikes = 0; last_use = 0 }
+  let key =
+    match spec_args with
+    | Some a -> Policy.Key_values (a, spec_mask)
+    | None -> (
+      match spec_tags with
+      | Some tags -> Policy.Key_tags tags
+      | None -> Policy.Key_generic)
+  in
+  { code; key; strikes = 0; last_use = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Failure containment: quarantine, code-cache budget, the barrier      *)
@@ -563,14 +698,14 @@ let admit t entry =
    for the work it did, reported ([Compile_abort], [diag_abort_hook]) and
    answered with a quarantine; the caller falls back to the interpreter.
    This is the boundary that keeps [Diag.Failed] from escaping [run]. *)
-let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
+let try_compile (t : t) fs ?spec_args ?spec_mask ?spec_tags ?osr () =
   let cycles_before = !(t.compile_cycles) in
   (* The span covers successful and aborted compiles alike — wasted cycles
      are charged, so they must be visible in the trace too. *)
   span_begin t
     ~name:(if count t fs Telemetry.Key.compiles > 0 then "recompile" else "compile")
     ~cat:"compile" fs.fid;
-  match compile t fs ?spec_args ?spec_mask ?osr () with
+  match compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () with
   | entry ->
     span_end
       ~args:
@@ -602,8 +737,6 @@ let try_compile (t : t) fs ?spec_args ?spec_mask ?osr () =
     quarantine t fs Telemetry.Compile_fault;
     None
 
-let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
-
 (* Which arguments have been value-stable across every observed call. *)
 let stability_mask fs =
   match fs.stable_args with
@@ -628,28 +761,34 @@ let rec call_value t (callee : Value.t) args =
    only its cached tuple. Hits move to the front (LRU), refresh the
    global-LRU clock, and report the probed index. *)
 and cache_find t fs args =
-  let matches entry =
-    match entry.cached_args with
-    | None -> true
-    | Some cached -> (
-      match entry.cached_mask with
-      | None -> Value.same_args args cached
-      | Some mask ->
-        (* Selective binary: only the burned-in positions must match. *)
-        Array.length cached = Array.length args
-        && (let ok = ref true in
-            Array.iteri
-              (fun i m ->
-                if m && not (Value.same_value args.(i) cached.(i)) then ok := false)
-              mask;
-            !ok))
+  let found =
+    match t.cfg.policy with
+    | Policy.Paper ->
+      (* First match in LRU order — byte-for-byte the pre-policy probe.
+         Paper caches never mix specificities (generic code only exists
+         after [clear_compiled]), so order is immaterial there anyway. *)
+      let rec probe i = function
+        | [] -> None
+        | entry :: _ when Policy.matches entry.key args -> Some (i, entry)
+        | _ :: rest -> probe (i + 1) rest
+      in
+      probe 0 fs.compiled
+    | Policy.Polyvariant ->
+      (* Most-specific match: the generic catch-all coexists with
+         specialized versions and must not shadow them when a recent
+         generic hit moved it to the front of the LRU order. Ties keep
+         the most recently used entry (lowest index). *)
+      let best = ref None in
+      List.iteri
+        (fun i entry ->
+          if Policy.matches entry.key args then
+            match !best with
+            | Some (_, b) when Policy.key_rank b.key <= Policy.key_rank entry.key -> ()
+            | _ -> best := Some (i, entry))
+        fs.compiled;
+      !best
   in
-  let rec probe i = function
-    | [] -> None
-    | entry :: _ when matches entry -> Some (i, entry)
-    | _ :: rest -> probe (i + 1) rest
-  in
-  match probe 0 fs.compiled with
+  match found with
   | None -> None
   | Some (i, entry) ->
     fs.compiled <- entry :: List.filter (fun e -> e != entry) fs.compiled;
@@ -684,7 +823,30 @@ and call_closure_at_depth t (c : Value.closure) args =
         Telemetry.Cache_hit
           { fid = fs.fid; fname = fname t fs.fid; index;
             entries = List.length fs.compiled });
-    run_native_entry t fs func c args entry
+    (* Tier-2 promotion: a generic tier-1 binary serving a function that
+       stayed hot gets a specialized sibling (polyvariant only — the
+       paper policy's [promote] is always [None]). The specialized
+       version serves this very call; the catch-all stays behind it for
+       every signature the new key does not cover. *)
+    let promoted =
+      match entry.key with
+      | Policy.Key_generic
+        when t.cfg.policy = Policy.Polyvariant && t.cfg.jit && can_compile t fs -> (
+        match
+          Policy.promote t.cfg.policy (policy_view t fs) ~args
+            ~hot_calls:t.cfg.hot_calls
+        with
+        | None -> None
+        | Some choice ->
+          bump t fs Telemetry.Key.versions_promoted;
+          compile_with_choice t fs args choice)
+      | _ -> None
+    in
+    (match promoted with
+    | Some better ->
+      install_entry t fs better;
+      run_native_entry t fs func c args better
+    | None -> run_native_entry t fs func c args entry)
   | None ->
     if fs.compiled <> [] then begin
       bump t fs Telemetry.Key.cache_misses;
@@ -701,18 +863,20 @@ and call_closure_at_depth t (c : Value.closure) args =
          quarantined function keeps its binaries but does not recompile:
          the miss just interprets. *)
       if not (can_compile t fs) then interpret t func ~upvals:c.Value.env ~args
-      else if t.cfg.selective && want_specialize t fs then begin
-        clear_compiled t fs;
-        deopt t fs Telemetry.Arg_mismatch;
-        run_or_interp (specialize_selectively t fs args)
-      end
-      else if want_specialize t fs && List.length fs.compiled < t.cfg.cache_size
-      then run_or_interp (try_compile t fs ~spec_args:args ())
       else begin
-        clear_compiled t fs;
-        deopt t fs Telemetry.Arg_mismatch;
-        blacklist t fs;
-        run_or_interp (try_compile t fs ())
+        match Policy.on_miss t.cfg.policy (policy_view t fs) ~args with
+        | Policy.Miss_respecialize ->
+          clear_compiled t fs;
+          deopt t fs Telemetry.Arg_mismatch;
+          run_or_interp (specialize_selectively t fs args)
+        | Policy.Miss_fill choice ->
+          run_or_interp (compile_with_choice t fs args choice)
+        | Policy.Miss_widen index -> run_or_interp (widen_version t fs index args)
+        | Policy.Miss_deopt_generic ->
+          clear_compiled t fs;
+          deopt t fs Telemetry.Arg_mismatch;
+          blacklist t fs;
+          run_or_interp (try_compile t fs ())
       end
     end
     else if
@@ -724,12 +888,60 @@ and call_closure_at_depth t (c : Value.closure) args =
       span_mark t ~name:"hot" ~cat:"interp" ~start:(now t) ~dur:0
         ~args:[ ("calls", string_of_int (count t fs Telemetry.Key.calls)) ]
         fs.fid;
+      let view = policy_view t fs in
       run_or_interp
-        (if not (want_specialize t fs) then try_compile t fs ()
-         else if t.cfg.selective then specialize_selectively t fs args
-         else try_compile t fs ~spec_args:args ())
+        (compile_with_choice t fs args (Policy.choose_hot t.cfg.policy view ~args))
     end
     else interpret t func ~upvals:c.Value.env ~args
+
+(* Execute one policy keying decision. The [Spec_values] cases covered by
+   an interprocedural constant signature are counted — they are the
+   decisions the caller-side facts influenced. *)
+and compile_with_choice t fs args choice =
+  (match choice with
+  | Policy.Spec_values
+    when t.cfg.policy = Policy.Polyvariant
+         && Policy.anticipated_match (policy_view t fs) args ->
+    bump t fs Telemetry.Key.interpro_seeded
+  | _ -> ());
+  match choice with
+  | Policy.Spec_generic -> try_compile t fs ()
+  | Policy.Spec_selective -> specialize_selectively t fs args
+  | Policy.Spec_values -> try_compile t fs ~spec_args:args ()
+  | Policy.Spec_tags -> try_compile t fs ~spec_tags:(Array.map Value.tag_of (as_entry t fs args)) ()
+
+(* The polyvariant ladder step: detach the version at [index] and compile
+   its one-step-wider replacement (values → tags of [args], tags →
+   generic). No deopt, blacklist or storm accounting — the ladder
+   terminates structurally (a generic version matches everything, so a
+   function can widen at most [2 * cache_size] times ever). *)
+and widen_version t fs index args =
+  match List.nth_opt fs.compiled index with
+  | None -> None
+  | Some victim -> (
+    (* Widen to the tuple as the callee sees it (arity-adjusted), so a tag
+       key always has exactly one entry barrier per parameter — a call
+       with surplus or missing arguments must not size the key. *)
+    match Policy.widen victim.key (as_entry t fs args) with
+    | None -> None (* generic already; unreachable: generic keys never miss *)
+    | Some wider ->
+      let entries = List.length fs.compiled in
+      detach t fs victim;
+      bump t fs Telemetry.Key.versions_widened;
+      emit t (fun () ->
+          Telemetry.Version_widen
+            {
+              fid = fs.fid;
+              fname = fname t fs.fid;
+              index;
+              from_key = Policy.key_to_string victim.key;
+              to_key = Policy.key_to_string wider;
+              entries;
+            });
+      (match wider with
+      | Policy.Key_tags tags -> try_compile t fs ~spec_tags:tags ()
+      | Policy.Key_generic -> try_compile t fs ()
+      | Policy.Key_values _ -> assert false))
 
 (* Compile with only the stable argument positions burned in; if nothing is
    stable any more, fall back to a generic compile and stop trying. *)
@@ -806,10 +1018,15 @@ and run_native t fs func act entry ~at_osr =
          the very tuple that just failed. Selective mode narrows instead
          of blacklisting (stability is sticky, so narrowing terminates). *)
       detach t fs entry;
-      if entry.cached_args <> None then begin
+      (* A specialized or widened binary carries entry guards; a generic
+         one bails at entry only through OSR-argument plumbing. The key
+         kind decides — never compare keys structurally, cached values can
+         be cyclic. *)
+      (match entry.key with
+      | Policy.Key_generic -> ()
+      | Policy.Key_values _ | Policy.Key_tags _ ->
         deopt t fs Telemetry.Entry_guard;
-        if not t.cfg.selective then blacklist t fs
-      end;
+        if not t.cfg.selective then blacklist t fs);
       note_discard t fs
     end
     else if entry.strikes >= t.cfg.max_bailouts then begin

@@ -37,6 +37,12 @@ type config = {
           ("we cache only one binary per function", §6); larger values
           implement the future-work experiment: the cache first fills with
           further specialized versions before a miss deoptimizes. *)
+  policy : Policy.kind;
+      (** which specialization policy decides keying, cache misses and
+          blacklisting. {!Policy.Paper} reproduces the pre-policy engine
+          byte for byte; {!Policy.Polyvariant} widens versions along the
+          [values → tags → generic] ladder instead of discarding them (see
+          {!Policy}). *)
   selective : bool;
       (** selective specialization (extension): burn in only the arguments
           observed value-stable across every call so far. A cache miss then
@@ -67,6 +73,7 @@ type config = {
 
 val default_config :
   ?opt:Pipeline.config ->
+  ?policy:Policy.kind ->
   ?cache_size:int ->
   ?selective:bool ->
   ?code_cache_bytes:int ->
@@ -74,9 +81,9 @@ val default_config :
   unit ->
   config
 (** Defaults: [jit = true], [hot_calls = 10], [hot_loop_edges = 40],
-    [max_bailouts = 3], [cache_size = 1], [selective = false], baseline
-    pipeline, [compile_retries = 3], [storm_threshold = 8],
-    [code_cache_bytes = 0] (unbounded), [max_depth =
+    [max_bailouts = 3], [policy = Policy.Paper], [cache_size = 1],
+    [selective = false], baseline pipeline, [compile_retries = 3],
+    [storm_threshold = 8], [code_cache_bytes = 0] (unbounded), [max_depth =
     Interp.default_max_depth]. *)
 
 val interp_only : config

@@ -1,0 +1,191 @@
+open Runtime
+
+type kind = Paper | Polyvariant
+
+let kind_to_string = function Paper -> "paper" | Polyvariant -> "polyvariant"
+
+let kind_of_string = function
+  | "paper" -> Some Paper
+  | "polyvariant" | "poly" -> Some Polyvariant
+  | _ -> None
+
+let all_kinds = [ Paper; Polyvariant ]
+
+type vkey =
+  | Key_values of Value.t array * bool array option
+  | Key_tags of Value.tag array
+  | Key_generic
+
+(* The probe. [Key_values] with a mask is the selective extension: only the
+   burned-in positions must match. [Key_tags] compares runtime tags only —
+   exactly the facts a widened version's entry state assumes. *)
+let matches key args =
+  match key with
+  | Key_generic -> true
+  | Key_values (cached, None) -> Value.same_args args cached
+  | Key_values (cached, Some mask) ->
+    Array.length cached = Array.length args
+    && (let ok = ref true in
+        Array.iteri
+          (fun i m -> if m && not (Value.same_value args.(i) cached.(i)) then ok := false)
+          mask;
+        !ok)
+  | Key_tags tags ->
+    (* A tag key always has the function's arity; compare the tuple as the
+       callee will see it — missing arguments padded with [Undefined],
+       extra arguments dropped at entry. *)
+    let n = Array.length args in
+    let ok = ref true in
+    Array.iteri
+      (fun i tag ->
+        let got = if i < n then Value.tag_of args.(i) else Value.Tag_undefined in
+        if got <> tag then ok := false)
+      tags;
+    !ok
+
+let key_to_string = function
+  | Key_generic -> "generic"
+  | Key_values (args, _) ->
+    "("
+    ^ String.concat ", " (Array.to_list (Array.map Value.to_display_string args))
+    ^ ")"
+  | Key_tags tags ->
+    "[" ^ String.concat ", " (Array.to_list (Array.map Value.tag_to_string tags)) ^ "]"
+
+let key_rank = function Key_values _ -> 0 | Key_tags _ -> 1 | Key_generic -> 2
+
+(* One ladder step, keyed to serve [args]. A full-cache miss repurposes the
+   LRU slot: the replacement serves the arguments that just missed, one
+   rank more general than what it evicts — so every slot strictly climbs
+   the ladder and a function stops missing after at most [2 * cache_size]
+   widenings (a generic version matches everything). *)
+let widen key args =
+  match key with
+  | Key_values _ -> Some (Key_tags (Array.map Value.tag_of args))
+  | Key_tags _ -> Some Key_generic
+  | Key_generic -> None
+
+type view = {
+  pv_cache_size : int;
+  pv_selective : bool;
+  pv_want_specialize : bool;
+  pv_calls : int;
+  pv_arg_set_changes : int;
+  pv_keys : vkey list;
+  pv_anticipated : Value.t array list;
+}
+
+type spec_choice = Spec_values | Spec_selective | Spec_tags | Spec_generic
+
+type miss_action =
+  | Miss_respecialize
+  | Miss_fill of spec_choice
+  | Miss_widen of int
+  | Miss_deopt_generic
+
+let anticipated_match view args =
+  List.exists (fun s -> Value.same_args s args) view.pv_anticipated
+
+(* Variability heuristic: by hot-call time, have the argument tuples
+   essentially never repeated? Then a value version is doomed — its first
+   reuse probe would already miss — and the fig9 earley-boyer loss shows
+   the paper policy paying a wasted specialized compile plus a generic
+   recompile for exactly this shape. Tag-specialize up front instead. *)
+let always_varying view = 2 * view.pv_arg_set_changes >= view.pv_calls
+
+let choose_hot kind view ~args =
+  if not view.pv_want_specialize then Spec_generic
+  else if view.pv_selective then Spec_selective
+  else
+    match kind with
+    | Paper -> Spec_values
+    | Polyvariant ->
+      (* Tiered: the hot-call compile is a quick generic catch-all (see
+         [compile_opt]); specialization waits for [promote], when the
+         call count proves the expensive pipeline will amortize. The one
+         exception is a caller-anticipated signature — the caller's
+         burned-in facts say exactly what to specialize on, so skipping
+         the generic tier costs nothing speculative. *)
+      if anticipated_match view args then Spec_values else Spec_generic
+
+(* Tiered compilation pipelines. A generic polyvariant binary compiles
+   with the quick baseline schedule: the heavyweight passes (constant
+   propagation, inlining, loop inversion, ...) only pay for themselves
+   when burned-in specialization facts feed them, and on call-once-heavy
+   traces their per-instruction charge is exactly what erases the
+   specialization win. The paper policy keeps one pipeline for every
+   compile, as the paper does. *)
+(* "Too big to optimize": above this many bytecode instructions a function
+   takes the quick schedule even when specialized. The pipeline's charge is
+   linear in body size while specialization's payoff concentrates in hot
+   inner code, so a huge body (a toplevel script, a giant dispatcher) can
+   never amortize the heavyweight passes. *)
+let opt_size_cap = 512
+
+let compile_opt kind (opt : Pipeline.config) ~specialized ~size =
+  match kind with
+  | Paper -> opt
+  | Polyvariant -> if specialized && size <= opt_size_cap then opt else Pipeline.baseline
+
+(* A generic tier-1 binary whose function has accumulated this many
+   hot-call thresholds' worth of calls has proven it can amortize a
+   specialized compile. *)
+let promote_factor = 3
+
+(* Tier-2 admission, consulted on every cache hit of a generic version:
+   specialize a still-hot function alongside its generic catch-all. Needs
+   a free slot — the catch-all stays, which is why promotion only exists
+   at cache sizes >= 2 — and enough calls to amortize the full pipeline.
+   The probe prefers the most specific matching version, so once the
+   specialized binary exists the generic hit (and hence this check) stops
+   firing for its signature. *)
+let promote kind view ~args ~hot_calls =
+  match kind with
+  | Paper -> None
+  | Polyvariant ->
+    if (not view.pv_want_specialize) || view.pv_selective then None
+    else if List.length view.pv_keys >= view.pv_cache_size then None
+    else if view.pv_calls < promote_factor * hot_calls then None
+    else if anticipated_match view args then Some Spec_values
+    else if always_varying view then Some Spec_tags
+    else Some Spec_values
+
+let on_miss kind view ~args =
+  let nversions = List.length view.pv_keys in
+  match kind with
+  | Paper ->
+    (* Byte-for-byte the decision tree the engine ran before this module
+       was extracted: selective narrows, a non-full cache fills with
+       another value version (§6), otherwise §4 deoptimizes. *)
+    if view.pv_selective && view.pv_want_specialize then Miss_respecialize
+    else if view.pv_want_specialize && nversions < view.pv_cache_size then
+      Miss_fill Spec_values
+    else Miss_deopt_generic
+  | Polyvariant ->
+    if not view.pv_want_specialize then Miss_deopt_generic
+    else if view.pv_selective then Miss_respecialize
+    else begin
+      (* Second mismatching tuple for a value signature: the arguments have
+         the same tags as a cached value version but different values —
+         widen that version to its tags instead of discarding it. *)
+      let same_tag_values =
+        List.mapi (fun i k -> (i, k)) view.pv_keys
+        |> List.find_opt (fun (_, k) ->
+               match k with
+               | Key_values (cached, _) ->
+                 Array.length cached = Array.length args
+                 && (let ok = ref true in
+                     Array.iteri
+                       (fun i v ->
+                         if Value.tag_of v <> Value.tag_of args.(i) then ok := false)
+                       cached;
+                     !ok)
+               | _ -> false)
+      in
+      match same_tag_values with
+      | Some (i, _) -> Miss_widen i
+      | None ->
+        if nversions < view.pv_cache_size then
+          Miss_fill (choose_hot Polyvariant view ~args)
+        else Miss_widen (nversions - 1)  (* repurpose the LRU slot, one rank wider *)
+    end

@@ -68,6 +68,12 @@ let default_configs =
             ~precise_alias:true ~overflow_elim:true ~loop_unroll:true "max") )
   :: ("selective", Engine.default_config ~opt:Pipeline.all_on ~selective:true ())
   :: ("cache4", Engine.default_config ~opt:Pipeline.all_on ~cache_size:4 ())
+  :: ( "poly1",
+       Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+         ~cache_size:1 () )
+  :: ( "poly4",
+       Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+         ~cache_size:4 () )
   :: ("sccp", opt (Pipeline.make ~ps:true ~sccp:true ~li:true ~dce:true ~bce:true "sccp"))
   :: List.map (fun c -> (c.Pipeline.name, opt c)) Pipeline.figure9_configs
 

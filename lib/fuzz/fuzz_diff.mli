@@ -26,7 +26,8 @@ val run : Engine.config -> string -> string
 val default_configs : (string * Engine.config) list
 (** The interpreter-vs-everything matrix: baseline, best, a
     maximum-extensions configuration, the selective and 4-entry-cache
-    engine policies, the SCCP pipeline, and the ten Figure 9 columns. *)
+    engine policies, the polyvariant policy at cache sizes 1 and 4, the
+    SCCP pipeline, and the ten Figure 9 columns. *)
 
 val run_checked : Engine.config -> string -> (string, Diag.t) result
 (** Like {!run}, but with per-pass pipeline checks enabled for the

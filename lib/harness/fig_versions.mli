@@ -1,0 +1,24 @@
+(** The specialization-policy / version-count sweep on the synthetic
+    web-session trace: generic code, the paper's one-entry policy, and the
+    polyvariant version cache at sizes 1, 2 and 4, compared in model
+    cycles per site (google / facebook / twitter profiles). *)
+
+type cell = {
+  config_name : string;
+  total_cycles : int;
+  native_cycles : int;
+  compile_cycles : int;
+  compiles : int;
+  deopts : int;  (** §4 deoptimizations *)
+  widens : int;  (** polyvariant ladder steps (version-widen events) *)
+  promotions : int;  (** tier-2 promotions of still-hot generic binaries *)
+  seeded : int;  (** value keys covered by interprocedural signatures *)
+  blacklists : int;
+}
+
+type t = { site : string; cells : cell list }
+
+val run : ?seed:int -> unit -> t list
+(** Deterministic in [seed] (default 7, matching the code-size study). *)
+
+val print : t list -> unit

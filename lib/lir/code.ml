@@ -81,6 +81,11 @@ type t = {
   nslots : int;
   osr_offset : int option;
   specialized : bool;
+  widened : bool;  (* tag-keyed (widened polyvariant) version *)
+  mutable version : int;
+      (* per-function version-cache id, assigned by the engine at install
+         time under the polyvariant policy (0 = unversioned): the profiler
+         attributes native cycles per version through it *)
 }
 
 let size code = Array.length code.instrs

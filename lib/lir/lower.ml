@@ -276,4 +276,6 @@ let run (f : Mir.func) =
     nslots = 0;
     osr_offset = Option.map target f.Mir.osr_entry;
     specialized = f.Mir.specialized_args <> None;
+    widened = f.Mir.specialized_tags <> None;
+    version = 0;
   }

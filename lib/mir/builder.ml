@@ -53,6 +53,9 @@ type ctx = {
   spec_args : Value.t array option;
   arg_tags : Value.tag option array;
   emit_guards : bool;
+  known_globals : int option array;
+      (* global slot -> fid when the slot provably holds one fixed function
+         (see [Program.known_global_funcs]); [||] disables resolution *)
   block_of_pc : (int, int) Hashtbl.t;  (* leader pc -> Mir block id *)
   span_end : (int, int) Hashtbl.t;  (* leader pc -> one past last pc *)
   (* Incoming edges per leader pc, in arrival order: (pred block id, state). *)
@@ -199,7 +202,15 @@ let translate_instr ctx blk pc (st : bstate) (instr : Bytecode.Instr.t) =
       match const_of ctx callee with
       | Some (Value.Closure c) -> Mir.Call_known (c.Value.fid, callee, args)
       | Some (Value.Native_fun name) -> Mir.Call_native (name, args)
-      | _ -> Mir.Call (callee, args)
+      | _ -> (
+        (* A load from a write-once function global is a monomorphic call
+           site: keep the load (the callee value is what gets invoked) but
+           mark the instruction with the callee's identity. *)
+        match (Hashtbl.find ctx.f.Mir.defs callee).Mir.kind with
+        | Mir.Get_global i
+          when i < Array.length ctx.known_globals && ctx.known_globals.(i) <> None ->
+          Mir.Call_known (Option.get ctx.known_globals.(i), callee, args)
+        | _ -> Mir.Call (callee, args))
     in
     push st (emit ~rp:rpv kind)
   | Bytecode.Instr.Method_call (name, n) ->
@@ -436,12 +447,14 @@ let prune f =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_tags
-    ?osr ?(emit_guards = true) ?(no_checked_int = false) () =
+let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?spec_tags
+    ?arg_tags ?osr ?(emit_guards = true) ?(no_checked_int = false)
+    ?(known_globals = [||]) () =
   ignore program;
   let f = Mir.create_func func in
   f.Mir.specialized_args <- spec_args;
   f.Mir.specialized_mask <- spec_mask;
+  f.Mir.specialized_tags <- (if spec_args = None then spec_tags else None);
   (* Selective specialization: [spec_of i] is the constant to burn in for
      argument [i], or [None] when that argument stays a runtime parameter
      (either no specialization at all, or the mask excludes it). *)
@@ -455,6 +468,15 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
   let arg_tags =
     match arg_tags with Some t -> t | None -> Array.make func.arity None
   in
+  (* A tag-keyed (widened polyvariant) version burns in exactly the tags of
+     its key: every position gets an entry type barrier, which the abstract
+     interpreter may then elide because the cache probe compares the same
+     tags ([Absint.entry_state]). *)
+  let arg_tags =
+    match f.Mir.specialized_tags with
+    | Some tags -> Array.map Option.some tags
+    | None -> arg_tags
+  in
   let leaders = leaders_of func in
   let ctx =
     {
@@ -463,6 +485,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
       spec_args;
       arg_tags;
       emit_guards;
+      known_globals;
       block_of_pc = Hashtbl.create 16;
       span_end = Hashtbl.create 16;
       edges = Hashtbl.create 16;
@@ -497,7 +520,18 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?arg_ta
       Array.init func.arity (fun i ->
           match spec_of i with
           | Some v -> Mir.append f entry (Mir.Constant v)
-          | None -> Mir.append f entry (Mir.Parameter i))
+          | None ->
+            let d = Mir.append f entry (Mir.Parameter i) in
+            (* Tag-keyed version: the cache probe compared this position's
+               tag before dispatch, so the parameter's declared type may
+               carry it — the typed analogue of a burned-in [Constant].
+               The entry barrier's operand is then typed, which is what
+               lets guard elision remove the barrier. *)
+            (match f.Mir.specialized_tags with
+            | Some tags when i < Array.length tags ->
+              (Hashtbl.find f.Mir.defs d).Mir.ty <- Mir.ty_of_tag tags.(i)
+            | _ -> ());
+            d)
     in
     let s_args =
       Array.mapi

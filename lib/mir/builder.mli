@@ -27,19 +27,32 @@ val build :
   func:Bytecode.Program.func ->
   ?spec_args:Runtime.Value.t array ->
   ?spec_mask:bool array ->
+  ?spec_tags:Runtime.Value.tag array ->
   ?arg_tags:Runtime.Value.tag option array ->
   ?osr:osr_request ->
   ?emit_guards:bool ->
   ?no_checked_int:bool ->
+  ?known_globals:int option array ->
   unit ->
   Mir.func
 (** Build the MIR graph for [func]. [arg_tags] gives, per argument, the
     stable observed tag if any (ignored for specialized arguments).
+    [spec_tags] builds a widened (polyvariant) version: no values burn in,
+    but every argument gets an entry type barrier for its key tag, and
+    [Mir.specialized_tags] records the signature so the abstract
+    interpreter may assume (and elide) exactly what the tag-keyed cache
+    probe establishes. Ignored when [spec_args] is present.
     [spec_mask] enables selective specialization: arguments whose mask
     entry is [false] stay runtime [Parameter]s (with their type barrier,
     if a stable tag is known) even when [spec_args] is present — the
     engine uses this to specialize only arguments that were observed
     value-stable. Omitted mask = specialize everything.
+    [known_globals] (from {!Bytecode.Program.known_global_funcs}) lets the
+    builder lower a call through a write-once function global as
+    [Call_known] — the callee value is still loaded and invoked, but the
+    call site carries the callee's identity, which is what makes
+    interprocedural argument facts observable. Default [[||]]: no
+    resolution (the pre-policy lowering, byte for byte).
     [emit_guards:false] (used when building bodies for inlining) forces
     generic, guard-free element accesses, because inlined code has no
     resume points to bail through. [no_checked_int:true] records overflow

@@ -134,6 +134,10 @@ type func = {
   mutable specialized_mask : bool array option;
       (* selective specialization: which positions of [specialized_args] are
          burned in (None = all of them) *)
+  mutable specialized_tags : Value.tag array option;
+      (* widened (polyvariant) version: only the runtime type tags of the
+         arguments are burned in; the cache probe compares tags, so the
+         entry state may assume them (and elide the entry barriers) *)
   mutable no_checked_int : bool;
       (* overflow feedback: a previous binary of this function bailed on an
          int32 overflow guard, so arithmetic compiles on the double path *)
@@ -164,6 +168,7 @@ let create_func source =
     def_block = Hashtbl.create 64;
     specialized_args = None;
     specialized_mask = None;
+    specialized_tags = None;
     no_checked_int = false;
     cur_pc = 0;
     cur_pass = "build";

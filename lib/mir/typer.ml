@@ -22,8 +22,10 @@ let transfer ~checked_int_ok lookup (instr : Mir.instr) : aty =
   let t d = lookup d in
   let can_guard = checked_int_ok && instr.Mir.rp <> None in
   match instr.Mir.kind with
-  | Mir.Parameter _ -> Some Mir.Ty_value
-  (* Osr_value types were fixed by the builder from the actual frame. *)
+  (* Parameter and Osr_value types were fixed by the builder: Ty_value
+     normally, the key's tag type for a tag-keyed (widened) version, the
+     actual frame's types for OSR. *)
+  | Mir.Parameter _ -> Some instr.Mir.ty
   | Mir.Osr_value _ -> Some instr.Mir.ty
   | Mir.Constant v -> Some (Mir.ty_of_value v)
   | Mir.Phi ops -> Array.fold_left (fun acc d -> join acc (t d)) None ops

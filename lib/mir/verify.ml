@@ -207,8 +207,7 @@ let check_types ?pass (f : Mir.func) =
   let lookup d = Hashtbl.find_opt state d in
   let transfer (i : Mir.instr) =
     match i.Mir.kind with
-    | Mir.Parameter _ -> Some Mir.Ty_value
-    | Mir.Osr_value _ -> Some i.Mir.ty  (* fixed by the builder *)
+    | Mir.Parameter _ | Mir.Osr_value _ -> Some i.Mir.ty  (* fixed by the builder *)
     | Mir.Phi ops ->
       Array.fold_left
         (fun acc d ->

@@ -22,12 +22,14 @@ type tier =
   | T_interp  (* bytecode interpretation *)
   | T_native_gen  (* generic (unspecialized) native code *)
   | T_native_spec  (* value-specialized native code *)
+  | T_native_widened  (* tag-specialized (widened polyvariant) native code *)
   | T_compile  (* the JIT itself: pipeline + codegen *)
 
 let tier_to_string = function
   | T_interp -> "interp"
   | T_native_gen -> "native-gen"
   | T_native_spec -> "native-spec"
+  | T_native_widened -> "native-widened"
   | T_compile -> "compile"
 
 (* What kind of work the cycle paid for — the guard/ALU/memory split the
@@ -105,6 +107,9 @@ type key = {
   k_pass : string;
   k_tier : tier;
   k_cat : category;
+  k_ver : int;
+      (* version-cache id of the charging binary (polyvariant policy);
+         0 = unversioned, so paper-policy cells are unchanged *)
 }
 
 type cell = { mutable c_cycles : int; mutable c_count : int }
@@ -127,7 +132,11 @@ module Recorder = struct
      array, classify by opcode, bucket by the binary's tier. *)
   let exec_hook r (code : Code.t) pc cycles =
     let org = code.Code.origins.(pc) in
-    let tier = if code.Code.specialized then T_native_spec else T_native_gen in
+    let tier =
+      if code.Code.widened then T_native_widened
+      else if code.Code.specialized then T_native_spec
+      else T_native_gen
+    in
     note r
       {
         k_fid = org.Mir.o_fid;
@@ -135,6 +144,7 @@ module Recorder = struct
         k_pass = org.Mir.o_pass;
         k_tier = tier;
         k_cat = category_of_ninstr code.Code.instrs.(pc);
+        k_ver = code.Code.version;
       }
       cycles
 
@@ -150,6 +160,7 @@ module Recorder = struct
         k_pass = "bytecode";
         k_tier = T_interp;
         k_cat = category_of_bytecode func.Bytecode.Program.code.(pc);
+        k_ver = 0;
       }
       Cost.interp_per_instr
 
@@ -159,7 +170,14 @@ module Recorder = struct
      after charging, so attribution stays exact under faults. *)
   let note_compile r ~fid ~stage cycles =
     note r
-      { k_fid = fid; k_pc = -1; k_pass = stage; k_tier = T_compile; k_cat = C_compile }
+      {
+        k_fid = fid;
+        k_pc = -1;
+        k_pass = stage;
+        k_tier = T_compile;
+        k_cat = C_compile;
+        k_ver = 0;
+      }
       cycles
 
   let fname r fid = r.program.Bytecode.Program.funcs.(fid).Bytecode.Program.name
@@ -193,6 +211,7 @@ module Recorder = struct
     fs_interp : int;
     fs_native_gen : int;
     fs_native_spec : int;
+    fs_native_widened : int;
     fs_compile : int;
     fs_guard : int;
     fs_alu : int;
@@ -219,6 +238,7 @@ module Recorder = struct
                   fs_interp = 0;
                   fs_native_gen = 0;
                   fs_native_spec = 0;
+                  fs_native_widened = 0;
                   fs_compile = 0;
                   fs_guard = 0;
                   fs_alu = 0;
@@ -238,9 +258,15 @@ module Recorder = struct
           | T_interp -> { v with fs_interp = v.fs_interp + c.c_cycles }
           | T_native_gen -> { v with fs_native_gen = v.fs_native_gen + c.c_cycles }
           | T_native_spec -> { v with fs_native_spec = v.fs_native_spec + c.c_cycles }
+          | T_native_widened ->
+            { v with fs_native_widened = v.fs_native_widened + c.c_cycles }
           | T_compile -> { v with fs_compile = v.fs_compile + c.c_cycles }
         in
-        let native = k.k_tier = T_native_gen || k.k_tier = T_native_spec in
+        let native =
+          match k.k_tier with
+          | T_native_gen | T_native_spec | T_native_widened -> true
+          | T_interp | T_compile -> false
+        in
         let v =
           if not native then v
           else
@@ -271,9 +297,12 @@ module Recorder = struct
         let n =
           Hashtbl.fold
             (fun k c acc ->
-              if (k.k_tier = T_native_gen || k.k_tier = T_native_spec) && k.k_cat = cat
-              then acc + c.c_cycles
-              else acc)
+              let native =
+                match k.k_tier with
+                | T_native_gen | T_native_spec | T_native_widened -> true
+                | T_interp | T_compile -> false
+              in
+              if native && k.k_cat = cat then acc + c.c_cycles else acc)
             r.cells 0
         in
         (cat, n))
@@ -287,9 +316,15 @@ module Recorder = struct
     let tbl = Hashtbl.create 64 in
     Hashtbl.iter
       (fun k c ->
+        (* The version suffix appears only on versioned cells (polyvariant
+           policy), so paper-policy folded output is byte-identical. *)
+        let tier_frame =
+          if k.k_ver > 0 then Printf.sprintf "%s#v%d" (tier_to_string k.k_tier) k.k_ver
+          else tier_to_string k.k_tier
+        in
         let stack =
-          Printf.sprintf "%s;%s;%s;%s" (fname r k.k_fid) (tier_to_string k.k_tier)
-            k.k_pass (category_to_string k.k_cat)
+          Printf.sprintf "%s;%s;%s;%s" (fname r k.k_fid) tier_frame k.k_pass
+            (category_to_string k.k_cat)
         in
         let prev = Option.value (Hashtbl.find_opt tbl stack) ~default:0 in
         Hashtbl.replace tbl stack (prev + c.c_cycles))
@@ -313,11 +348,12 @@ module Recorder = struct
       (fun s ->
         if !shown < top then begin
           incr shown;
-          let native = s.fs_native_gen + s.fs_native_spec in
+          let native = s.fs_native_gen + s.fs_native_spec + s.fs_native_widened in
           let pct n = if native = 0 then 0. else 100. *. float_of_int n /. float_of_int native in
           Buffer.add_string buf
             (Printf.sprintf "%-20s %12d %10d %11d %12d %9d | %5.1f %5.1f %5.1f\n"
-               s.fs_name s.fs_total s.fs_interp s.fs_native_gen s.fs_native_spec
+               s.fs_name s.fs_total s.fs_interp s.fs_native_gen
+               (s.fs_native_spec + s.fs_native_widened)
                s.fs_compile (pct s.fs_guard) (pct s.fs_alu) (pct s.fs_mem))
         end)
       summaries;

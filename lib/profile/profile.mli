@@ -18,6 +18,8 @@ type tier =
   | T_interp  (** bytecode interpretation *)
   | T_native_gen  (** generic (unspecialized) native code *)
   | T_native_spec  (** value-specialized native code *)
+  | T_native_widened
+      (** tag-specialized native code: a widened polyvariant version *)
   | T_compile  (** the JIT itself: pipeline + codegen *)
 
 val tier_to_string : tier -> string
@@ -44,6 +46,9 @@ type key = {
   k_pass : string;  (** producing stage: ["build"], a pass name, ["bytecode"]… *)
   k_tier : tier;
   k_cat : category;
+  k_ver : int;
+      (** version-cache id of the charging binary under the polyvariant
+          policy; [0] = unversioned (paper policy, interpreter, compile) *)
 }
 (** One attribution cell's identity. *)
 
@@ -86,6 +91,7 @@ module Recorder : sig
     fs_interp : int;
     fs_native_gen : int;
     fs_native_spec : int;
+    fs_native_widened : int;
     fs_compile : int;
     fs_guard : int;  (** category fields cover the native tiers only *)
     fs_alu : int;

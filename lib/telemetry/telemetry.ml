@@ -102,6 +102,14 @@ type event =
       bytes : int;  (* bytes reclaimed *)
       in_use : int;  (* cache bytes in use after the eviction *)
     }
+  | Version_widen of {
+      fid : int;
+      fname : string;
+      index : int;  (* the widened version's position (MRU-first) *)
+      from_key : string;  (* display form of the key it had *)
+      to_key : string;  (* display form of the replacement key *)
+      entries : int;  (* cache entries before the widening *)
+    }
 
 let event_fid = function
   | Compile_start { fid; _ }
@@ -117,7 +125,8 @@ let event_fid = function
   | Guard_elided { fid; _ }
   | Compile_abort { fid; _ }
   | Quarantine { fid; _ }
-  | Cache_evict { fid; _ } -> fid
+  | Cache_evict { fid; _ }
+  | Version_widen { fid; _ } -> fid
 
 let event_fname = function
   | Compile_start { fname; _ }
@@ -133,7 +142,8 @@ let event_fname = function
   | Guard_elided { fname; _ }
   | Compile_abort { fname; _ }
   | Quarantine { fname; _ }
-  | Cache_evict { fname; _ } -> fname
+  | Cache_evict { fname; _ }
+  | Version_widen { fname; _ } -> fname
 
 let event_kind = function
   | Compile_start _ -> "compile_start"
@@ -150,6 +160,7 @@ let event_kind = function
   | Compile_abort _ -> "compile_abort"
   | Quarantine _ -> "quarantine"
   | Cache_evict _ -> "cache_evict"
+  | Version_widen _ -> "version_widen"
 
 let deopt_reason_to_string = function
   | Arg_mismatch -> "arg_mismatch"
@@ -221,6 +232,9 @@ let to_string ev =
         backoff_calls
   | Cache_evict { bytes; in_use; _ } ->
     Printf.sprintf "cache-evict   %s %d bytes freed (%d in use)" site bytes in_use
+  | Version_widen { index; from_key; to_key; entries; _ } ->
+    Printf.sprintf "version-widen %s entry %d of %d: %s -> %s" site index entries
+      from_key to_key
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled; no json dependency in the image)       *)
@@ -351,6 +365,9 @@ let to_json ev =
         ("permanent", jbool permanent) ]
     | Cache_evict { bytes; in_use; _ } ->
       [ ("bytes", string_of_int bytes); ("in_use", string_of_int in_use) ]
+    | Version_widen { index; from_key; to_key; entries; _ } ->
+      [ ("index", string_of_int index); ("from", jstr from_key);
+        ("to", jstr to_key); ("entries", string_of_int entries) ]
   in
   json_obj (base @ extra)
 
@@ -481,6 +498,11 @@ module Key = struct
   let pins = "quarantines.pinned"
   let storms = "deopt.storms"
   let cache_evictions = "cache.evictions"
+  let versions_widened = "versions.widened"
+  let versions_promoted = "versions.promoted"
+  let compiles_widened = "compiles.widened"
+  let interpro_facts = "interpro.facts"
+  let interpro_seeded = "interpro.seeded"
 end
 
 module Counters = struct

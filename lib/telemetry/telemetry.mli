@@ -114,6 +114,16 @@ type event =
       bytes : int;  (** bytes reclaimed *)
       in_use : int;  (** cache bytes in use after the eviction *)
     }
+  | Version_widen of {
+      fid : int;
+      fname : string;
+      index : int;  (** the widened version's position (MRU-first) *)
+      from_key : string;  (** display form of the key it had *)
+      to_key : string;  (** display form of the replacement key *)
+      entries : int;  (** cache entries before the widening *)
+    }
+      (** polyvariant policy: a version was replaced by a one-step-wider
+          one (values → tags, tags → generic) instead of being discarded *)
 
 val event_fid : event -> int
 val event_fname : event -> string
@@ -233,6 +243,24 @@ module Key : sig
 
   val cache_evictions : string
   (** binaries evicted by the code-cache byte budget *)
+
+  val versions_widened : string
+  (** polyvariant ladder steps: versions replaced by a wider key *)
+
+  val versions_promoted : string
+  (** tier-2 promotions: specialized versions compiled alongside a
+      still-hot function's generic catch-all *)
+
+  val compiles_widened : string
+  (** compilations of tag-keyed (widened) versions *)
+
+  val interpro_facts : string
+  (** constant argument signatures recorded at monomorphic call sites of
+      compiled callers (attributed to the callee) *)
+
+  val interpro_seeded : string
+  (** value-specialization decisions covered by an interprocedural
+      constant signature *)
 end
 
 (** Named monotonic counters, per-function and global. A per-function

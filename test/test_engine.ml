@@ -310,6 +310,69 @@ let test_closure_specialization_per_instance () =
   in
   Alcotest.(check string) "closure environments respected" "461\n" out
 
+(* Regression: the global-LRU clock. A probe that rejects an entry (the
+   entry was examined but did not match the arguments) must not refresh
+   that entry's [last_use]; only hits and installs may. Pinned with an
+   exact two-victim eviction schedule: under the polyvariant policy,
+   [f] and [g] each hold a generic catch-all plus a promoted value
+   version, the call order below arranges the LRU order
+   [f-generic; g-values; f-values; g-generic], and a byte budget sized
+   from a first unbounded run forces exactly two evictions when [h]
+   compiles. If rejected probes refreshed [last_use], the g(77) calls —
+   which probe g's value version and reject it before hitting the
+   catch-all — would keep that version young, and the second victim
+   would belong to [f] instead of [g]. *)
+let lru_schedule_src =
+  "function f(x) { return x + 1; }\n\
+   function g(x) { return x + 2; }\n\
+   function h(x) { return x + 3; }\n\
+   var t = 0;\n\
+   for (var i = 0; i < 30; i++) t += f(5);\n\
+   for (var i = 0; i < 30; i++) t += g(5);\n\
+   for (var i = 0; i < 3; i++) t += f(5);\n\
+   for (var i = 0; i < 5; i++) t += g(77);\n\
+   for (var i = 0; i < 15; i++) t += h(1);\n\
+   print(t);"
+
+let test_lru_missing_probe_no_refresh () =
+  let cfg budget =
+    {
+      (Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+         ~cache_size:2 ~code_cache_bytes:budget ())
+      with
+      (* No toplevel OSR: only f, g and h may own binaries. *)
+      Engine.hot_loop_edges = max_int;
+    }
+  in
+  (* Pass 1, unbounded: harvest every binary's size. Compile order is
+     [f generic; f values (promoted); g generic; g values; h generic]. *)
+  let report, out = run ~cfg:(cfg 0) lru_schedule_src in
+  let bytes_of name =
+    List.map
+      (fun (_, size) -> size * Cost.bytes_per_native_instr)
+      (fn report name).Engine.fr_sizes
+  in
+  match (bytes_of "f", bytes_of "g", bytes_of "h") with
+  | ([ f_gen; _ ] as f_sizes), ([ _; g_val ] as g_sizes), [ h_gen ] ->
+    (* Once [h] wants in, evicting the oldest binary (f's generic) must
+       not suffice; the next-oldest (g's value version) tips it over. *)
+    let total = List.fold_left ( + ) 0 (f_sizes @ g_sizes @ [ h_gen ]) in
+    let budget = total - f_gen - g_val in
+    let evicted = ref [] in
+    let sink = function
+      | Telemetry.Cache_evict { fname; _ } -> evicted := fname :: !evicted
+      | _ -> ()
+    in
+    let _, out2 =
+      Telemetry.with_default_sinks [ sink ] (fun () ->
+          run ~cfg:(cfg budget) lru_schedule_src)
+    in
+    Alcotest.(check string) "bounded run computes the same result" out out2;
+    Alcotest.(check (list string))
+      "victims oldest-first; g's rejected probes did not refresh its value version"
+      [ "f"; "g" ] (List.rev !evicted)
+  | _ -> Alcotest.fail "unexpected compile schedule in unbounded pass"
+
 (* Internal-consistency invariants of the engine report, over generated
    programs: counters that are maintained in different places must agree,
    and the whole accounting must be deterministic. *)
@@ -376,6 +439,8 @@ let suites =
           test_selective_narrows_then_settles;
         Alcotest.test_case "selective all-varying goes generic" `Quick
           test_selective_all_varying_goes_generic;
+        Alcotest.test_case "LRU: rejected probes do not refresh last_use" `Quick
+          test_lru_missing_probe_no_refresh;
         QCheck_alcotest.to_alcotest ~long:false prop_report_invariants;
         Alcotest.test_case "deterministic accounting" `Quick test_engine_determinism;
       ] );

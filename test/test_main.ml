@@ -8,5 +8,5 @@ let () =
    @ Test_interp.suites @ Test_mir.suites @ Test_opt.suites @ Test_backend.suites
    @ Test_lower.suites @ Test_eval.suites @ Test_engine.suites @ Test_workloads.suites
    @ Test_fuzz.suites @ Test_harness.suites @ Test_analysis.suites @ Test_absint.suites
-   @ Test_telemetry.suites @ Test_faults.suites @ Test_parallel.suites
+   @ Test_telemetry.suites @ Test_policy.suites @ Test_faults.suites @ Test_parallel.suites
    @ Test_profile.suites)

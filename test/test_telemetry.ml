@@ -235,6 +235,61 @@ let test_strikes_are_per_binary () =
   | Telemetry.Cache_hit _ -> ()
   | e -> Alcotest.fail ("last event should be a cache hit, got " ^ Telemetry.event_kind e))
 
+let test_strikes_per_binary_polyvariant () =
+  (* The per-binary strike regression, re-pinned on the polyvariant path
+     with cache_size > 1: a healthy promoted value version, the generic
+     catch-all, and a bailing value version that is re-promoted after each
+     strike-out. Every [max_bailouts]-th in-body bailout discards only its
+     own version — the healthy sibling and the catch-all survive to the
+     end, and none of it costs the function its specialization rights. *)
+  let ring = Telemetry.Ring.create 4096 in
+  let cfg =
+    {
+      (Engine.default_config ~opt:ps_only ~policy:Policy.Polyvariant
+         ~cache_size:3 ()) with
+      Engine.max_bailouts = 3;
+    }
+  in
+  let engine, report, out =
+    run ~cfg ~sinks:[ Telemetry.Ring.sink ring ]
+      "function f(s, i) { return s[i]; }\n\
+       var a = [1, 2, 3, 4];\n\
+       var t = 0;\n\
+       for (var k = 0; k < 30; k++) t = (t + f(a, 1)) | 0;\n\
+       for (var k = 0; k < 8; k++) { f(a, 5); t = (t + f(a, 1)) | 0; }\n\
+       print(t);"
+  in
+  Alcotest.(check string) "result" "76\n" out;
+  let events = Array.of_list (events_of ring "f") in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Telemetry.Deopt { reason = Telemetry.Strike_limit; _ } -> (
+        match events.(i - 1) with
+        | Telemetry.Bailout { strikes; _ } ->
+          Alcotest.(check int) "own binary at its limit" 3 strikes
+        | _ -> Alcotest.fail "strike deopt not preceded by its bailout")
+      | _ -> ())
+    events;
+  let c = Telemetry.counters (Engine.telemetry engine) in
+  let fid = (fn report "f").Engine.fr_fid in
+  let get key = Telemetry.Counters.get c ~fid key in
+  (* Tier-1 generic at call 10; values(a,1) promoted at call 30; then each
+     f(a,5) call either bails its live values(a,5) binary or — right after
+     a strike-out — re-promotes a fresh one off a generic cache hit.
+     Per-binary striking: discards at bails 3 and 6 only. *)
+  Alcotest.(check int) "compiles" 5 (get Telemetry.Key.compiles);
+  Alcotest.(check int) "bailouts" 8 (get Telemetry.Key.bailouts);
+  Alcotest.(check int) "strike discards" 2 (get Telemetry.Key.strike_discards);
+  Alcotest.(check int) "promotions" 4 (get Telemetry.Key.versions_promoted);
+  Alcotest.(check int) "no §4 deopt" 0 (get Telemetry.Key.deopts);
+  Alcotest.(check bool) "not reported deoptimized" false
+    (fn report "f").Engine.fr_deoptimized;
+  (* The healthy value version kept serving to the end. *)
+  match events.(Array.length events - 1) with
+  | Telemetry.Cache_hit _ -> ()
+  | e -> Alcotest.fail ("last event should be a cache hit, got " ^ Telemetry.event_kind e)
+
 let test_entry_bail_is_a_deopt () =
   (* Regression: an entry-guard failure on a specialized binary is a §4
      deoptimization — the probe admitted the call, the entry type barrier
@@ -452,6 +507,8 @@ let suites =
           test_strike_limit_is_exact;
         Alcotest.test_case "strikes are per binary (regression)" `Quick
           test_strikes_are_per_binary;
+        Alcotest.test_case "strikes per binary under polyvariant cache" `Quick
+          test_strikes_per_binary_polyvariant;
         Alcotest.test_case "entry bail counts as deopt (regression)" `Quick
           test_entry_bail_is_a_deopt;
       ] );
