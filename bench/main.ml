@@ -289,6 +289,23 @@ let engine_benches =
     ("bounds_hotloop_spec", cfg_of Pipeline.all_on, bounds_hotloop_member);
   ]
 
+(* Service-layer soaks: the forced-overload smoke scenario (bounded queue,
+   deadlines, poison tenants, chaos plans) once per policy. Wall-clock
+   measures the whole service simulation; the deterministic model-cycle
+   companion recorded in BENCH_wall.json is the run's makespan — the
+   service-level figure check-model pins, so a silent shift in admission,
+   deadline or backoff accounting shows up as drift. *)
+let serve_benches =
+  [
+    ( "serve_soak_paper",
+      fun () ->
+        { (Serve.smoke_config ()) with
+          Serve.engine = Engine.default_config ~opt:Pipeline.all_on () } );
+    ("serve_soak_poly", fun () -> Serve.smoke_config ());
+  ]
+
+let serve_makespan cfg = (Serve.run cfg).Serve.sm_makespan
+
 (* Dispatch ablation: the interpreter alone on a hot arithmetic loop — the
    series the dispatch overhaul (exception-based loop exit, unsafe in-bounds
    code fetch, allocation-free operand handling) is measured by. *)
@@ -303,6 +320,10 @@ let wall_tests () =
   Test.make_grouped ~name:"vs" ~fmt:"%s.%s"
     ((* One wall-clock series per paper artifact family. *)
      List.map (fun (name, cfg, m) -> engine_test name cfg m) engine_benches
+    @ List.map
+        (fun (name, cfg) ->
+          Test.make ~name (Staged.stage (fun () -> ignore (Serve.run (cfg ())))))
+        serve_benches
     @ [
         Test.make ~name:"interp_dispatch_hotloop"
           (Staged.stage (fun () ->
@@ -329,6 +350,7 @@ let wall_tests () =
 let write_wall_json rows =
   let model_cycles =
     List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
+    @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_makespan (cfg ()))) serve_benches
   in
   let oc = open_out "BENCH_wall.json" in
   output_string oc "{\n  \"schema\": \"vs-bench-wall/1\",\n  \"benches\": [\n";
@@ -441,20 +463,22 @@ let check_model () =
     exit 1
   end;
   let committed = parse_wall_json path in
+  let current_rows =
+    List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
+    @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_makespan (cfg ()))) serve_benches
+  in
   let drifted =
     List.filter_map
-      (fun (name, cfg, m) ->
-        let name = "vs." ^ name in
-        let current = cycles cfg m in
+      (fun (name, current) ->
         match List.assoc_opt name committed with
         | Some (Some c) when c = current -> None
         | Some (Some c) -> Some (name, string_of_int c, current)
         | Some None | None -> Some (name, "absent", current))
-      engine_benches
+      current_rows
   in
   match drifted with
   | [] ->
-    Printf.printf "check-model: %d benches match %s\n" (List.length engine_benches) path
+    Printf.printf "check-model: %d benches match %s\n" (List.length current_rows) path
   | _ ->
     Printf.eprintf "check-model: model cycles drifted from %s:\n" path;
     List.iter

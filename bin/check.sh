@@ -34,6 +34,9 @@ dune build @parallel
 echo "== dune build @profile (attribution balance + trace-event export) =="
 dune build @profile
 
+echo "== dune build @serve (overload smoke: invariants + --jobs determinism) =="
+dune build @serve
+
 echo "== bench check-model (model cycles vs committed BENCH_wall.json) =="
 dune exec bench/main.exe -- check-model
 

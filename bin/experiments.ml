@@ -12,7 +12,7 @@
 let known =
   [
     "fig1"; "fig2"; "fig3"; "fig4"; "fig9"; "fig10"; "attrib"; "policy"; "recomp";
-    "versions";
+    "versions"; "serve";
   ]
 
 let run_one name =
@@ -30,6 +30,7 @@ let run_one name =
   (* Not in the default [all] list: the default output predates the policy
      layer and stays byte-identical to it. *)
   | "versions" -> Fig_versions.print (Fig_versions.run ())
+  | "serve" -> Fig_serve.print (Fig_serve.run ())
   | other ->
     Printf.eprintf "unknown experiment %S (known: %s)\n" other (String.concat " " known);
     exit 2

@@ -1,0 +1,90 @@
+(* vs-serve: the multi-tenant VM service simulator.
+
+     vs-serve                          # a default steady-load run
+     vs-serve --smoke                  # the CI overload scenario + invariants
+     vs-serve --capacity 4 --deadline 120000 --chaos 7 --crash 0.08
+     vs-serve --smoke --jobs 4         # same bytes as --jobs 1
+
+   Every quantity is in deterministic model cycles; the summary is
+   byte-identical at any --jobs (the @serve gate diffs 4 vs 1). --smoke
+   runs the forced-overload chaos scenario and exits 1 if any service
+   invariant is violated (a supervisor escape, nothing shed, no deadline
+   ever firing, ...). *)
+
+let () =
+  let isolates = ref 2 in
+  let requests = ref 80 in
+  let tenants = ref 6 in
+  let capacity = ref 0 in
+  let queue_deadline = ref 0 in
+  let deadline = ref 0 in
+  let retries = ref 2 in
+  let backoff = ref 2_000 in
+  let overload = ref 0 in
+  let gap = ref 30_000 in
+  let crash = ref 0.0 in
+  let seed = ref 1 in
+  let chaos = ref (-1) in
+  let policy = ref "paper" in
+  let cache_size = ref 1 in
+  let smoke = ref false in
+  let counters = ref true in
+  let specs =
+    [
+      ("--isolates", Arg.Set_int isolates, "N isolates (default 2)");
+      ("--requests", Arg.Set_int requests, "N requests (default 80)");
+      ("--tenants", Arg.Set_int tenants, "N tenants (default 6)");
+      ("--capacity", Arg.Set_int capacity, "N run-queue bound; 0 = unbounded");
+      ( "--queue-deadline",
+        Arg.Set_int queue_deadline,
+        "CYCLES max queue wait; 0 = none" );
+      ("--deadline", Arg.Set_int deadline, "CYCLES per-attempt engine budget; 0 = none");
+      ("--retries", Arg.Set_int retries, "N retries after a supervised fault (default 2)");
+      ("--backoff", Arg.Set_int backoff, "CYCLES base retry backoff (default 2000)");
+      ("--overload", Arg.Set_int overload, "DEPTH queue depth that degrades; 0 = never");
+      ("--gap", Arg.Set_int gap, "CYCLES mean inter-arrival gap (default 30000)");
+      ("--crash", Arg.Set_float crash, "FRACTION of poison requests (default 0)");
+      ("--seed", Arg.Set_int seed, "N request-stream seed (default 1)");
+      ("--chaos", Arg.Set_int chaos, "SEED per-request fault plans; unset = none");
+      ("--policy", Arg.Set_string policy, "paper|polyvariant (default paper)");
+      ("--cache-size", Arg.Set_int cache_size, "N versions per function (default 1)");
+      ("--no-counters", Arg.Clear counters, " omit the counter rows");
+      ("--smoke", Arg.Set smoke, " run the CI overload scenario and check invariants");
+      ("--jobs", Arg.Int Pool.set_default_jobs, "N pool size (default 1)");
+    ]
+  in
+  Arg.parse specs
+    (fun a ->
+      Printf.eprintf "unexpected argument %S\n" a;
+      exit 2)
+    "vs-serve [options]";
+  let cfg =
+    if !smoke then Serve.smoke_config ()
+    else begin
+      let kind =
+        match Policy.kind_of_string !policy with
+        | Some k -> k
+        | None ->
+          Printf.eprintf "unknown policy %S (paper|polyvariant)\n" !policy;
+          exit 2
+      in
+      Serve.default_config ~isolates:!isolates ~requests:!requests ~tenants:!tenants
+        ~capacity:!capacity ~queue_deadline:!queue_deadline ~deadline:!deadline
+        ~retries:!retries ~backoff:!backoff ~overload_depth:!overload ~mean_gap:!gap
+        ~crash_fraction:!crash ~seed:!seed
+        ?chaos:(if !chaos < 0 then None else Some !chaos)
+        ~engine:
+          (Engine.default_config ~opt:Pipeline.all_on ~policy:kind
+             ~cache_size:!cache_size ())
+        ()
+    end
+  in
+  let summary = Serve.run cfg in
+  Serve.print_summary ~counters:!counters stdout cfg summary;
+  if !smoke then begin
+    match Serve.smoke_check summary with
+    | Ok () -> print_endline "smoke: all service invariants hold"
+    | Error problems ->
+      List.iter (fun p -> Printf.eprintf "smoke: %s\n" p) problems;
+      exit 1
+  end

@@ -2,6 +2,12 @@ open Runtime
 
 exception Runtime_error of string
 
+(* A cooperative deadline expired mid-dispatch. Carries where it tripped
+   and the budget arithmetic; the service layer converts it into a clean
+   request failure. Never raised when [config.deadline] is 0. *)
+exception
+  Deadline_exceeded of { dl_fid : int; dl_pc : int; dl_spent : int; dl_limit : int }
+
 type config = {
   opt : Pipeline.config;
   jit : bool;
@@ -15,11 +21,12 @@ type config = {
   storm_threshold : int;
   code_cache_bytes : int;
   max_depth : int;
+  deadline : int;
 }
 
 let default_config ?(opt = Pipeline.baseline) ?(policy = Policy.Paper) ?(cache_size = 1)
     ?(selective = false) ?(code_cache_bytes = 0) ?(max_depth = Interp.default_max_depth)
-    () =
+    ?(deadline = 0) () =
   {
     opt;
     jit = true;
@@ -33,6 +40,7 @@ let default_config ?(opt = Pipeline.baseline) ?(policy = Policy.Paper) ?(cache_s
     code_cache_bytes;
     max_depth;
     policy;
+    deadline;
   }
 
 let interp_only = { (default_config ()) with jit = false }
@@ -140,6 +148,10 @@ type t = {
   known_globals : int option array;
       (* write-once function globals (polyvariant only; [||] under the
          paper policy, which keeps its call lowering byte-identical) *)
+  degrade : bool ref;
+      (* overload degrade mode (service layer): while set, new compiles
+         shed specialization — quick generic baseline binaries only.
+         Installed binaries keep serving; false in every standalone run. *)
 }
 
 type func_report = {
@@ -214,9 +226,12 @@ let make engine_config program =
       (if engine_config.policy = Policy.Polyvariant then
          Bytecode.Program.known_global_funcs program
        else [||]);
+    degrade = ref false;
   }
 
 let telemetry t = t.tel
+let set_degrade t on = t.degrade := on
+let degraded t = !(t.degrade)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry plumbing                                                  *)
@@ -236,6 +251,14 @@ let fname t fid = t.program.Bytecode.Program.funcs.(fid).Bytecode.Program.name
 let now t =
   (t.istate.Interp.icount * Cost.interp_per_instr)
   + !(t.native_cycles) + !(t.compile_cycles)
+
+(* The model-cycle clock and its tier split, exposed for the service
+   layer: per-request latency and warm/cold tail attribution are clock
+   deltas around each request run on a long-lived engine. *)
+let clock = now
+
+let cycle_split t =
+  (t.istate.Interp.icount * Cost.interp_per_instr, !(t.native_cycles), !(t.compile_cycles))
 
 let span_begin t ~name ~cat fid =
   match t.tracer with
@@ -385,8 +408,12 @@ let as_entry t fs args =
   else
     Array.init arity (fun i -> if i < Array.length args then args.(i) else Value.Undefined)
 
-(* The policy's read-only projection of this function's JIT state. *)
-let want_specialize t fs = t.cfg.opt.Pipeline.param_spec && not fs.no_specialize
+(* The policy's read-only projection of this function's JIT state. Under
+   overload degrade mode specialization is shed outright: the view says
+   "don't specialize", so [choose_hot]/[promote]/OSR all pick generic
+   keys, without touching the sticky per-function blacklist bit. *)
+let want_specialize t fs =
+  t.cfg.opt.Pipeline.param_spec && (not fs.no_specialize) && not !(t.degrade)
 
 let policy_view t fs =
   {
@@ -471,6 +498,10 @@ let compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () =
       ~specialized:(spec_args <> None || spec_tags <> None)
       ~size:(Array.length func.Bytecode.Program.code)
   in
+  (* Overload tier: while the service layer has the engine degraded, every
+     new compile takes the quick baseline schedule regardless of policy —
+     specialization is shed before requests are. *)
+  let opt = if !(t.degrade) then Policy.overload_opt opt else opt in
   let pass_stats = Pipeline.apply ~program:t.program opt mir in
   (* The optimizer's work is paid for as soon as it happened — an abort
      below (a diagnostic or an injected fault) still charges it, which is
@@ -530,6 +561,7 @@ let compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () =
     code.Code.version <- fs.next_version
   end;
   bump t fs Telemetry.Key.compiles;
+  if !(t.degrade) then bump t fs Telemetry.Key.compiles_degraded;
   if specialized then bump t fs Telemetry.Key.compiles_specialized;
   if spec_tags <> None then bump t fs Telemetry.Key.compiles_widened;
   if is_osr then bump t fs Telemetry.Key.compiles_osr;
@@ -861,8 +893,12 @@ and call_closure_at_depth t (c : Value.closure) args =
          argument set to the positions still observed stable (sticky, so
          the narrowing terminates in at most [arity] recompiles). A
          quarantined function keeps its binaries but does not recompile:
-         the miss just interprets. *)
-      if not (can_compile t fs) then interpret t func ~upvals:c.Value.env ~args
+         the miss just interprets. A degraded engine does the same — a
+         miss under overload must not deopt, blacklist or widen state
+         that was healthy before the overload, so the warm cache comes
+         back intact when the queue drains. *)
+      if (not (can_compile t fs)) || !(t.degrade) then
+        interpret t func ~upvals:c.Value.env ~args
       else begin
         match Policy.on_miss t.cfg.policy (policy_view t fs) ~args with
         | Policy.Miss_respecialize ->
@@ -925,6 +961,16 @@ and widen_version t fs index args =
     match Policy.widen victim.key (as_entry t fs args) with
     | None -> None (* generic already; unreachable: generic keys never miss *)
     | Some wider ->
+      (* Chaos layer: an injected widening failure quarantines the
+         function with the cache left untouched — no detach, no
+         [Version_widen] event — so the call interprets and the next
+         miss after the backoff retries the ladder step. Fired before
+         any mutation, exactly like an aborted compile. *)
+      if Faults.fire Faults.Version_widen then begin
+        quarantine t fs Telemetry.Compile_fault;
+        None
+      end
+      else begin
       let entries = List.length fs.compiled in
       detach t fs victim;
       bump t fs Telemetry.Key.versions_widened;
@@ -941,7 +987,8 @@ and widen_version t fs index args =
       (match wider with
       | Policy.Key_tags tags -> try_compile t fs ~spec_tags:tags ()
       | Policy.Key_generic -> try_compile t fs ()
-      | Policy.Key_values _ -> assert false))
+      | Policy.Key_values _ -> assert false)
+      end)
 
 (* Compile with only the stable argument positions burned in; if nothing is
    stable any more, fall back to a generic compile and stop trying. *)
@@ -1193,13 +1240,46 @@ let report_of t result =
     deoptimized_funcs;
   }
 
+(* Cooperative deadline for one [run]: the budget is relative to the
+   clock at entry, so a warm engine serving many requests gets a fresh
+   budget per request. The hooks fire in [Interp]/[Exec] dispatch; the
+   trip emits [Deadline_hit] and bumps the counter exactly once (the
+   raise immediately follows the emit, and the hooks are uninstalled on
+   the way out), then [Deadline_exceeded] unwinds through every open
+   frame — spans close with [unwound], the depth counter restores via
+   [Fun.protect] — and escapes [run] for the caller to classify.
+   Compilation is deliberately not checked: a compile returns to
+   dispatch within one bounded pipeline run, and the very next
+   dispatched instruction observes the (compile-charged) clock. *)
+let with_deadline t f =
+  if t.cfg.deadline <= 0 then f ()
+  else begin
+    let start = now t in
+    let budget = t.cfg.deadline in
+    let trip fid pc =
+      let spent = now t - start in
+      if spent > budget then begin
+        let fs = t.fstates.(fid) in
+        bump t fs Telemetry.Key.deadlines;
+        emit t (fun () ->
+            Telemetry.Deadline_hit
+              { fid; fname = fname t fid; spent; limit = budget });
+        raise (Deadline_exceeded { dl_fid = fid; dl_pc = pc; dl_spent = spent; dl_limit = budget })
+      end
+    in
+    Interp.with_deadline_hook (Some trip) (fun () ->
+        Exec.with_deadline_hook
+          (Some (fun (code : Code.t) pc -> trip code.Code.fid pc))
+          f)
+  end
+
 let run t =
   let main = t.program.Bytecode.Program.funcs.(t.program.Bytecode.Program.main) in
   let result =
     (* Backstop for the depth limit: should MiniJS recursion exhaust the
        OCaml stack before [max_depth] trips (a misconfigured limit), it
        still surfaces as the same MiniJS-level error, not a crash. *)
-    try interpret t main ~upvals:[||] ~args:[||]
+    try with_deadline t (fun () -> interpret t main ~upvals:[||] ~args:[||])
     with Stack_overflow -> raise (Runtime_error "stack overflow")
   in
   report_of t result

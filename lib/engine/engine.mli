@@ -69,6 +69,19 @@ type config = {
       (** MiniJS call-depth limit; deeper recursion raises
           [Runtime_error "stack overflow"] (a MiniJS-level error, not an
           OCaml crash) *)
+  deadline : int;
+      (** cooperative per-{!run} model-cycle budget; 0 (the default)
+          disables the check entirely — no hooks are installed and every
+          run is byte-identical to a deadline-free engine. When positive,
+          dispatch checks the clock per instruction (interpreter and
+          native alike) against [clock-at-entry + deadline] and raises
+          {!Deadline_exceeded} once over budget, after emitting one
+          [Telemetry.Deadline_hit] event and bumping the
+          [Telemetry.Key.deadlines] counter. The budget is relative to
+          the clock at [run] entry, so a warm engine gets a fresh budget
+          per request. Compilation itself is not interrupted — the very
+          next dispatched instruction observes the compile-charged
+          clock. *)
 }
 
 val default_config :
@@ -78,13 +91,14 @@ val default_config :
   ?selective:bool ->
   ?code_cache_bytes:int ->
   ?max_depth:int ->
+  ?deadline:int ->
   unit ->
   config
 (** Defaults: [jit = true], [hot_calls = 10], [hot_loop_edges = 40],
     [max_bailouts = 3], [policy = Policy.Paper], [cache_size = 1],
     [selective = false], baseline pipeline, [compile_retries = 3],
     [storm_threshold = 8], [code_cache_bytes = 0] (unbounded), [max_depth =
-    Interp.default_max_depth]. *)
+    Interp.default_max_depth], [deadline = 0] (no deadline). *)
 
 val interp_only : config
 
@@ -152,6 +166,18 @@ val with_diag_abort_hook : (Diag.t -> unit) -> (unit -> 'a) -> 'a
 
 exception Runtime_error of string
 
+exception
+  Deadline_exceeded of {
+    dl_fid : int;  (** function whose dispatch observed the expiry *)
+    dl_pc : int;  (** pc at the trip (bytecode or native, per tier) *)
+    dl_spent : int;  (** model cycles spent in the run when it tripped *)
+    dl_limit : int;  (** the run's [config.deadline] budget *)
+  }
+(** A cooperative deadline expired mid-dispatch (see [config.deadline]).
+    Escapes {!run} after exactly one [Telemetry.Deadline_hit] emission;
+    the service layer converts it into a clean request failure. Never
+    raised when [deadline] is 0. *)
+
 type t
 (** A live engine instance: program, per-function JIT state, cycle
     accumulators and the telemetry hub. *)
@@ -165,12 +191,35 @@ val telemetry : t -> Telemetry.t
 (** The engine's telemetry hub — attach sinks before {!run}, read the
     counter registry after. *)
 
+val clock : t -> int
+(** The deterministic model-cycle clock: interpreter + native + compile
+    cycles so far. Monotone across {!run}s on a warm engine; the service
+    layer measures per-request latency as clock deltas. *)
+
+val cycle_split : t -> int * int * int
+(** [(interp, native, compile)] model cycles so far — the clock's tier
+    decomposition, for warm/cold tail attribution around requests. *)
+
+val set_degrade : t -> bool -> unit
+(** Overload degrade mode (the service layer's shed-specialization-
+    before-shed-requests switch). While on: the policy view reports
+    "don't specialize" (so hot compiles, promotions and OSR pick generic
+    keys), every new compile takes {!Policy.overload_opt} (the quick
+    baseline schedule; counted under [Telemetry.Key.compiles_degraded]),
+    and a cache miss interprets instead of deoptimizing — the warm cache
+    and the blacklist bits survive the overload untouched. Installed
+    binaries keep serving. Off (the default) the engine is byte-identical
+    to one without the switch. *)
+
+val degraded : t -> bool
+
 val run : t -> report
 (** Execute the program's main function to completion. Compilation is a
     contained failure domain: a verifier diagnostic or injected fault mid-
     run aborts that compilation (quarantining the function) instead of
-    escaping — the only exception [run] raises for a MiniJS-level problem
-    is {!Runtime_error}. *)
+    escaping — the exceptions [run] raises for a MiniJS-level problem are
+    {!Runtime_error} and (with a deadline configured)
+    {!Deadline_exceeded}. *)
 
 val run_program : config -> Bytecode.Program.t -> report
 val run_source : config -> string -> report

@@ -127,6 +127,15 @@ let compile_opt kind (opt : Pipeline.config) ~specialized ~size =
   | Paper -> opt
   | Polyvariant -> if specialized && size <= opt_size_cap then opt else Pipeline.baseline
 
+(* The overload tier: under service-layer degrade mode every new compile —
+   either policy, any size — takes the quick baseline schedule. The service
+   sheds specialization before it sheds requests: compiled code keeps the
+   isolate off the slow interpreter tier, but no compile burns in values or
+   pays the heavyweight passes while the queue is over its high-water mark.
+   Already-installed specialized binaries keep serving; degrade only steers
+   *new* compile work. *)
+let overload_opt (_ : Pipeline.config) = Pipeline.baseline
+
 (* A generic tier-1 binary whose function has accumulated this many
    hot-call thresholds' worth of calls has proven it can amortize a
    specialized compile. *)

@@ -103,6 +103,16 @@ val opt_size_cap : int
 (** Body-size bound (bytecode instructions) above which the polyvariant
     policy refuses the heavyweight pipeline. *)
 
+val overload_opt : Pipeline.config -> Pipeline.config
+(** The overload tier: the pass schedule for a compilation performed while
+    the engine is in service-layer degrade mode ([Engine.set_degrade]).
+    Always {!Pipeline.baseline}, for either policy — under overload the
+    service sheds specialization before it sheds requests, so new compiles
+    are quick generic catch-alls and the heavyweight passes wait for the
+    queue to drain. The engine additionally forces [pv_want_specialize]
+    off while degraded, so {!choose_hot}/{!promote} pick [Spec_generic];
+    already-installed specialized binaries keep serving. *)
+
 val promote_factor : int
 (** A function may be promoted from its generic tier-1 binary once it has
     accumulated [promote_factor] hot-call thresholds' worth of calls. *)

@@ -1,6 +1,16 @@
 (* Deterministic fault injection. See faults.mli for the contract. *)
 
-type point = Compile_diag | Code_verify | Exec_guard | Cache_oom
+type point =
+  | Compile_diag
+  | Code_verify
+  | Exec_guard
+  | Cache_oom
+  | Version_widen
+  | Serve_admit
+  | Serve_deadline
+
+let all_points =
+  [ Compile_diag; Code_verify; Exec_guard; Cache_oom; Version_widen; Serve_admit; Serve_deadline ]
 
 type mode = Nth of int | Every of int | Prob of float
 
@@ -25,6 +35,9 @@ let point_to_string = function
   | Code_verify -> "code_verify"
   | Exec_guard -> "exec_guard"
   | Cache_oom -> "cache_oom"
+  | Version_widen -> "version_widen"
+  | Serve_admit -> "serve_admit"
+  | Serve_deadline -> "serve_deadline"
 
 let mode_to_string = function
   | Nth n -> Printf.sprintf "nth(%d)" n
@@ -43,7 +56,10 @@ let describe p =
    rule with probability ~0.55; an empty draw is re-rolled once so most
    seeds actually inject something. Exec_guard rules lean towards
    Every/Prob because guard sites see many occurrences per run, whereas
-   compile-side points see only a handful. *)
+   compile-side points see only a handful. The serve-layer points come
+   last in the draw order so a plan sampled in a plain engine run (where
+   they are never consulted) still perturbs the original four points the
+   same way it draws rules for the service layer. *)
 let sample seed =
   let prng = Support.Prng.create ((seed * 2) + 1) in
   let draw_mode ~occurrences_many =
@@ -56,9 +72,9 @@ let sample seed =
     List.filter_map
       (fun point ->
         if Support.Prng.float prng 1.0 < 0.55 then
-          Some (point, draw_mode ~occurrences_many:(point = Exec_guard))
+          Some (point, draw_mode ~occurrences_many:(point = Exec_guard || point = Serve_deadline))
         else None)
-      [ Compile_diag; Code_verify; Exec_guard; Cache_oom ]
+      all_points
   in
   let spec = match draw () with [] -> draw () | s -> s in
   make ~seed spec
@@ -72,18 +88,39 @@ let install p = Support.Tls.set current p
 let installed () = Support.Tls.get current
 let active () = Support.Tls.get current <> None
 
+(* Observation hook for injected faults that actually fired. Consulted
+   only on the (plan-installed, rule-matched, decided-to-fire) path, so
+   the disabled-layer cost — one TLS read in [fire] — is unchanged. The
+   serve layer points a counter-bumping hook here so chaos runs can
+   assert a plan did more than install itself. *)
+let fired_hook : (point -> unit) option Support.Tls.t = Support.Tls.make (fun () -> None)
+
+let set_fired_hook h = Support.Tls.set fired_hook h
+
+let with_fired_hook h f =
+  let previous = Support.Tls.get fired_hook in
+  Support.Tls.set fired_hook (Some h);
+  Fun.protect ~finally:(fun () -> Support.Tls.set fired_hook previous) f
+
 let fire point =
   match Support.Tls.get current with
   | None -> false
   | Some plan -> (
       match List.find_opt (fun r -> r.r_point = point) plan.rules with
       | None -> false
-      | Some r -> (
+      | Some r ->
           r.r_hits <- r.r_hits + 1;
-          match r.r_mode with
-          | Nth n -> r.r_hits = n
-          | Every n -> n > 0 && r.r_hits mod n = 0
-          | Prob p -> Support.Prng.float plan.prng 1.0 < p))
+          let fired =
+            match r.r_mode with
+            | Nth n -> r.r_hits = n
+            | Every n -> n > 0 && r.r_hits mod n = 0
+            | Prob p -> Support.Prng.float plan.prng 1.0 < p
+          in
+          (if fired then
+             match Support.Tls.get fired_hook with
+             | Some hook -> hook point
+             | None -> ());
+          fired)
 
 let with_plan plan f =
   let previous = installed () in

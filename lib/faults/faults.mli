@@ -33,8 +33,28 @@
       native code (failing guards already bail); firing forces the
       guard's bailout path, snapshot and all.
     - [Cache_oom]: one occurrence per code-cache admission; firing
-      makes admission report an exhausted cache. *)
-type point = Compile_diag | Code_verify | Exec_guard | Cache_oom
+      makes admission report an exhausted cache.
+    - [Version_widen]: one occurrence per polyvariant version widening
+      (the PR-7 repurpose/widen path); firing makes the widening
+      compile unavailable — the engine quarantines the function instead
+      and leaves the existing cache entries untouched.
+    - [Serve_admit]: one occurrence per service-layer admission check;
+      firing forces the request to be shed as if the queue were full.
+      Never consulted by plain engine runs.
+    - [Serve_deadline]: one occurrence per service-layer request
+      attempt; firing forces the attempt to miss its deadline. Never
+      consulted by plain engine runs. *)
+type point =
+  | Compile_diag
+  | Code_verify
+  | Exec_guard
+  | Cache_oom
+  | Version_widen
+  | Serve_admit
+  | Serve_deadline
+
+val all_points : point list
+(** Every point, in the order {!sample} draws rules for them. *)
 
 (** When a rule fires, in terms of its point's occurrence count [n]
     (1-based): [Nth k] fires exactly once, at [n = k]; [Every k] fires
@@ -83,3 +103,16 @@ val with_plan : plan -> (unit -> 'a) -> 'a
     counters and PRNG reset), restoring the previous installation on
     exit — exception-safe, so one chaotic run cannot leak faults into
     the next. *)
+
+(** {1 Fired-fault observation}
+
+    A plan that never triggers passes a chaos run silently; the hook
+    lets the harness assert injected faults actually fired. It is
+    domain-local and consulted only when {!fire} decides to fail an
+    occurrence, so the disabled-layer cost is unchanged. *)
+
+val set_fired_hook : (point -> unit) option -> unit
+
+val with_fired_hook : (point -> unit) -> (unit -> 'a) -> 'a
+(** Install a hook for the extent of the callback, restoring the
+    previous one on exit (exception-safe). *)

@@ -1,0 +1,81 @@
+(* The SLO comparison the service layer exists for: the paper's one-entry
+   policy vs the polyvariant version cache, judged on tail latency, error
+   rate and warm/cold tail composition rather than steady-state cycles —
+   once under steady load, once under forced overload (arrivals at ~2x
+   what the bounded queue admits, with chaos fault plans and poison
+   tenants). Deterministic at any --jobs: each cell is a [Serve.run]
+   summary, itself a deterministic discrete-event simulation. *)
+
+type cell = {
+  policy_name : string;
+  mode_name : string;
+  cfg : Serve.config;
+  summary : Serve.summary;
+}
+
+let policies =
+  [
+    ("paper", Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Paper ());
+    ( "polyvariant",
+      Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+        ~cache_size:4 () );
+  ]
+
+let mode_config mode engine =
+  match mode with
+  | "steady" ->
+    Serve.default_config ~isolates:2 ~requests:100 ~tenants:6 ~capacity:8
+      ~queue_deadline:250_000 ~deadline:150_000 ~retries:2 ~backoff:2_000
+      ~overload_depth:6 ~mean_gap:30_000 ~crash_fraction:0.04 ~seed:11 ~engine ()
+  | _ ->
+    (* Overload: the same service, arrivals ~3x faster, chaos plans on. *)
+    Serve.default_config ~isolates:2 ~requests:100 ~tenants:6 ~capacity:8
+      ~queue_deadline:250_000 ~deadline:150_000 ~retries:2 ~backoff:2_000
+      ~overload_depth:6 ~mean_gap:10_000 ~crash_fraction:0.04 ~seed:11 ~chaos:5
+      ~engine ()
+
+let run () =
+  let cells =
+    List.concat_map
+      (fun (policy_name, engine) ->
+        List.map (fun mode_name -> (policy_name, mode_name, engine)) [ "steady"; "overload" ])
+      policies
+  in
+  Pool.map (Pool.default ())
+    (fun (policy_name, mode_name, engine) ->
+      let cfg = mode_config mode_name engine in
+      { policy_name; mode_name; cfg; summary = Serve.run cfg })
+    cells
+
+let print cells =
+  Printf.printf
+    "Service-level objectives: policies under steady load and overload\n\
+     (2 isolates, 100 requests, capacity 8, deadline 150000 cycles; latency in \
+     model cycles)\n";
+  print_string
+    (Support.Table.render
+       ~header:
+         [ "policy"; "mode"; "ok"; "shed"; "dl-q"; "dl-x"; "fault"; "err%"; "p50";
+           "p95"; "p99"; "ok/Mcy"; "tail-cold"; "tail-comp%" ]
+       ~rows:
+         (List.map
+            (fun c ->
+              let s = c.summary in
+              [
+                c.policy_name;
+                c.mode_name;
+                string_of_int s.Serve.sm_ok;
+                string_of_int s.Serve.sm_shed;
+                string_of_int s.Serve.sm_deadline_queue;
+                string_of_int s.Serve.sm_deadline_exec;
+                string_of_int s.Serve.sm_fault;
+                Printf.sprintf "%.1f" (Serve.error_rate s);
+                string_of_int s.Serve.sm_p50;
+                string_of_int s.Serve.sm_p95;
+                string_of_int s.Serve.sm_p99;
+                Printf.sprintf "%.2f" s.Serve.sm_throughput;
+                Printf.sprintf "%d/%d" s.Serve.sm_tail_cold s.Serve.sm_tail;
+                Printf.sprintf "%.1f" s.Serve.sm_tail_compile_pct;
+              ])
+            cells)
+       ())

@@ -1,0 +1,15 @@
+(** The service-level-objective experiment ([vs-experiments serve]): the
+    paper policy vs the polyvariant version cache on p50/p95/p99 latency,
+    error rate and warm/cold tail composition, under steady load and
+    under forced overload with chaos fault plans. Deterministic at any
+    [--jobs]. *)
+
+type cell = {
+  policy_name : string;
+  mode_name : string;  (** "steady" or "overload" *)
+  cfg : Serve.config;
+  summary : Serve.summary;
+}
+
+val run : unit -> cell list
+val print : cell list -> unit

@@ -69,6 +69,17 @@ val with_profile_hook : (int -> int -> unit) option -> (unit -> 'a) -> 'a
 (** Run a thunk with the profiler hook bound, restoring the previous hook
     afterwards (exception-safe). *)
 
+val set_deadline_hook : (int -> int -> unit) option -> unit
+(** Install (or clear) the domain-local cooperative-deadline hook, fired
+    with [(fid, pc)] at the same dispatch point as the profiler hook. The
+    engine installs a closure that raises [Engine.Deadline_exceeded] once
+    the run's model-cycle budget is spent; with [None] (production) the
+    per-instruction cost is a single match. Read once per {!run}. *)
+
+val with_deadline_hook : (int -> int -> unit) option -> (unit -> 'a) -> 'a
+(** Run a thunk with the deadline hook bound, restoring the previous hook
+    afterwards (exception-safe). *)
+
 val default_hooks : state -> hooks
 (** Pure-interpretation hooks: calls recurse into the interpreter, loop
     heads never OSR. *)

@@ -63,6 +63,18 @@ let profile_hook : (Code.t -> int -> int -> unit) option Support.Tls.t =
 let set_profile_hook h = Support.Tls.set profile_hook h
 let with_profile_hook h f = Support.Tls.with_value profile_hook h f
 
+(* Cooperative-deadline hook: fired with (code, native pc) per executed
+   instruction, right after the instruction's cycle charge so the budget
+   comparison sees a current clock. Raising from here aborts the native
+   run without evaluating a snapshot — a deadline expiry is not a
+   deoptimization, the request is simply over. Domain-local, read once
+   per [run]; None in production. *)
+let deadline_hook : (Code.t -> int -> unit) option Support.Tls.t =
+  Support.Tls.make (fun () -> None)
+
+let set_deadline_hook h = Support.Tls.set deadline_hook h
+let with_deadline_hook h f = Support.Tls.with_value deadline_hook h f
+
 (* Dispatch-loop exit, same idiom as the interpreter: [Ret] raises instead
    of the loop comparing an option per executed instruction. Never escapes
    [run]. *)
@@ -93,12 +105,14 @@ let run cb (code : Code.t) act ~at_osr =
   in
   let trace = Support.Tls.get trace_hook in
   let prof = Support.Tls.get profile_hook in
+  let fuel = Support.Tls.get deadline_hook in
   let note pc n = match prof with Some hook -> hook code pc n | None -> () in
   try
     while true do
       let instr = Array.unsafe_get code.Code.instrs !pc in
       cb.cycles := !(cb.cycles) + Cost.instr instr;
       note !pc (Cost.instr instr);
+      (match fuel with Some hook -> hook code !pc | None -> ());
       (match trace with Some hook -> hook instr | None -> ());
       (match instr with
        | Code.Jump t -> pc := t

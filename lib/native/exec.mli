@@ -52,6 +52,19 @@ val with_profile_hook : (Code.t -> int -> int -> unit) option -> (unit -> 'a) ->
 (** Run a thunk with the attribution hook bound, restoring the previous
     hook afterwards (exception-safe). *)
 
+val set_deadline_hook : (Code.t -> int -> unit) option -> unit
+(** Install (or clear) the domain-local cooperative-deadline hook, fired
+    as [hook code pc] per executed instruction, immediately after its
+    cycle charge (so a budget comparison sees a current clock). The
+    engine's hook raises [Engine.Deadline_exceeded] once the run's
+    model-cycle budget is spent; the raise aborts the native run without
+    evaluating a snapshot. [None] (production) costs one match per
+    instruction. Sampled once at [run] entry. *)
+
+val with_deadline_hook : (Code.t -> int -> unit) option -> (unit -> 'a) -> 'a
+(** Run a thunk with the deadline hook bound, restoring the previous hook
+    afterwards (exception-safe). *)
+
 val run : callbacks -> Code.t -> activation -> at_osr:bool -> outcome
 (** Execute allocated code (no virtual registers). [at_osr] starts at the
     code's OSR offset. @raise Runtime.Objmodel.Error for genuine JS type

@@ -110,6 +110,12 @@ type event =
       to_key : string;  (* display form of the replacement key *)
       entries : int;  (* cache entries before the widening *)
     }
+  | Deadline_hit of {
+      fid : int;  (* function whose dispatch observed the expiry *)
+      fname : string;
+      spent : int;  (* model cycles spent in the run when it tripped *)
+      limit : int;  (* the run's cycle budget *)
+    }
 
 let event_fid = function
   | Compile_start { fid; _ }
@@ -126,7 +132,8 @@ let event_fid = function
   | Compile_abort { fid; _ }
   | Quarantine { fid; _ }
   | Cache_evict { fid; _ }
-  | Version_widen { fid; _ } -> fid
+  | Version_widen { fid; _ }
+  | Deadline_hit { fid; _ } -> fid
 
 let event_fname = function
   | Compile_start { fname; _ }
@@ -143,7 +150,8 @@ let event_fname = function
   | Compile_abort { fname; _ }
   | Quarantine { fname; _ }
   | Cache_evict { fname; _ }
-  | Version_widen { fname; _ } -> fname
+  | Version_widen { fname; _ }
+  | Deadline_hit { fname; _ } -> fname
 
 let event_kind = function
   | Compile_start _ -> "compile_start"
@@ -161,6 +169,7 @@ let event_kind = function
   | Quarantine _ -> "quarantine"
   | Cache_evict _ -> "cache_evict"
   | Version_widen _ -> "version_widen"
+  | Deadline_hit _ -> "deadline_hit"
 
 let deopt_reason_to_string = function
   | Arg_mismatch -> "arg_mismatch"
@@ -235,6 +244,8 @@ let to_string ev =
   | Version_widen { index; from_key; to_key; entries; _ } ->
     Printf.sprintf "version-widen %s entry %d of %d: %s -> %s" site index entries
       from_key to_key
+  | Deadline_hit { spent; limit; _ } ->
+    Printf.sprintf "deadline-hit  %s spent %d of %d cycles" site spent limit
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled; no json dependency in the image)       *)
@@ -368,6 +379,8 @@ let to_json ev =
     | Version_widen { index; from_key; to_key; entries; _ } ->
       [ ("index", string_of_int index); ("from", jstr from_key);
         ("to", jstr to_key); ("entries", string_of_int entries) ]
+    | Deadline_hit { spent; limit; _ } ->
+      [ ("spent", string_of_int spent); ("limit", string_of_int limit) ]
   in
   json_obj (base @ extra)
 
@@ -503,6 +516,13 @@ module Key = struct
   let compiles_widened = "compiles.widened"
   let interpro_facts = "interpro.facts"
   let interpro_seeded = "interpro.seeded"
+  let deadlines = "deadlines"
+  let compiles_degraded = "compiles.degraded"
+
+  (* Per-point fired-fault counters ("faults.fired.exec_guard", ...). The
+     argument is a [Faults.point_to_string] name; telemetry sits below the
+     faults library, so the name crosses as a string. *)
+  let faults_fired point = "faults.fired." ^ point
 end
 
 module Counters = struct

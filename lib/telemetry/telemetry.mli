@@ -124,6 +124,15 @@ type event =
     }
       (** polyvariant policy: a version was replaced by a one-step-wider
           one (values → tags, tags → generic) instead of being discarded *)
+  | Deadline_hit of {
+      fid : int;  (** function whose dispatch observed the expiry *)
+      fname : string;
+      spent : int;  (** model cycles spent in the run when it tripped *)
+      limit : int;  (** the run's cycle budget *)
+    }
+      (** a cooperative deadline expired mid-dispatch; the engine raises
+          [Engine.Deadline_exceeded] immediately after emitting, so the
+          event appears exactly once per tripped run *)
 
 val event_fid : event -> int
 val event_fname : event -> string
@@ -261,6 +270,19 @@ module Key : sig
   val interpro_seeded : string
   (** value-specialization decisions covered by an interprocedural
       constant signature *)
+
+  val deadlines : string
+  (** cooperative deadline expiries ([Deadline_hit] events) *)
+
+  val compiles_degraded : string
+  (** compilations forced to the baseline pipeline by overload degrade
+      mode (the service layer shedding specialization before requests) *)
+
+  val faults_fired : string -> string
+  (** [faults_fired point_name] is the per-point injected-fault counter
+      name, e.g. ["faults.fired.exec_guard"]. The argument is a
+      [Faults.point_to_string] name (telemetry sits below the faults
+      library, so the point crosses as a string). *)
 end
 
 (** Named monotonic counters, per-function and global. A per-function

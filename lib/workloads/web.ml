@@ -170,3 +170,65 @@ let synthetic_site ~seed profile =
     picks;
   Buffer.add_string buf "print(sink | 0);\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Per-request session programs (service layer)                        *)
+(* ------------------------------------------------------------------ *)
+
+let request_source ~seed =
+  let rng = Prng.create seed in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "function __helper(x) { return x + 1; }\n";
+  (* A handful of handlers drawn from the same template pool as the site
+     programs. Repeated requests for the same tenant re-run this exact
+     program on a warm engine, so the handlers cross the hot-call
+     threshold within a few requests and later requests exercise the
+     warm path; the varied handler keeps some deopt/widening pressure. *)
+  let nfuncs = 3 + Prng.int rng 3 in
+  let picks =
+    List.init nfuncs (fun i ->
+        (Printf.sprintf "req_fn_%d" i, Prng.int rng (Array.length templates)))
+  in
+  List.iteri
+    (fun i (name, template_id) ->
+      Buffer.add_string buf (templates.(template_id) name (i + Prng.int rng 100));
+      Buffer.add_char buf '\n')
+    picks;
+  Buffer.add_string buf "var sink = 0;\nvar arr = [3, 1, 4, 1, 5, 9, 2, 6];\n";
+  List.iteri
+    (fun i (name, template_id) ->
+      let varied = Prng.float rng 1.0 < 0.15 in
+      let iters = 4 + Prng.int rng 5 in
+      if varied then begin
+        let v = Printf.sprintf "i_%d" i in
+        let call =
+          match template_id with
+          | 0 -> Printf.sprintf "%s(%s, %s * 3)" name v v
+          | 1 -> Printf.sprintf "%s(\"q\" + %s)" name v
+          | 2 -> Printf.sprintf "%s(arr, %s)" name v
+          | 3 -> Printf.sprintf "%s({a: %s, b: %s + 1})" name v v
+          | 4 -> Printf.sprintf "%s(%s, __helper)" name v
+          | _ -> Printf.sprintf "%s(%s)" name v
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "for (var %s = 0; %s < %d; %s++) sink += %s;\n" v v iters v call)
+      end
+      else begin
+        let a = i mod 10 in
+        let call =
+          match template_id with
+          | 0 -> Printf.sprintf "%s(%d, %d)" name a (a * 3)
+          | 1 -> Printf.sprintf "%s(\"q%d\")" name a
+          | 2 -> Printf.sprintf "%s(arr, %d)" name a
+          | 3 -> Printf.sprintf "%s(o_%d)" name i
+          | 4 -> Printf.sprintf "%s(%d, __helper)" name a
+          | _ -> Printf.sprintf "%s(%d)" name a
+        in
+        if template_id = 3 then
+          Buffer.add_string buf (Printf.sprintf "var o_%d = {a: %d, b: 9};\n" i a);
+        Buffer.add_string buf
+          (Printf.sprintf "for (var j_%d = 0; j_%d < %d; j_%d++) sink += %s;\n" i i iters i call)
+      end)
+    picks;
+  Buffer.add_string buf "print(sink | 0);\n";
+  Buffer.contents buf

@@ -48,3 +48,10 @@ val synthetic_site : seed:int -> site_profile -> string
 (** A runnable MiniJS program: a pool of generated functions plus a driver
     that calls each hot enough to be compiled, with per-function argument
     variability drawn from the profile. *)
+
+val request_source : seed:int -> string
+(** A small session program sized for one service request: 3–5 handlers
+    from the same template pool as [synthetic_site] plus a driver loop,
+    mostly argument-stable with a little deopt pressure. Deterministic in
+    [seed]; the service layer keys each tenant to one seed, so repeated
+    requests re-run the identical program on a warm engine. *)

@@ -1,0 +1,287 @@
+(* Service-layer tests: cooperative deadlines (exactly-once accounting;
+   byte-identity when disabled), degrade mode (shed specialization, keep
+   the warm cache), supervision and recycle isolation (quarantine backoff
+   must not leak into a fresh isolate), the forced service fault points,
+   the fired-fault hook, the smoke invariants and --jobs determinism of
+   the whole service summary. *)
+
+open Runtime
+
+(* A program with one clearly hot, specializable function. *)
+let hot_src =
+  "function work(n) { var s = 0; for (var i = 0; i < n; i++) s = s + i; return s; }\n\
+   var t = 0;\n\
+   for (var j = 0; j < 120; j++) t = t + work(60);\n\
+   print(t);\n"
+
+let spec_cfg ?deadline () = Engine.default_config ~opt:Pipeline.all_on ?deadline ()
+
+let run_quiet ?(cfg = Engine.default_config ()) ?(sinks = []) src =
+  Builtins.with_print_hook ignore (fun () ->
+      let engine = Engine.make cfg (Bytecode.Compile.program_of_source src) in
+      List.iter (Telemetry.attach (Engine.telemetry engine)) sinks;
+      let result = try Ok (Engine.run engine) with e -> Error e in
+      (engine, result))
+
+let total c name = Telemetry.Counters.total c name
+let registry engine = Telemetry.counters (Engine.telemetry engine)
+
+(* --- cooperative deadlines ------------------------------------------- *)
+
+let test_deadline_trips_exactly_once () =
+  let _, reference = run_quiet ~cfg:(spec_cfg ()) hot_src in
+  let budget =
+    match reference with
+    | Ok rep -> rep.Engine.total_cycles / 2
+    | Error _ -> Alcotest.fail "reference run failed"
+  in
+  let ring = Telemetry.Ring.create 65536 in
+  let engine, result =
+    run_quiet ~cfg:(spec_cfg ~deadline:budget ()) ~sinks:[ Telemetry.Ring.sink ring ] hot_src
+  in
+  (match result with
+  | Error (Engine.Deadline_exceeded { dl_spent; dl_limit; _ }) ->
+    Alcotest.(check int) "budget is the configured deadline" budget dl_limit;
+    Alcotest.(check bool) "cycles were charged past the budget" true (dl_spent > dl_limit);
+    (* The engine was fresh, so the run's spent cycles are the clock: the
+       trip charged exactly once and nothing ran afterwards. *)
+    Alcotest.(check int) "clock stops at the trip" dl_spent (Engine.clock engine)
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded"
+  | Error e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e));
+  let hits =
+    List.filter
+      (fun e -> Telemetry.event_kind e = "deadline_hit")
+      (Telemetry.Ring.contents ring)
+  in
+  Alcotest.(check int) "exactly one Deadline_hit event" 1 (List.length hits);
+  Alcotest.(check int) "deadlines counter bumped exactly once" 1
+    (total (registry engine) Telemetry.Key.deadlines);
+  Alcotest.(check bool) "the run had compiled (specialized) code" true
+    (total (registry engine) "compiles.specialized" >= 1)
+
+let test_deadline_disabled_byte_identical () =
+  let run cfg =
+    let engine, result = run_quiet ~cfg hot_src in
+    match result with
+    | Ok rep ->
+      ( rep.Engine.total_cycles,
+        rep.Engine.native_cycles,
+        rep.Engine.compile_cycles,
+        rep.Engine.bytecode_instrs,
+        Telemetry.Counters.rows (registry engine) )
+    | Error e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  in
+  let off = run (spec_cfg ()) in
+  let zero = run (spec_cfg ~deadline:0 ()) in
+  let armed_never_trips = run (spec_cfg ~deadline:max_int ()) in
+  Alcotest.(check bool) "deadline=0 is the default engine, byte for byte" true (off = zero);
+  Alcotest.(check bool) "an armed but untripped deadline charges nothing" true
+    (off = armed_never_trips)
+
+(* --- degrade mode ----------------------------------------------------- *)
+
+let test_degrade_sheds_specialization () =
+  Builtins.with_print_hook ignore (fun () ->
+      let engine = Engine.make (spec_cfg ()) (Bytecode.Compile.program_of_source hot_src) in
+      Engine.set_degrade engine true;
+      ignore (Engine.run engine);
+      let c = registry engine in
+      Alcotest.(check int) "no specialized compiles under degrade" 0
+        (total c "compiles.specialized");
+      Alcotest.(check bool) "degraded compiles counted" true (total c "compiles.degraded" >= 1);
+      Alcotest.(check bool) "the hot function still compiled (generic)" true
+        (total c "compiles" >= 1))
+
+let test_degrade_preserves_warm_cache () =
+  Builtins.with_print_hook ignore (fun () ->
+      let engine = Engine.make (spec_cfg ()) (Bytecode.Compile.program_of_source hot_src) in
+      ignore (Engine.run engine);
+      let c = registry engine in
+      Alcotest.(check bool) "warm run specialized" true (total c "compiles.specialized" >= 1);
+      let compiles_before = total c "compiles" in
+      Engine.set_degrade engine true;
+      ignore (Engine.run engine);
+      Alcotest.(check int) "degraded warm run recompiles nothing" compiles_before
+        (total c "compiles");
+      Alcotest.(check int) "no deopt under degrade" 0 (total c "deopts"))
+
+(* --- supervision and recycle isolation -------------------------------- *)
+
+(* A function quarantined (with exponential backoff) in one engine must
+   not leak that state into the fresh engine a recycled isolate builds:
+   the backoff lives in per-engine fstate, nothing global. *)
+let test_recycle_does_not_leak_quarantine () =
+  let program = Bytecode.Compile.program_of_source hot_src in
+  let cfg = spec_cfg () in
+  Builtins.with_print_hook ignore (fun () ->
+      let first = Engine.make cfg program in
+      Faults.with_plan
+        (Faults.make ~seed:1 [ (Faults.Compile_diag, Faults.Every 1) ])
+        (fun () -> ignore (Engine.run first));
+      let c1 = registry first in
+      Alcotest.(check bool) "first engine quarantined" true (total c1 "quarantines" >= 1);
+      Alcotest.(check bool) "compiles aborted" true (total c1 "compiles.aborted" >= 1);
+      let second = Engine.make cfg program in
+      ignore (Engine.run second);
+      let c2 = registry second in
+      Alcotest.(check int) "fresh engine sees no quarantine" 0 (total c2 "quarantines");
+      Alcotest.(check int) "fresh engine sees no aborts" 0 (total c2 "compiles.aborted");
+      Alcotest.(check bool) "fresh engine compiles normally" true (total c2 "compiles" >= 1))
+
+let req id ~tenant ~arrival ~poison =
+  { Serve.rq_id = id; rq_tenant = tenant; rq_arrival = arrival; rq_poison = poison }
+
+let outcomes records =
+  List.map (fun r -> Serve.outcome_to_string r.Serve.rr_outcome) records
+
+let row rows name = Option.value (List.assoc_opt name rows) ~default:0
+
+let test_supervisor_recycles_and_retries () =
+  let cfg =
+    Serve.default_config ~isolates:1 ~requests:0 ~tenants:2 ~retries:1 ~backoff:500
+      ~seed:3 ()
+  in
+  let reqs =
+    [
+      req 0 ~tenant:0 ~arrival:0 ~poison:false;
+      req 1 ~tenant:0 ~arrival:10 ~poison:true;
+      req 2 ~tenant:0 ~arrival:20 ~poison:false;
+    ]
+  in
+  let _, records, rows = Serve.run_isolate cfg ~isolate:0 reqs in
+  Alcotest.(check (list string))
+    "poison exhausts retries; the tenant survives" [ "ok"; "fault"; "ok" ]
+    (outcomes records);
+  (match records with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "first request was cold" false a.Serve.rr_warm;
+    Alcotest.(check int) "poison attempted 1 + retries times" 2 b.Serve.rr_attempts;
+    Alcotest.(check bool) "poison latency includes the backoff wait" true
+      (b.Serve.rr_latency >= 500);
+    Alcotest.(check bool) "recycle made the tenant cold again" false c.Serve.rr_warm
+  | _ -> Alcotest.fail "expected three records");
+  Alcotest.(check int) "one recycle per failing attempt" 2 (row rows Serve.Skey.recycles);
+  Alcotest.(check int) "one retry" 1 (row rows Serve.Skey.retries);
+  Alcotest.(check int) "nothing escaped the supervisor" 0 (row rows Serve.Skey.escapes)
+
+(* --- forced service fault points -------------------------------------- *)
+
+let two_requests = [ req 0 ~tenant:0 ~arrival:0 ~poison:false; req 1 ~tenant:0 ~arrival:10 ~poison:false ]
+
+let test_forced_admission_shed () =
+  let cfg = Serve.default_config ~isolates:1 ~requests:0 ~tenants:1 ~seed:5 () in
+  let _, records, rows =
+    Faults.with_plan
+      (Faults.make ~seed:1 [ (Faults.Serve_admit, Faults.Nth 1) ])
+      (fun () -> Serve.run_isolate cfg ~isolate:0 two_requests)
+  in
+  Alcotest.(check (list string)) "first shed by the injected fault" [ "shed"; "ok" ]
+    (outcomes records);
+  Alcotest.(check int) "the firing was counted" 1
+    (row rows (Telemetry.Key.faults_fired "serve_admit"))
+
+let test_forced_deadline_not_retried () =
+  let cfg =
+    Serve.default_config ~isolates:1 ~requests:0 ~tenants:1 ~deadline:1_000_000
+      ~retries:2 ~seed:5 ()
+  in
+  let _, records, rows =
+    Faults.with_plan
+      (Faults.make ~seed:1 [ (Faults.Serve_deadline, Faults.Nth 1) ])
+      (fun () -> Serve.run_isolate cfg ~isolate:0 two_requests)
+  in
+  Alcotest.(check (list string)) "deadline fault fails cleanly" [ "deadline-exec"; "ok" ]
+    (outcomes records);
+  (match records with
+  | first :: _ ->
+    Alcotest.(check int) "a deadline miss is never retried" 1 first.Serve.rr_attempts;
+    Alcotest.(check int) "the attempt was charged its full budget" 1_000_000
+      first.Serve.rr_latency
+  | [] -> Alcotest.fail "no records");
+  Alcotest.(check int) "no retries" 0 (row rows Serve.Skey.retries);
+  Alcotest.(check int) "the firing was counted" 1
+    (row rows (Telemetry.Key.faults_fired "serve_deadline"))
+
+let test_fired_hook () =
+  let fired = ref [] in
+  Faults.with_fired_hook
+    (fun p -> fired := p :: !fired)
+    (fun () ->
+      Alcotest.(check bool) "no plan, no fire" false (Faults.fire Faults.Serve_admit);
+      Faults.with_plan
+        (Faults.make ~seed:1 [ (Faults.Serve_admit, Faults.Nth 2) ])
+        (fun () ->
+          Alcotest.(check bool) "first occurrence passes" false (Faults.fire Faults.Serve_admit);
+          Alcotest.(check bool) "second occurrence fires" true (Faults.fire Faults.Serve_admit)));
+  Alcotest.(check (list string))
+    "the hook saw exactly the fired occurrence" [ "serve_admit" ]
+    (List.map Faults.point_to_string !fired)
+
+let test_sample_covers_service_points () =
+  let covered p =
+    List.exists
+      (fun seed -> List.mem_assoc p (Faults.spec_of (Faults.sample seed)))
+      (List.init 64 (fun i -> i))
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Faults.point_to_string p ^ " reachable from sample") true (covered p))
+    [ Faults.Version_widen; Faults.Serve_admit; Faults.Serve_deadline ]
+
+(* --- the smoke scenario and --jobs determinism ------------------------ *)
+
+let test_smoke_invariants () =
+  let s = Serve.run (Serve.smoke_config ()) in
+  (match Serve.smoke_check s with
+  | Ok () -> ()
+  | Error problems -> Alcotest.fail (String.concat "; " problems));
+  Alcotest.(check int) "classification partitions the requests" s.Serve.sm_requests
+    (s.Serve.sm_ok + s.Serve.sm_shed + s.Serve.sm_deadline_queue + s.Serve.sm_deadline_exec
+   + s.Serve.sm_fault)
+
+let at_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let test_jobs_deterministic () =
+  let run jobs = at_jobs jobs (fun () -> Serve.run (Serve.smoke_config ())) in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check bool) "whole summary identical at --jobs 4 vs 1" true (serial = parallel)
+
+let suites =
+  [
+    ( "serve.deadlines",
+      [
+        Alcotest.test_case "trips exactly once, cycles charged" `Quick
+          test_deadline_trips_exactly_once;
+        Alcotest.test_case "disabled/untripped is byte-identical" `Quick
+          test_deadline_disabled_byte_identical;
+      ] );
+    ( "serve.degrade",
+      [
+        Alcotest.test_case "sheds specialization" `Quick test_degrade_sheds_specialization;
+        Alcotest.test_case "preserves the warm cache" `Quick test_degrade_preserves_warm_cache;
+      ] );
+    ( "serve.supervision",
+      [
+        Alcotest.test_case "recycle does not leak quarantine" `Quick
+          test_recycle_does_not_leak_quarantine;
+        Alcotest.test_case "supervisor recycles and retries" `Quick
+          test_supervisor_recycles_and_retries;
+      ] );
+    ( "serve.faults",
+      [
+        Alcotest.test_case "forced admission shed" `Quick test_forced_admission_shed;
+        Alcotest.test_case "forced deadline, no retry" `Quick test_forced_deadline_not_retried;
+        Alcotest.test_case "fired hook" `Quick test_fired_hook;
+        Alcotest.test_case "sample covers service points" `Quick
+          test_sample_covers_service_points;
+      ] );
+    ( "serve.smoke",
+      [
+        Alcotest.test_case "overload invariants" `Quick test_smoke_invariants;
+        Alcotest.test_case "jobs 4 = jobs 1" `Quick test_jobs_deterministic;
+      ] );
+  ]
