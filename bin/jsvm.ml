@@ -74,7 +74,7 @@ let write_trace_spans file spans =
       output_string oc "\n]}\n")
 
 let run_file path no_jit spec selective policy_name cache_size code_cache_bytes max_depth
-    config_name
+    bg_compile compile_queue_depth config_name
     stats trace trace_json trace_spans profile_folded dump_bytecode dump_mir profile check
     chaos jobs =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
@@ -141,7 +141,7 @@ let run_file path no_jit spec selective policy_name cache_size code_cache_bytes 
   let cfg =
     {
       (Engine.default_config ~opt ~policy ~cache_size ~selective ~code_cache_bytes
-         ~max_depth ())
+         ~max_depth ~bg_compile ~bg_queue_depth:compile_queue_depth ())
       with
       Engine.jit = not no_jit
     }
@@ -233,6 +233,8 @@ let run_file path no_jit spec selective policy_name cache_size code_cache_bytes 
         Printf.printf "cycles: total=%d interp=%d native=%d compile=%d\n"
           report.Engine.total_cycles report.Engine.interp_cycles
           report.Engine.native_cycles report.Engine.compile_cycles;
+        if bg_compile then
+          Printf.printf "bg-compile cycles (off-clock)=%d\n" report.Engine.bg_compile_cycles;
         Printf.printf
           "compilations=%d recompilations=%d specialized=%d successful=%d deoptimized=%d\n"
           report.Engine.compilations report.Engine.recompilations
@@ -327,6 +329,26 @@ let max_depth =
         ~doc:
           "MiniJS call-depth limit; deeper recursion is a runtime error ('stack \
            overflow') instead of a process crash.")
+
+let bg_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "bg-compile" ]
+        ~doc:
+          "Background tiered compilation: hot functions and loops enqueue compile \
+           requests on a bounded queue and keep interpreting; finished binaries are \
+           picked up at later calls, and a still-hot loop transfers into its binary at \
+           a loop edge (OSR). Artifact visibility follows a deterministic completion \
+           model, so output and the engine report are byte-identical at any --jobs; \
+           background compile cycles are reported off the model clock.")
+
+let compile_queue_depth =
+  Arg.(
+    value & opt int 8
+    & info [ "compile-queue-depth" ] ~docv:"N"
+        ~doc:
+          "In-flight background compile requests admitted before further requests are \
+           dropped (with --bg-compile; counted under bg.overflow).")
 
 let config_name =
   Arg.(
@@ -429,7 +451,8 @@ let cmd =
     (Cmd.info "jsvm" ~version:"1.0" ~doc)
     Term.(
       const run_file $ path_arg $ no_jit $ spec $ selective $ policy_arg $ cache_size
-      $ code_cache_bytes $ max_depth $ config_name $ stats $ trace $ trace_json
+      $ code_cache_bytes $ max_depth $ bg_compile_arg $ compile_queue_depth
+      $ config_name $ stats $ trace $ trace_json
       $ trace_spans $ profile_folded $ dump_bytecode $ dump_mir $ profile $ check
       $ chaos $ jobs_arg)
 

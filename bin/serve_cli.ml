@@ -27,6 +27,8 @@ let () =
   let chaos = ref (-1) in
   let policy = ref "paper" in
   let cache_size = ref 1 in
+  let bg = ref false in
+  let bg_depth = ref 8 in
   let smoke = ref false in
   let counters = ref true in
   let specs =
@@ -48,6 +50,12 @@ let () =
       ("--chaos", Arg.Set_int chaos, "SEED per-request fault plans; unset = none");
       ("--policy", Arg.Set_string policy, "paper|polyvariant (default paper)");
       ("--cache-size", Arg.Set_int cache_size, "N versions per function (default 1)");
+      ( "--bg-compile",
+        Arg.Set bg,
+        " background compilation: requests enqueue compiles and keep interpreting" );
+      ( "--compile-queue-depth",
+        Arg.Set_int bg_depth,
+        "N in-flight background compiles per engine (default 8)" );
       ("--no-counters", Arg.Clear counters, " omit the counter rows");
       ("--smoke", Arg.Set smoke, " run the CI overload scenario and check invariants");
       ("--jobs", Arg.Int Pool.set_default_jobs, "N pool size (default 1)");
@@ -75,7 +83,7 @@ let () =
         ?chaos:(if !chaos < 0 then None else Some !chaos)
         ~engine:
           (Engine.default_config ~opt:Pipeline.all_on ~policy:kind
-             ~cache_size:!cache_size ())
+             ~cache_size:!cache_size ~bg_compile:!bg ~bg_queue_depth:!bg_depth ())
         ()
     end
   in

@@ -55,6 +55,7 @@ let () =
       osr_args = spec_args;
       osr_locals = [| Value.Int 2 |];
       osr_specialize = true;
+      osr_bake_locals = true;
     }
   in
   let f = Builder.build ~program ~func:map_fn ~spec_args ~osr () in

@@ -22,11 +22,13 @@ type config = {
   code_cache_bytes : int;
   max_depth : int;
   deadline : int;
+  bg_compile : bool;
+  bg_queue_depth : int;
 }
 
 let default_config ?(opt = Pipeline.baseline) ?(policy = Policy.Paper) ?(cache_size = 1)
     ?(selective = false) ?(code_cache_bytes = 0) ?(max_depth = Interp.default_max_depth)
-    ?(deadline = 0) () =
+    ?(deadline = 0) ?(bg_compile = false) ?(bg_queue_depth = 8) () =
   {
     opt;
     jit = true;
@@ -41,6 +43,8 @@ let default_config ?(opt = Pipeline.baseline) ?(policy = Policy.Paper) ?(cache_s
     max_depth;
     policy;
     deadline;
+    bg_compile;
+    bg_queue_depth;
   }
 
 let interp_only = { (default_config ()) with jit = false }
@@ -131,6 +135,44 @@ type func_state = {
      first, capped. *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Background compilation: request payloads                            *)
+(* ------------------------------------------------------------------ *)
+
+(* What one background compile produced. Charges are carried, not yet
+   applied: a background compile never touches [compile_cycles] (the
+   model clock) — the harvest adds them to the off-clock [bg_cycles]
+   accumulator instead, which is exactly how "hot-call sites never charge
+   synchronous compile cycles" is made true rather than merely claimed. *)
+type bg_out = {
+  g_code : Code.t;
+  g_mir : Mir.func;
+  g_stats : Pipeline.run_stats;
+  g_mir_charge : int;
+  g_backend_charge : int;
+  g_warnings : Diag.t list;  (* spec-check warnings, delivered at harvest *)
+}
+
+type bg_result = (bg_out, Diag.t * int (* cycles wasted before the abort *)) result
+
+(* The install plan enqueued alongside the deferred compile. Everything
+   the harvest needs is decided at enqueue time — fault draws included —
+   so the payload is closed over immutable data and the physical compile
+   can run on any domain at any wall-clock moment. *)
+type bg_job = {
+  j_task : bg_result Bgcompile.Task.t;
+  j_kind : string;  (* "values" | "selective" | "tags" | "generic" *)
+  j_specialized : bool;  (* burned-in values (spec_args was passed) *)
+  j_selective : bool;
+  j_widened : bool;  (* tag-keyed (spec_tags was passed) *)
+  j_key : Policy.vkey;  (* the cache key the artifact will install under *)
+  j_osr : Builder.osr_request option;  (* loop-head snapshot, if OSR-flavored *)
+  j_supersede : compiled option;  (* widen ladder victim to detach on install *)
+  j_widen_info : (int * string * string * int) option;
+      (* (index, from_key, to_key, entries) for the Version_widen event,
+         captured when the ladder step was decided *)
+}
+
 type t = {
   cfg : config;
   program : Bytecode.Program.t;
@@ -152,6 +194,10 @@ type t = {
       (* overload degrade mode (service layer): while set, new compiles
          shed specialization — quick generic baseline binaries only.
          Installed binaries keep serving; false in every standalone run. *)
+  bg : bg_job Bgcompile.t option;  (* Some iff [cfg.bg_compile] *)
+  bg_cycles : int ref;
+      (* compile cycles done by the background compiler — off the model
+         clock ([now] never reads it), reported as [bg_compile_cycles] *)
 }
 
 type func_report = {
@@ -172,6 +218,7 @@ type report = {
   interp_cycles : int;
   native_cycles : int;
   compile_cycles : int;
+  bg_compile_cycles : int;  (* off-clock background compile work *)
   total_cycles : int;
   bytecode_instrs : int;
   functions : func_report list;
@@ -227,10 +274,14 @@ let make engine_config program =
          Bytecode.Program.known_global_funcs program
        else [||]);
     degrade = ref false;
+    bg =
+      (if engine_config.bg_compile then
+         Some (Bgcompile.create ~depth:engine_config.bg_queue_depth)
+       else None);
+    bg_cycles = ref 0;
   }
 
 let telemetry t = t.tel
-let set_degrade t on = t.degrade := on
 let degraded t = !(t.degrade)
 
 (* ------------------------------------------------------------------ *)
@@ -430,13 +481,15 @@ let policy_view t fs =
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* The single factory for executable [Code.t]. Every compilation path —
-   hot-call compile (generic or specialized), cache fill beyond the first
-   entry, selective narrowing, generic recompilation after deopt, and OSR
-   compilation from a loop head — goes through this function, so the
-   verification below covers all code the executor can ever run. Keep it
-   that way: a new path that lowers MIR elsewhere would bypass the lint
-   layer. *)
+(* The synchronous factory for executable [Code.t]. Every blocking
+   compilation path — hot-call compile (generic or specialized), cache
+   fill beyond the first entry, selective narrowing, generic
+   recompilation after deopt, and OSR compilation from a loop head —
+   goes through this function, so the verification below covers all code
+   the executor can ever run. The only other door is [bg_core] below,
+   which runs the same build→check→optimize→lower→verify sequence for
+   the background queue. Keep it that way: a new path that lowers MIR
+   elsewhere would bypass the lint layer. *)
 let compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () =
   let func = t.program.Bytecode.Program.funcs.(fs.fid) in
   let name = func.Bytecode.Program.name in
@@ -609,6 +662,61 @@ let compile t fs ?spec_args ?spec_mask ?spec_tags ?osr () =
   in
   { code; key; strikes = 0; last_use = 0 }
 
+(* The background compile body: the same build → spec-check → optimize →
+   lower → allocate → verify sequence as [compile], shorn of everything
+   that must stay on the requesting isolate — telemetry, spans, profile
+   attribution, clock charges, TLS hooks. It may run on any pool domain,
+   so every input arrives as an explicit argument (captured at enqueue)
+   and every observation leaves in the returned value: warnings are
+   collected rather than delivered, fault decisions ([fire_diag],
+   [fire_verify]) were drawn at enqueue, and the cycle charges are
+   reported for the harvester to book off-clock. Raises nothing:
+   [Diag.Failed] is folded into the result. *)
+let bg_core ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?spec_tags
+    ~arg_tags ?osr ~no_checked_int ~known_globals ~opt ~check ~fire_diag ~fire_verify () =
+  let name = func.Bytecode.Program.name in
+  let fid = func.Bytecode.Program.fid in
+  let warnings = ref [] in
+  let charged = ref 0 in
+  try
+    let mir =
+      Builder.build ~program ~func ?spec_args ?spec_mask ?spec_tags ~arg_tags ?osr
+        ~no_checked_int ~known_globals ()
+    in
+    let spec_check stage =
+      if check then
+        List.iter
+          (fun d ->
+            if Diag.is_error d then raise (Diag.Failed d)
+            else warnings := d :: !warnings)
+          (Spec_check.check ~stage mir)
+    in
+    spec_check `Built;
+    let pass_stats = Pipeline.apply ~check ~program opt mir in
+    let mir_charge = Cost.compile_per_mir_instr * pass_stats.Pipeline.mir_instrs_processed in
+    charged := mir_charge;
+    if fire_diag then Diag.error ~layer:"fault" ~func:name ~fid "injected compile_diag fault";
+    spec_check `Optimized;
+    let vcode = Lower.run mir in
+    let code, intervals = Regalloc.run vcode in
+    let backend_charge =
+      (Cost.compile_per_native_instr * Code.size code)
+      + (Cost.compile_per_interval * intervals)
+    in
+    charged := mir_charge + backend_charge;
+    Code_verify.run code;
+    if fire_verify then Diag.error ~layer:"fault" ~func:name ~fid "injected code_verify fault";
+    Ok
+      {
+        g_code = code;
+        g_mir = mir;
+        g_stats = pass_stats;
+        g_mir_charge = mir_charge;
+        g_backend_charge = backend_charge;
+        g_warnings = List.rev !warnings;
+      }
+  with Diag.Failed d -> Error (d, !charged)
+
 (* ------------------------------------------------------------------ *)
 (* Failure containment: quarantine, code-cache budget, the barrier      *)
 (* ------------------------------------------------------------------ *)
@@ -776,6 +884,379 @@ let stability_mask fs =
   | Some st -> Array.map Option.is_some st
 
 (* ------------------------------------------------------------------ *)
+(* Background compilation: enqueue, harvest, install, supersede         *)
+(* ------------------------------------------------------------------ *)
+
+(* The queue is live only while the engine is healthy: degrade mode
+   drains it (below) and suppresses new requests, falling back to the
+   PR-8 synchronous semantics. *)
+let bg_active t = t.bg <> None && not !(t.degrade)
+
+(* Values the compile thunk may not read from another domain at an
+   arbitrary wall-clock moment: anything mutable. Requests that bake such
+   values run inline at harvest instead ([Task.spawn ~inline]), so both
+   [--jobs] settings read them at the same model-clock point. *)
+let bg_mutable_value = function
+  | Value.Obj _ | Value.Arr _ | Value.Closure _ -> true
+  | Value.Undefined | Value.Null | Value.Bool _ | Value.Int _ | Value.Double _
+  | Value.Str _ | Value.Native_fun _ -> false
+
+let bg_cancel t fs ~reason key =
+  bump t fs key;
+  emit t (fun () -> Telemetry.Compile_cancel { fid = fs.fid; fname = fname t fs.fid; reason })
+
+(* Admit one compile request to the background queue. The whole request —
+   builder inputs, pipeline config, fault decisions, the cache key and
+   the install plan — is decided here, at the model-clock instant of the
+   enqueue; the physical compile is free to run on any pool domain later.
+   At most one request per function is in flight (further hot calls of a
+   function that is already queued just keep interpreting). *)
+let bg_request t fs ~kind ?spec_args ?spec_mask ?spec_tags ?osr ?supersede ?widen_info () =
+  match t.bg with
+  | None -> ()
+  | Some q ->
+    if Bgcompile.pending_for q ~fid:fs.fid <> None then ()
+    else if Bgcompile.length q >= Bgcompile.depth q then
+      (* Queue full: drop the request outright — the function stays in
+         the interpreter tier and a later hot call retries. No fault
+         draws happen for refused requests. *)
+      bg_cancel t fs ~reason:"overflow" Telemetry.Key.bg_overflow
+    else if Faults.fire Faults.Bg_enqueue then
+      bg_cancel t fs ~reason:"enqueue-fault" Telemetry.Key.bg_cancelled
+    else begin
+      let func = t.program.Bytecode.Program.funcs.(fs.fid) in
+      let size = Array.length func.Bytecode.Program.code in
+      let specialized = spec_args <> None || spec_tags <> None in
+      let opt = Policy.compile_opt t.cfg.policy t.cfg.opt ~specialized ~size in
+      let cost = Cost.bg_compile_cost ~size ~specialized ~passes:(Pipeline.npasses opt) in
+      (* Fault decisions are occurrence-counted at enqueue (the compile's
+         logical start); the thunk itself draws nothing. A fired diag
+         fault aborts before the verifier barrier, so the verify draw
+         only happens when the compile would reach it — mirroring the
+         synchronous factory's conditional draw order. *)
+      let fire_diag = Faults.fire Faults.Compile_diag in
+      let fire_verify = (not fire_diag) && Faults.fire Faults.Code_verify in
+      let check = Pipeline.checks () in
+      let arg_tags = stable_tags fs in
+      let program = t.program
+      and known_globals = t.known_globals
+      and no_checked_int = fs.overflow_bailed in
+      let thunk () =
+        bg_core ~program ~func ?spec_args ?spec_mask ?spec_tags ~arg_tags ?osr
+          ~no_checked_int ~known_globals ~opt ~check ~fire_diag ~fire_verify ()
+      in
+      let inline =
+        (match spec_args with
+        | Some a -> Array.exists bg_mutable_value a
+        | None -> false)
+        ||
+        match osr with
+        | Some o ->
+          Array.exists bg_mutable_value o.Builder.osr_args
+          || Array.exists bg_mutable_value o.Builder.osr_locals
+        | None -> false
+      in
+      let task = Bgcompile.Task.spawn ~inline thunk in
+      let key =
+        match spec_args with
+        | Some a -> Policy.Key_values (a, spec_mask)
+        | None -> (
+          match spec_tags with
+          | Some tags -> Policy.Key_tags tags
+          | None -> Policy.Key_generic)
+      in
+      let job =
+        {
+          j_task = task;
+          j_kind = kind;
+          j_specialized = spec_args <> None;
+          j_selective = spec_mask <> None;
+          j_widened = spec_tags <> None;
+          j_key = key;
+          j_osr = osr;
+          j_supersede = supersede;
+          j_widen_info = widen_info;
+        }
+      in
+      match Bgcompile.enqueue q ~fid:fs.fid ~now:(now t) ~cost job with
+      | Error `Overflow ->
+        (* Unreachable (depth checked above), but keep the queue honest. *)
+        Bgcompile.Task.cancel task;
+        bg_cancel t fs ~reason:"overflow" Telemetry.Key.bg_overflow
+      | Ok e ->
+        bump t fs Telemetry.Key.bg_queued;
+        emit t (fun () ->
+            Telemetry.Compile_enqueue
+              {
+                fid = fs.fid;
+                fname = fname t fs.fid;
+                kind;
+                osr = osr <> None;
+                ready = e.Bgcompile.e_ready;
+                depth = Bgcompile.length q;
+              })
+    end
+
+(* One policy keying decision, routed to the queue instead of the
+   synchronous factory — the parameter construction mirrors
+   [compile_with_choice]/[specialize_selectively] exactly, including the
+   interprocedural-seed accounting and the all-varying blacklist. *)
+let bg_request_choice t fs args choice =
+  (match choice with
+  | Policy.Spec_values
+    when t.cfg.policy = Policy.Polyvariant
+         && Policy.anticipated_match (policy_view t fs) args ->
+    bump t fs Telemetry.Key.interpro_seeded
+  | _ -> ());
+  match choice with
+  | Policy.Spec_generic -> bg_request t fs ~kind:"generic" ()
+  | Policy.Spec_values -> bg_request t fs ~kind:"values" ~spec_args:args ()
+  | Policy.Spec_tags ->
+    bg_request t fs ~kind:"tags" ~spec_tags:(Array.map Value.tag_of (as_entry t fs args)) ()
+  | Policy.Spec_selective ->
+    let mask = stability_mask fs in
+    if Array.length mask = 0 || Array.exists Fun.id mask then
+      bg_request t fs ~kind:"selective" ~spec_args:args ~spec_mask:mask ()
+    else begin
+      blacklist t fs;
+      bg_request t fs ~kind:"generic" ()
+    end
+
+(* Install one harvested artifact. This is where everything the
+   synchronous path did around [compile] happens — at the model-clock
+   instant of the harvesting call or loop edge: warnings and the MIR hook
+   are delivered, counters bump, the version stamps, admission runs, and
+   the widen ladder's supersede detaches its victim. Cycle charges go to
+   the off-clock [bg_cycles] accumulator, never to the model clock.
+   Returns the installed entry (for the OSR poll to enter). *)
+let bg_install t fs (e : bg_job Bgcompile.entry) =
+  let j = e.Bgcompile.e_payload in
+  let name = fname t fs.fid in
+  match Bgcompile.Task.force j.j_task with
+  | Error (d, wasted) ->
+    t.bg_cycles := !(t.bg_cycles) + wasted;
+    bump t fs Telemetry.Key.compiles_aborted;
+    (match Support.Tls.get diag_abort_hook with Some h -> h d | None -> ());
+    emit t (fun () ->
+        Telemetry.Compile_abort
+          {
+            fid = fs.fid;
+            fname = name;
+            specialized = j.j_specialized;
+            osr = j.j_osr <> None;
+            reason = d.Diag.message;
+            cycles = wasted;
+          });
+    quarantine t fs Telemetry.Compile_fault;
+    None
+  | Ok out ->
+    let charge = out.g_mir_charge + out.g_backend_charge in
+    t.bg_cycles := !(t.bg_cycles) + charge;
+    List.iter
+      (fun d -> match Support.Tls.get diag_warn_hook with Some h -> h d | None -> ())
+      out.g_warnings;
+    if Faults.fire Faults.Bg_install then begin
+      (* Dropped artifact: the finished binary is discarded and the
+         request re-enqueued with doubled modeled cost (backoff) — the
+         redo is charged again at its own install — until the retry cap
+         quarantines the function. *)
+      bg_cancel t fs ~reason:"install-fault" Telemetry.Key.bg_cancelled;
+      if e.Bgcompile.e_attempts > t.cfg.compile_retries then
+        quarantine t fs Telemetry.Compile_fault
+      else begin
+        match t.bg with
+        | None -> ()
+        | Some q -> (
+          match
+            Bgcompile.enqueue q ~fid:fs.fid ~now:(now t) ~cost:(e.Bgcompile.e_cost * 2)
+              ~attempts:(e.Bgcompile.e_attempts + 1) j
+          with
+          | Ok _ -> bump t fs Telemetry.Key.bg_queued
+          | Error `Overflow ->
+            bg_cancel t fs ~reason:"overflow" Telemetry.Key.bg_overflow;
+            quarantine t fs Telemetry.Compile_fault)
+      end;
+      None
+    end
+    else begin
+      (match Support.Tls.get mir_hook with Some hook -> hook out.g_mir | None -> ());
+      let code = out.g_code in
+      if t.cfg.policy = Policy.Polyvariant then begin
+        record_anticipated t out.g_mir;
+        fs.next_version <- fs.next_version + 1;
+        code.Code.version <- fs.next_version
+      end;
+      bump t fs Telemetry.Key.compiles;
+      if j.j_specialized then bump t fs Telemetry.Key.compiles_specialized;
+      if j.j_widened then bump t fs Telemetry.Key.compiles_widened;
+      if j.j_osr <> None then bump t fs Telemetry.Key.compiles_osr;
+      if out.g_stats.Pipeline.inlined > 0 then begin
+        bump ~n:out.g_stats.Pipeline.inlined t fs Telemetry.Key.inlined;
+        emit t (fun () ->
+            Telemetry.Inline_decision
+              { fid = fs.fid; fname = name; inlined = out.g_stats.Pipeline.inlined })
+      end;
+      if out.g_stats.Pipeline.guards_elided > 0 then begin
+        bump ~n:out.g_stats.Pipeline.guards_elided t fs Telemetry.Key.guards_elided;
+        List.iter
+          (fun (el : Mir.elision) ->
+            emit t (fun () ->
+                Telemetry.Guard_elided
+                  {
+                    fid = fs.fid;
+                    fname = name;
+                    guard = el.Mir.el_kind;
+                    origin_fid = el.Mir.el_ofid;
+                    pc = el.Mir.el_pc;
+                  }))
+          out.g_stats.Pipeline.elisions
+      end;
+      fs.sizes <- (j.j_specialized, Code.size code) :: fs.sizes;
+      let entry = { code; key = j.j_key; strikes = 0; last_use = 0 } in
+      if admit t entry then begin
+        touch t entry;
+        (* Supersede: the widen ladder's victim goes only once its
+           replacement has actually landed — until here the old version
+           kept serving, which is the whole point of recompiling in the
+           background. The victim may have been evicted or discarded in
+           flight; [detach] no-ops then. *)
+        (match j.j_supersede with
+        | Some victim when List.memq victim fs.compiled ->
+          (match j.j_widen_info with
+          | Some (index, from_key, to_key, entries) ->
+            bump t fs Telemetry.Key.versions_widened;
+            emit t (fun () ->
+                Telemetry.Version_widen
+                  { fid = fs.fid; fname = name; index; from_key; to_key; entries })
+          | None -> ());
+          detach t fs victim;
+          bump t fs Telemetry.Key.bg_superseded
+        | _ -> ());
+        install_entry t fs entry;
+        bump t fs Telemetry.Key.bg_installed;
+        emit t (fun () ->
+            Telemetry.Compile_ready
+              {
+                fid = fs.fid;
+                fname = name;
+                size = Code.size code;
+                cycles = charge;
+                wait = now t - e.Bgcompile.e_enqueue;
+              });
+        (* Zero-length trace marker at the harvest instant (a full span
+           would overlap the enclosing interpret span arbitrarily). *)
+        span_mark t ~name:"bg-ready" ~cat:"bg" ~start:(now t) ~dur:0
+          ~args:[ ("size", string_of_int (Code.size code)) ]
+          fs.fid;
+        Some entry
+      end
+      else begin
+        quarantine t fs Telemetry.Cache_oom;
+        None
+      end
+    end
+
+(* Harvest every ready artifact for [fs] at a call boundary. OSR-flavored
+   artifacts install too (their entry guards make them valid from a
+   normal call); the loop-edge poll below is the only place that enters
+   one mid-activation. *)
+let bg_harvest t fs =
+  match t.bg with
+  | None -> ()
+  | Some q ->
+    List.iter
+      (fun e -> ignore (bg_install t fs e))
+      (Bgcompile.take_ready q ~fid:fs.fid ~now:(now t))
+
+let bg_pending t fs =
+  match t.bg with None -> None | Some q -> Bgcompile.pending_for q ~fid:fs.fid
+
+(* Soundness gate for entering an OSR-flavored background artifact. The
+   binary was compiled against the loop-head snapshot taken at enqueue;
+   by the time it lands, the loop has kept running and the frame may have
+   moved. Specialized compiles bake the snapshot's *argument* values as
+   constants through the body, so entry demands the live args still hold
+   exactly those values; unspecialized args — and the locals, which a
+   queued request never bakes ([osr_bake_locals] is false, so the OSR
+   block loads them live, statically typed to the snapshot tags) — only
+   need tag-for-tag agreement. The loop counter advancing is exactly the
+   expected case, not staleness. A refused entry is not a failure: the
+   binary still installed and serves later calls through its guarded
+   normal entry. *)
+let bg_osr_frame_matches (o : Builder.osr_request) (frame : Interp.frame) =
+  let same_values snap live =
+    Array.length snap = Array.length live
+    && Array.for_all2 (fun a b -> Value.same_value a b) snap live
+  in
+  let same_tags snap live =
+    Array.length snap = Array.length live
+    && Array.for_all2 (fun a b -> Value.tag_of a = Value.tag_of b) snap live
+  in
+  let args_agree = if o.Builder.osr_specialize then same_values else same_tags in
+  let locals_agree =
+    if o.Builder.osr_specialize && o.Builder.osr_bake_locals then same_values else same_tags
+  in
+  args_agree o.Builder.osr_args frame.Interp.args
+  && locals_agree o.Builder.osr_locals frame.Interp.locals
+
+(* The widen ladder, queue-routed: decide the one-step-wider key now, but
+   leave the victim installed and serving until the replacement lands —
+   [bg_install] detaches it then ([j_supersede]). This, together with the
+   queue-routed [promote] and miss paths, is the re-specialization loop:
+   operand drift shows up in the policy's live counters (arg-set changes,
+   misses), its decisions become queue entries, and installed versions
+   are superseded instead of dropped. *)
+let bg_widen_request t fs index args =
+  if bg_pending t fs <> None then ()
+  else
+    match List.nth_opt fs.compiled index with
+    | None -> ()
+    | Some victim -> (
+      match Policy.widen victim.key (as_entry t fs args) with
+      | None -> ()
+      | Some wider ->
+        if Faults.fire Faults.Version_widen then quarantine t fs Telemetry.Compile_fault
+        else begin
+          let info =
+            ( index,
+              Policy.key_to_string victim.key,
+              Policy.key_to_string wider,
+              List.length fs.compiled )
+          in
+          match wider with
+          | Policy.Key_tags tags ->
+            bg_request t fs ~kind:"tags" ~spec_tags:tags ~supersede:victim ~widen_info:info ()
+          | Policy.Key_generic ->
+            bg_request t fs ~kind:"generic" ~supersede:victim ~widen_info:info ()
+          | Policy.Key_values _ -> assert false
+        end)
+
+(* Cancel everything in flight (degrade transition, isolate recycle).
+   Artifacts never leak: pending pool jobs are cancelled or abandoned,
+   and nothing installs without passing through [bg_install]. *)
+let bg_drain t ~reason =
+  match t.bg with
+  | None -> 0
+  | Some q ->
+    let entries = Bgcompile.drain q in
+    List.iter
+      (fun (e : bg_job Bgcompile.entry) ->
+        Bgcompile.Task.cancel e.Bgcompile.e_payload.j_task;
+        bg_cancel t t.fstates.(e.Bgcompile.e_fid) ~reason Telemetry.Key.bg_cancelled)
+      entries;
+    List.length entries
+
+let drain_bg t = bg_drain t ~reason:"recycle"
+let bg_in_flight t = match t.bg with None -> 0 | Some q -> Bgcompile.length q
+
+(* Degrade mode suppresses the queue entirely ([bg_active]) and drains it
+   on the way in: under overload the last thing the isolate needs is
+   speculative compiles landing. Clearing degrade re-arms the queue. *)
+let set_degrade t on =
+  if on && not !(t.degrade) then ignore (bg_drain t ~reason:"degrade");
+  t.degrade := on
+
+(* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -839,6 +1320,10 @@ and call_closure_at_depth t (c : Value.closure) args =
   let func = t.program.Bytecode.Program.funcs.(c.Value.fid) in
   bump t fs Telemetry.Key.calls;
   observe_args t fs args;
+  (* Harvest first: an artifact whose modeled ready cycle has passed must
+     be installed before the cache probe, so the very call that finds the
+     queue done is the first call the binary serves. *)
+  if bg_active t then bg_harvest t fs;
   (* Any compile attempt below may abort (returning [None]): the call then
      falls back to plain interpretation and the quarantine clock decides
      when compilation is tried again. *)
@@ -871,7 +1356,14 @@ and call_closure_at_depth t (c : Value.closure) args =
         | None -> None
         | Some choice ->
           bump t fs Telemetry.Key.versions_promoted;
-          compile_with_choice t fs args choice)
+          (* Background mode: the generic binary serves this call too;
+             the specialized sibling is queued and takes over at its
+             harvest. *)
+          if bg_active t then begin
+            bg_request_choice t fs args choice;
+            None
+          end
+          else compile_with_choice t fs args choice)
       | _ -> None
     in
     (match promoted with
@@ -899,6 +1391,26 @@ and call_closure_at_depth t (c : Value.closure) args =
          back intact when the queue drains. *)
       if (not (can_compile t fs)) || !(t.degrade) then
         interpret t func ~upvals:c.Value.env ~args
+      else if bg_active t then begin
+        (* Queue-routed misses: the state transitions (deopt, blacklist,
+           cache clearing) happen now, exactly as in the synchronous
+           paths below; only the compile itself moves to the queue, so
+           this call — and every call until the artifact lands —
+           interprets instead of stalling. *)
+        (match Policy.on_miss t.cfg.policy (policy_view t fs) ~args with
+        | Policy.Miss_respecialize ->
+          clear_compiled t fs;
+          deopt t fs Telemetry.Arg_mismatch;
+          bg_request_choice t fs args Policy.Spec_selective
+        | Policy.Miss_fill choice -> bg_request_choice t fs args choice
+        | Policy.Miss_widen index -> bg_widen_request t fs index args
+        | Policy.Miss_deopt_generic ->
+          clear_compiled t fs;
+          deopt t fs Telemetry.Arg_mismatch;
+          blacklist t fs;
+          bg_request t fs ~kind:"generic" ());
+        interpret t func ~upvals:c.Value.env ~args
+      end
       else begin
         match Policy.on_miss t.cfg.policy (policy_view t fs) ~args with
         | Policy.Miss_respecialize ->
@@ -925,8 +1437,16 @@ and call_closure_at_depth t (c : Value.closure) args =
         ~args:[ ("calls", string_of_int (count t fs Telemetry.Key.calls)) ]
         fs.fid;
       let view = policy_view t fs in
-      run_or_interp
-        (compile_with_choice t fs args (Policy.choose_hot t.cfg.policy view ~args))
+      let choice = Policy.choose_hot t.cfg.policy view ~args in
+      (* The headline path: the hot-call site hands the compile to the
+         queue and interprets this call — no synchronous compile cycles
+         are ever charged to the requester. The artifact lands at a later
+         call's harvest (or a loop edge's OSR poll). *)
+      if bg_active t then begin
+        bg_request_choice t fs args choice;
+        interpret t func ~upvals:c.Value.env ~args
+      end
+      else run_or_interp (compile_with_choice t fs args choice)
     end
     else interpret t func ~upvals:c.Value.env ~args
 
@@ -1119,16 +1639,26 @@ and maybe_osr t (frame : Interp.frame) =
   else begin
     let fs = t.fstates.(frame.Interp.func.Bytecode.Program.fid) in
     fs.loop_edges <- fs.loop_edges + 1;
+    (* Background mode: poll for finished artifacts at every loop head —
+       an in-flight hot loop transfers into a finished binary the moment
+       its modeled ready cycle has passed. *)
+    match (if bg_active t then bg_osr_poll t fs frame else None) with
+    | Some _ as entered -> entered
+    | None ->
     (* Only OSR when no binary is installed: an installed binary either
        already serves this activation or is about to be replaced through
        the call path. The OSR path of a binary is single-use (its entry
        state is burned in), so it is never re-entered. A quarantined
        function's loop-edge threshold scales by the same power of two as
-       its call backoff; a pinned one never OSRs again. *)
+       its call backoff; a pinned one never OSRs again. With the queue
+       active, a function whose request is already in flight keeps
+       interpreting — its loop edges accumulate until the poll above
+       finds the artifact. *)
     if
       (not fs.pinned)
       && fs.loop_edges >= t.cfg.hot_loop_edges * (1 lsl min fs.q_failures 16)
       && fs.compiled = []
+      && ((not (bg_active t)) || bg_pending t fs = None)
     then begin
       let edges = fs.loop_edges in
       fs.loop_edges <- 0;
@@ -1163,27 +1693,94 @@ and maybe_osr t (frame : Interp.frame) =
           osr_args = args_now;
           osr_locals = locals_now;
           osr_specialize = spec;
+          (* Synchronous OSR enters right now with exactly this frame, so
+             baked locals are exact; a queued compile is entered later,
+             after the loop advanced, so its locals must stay live. *)
+          osr_bake_locals = not (bg_active t);
         }
       in
       let spec_args = if spec then Some args_now else None in
       let spec_mask = if spec then spec_mask else None in
-      match try_compile t fs ?spec_args ?spec_mask ~osr () with
-      | None -> None  (* aborted: keep interpreting this activation *)
-      | Some compiled ->
-        install_entry t fs compiled;
-        let act =
-          {
-            Exec.act_args = args_now;
-            act_env = frame.Interp.upvals;
-            act_cells = frame.Interp.cells;
-            act_osr_args = args_now;
-            act_osr_locals = locals_now;
-          }
-        in
-        Some (run_native t fs func act compiled ~at_osr:true)
+      if bg_active t then begin
+        (* Enqueue with the loop-head snapshot and keep interpreting this
+           activation; the artifact is entered by the poll above once its
+           ready cycle passes — or serves later calls from its normal
+           entry if the loop finishes first. *)
+        let kind = if spec then (if spec_mask <> None then "selective" else "values") else "generic" in
+        bg_request t fs ~kind ?spec_args ?spec_mask ~osr ();
+        None
+      end
+      else begin
+        match try_compile t fs ?spec_args ?spec_mask ~osr () with
+        | None -> None  (* aborted: keep interpreting this activation *)
+        | Some compiled ->
+          install_entry t fs compiled;
+          let act =
+            {
+              Exec.act_args = args_now;
+              act_env = frame.Interp.upvals;
+              act_cells = frame.Interp.cells;
+              act_osr_args = args_now;
+              act_osr_locals = locals_now;
+            }
+          in
+          Some (run_native t fs func act compiled ~at_osr:true)
+      end
     end
     else None
   end
+
+(* The loop-edge harvest: install every artifact whose ready cycle has
+   passed, then — if one of them carries an OSR entry burned for this
+   very loop head and its snapshot still matches the live frame
+   ([bg_osr_frame_matches]) — transfer the running activation into the
+   finished binary mid-loop. A stale snapshot counts [bg.osr_stale] and
+   keeps interpreting; the binary serves later calls regardless. *)
+and bg_osr_poll t fs (frame : Interp.frame) =
+  match t.bg with
+  | None -> None
+  | Some q -> (
+    match Bgcompile.take_ready q ~fid:fs.fid ~now:(now t) with
+    | [] -> None
+    | ready -> (
+      let installed =
+        List.filter_map
+          (fun (e : bg_job Bgcompile.entry) ->
+            match bg_install t fs e with
+            | None -> None
+            | Some entry -> Some (e.Bgcompile.e_payload, entry))
+          ready
+      in
+      match
+        List.find_map
+          (fun ((j : bg_job), entry) ->
+            match j.j_osr with
+            | Some o when o.Builder.osr_pc = frame.Interp.pc -> Some (o, entry)
+            | _ -> None)
+          installed
+      with
+      | None -> None
+      | Some (o, entry) ->
+        if bg_osr_frame_matches o frame then begin
+          bump t fs Telemetry.Key.bg_osr_entries;
+          emit t (fun () ->
+              Telemetry.Osr_entry
+                { fid = fs.fid; fname = fname t fs.fid; pc = frame.Interp.pc });
+          let act =
+            {
+              Exec.act_args = Array.copy frame.Interp.args;
+              act_env = frame.Interp.upvals;
+              act_cells = frame.Interp.cells;
+              act_osr_args = Array.copy frame.Interp.args;
+              act_osr_locals = Array.copy frame.Interp.locals;
+            }
+          in
+          Some (run_native t fs frame.Interp.func act entry ~at_osr:true)
+        end
+        else begin
+          bump t fs Telemetry.Key.bg_osr_stale;
+          None
+        end))
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -1230,6 +1827,9 @@ let report_of t result =
     interp_cycles;
     native_cycles = !(t.native_cycles);
     compile_cycles = !(t.compile_cycles);
+    bg_compile_cycles = !(t.bg_cycles);
+    (* [total_cycles] is the model clock: background compile work is
+       deliberately absent — that absence is the fig9cd stall removed. *)
     total_cycles = interp_cycles + !(t.native_cycles) + !(t.compile_cycles);
     bytecode_instrs = t.istate.Interp.icount;
     functions;

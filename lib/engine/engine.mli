@@ -82,6 +82,24 @@ type config = {
           per request. Compilation itself is not interrupted — the very
           next dispatched instruction observes the compile-charged
           clock. *)
+  bg_compile : bool;
+      (** background tiered compilation: hot-call sites and loop edges
+          enqueue compile requests on a bounded queue and keep
+          interpreting instead of blocking on the compiler. Artifact
+          visibility follows a deterministic completion model — enqueue
+          cycle plus {!Cost.bg_compile_cost} through a single-server FIFO
+          ({!Bgcompile}) — so results are byte-identical at any [--jobs];
+          with [--jobs > 1] the actual compile runs on a pool domain
+          overlapped with interpretation (wall-clock only). Finished
+          binaries are harvested at call boundaries; a loop still hot
+          when its OSR-flavored artifact lands transfers into it at the
+          next loop edge. Background compile cycles are charged to the
+          off-clock [bg_compile_cycles] report field, never to the model
+          clock: with [bg_compile = false] (the default) the engine is
+          byte-identical to one predating the queue. *)
+  bg_queue_depth : int;
+      (** in-flight background compile requests admitted before further
+          requests are dropped ([bg.overflow]); clamped to at least 1 *)
 }
 
 val default_config :
@@ -92,13 +110,16 @@ val default_config :
   ?code_cache_bytes:int ->
   ?max_depth:int ->
   ?deadline:int ->
+  ?bg_compile:bool ->
+  ?bg_queue_depth:int ->
   unit ->
   config
 (** Defaults: [jit = true], [hot_calls = 10], [hot_loop_edges = 40],
     [max_bailouts = 3], [policy = Policy.Paper], [cache_size = 1],
     [selective = false], baseline pipeline, [compile_retries = 3],
     [storm_threshold = 8], [code_cache_bytes = 0] (unbounded), [max_depth =
-    Interp.default_max_depth], [deadline = 0] (no deadline). *)
+    Interp.default_max_depth], [deadline = 0] (no deadline), [bg_compile =
+    false] (synchronous compilation), [bg_queue_depth = 8]. *)
 
 val interp_only : config
 
@@ -121,6 +142,10 @@ type report = {
   interp_cycles : int;
   native_cycles : int;
   compile_cycles : int;
+  bg_compile_cycles : int;
+      (** compile work done by the background compiler ([bg_compile]) —
+          deliberately absent from [total_cycles]: that absence is the
+          synchronous compile stall removed from the hot path *)
   total_cycles : int;
   bytecode_instrs : int;  (** interpreter instructions executed *)
   functions : func_report list;
@@ -208,10 +233,25 @@ val set_degrade : t -> bool -> unit
     baseline schedule; counted under [Telemetry.Key.compiles_degraded]),
     and a cache miss interprets instead of deoptimizing — the warm cache
     and the blacklist bits survive the overload untouched. Installed
-    binaries keep serving. Off (the default) the engine is byte-identical
-    to one without the switch. *)
+    binaries keep serving. With [bg_compile], entering degrade also drains
+    the background queue (every in-flight request cancelled, reason
+    ["degrade"]) and suppresses further enqueues until degrade clears.
+    Off (the default) the engine is byte-identical to one without the
+    switch. *)
 
 val degraded : t -> bool
+
+val drain_bg : t -> int
+(** Cancel every in-flight background compile request (reason
+    ["recycle"]), returning how many were dropped. Pool jobs that have
+    not started are cancelled; started ones are abandoned — nothing
+    installs without passing through the queue, so no artifact can leak
+    into a later tenant. The service layer calls this on isolate recycle.
+    0 when [bg_compile] is off. *)
+
+val bg_in_flight : t -> int
+(** In-flight background compile requests (enqueued, not yet harvested);
+    0 when [bg_compile] is off. *)
 
 val run : t -> report
 (** Execute the program's main function to completion. Compilation is a

@@ -8,9 +8,15 @@ type point =
   | Version_widen
   | Serve_admit
   | Serve_deadline
+  | Bg_enqueue
+  | Bg_install
 
+(* New points append at the end: [sample] draws per-point rules in this
+   order, so appending keeps the PRNG consumption — and therefore every
+   recorded chaos plan — identical for the pre-existing points. *)
 let all_points =
-  [ Compile_diag; Code_verify; Exec_guard; Cache_oom; Version_widen; Serve_admit; Serve_deadline ]
+  [ Compile_diag; Code_verify; Exec_guard; Cache_oom; Version_widen; Serve_admit; Serve_deadline;
+    Bg_enqueue; Bg_install ]
 
 type mode = Nth of int | Every of int | Prob of float
 
@@ -38,6 +44,8 @@ let point_to_string = function
   | Version_widen -> "version_widen"
   | Serve_admit -> "serve_admit"
   | Serve_deadline -> "serve_deadline"
+  | Bg_enqueue -> "bg_enqueue"
+  | Bg_install -> "bg_install"
 
 let mode_to_string = function
   | Nth n -> Printf.sprintf "nth(%d)" n

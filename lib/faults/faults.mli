@@ -43,7 +43,16 @@
       Never consulted by plain engine runs.
     - [Serve_deadline]: one occurrence per service-layer request
       attempt; firing forces the attempt to miss its deadline. Never
-      consulted by plain engine runs. *)
+      consulted by plain engine runs.
+    - [Bg_enqueue]: one occurrence per background-compile enqueue
+      attempt; firing makes the enqueue fail (the request is dropped and
+      the call site keeps interpreting). Never consulted with
+      [--bg-compile] off.
+    - [Bg_install]: one occurrence per background artifact reaching its
+      install point; firing drops the finished artifact — the engine
+      re-enqueues the request with doubled modeled cost (backoff) until
+      [compile_retries] attempts, then quarantines. Never consulted with
+      [--bg-compile] off. *)
 type point =
   | Compile_diag
   | Code_verify
@@ -52,6 +61,8 @@ type point =
   | Version_widen
   | Serve_admit
   | Serve_deadline
+  | Bg_enqueue
+  | Bg_install
 
 val all_points : point list
 (** Every point, in the order {!sample} draws rules for them. *)

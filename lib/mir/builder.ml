@@ -5,6 +5,7 @@ type osr_request = {
   osr_args : Value.t array;
   osr_locals : Value.t array;
   osr_specialize : bool;
+  osr_bake_locals : bool;
 }
 
 (* Abstract frame state: which SSA def currently holds each argument, local
@@ -583,7 +584,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?spec_t
   (* OSR entry. *)
   (match osr with
   | None -> ()
-  | Some { osr_pc; osr_args; osr_locals; osr_specialize } ->
+  | Some { osr_pc; osr_args; osr_locals; osr_specialize; osr_bake_locals } ->
     f.Mir.cur_pc <- osr_pc;
     let ob = Mir.new_block f in
     f.Mir.osr_entry <- Some ob.Mir.bid;
@@ -599,8 +600,10 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?spec_t
         d
       end
     in
-    (* Arguments obey the selective mask; locals are always baked when
-       specializing, since the OSR path is single-use either way. *)
+    (* Arguments obey the selective mask. Locals are baked only when the
+       requester says the snapshot is exact at entry time (synchronous
+       OSR, entered immediately): a deferred entry arrives after the
+       loop has advanced, so its locals stay live loads. *)
     let s_args =
       Array.init func.arity (fun i ->
           osr_slot
@@ -609,7 +612,7 @@ let build ~program ~(func : Bytecode.Program.func) ?spec_args ?spec_mask ?spec_t
     in
     let s_locals =
       Array.init func.nlocals (fun i ->
-          osr_slot ~spec:osr_specialize (Mir.Osr_local i) osr_locals.(i))
+          osr_slot ~spec:(osr_specialize && osr_bake_locals) (Mir.Osr_local i) osr_locals.(i))
     in
     ob.Mir.term <- Mir.Goto (target_block ctx osr_pc);
     record_edge ctx osr_pc ob.Mir.bid { s_args; s_locals; s_stack = [] });

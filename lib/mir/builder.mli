@@ -20,6 +20,15 @@ type osr_request = {
           false: emit [Osr_value] loads, statically typed to the observed
           tags — sound because an OSR path is entered exactly once, with
           exactly these values, right after compilation. *)
+  osr_bake_locals : bool;
+      (** Whether [osr_specialize] extends to the locals. Synchronous OSR
+          enters immediately with exactly the snapshot, so baking locals
+          is free constant-propagation fodder. A deferred (background)
+          entry happens after the loop has kept running — a baked loop
+          counter would be stale by construction — so the engine passes
+          [false] and the locals become live [Osr_value] loads, typed to
+          the observed tags. Args are unaffected: their burned values
+          must match the specialized body on either path. *)
 }
 
 val build :

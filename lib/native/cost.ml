@@ -68,3 +68,23 @@ let compile_per_mir_instr = 4
 let compile_per_native_instr = 30
 let compile_per_interval = 12
 let bytes_per_native_instr = 16
+
+(* Background-compile completion model: the modeled latency of one queued
+   compile, as a function of enqueue-time observables only — bytecode
+   size, the pipeline schedule ([Pipeline.npasses]) and whether the
+   request specializes — never of the artifact, which does not exist yet
+   when the ready cycle is assigned. The weights reuse the real charge
+   constants so modeled latencies track real compile charges to first
+   order: per bytecode instruction, roughly one MIR instruction visits
+   each pass (plus building and lowering) and two native instructions
+   come out the back end. A specialized request halves the
+   size-dependent term: burned-in values prune the MIR early and the
+   specialized back end emits well under one native instruction per
+   bytecode instruction (the Figure-10 code-size shrink), which measured
+   charges confirm across the suites. *)
+let bg_compile_base = 200
+
+let bg_compile_cost ~size ~specialized ~passes =
+  let per_instr = (compile_per_mir_instr * (passes + 2)) + (2 * compile_per_native_instr) in
+  let per_instr = if specialized then per_instr / 2 else per_instr in
+  bg_compile_base + (size * per_instr)

@@ -39,3 +39,17 @@ val bytes_per_native_instr : int
     accounting never charges model cycles. *)
 
 val slot_penalty : int
+
+val bg_compile_base : int
+(** Fixed modeled latency of one background compile (queue service
+    overhead), before the size-dependent term. *)
+
+val bg_compile_cost : size:int -> specialized:bool -> passes:int -> int
+(** Modeled latency of one background compile: the deterministic
+    completion model maps (enqueue cycle, this cost) to a ready cycle.
+    [size] is the function's bytecode length, [passes] the scheduled
+    pipeline pass count ({!Pipeline.npasses}), [specialized] whether the
+    request burns in values/tags (halving the size term — specialized
+    artifacts are pruned early and emit far fewer native instructions) —
+    enqueue-time observables only, so the model never waits on (or
+    varies with) the real compile running on a pool domain. *)

@@ -263,3 +263,21 @@ let apply ?check ~program config (f : Mir.func) =
     mir_instrs_processed = !processed;
     passes = List.rev !pass_trace;
   }
+
+(* Scheduled pass count for a config — the background queue's completion
+   model scales modeled compile latency by it ([Cost.bg_compile_cost]).
+   An upper-bound approximation of [apply]'s schedule (typer and gvn can
+   run more than once; conditionals mirror the flags): precision does not
+   matter, determinism and monotonicity in the flags do. *)
+let npasses (c : config) =
+  let b f = if f then 1 else 0 in
+  1 (* typer *)
+  + b c.gvn
+  + b c.param_spec (* inline *)
+  + b (c.constprop || c.sccp)
+  + b c.loop_unroll
+  + b c.loop_inversion
+  + (2 * b c.dce) (* dce runs early and as the final cleanup *)
+  + b c.bounds_check_elim
+  + b c.licm
+  + b c.guard_elim

@@ -89,3 +89,10 @@ val apply : ?check:bool -> program:Bytecode.Program.t -> config -> Mir.func -> r
     (structurally always; with {!Verify.check_types} after every pass when
     [check] — defaulting to {!checks} — is on, raising {!Diag.Failed}
     attributed to the offending pass). *)
+
+val npasses : config -> int
+(** Scheduled pass count for this config — the compile-latency weight the
+    background queue's deterministic completion model multiplies into
+    {!Cost.bg_compile_cost}. An approximation of [apply]'s schedule;
+    deterministic and monotone in the flags, which is all the model
+    needs. *)

@@ -15,17 +15,26 @@
    (with its original backtrace) after all tasks of the map have drained,
    again matching what a serial left-to-right run would report first. *)
 
+type jstate = Pending | Running | Done | Cancelled
+
 type job = {
   run : unit -> unit;  (* never raises: failures are captured by the map *)
   submitter : int;  (* Domain.id of the submitting domain, for steal stats *)
   remaining : int ref;  (* outstanding tasks of the owning map; under [m] *)
+  state : jstate ref option;  (* submit-job lifecycle, under [m]; None for map tasks *)
 }
+
+type priority = High | Normal | Low
+
+type ticket = { tj : job }
 
 type t = {
   m : Mutex.t;
   work_available : Condition.t;  (* queue gained a job, or shutdown *)
   task_done : Condition.t;  (* some job finished (broadcast) *)
+  high : job Queue.t;  (* popped before [queue]; [low] popped last *)
   queue : job Queue.t;
+  low : job Queue.t;
   jobs : int;
   mutable live : bool;
   mutable workers : unit Domain.t list;
@@ -58,21 +67,48 @@ let exec pool job =
   let id = Support.Tls.get participant in
   let id = if id >= 0 && id < Array.length pool.tasks then id else 0 in
   Mutex.lock pool.m;
+  (match job.state with Some st -> st := Done | None -> ());
   pool.tasks.(id) <- pool.tasks.(id) + 1;
   if self_id () <> job.submitter then pool.steals <- pool.steals + 1;
   decr job.remaining;
   Condition.broadcast pool.task_done;
   Mutex.unlock pool.m
 
+(* Pop the next runnable job in priority order, discarding cancelled ones
+   lazily (cancellation just flips the state; the entry stays queued until
+   a popper meets it here). Caller holds [m]. *)
+let rec pop_job pool =
+  let q =
+    if not (Queue.is_empty pool.high) then Some pool.high
+    else if not (Queue.is_empty pool.queue) then Some pool.queue
+    else if not (Queue.is_empty pool.low) then Some pool.low
+    else None
+  in
+  match q with
+  | None -> None
+  | Some q -> (
+    let job = Queue.pop q in
+    match job.state with
+    | Some st when !st = Cancelled ->
+      decr job.remaining;
+      Condition.broadcast pool.task_done;
+      pop_job pool
+    | Some st ->
+      st := Running;
+      Some job
+    | None -> Some job)
+
 let rec worker_loop pool =
   Mutex.lock pool.m;
   let rec next () =
-    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
-    else if pool.live then begin
-      Condition.wait pool.work_available pool.m;
-      next ()
-    end
-    else None
+    match pop_job pool with
+    | Some job -> Some job
+    | None ->
+      if pool.live then begin
+        Condition.wait pool.work_available pool.m;
+        next ()
+      end
+      else None
   in
   match next () with
   | None -> Mutex.unlock pool.m
@@ -88,7 +124,9 @@ let create ~jobs =
       m = Mutex.create ();
       work_available = Condition.create ();
       task_done = Condition.create ();
+      high = Queue.create ();
       queue = Queue.create ();
+      low = Queue.create ();
       jobs;
       live = true;
       workers = [];
@@ -158,20 +196,20 @@ let map pool f xs =
         | v -> results.(i) <- Some v
         | exception e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
       in
-      Queue.add { run; submitter = me; remaining } pool.queue;
+      Queue.add { run; submitter = me; remaining; state = None } pool.queue;
       Condition.signal pool.work_available
     done;
     (* Help until every task of *this* map has finished. The popped job may
-       belong to a different (nested) map — running it anyway is what keeps
-       the queue draining when all participants are inside joins. *)
+       belong to a different (nested) map — or be a background submit job —
+       running it anyway is what keeps the queue draining when all
+       participants are inside joins. *)
     while !remaining > 0 do
-      if not (Queue.is_empty pool.queue) then begin
-        let job = Queue.pop pool.queue in
+      match pop_job pool with
+      | Some job ->
         Mutex.unlock pool.m;
         exec pool job;
         Mutex.lock pool.m
-      end
-      else Condition.wait pool.task_done pool.m
+      | None -> Condition.wait pool.task_done pool.m
     done;
     pool.join_wait <- pool.join_wait +. (Unix.gettimeofday () -. t0);
     Mutex.unlock pool.m;
@@ -184,6 +222,81 @@ let map pool f xs =
     Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
 
 let mapi pool f xs = map pool (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Fire-and-forget submissions                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [submit] hands one job to the pool without joining on it; the ticket
+   supports polling, cancellation (honoured only while still Pending) and
+   a helping [await] that drains other queued work rather than blocking.
+   On a 1-job pool the job runs inline right here — same observable
+   result, no queue traffic. The [run] closure must capture its own result
+   and never raise; publication to the awaiting domain is synchronized by
+   the pool mutex ([exec] flips the state to Done under [m] after [run]
+   returns, and [await]/[poll] read it under [m]). *)
+let submit pool ?(priority = Normal) run =
+  let state = ref Pending in
+  let job = { run; submitter = self_id (); remaining = ref 1; state = Some state } in
+  if pool.jobs <= 1 then begin
+    state := Running;
+    run ();
+    Mutex.lock pool.m;
+    state := Done;
+    pool.tasks.(0) <- pool.tasks.(0) + 1;
+    Mutex.unlock pool.m;
+    { tj = job }
+  end
+  else begin
+    Mutex.lock pool.m;
+    let q = match priority with High -> pool.high | Normal -> pool.queue | Low -> pool.low in
+    Queue.add job q;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.m;
+    { tj = job }
+  end
+
+let poll pool { tj } =
+  match tj.state with
+  | None -> invalid_arg "Pool.poll: not a submitted job"
+  | Some st ->
+    Mutex.lock pool.m;
+    let s = !st in
+    Mutex.unlock pool.m;
+    s
+
+let cancel pool { tj } =
+  match tj.state with
+  | None -> invalid_arg "Pool.cancel: not a submitted job"
+  | Some st ->
+    Mutex.lock pool.m;
+    let ok = !st = Pending in
+    if ok then st := Cancelled;
+    Mutex.unlock pool.m;
+    ok
+
+let await pool { tj } =
+  match tj.state with
+  | None -> invalid_arg "Pool.await: not a submitted job"
+  | Some st ->
+    Mutex.lock pool.m;
+    let rec loop () =
+      match !st with
+      | Done | Cancelled -> ()
+      | Pending | Running -> (
+        (* Help — possibly running the awaited job ourselves. *)
+        match pop_job pool with
+        | Some job ->
+          Mutex.unlock pool.m;
+          exec pool job;
+          Mutex.lock pool.m;
+          loop ()
+        | None ->
+          Condition.wait pool.task_done pool.m;
+          loop ())
+    in
+    loop ();
+    Mutex.unlock pool.m
 
 (* ------------------------------------------------------------------ *)
 (* The process-default pool                                            *)

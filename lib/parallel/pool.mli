@@ -39,6 +39,44 @@ val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Drain the queue, stop and join the workers. Idempotent. *)
 
+(** {1 Fire-and-forget submissions}
+
+    The background-compile queue ([lib/bgcompile]) runs on these: one job
+    per compile request, submitted at {!Low} priority so harness [map]
+    batches are never starved by speculative compiles. Unlike [map] there
+    is no implicit join — the submitter keeps going and later polls,
+    awaits or cancels through the ticket. *)
+
+type priority = High | Normal | Low
+(** Pop order: [High] before [map] tasks (which run at [Normal]) before
+    [Low]. Priorities order the queues only — a running job is never
+    preempted. *)
+
+type ticket
+(** Handle to one submitted job. *)
+
+type jstate = Pending | Running | Done | Cancelled
+
+val submit : t -> ?priority:priority -> (unit -> unit) -> ticket
+(** Enqueue one job without joining on it. The closure must capture its
+    own result and must not raise. On a 1-job pool the job runs inline
+    before [submit] returns (the serial escape hatch, keeping 1-job runs
+    free of queue traffic). Default priority: [Normal]. *)
+
+val poll : t -> ticket -> jstate
+
+val cancel : t -> ticket -> bool
+(** Try to cancel: succeeds (returns [true]) only while the job is still
+    [Pending] — it is then dropped unrun at its next pop. A [Running] or
+    [Done] job is left alone ([false]). *)
+
+val await : t -> ticket -> unit
+(** Block until the job is [Done] (or was successfully cancelled),
+    helping drain other queued work in the meantime — the awaited job may
+    end up executed by the awaiting domain itself. Completion is
+    published under the pool mutex, so results written by the job are
+    safe to read after [await] returns. *)
+
 (** {1 Utilization stats} *)
 
 type stats = {

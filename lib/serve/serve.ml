@@ -162,12 +162,16 @@ let absorb iso =
         (Telemetry.Counters.rows (Telemetry.counters (Engine.telemetry eng))))
     iso.engines
 
-(* Recycle the isolate: absorb telemetry, then drop every warm engine.
-   Heap state a crashing request may have corrupted is gone; the next
-   attempt (and the next request of every tenant) starts from a cold,
-   known-good engine. Compiled bytecode programs are pure and survive. *)
+(* Recycle the isolate: drain background compile queues, absorb
+   telemetry, then drop every warm engine. Heap state a crashing request
+   may have corrupted is gone; the next attempt (and the next request of
+   every tenant) starts from a cold, known-good engine — and no queued
+   artifact compiled against the old heap can land in the new one (the
+   drain cancels every in-flight request before the engine is dropped).
+   Compiled bytecode programs are pure and survive. *)
 let recycle iso =
   bump iso Skey.recycles;
+  Hashtbl.iter (fun _ eng -> ignore (Engine.drain_bg eng)) iso.engines;
   absorb iso;
   Hashtbl.reset iso.engines
 

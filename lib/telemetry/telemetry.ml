@@ -116,6 +116,31 @@ type event =
       spent : int;  (* model cycles spent in the run when it tripped *)
       limit : int;  (* the run's cycle budget *)
     }
+  | Compile_enqueue of {
+      fid : int;
+      fname : string;
+      kind : string;  (* queued signature flavor: "values" | "selective" | "tags" | "generic" *)
+      osr : bool;  (* carries an OSR entry snapshot *)
+      ready : int;  (* modeled completion cycle *)
+      depth : int;  (* queue occupancy after the enqueue *)
+    }
+  | Compile_ready of {
+      fid : int;
+      fname : string;
+      size : int;  (* native instructions installed *)
+      cycles : int;  (* off-clock compile cycles the artifact cost *)
+      wait : int;  (* model cycles from enqueue to harvest *)
+    }
+  | Compile_cancel of {
+      fid : int;
+      fname : string;
+      reason : string;  (* "overflow" | "degrade" | "recycle" | "install-fault" | "enqueue-fault" *)
+    }
+  | Osr_entry of {
+      fid : int;
+      fname : string;
+      pc : int;  (* loop head transferred into the finished binary *)
+    }
 
 let event_fid = function
   | Compile_start { fid; _ }
@@ -133,7 +158,11 @@ let event_fid = function
   | Quarantine { fid; _ }
   | Cache_evict { fid; _ }
   | Version_widen { fid; _ }
-  | Deadline_hit { fid; _ } -> fid
+  | Deadline_hit { fid; _ }
+  | Compile_enqueue { fid; _ }
+  | Compile_ready { fid; _ }
+  | Compile_cancel { fid; _ }
+  | Osr_entry { fid; _ } -> fid
 
 let event_fname = function
   | Compile_start { fname; _ }
@@ -151,7 +180,11 @@ let event_fname = function
   | Quarantine { fname; _ }
   | Cache_evict { fname; _ }
   | Version_widen { fname; _ }
-  | Deadline_hit { fname; _ } -> fname
+  | Deadline_hit { fname; _ }
+  | Compile_enqueue { fname; _ }
+  | Compile_ready { fname; _ }
+  | Compile_cancel { fname; _ }
+  | Osr_entry { fname; _ } -> fname
 
 let event_kind = function
   | Compile_start _ -> "compile_start"
@@ -170,6 +203,10 @@ let event_kind = function
   | Cache_evict _ -> "cache_evict"
   | Version_widen _ -> "version_widen"
   | Deadline_hit _ -> "deadline_hit"
+  | Compile_enqueue _ -> "compile_enqueue"
+  | Compile_ready _ -> "compile_ready"
+  | Compile_cancel _ -> "compile_cancel"
+  | Osr_entry _ -> "osr_entry"
 
 let deopt_reason_to_string = function
   | Arg_mismatch -> "arg_mismatch"
@@ -246,6 +283,15 @@ let to_string ev =
       from_key to_key
   | Deadline_hit { spent; limit; _ } ->
     Printf.sprintf "deadline-hit  %s spent %d of %d cycles" site spent limit
+  | Compile_enqueue { kind; osr; ready; depth; _ } ->
+    Printf.sprintf "bg-enqueue    %s %s%s ready at %d (%d queued)" site kind
+      (if osr then " +OSR" else "")
+      ready depth
+  | Compile_ready { size; cycles; wait; _ } ->
+    Printf.sprintf "bg-ready      %s size=%d cycles=%d after %d cycles in flight" site
+      size cycles wait
+  | Compile_cancel { reason; _ } -> Printf.sprintf "bg-cancel     %s (%s)" site reason
+  | Osr_entry { pc; _ } -> Printf.sprintf "bg-osr-entry  %s at pc %d" site pc
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled; no json dependency in the image)       *)
@@ -381,6 +427,14 @@ let to_json ev =
         ("to", jstr to_key); ("entries", string_of_int entries) ]
     | Deadline_hit { spent; limit; _ } ->
       [ ("spent", string_of_int spent); ("limit", string_of_int limit) ]
+    | Compile_enqueue { kind; osr; ready; depth; _ } ->
+      [ ("kind", jstr kind); ("osr", jbool osr); ("ready", string_of_int ready);
+        ("depth", string_of_int depth) ]
+    | Compile_ready { size; cycles; wait; _ } ->
+      [ ("size", string_of_int size); ("cycles", string_of_int cycles);
+        ("wait", string_of_int wait) ]
+    | Compile_cancel { reason; _ } -> [ ("reason", jstr reason) ]
+    | Osr_entry { pc; _ } -> [ ("pc", string_of_int pc) ]
   in
   json_obj (base @ extra)
 
@@ -518,6 +572,13 @@ module Key = struct
   let interpro_seeded = "interpro.seeded"
   let deadlines = "deadlines"
   let compiles_degraded = "compiles.degraded"
+  let bg_queued = "bg.queued"
+  let bg_installed = "bg.installed"
+  let bg_cancelled = "bg.cancelled"
+  let bg_superseded = "bg.superseded"
+  let bg_overflow = "bg.overflow"
+  let bg_osr_entries = "bg.osr_entries"
+  let bg_osr_stale = "bg.osr_stale"
 
   (* Per-point fired-fault counters ("faults.fired.exec_guard", ...). The
      argument is a [Faults.point_to_string] name; telemetry sits below the

@@ -133,6 +133,39 @@ type event =
       (** a cooperative deadline expired mid-dispatch; the engine raises
           [Engine.Deadline_exceeded] immediately after emitting, so the
           event appears exactly once per tripped run *)
+  | Compile_enqueue of {
+      fid : int;
+      fname : string;
+      kind : string;
+          (** queued signature flavor: ["values"], ["selective"],
+              ["tags"] or ["generic"] *)
+      osr : bool;  (** the request carries an OSR entry snapshot *)
+      ready : int;  (** modeled completion cycle *)
+      depth : int;  (** queue occupancy after the enqueue *)
+    }
+      (** a hot-call site handed a compile request to the background
+          queue and kept interpreting *)
+  | Compile_ready of {
+      fid : int;
+      fname : string;
+      size : int;  (** native instructions installed *)
+      cycles : int;  (** off-clock compile cycles the artifact cost *)
+      wait : int;  (** model cycles from enqueue to harvest *)
+    }
+      (** a finished background artifact was installed into the version
+          cache (emitted at the harvesting call/loop edge) *)
+  | Compile_cancel of {
+      fid : int;
+      fname : string;
+      reason : string;
+          (** ["overflow"], ["degrade"], ["recycle"], ["install-fault"]
+              or ["enqueue-fault"] *)
+    }
+      (** a queued request was dropped before installing *)
+  | Osr_entry of { fid : int; fname : string; pc : int }
+      (** a hot interpreter loop transferred into a finished background
+          binary at its loop head (distinct from [Osr_enter], which marks
+          the synchronous OSR {e trigger}) *)
 
 val event_fid : event -> int
 val event_fname : event -> string
@@ -277,6 +310,31 @@ module Key : sig
   val compiles_degraded : string
   (** compilations forced to the baseline pipeline by overload degrade
       mode (the service layer shedding specialization before requests) *)
+
+  val bg_queued : string
+  (** background compile requests admitted to the queue *)
+
+  val bg_installed : string
+  (** background artifacts harvested and installed into the cache *)
+
+  val bg_cancelled : string
+  (** queued requests dropped before installing (degrade drain, isolate
+      recycle, injected faults) *)
+
+  val bg_superseded : string
+  (** installed versions detached because a queued recompile at a wider
+      signature landed (the re-specialization drift loop) *)
+
+  val bg_overflow : string
+  (** enqueues refused because the queue was at [--compile-queue-depth] *)
+
+  val bg_osr_entries : string
+  (** loop-edge transfers into finished background binaries *)
+
+  val bg_osr_stale : string
+  (** OSR-flavored artifacts whose entry was refused because the live
+      frame no longer matched the enqueue snapshot (the binary still
+      installs for normal calls) *)
 
   val faults_fired : string -> string
   (** [faults_fired point_name] is the per-point injected-fault counter

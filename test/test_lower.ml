@@ -88,6 +88,7 @@ let test_entry_offset_is_zero_with_osr () =
       (* locals are allocated alphabetically: slot 0 = i, slot 1 = t *)
       osr_locals = [| Value.Int 5; Value.Int 10 |];
       osr_specialize = true;
+      osr_bake_locals = true;
     }
   in
   let f = Builder.build ~program ~func ~spec_args:[| Value.Int 100 |] ~osr () in

@@ -79,7 +79,7 @@ let test_specialized_build_constants () =
 let test_osr_block_shape () =
   let spec = spec_args_for_map () in
   let osr =
-    { Builder.osr_pc = 2; osr_args = spec; osr_locals = [| Value.Int 2 |]; osr_specialize = true }
+    { Builder.osr_pc = 2; osr_args = spec; osr_locals = [| Value.Int 2 |]; osr_specialize = true; osr_bake_locals = true }
   in
   let _, f = build_fn ~spec_args:spec ~osr map_src 2 in
   match f.Mir.osr_entry with
@@ -100,6 +100,7 @@ let test_osr_generic_is_typed () =
       osr_args = spec_args_for_map ();
       osr_locals = [| Value.Int 2 |];
       osr_specialize = false;
+      osr_bake_locals = true;
     }
   in
   let _, f = build_fn ~osr map_src 2 in
@@ -232,6 +233,7 @@ let test_build_all_suite_functions_all_modes () =
                         osr_locals =
                           Array.make func.Bytecode.Program.nlocals Value.Undefined;
                         osr_specialize = false;
+                        osr_bake_locals = true;
                       }
                     in
                     check (Builder.build ~program ~func ~osr ())

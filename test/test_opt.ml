@@ -35,6 +35,7 @@ let build_map ?osr () =
           osr_args = spec_args;
           osr_locals = [| Value.Int 2 |];
           osr_specialize = true;
+          osr_bake_locals = true;
         }
     | _ -> None
   in
@@ -589,7 +590,7 @@ print(map(new Array(1, 2, 3, 4, 5), 2, 5, inc));
      in the entry block and the OSR block alike. *)
   let osr =
     { Builder.osr_pc = 2; osr_args = spec_args; osr_locals = [| Value.Int 2 |];
-      osr_specialize = true }
+      osr_specialize = true; osr_bake_locals = true }
   in
   let f = Builder.build ~program ~func:map_fn ~spec_args ~osr () in
   Typer.run f;

@@ -128,6 +128,98 @@ let test_recycle_does_not_leak_quarantine () =
       Alcotest.(check int) "fresh engine sees no aborts" 0 (total c2 "compiles.aborted");
       Alcotest.(check bool) "fresh engine compiles normally" true (total c2 "compiles" >= 1))
 
+(* --- background compilation under service pressure -------------------- *)
+
+let bg_spec_cfg ?deadline () =
+  Engine.default_config ~opt:Pipeline.all_on ~bg_compile:true ?deadline ()
+
+let test_deadline_expiry_with_compile_in_flight () =
+  (* [work] goes hot around cycle 9000 and its artifact's modeled ready
+     cycle is ~12400; a 10000-cycle budget trips in between, so the
+     deadline fires while the compile is in flight. The expiry must be a
+     clean request failure — engine warm, request still queued — and the
+     next request (a fresh budget) harvests the artifact normally. *)
+  Builtins.with_print_hook ignore (fun () ->
+      let engine = Engine.make (bg_spec_cfg ~deadline:10_000 ()) (Bytecode.Compile.program_of_source hot_src) in
+      (match Engine.run engine with
+      | exception Engine.Deadline_exceeded _ -> ()
+      | _ -> Alcotest.fail "expected Deadline_exceeded");
+      Alcotest.(check int) "the compile was in flight at the trip" 1
+        (Engine.bg_in_flight engine);
+      let c = registry engine in
+      Alcotest.(check int) "nothing installed yet" 0 (total c "bg.installed");
+      (* The retry: a warm engine, a fresh budget, the artifact now past
+         its ready cycle — it lands at the first call's harvest even
+         though this attempt (whose budget is far below the program's
+         cost) deadline-fails again. The expiry never loses the compile
+         work: later requests run the binary. *)
+      (match Engine.run engine with
+      | _report -> ()
+      | exception Engine.Deadline_exceeded _ -> ());
+      Alcotest.(check bool) "the artifact landed on the retry" true
+        (total c "bg.installed" >= 1);
+      Alcotest.(check int) "queue drained" 0 (Engine.bg_in_flight engine))
+
+let test_degrade_drains_and_suppresses_bg () =
+  (* Degrade entered with a request in flight cancels it; while degraded
+     nothing new is queued (compiles are synchronous-degraded instead). *)
+  let tail_hot =
+    "function f(x) { return (x + 1) | 0; }\n\
+     var t = 0;\n\
+     for (var i = 0; i < 11; i++) t = (t + f(4)) | 0;\n\
+     print(t);"
+  in
+  Builtins.with_print_hook ignore (fun () ->
+      let engine = Engine.make (bg_spec_cfg ()) (Bytecode.Compile.program_of_source tail_hot) in
+      ignore (Engine.run engine);
+      let c = registry engine in
+      Alcotest.(check int) "one request in flight at the end" 1 (Engine.bg_in_flight engine);
+      Engine.set_degrade engine true;
+      Alcotest.(check int) "degrade drained it" 0 (Engine.bg_in_flight engine);
+      Alcotest.(check int) "the cancel was counted" 1 (total c "bg.cancelled");
+      (* Re-run degraded: f is hot from the first call; the compile must
+         be synchronous-degraded, never queued. *)
+      let queued_before = total c "bg.queued" in
+      ignore (Engine.run engine);
+      Alcotest.(check int) "nothing queued under degrade" queued_before (total c "bg.queued");
+      Alcotest.(check bool) "the degraded compile happened synchronously" true
+        (total c "compiles.degraded" >= 1);
+      Alcotest.(check int) "still nothing in flight" 0 (Engine.bg_in_flight engine))
+
+let test_recycle_does_not_leak_bg_artifacts () =
+  (* The full service under overload + crashes + chaos with background
+     compilation on: every recycle drains the dying isolate's queues, so
+     the absorbed counters must account for every queued request as
+     installed, cancelled, or still in flight at teardown — and nothing
+     may escape the supervisor. *)
+  let cfg =
+    Serve.default_config ~isolates:2 ~requests:120 ~tenants:5 ~capacity:4
+      ~queue_deadline:150_000 ~deadline:120_000 ~retries:2 ~backoff:2_000
+      ~overload_depth:2 ~mean_gap:12_000 ~crash_fraction:0.08 ~seed:20130223 ~chaos:7
+      ~engine:
+        (Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+           ~cache_size:4 ~bg_compile:true ())
+      ()
+  in
+  let s = Serve.run cfg in
+  Alcotest.(check int) "no supervisor escapes" 0 (Serve.counter s "serve.escapes");
+  Alcotest.(check bool) "requests served" true (s.Serve.sm_ok > 0);
+  Alcotest.(check bool) "isolates recycled" true (Serve.counter s "serve.recycles" >= 1);
+  Alcotest.(check bool) "degrade mode entered" true (Serve.counter s "serve.degraded" >= 1);
+  Alcotest.(check bool) "the queue was used" true (Serve.counter s "bg.queued" >= 1);
+  Alcotest.(check bool) "recycle/degrade drains cancelled requests" true
+    (Serve.counter s "bg.cancelled" >= 1);
+  (* Conservation: a queued request either installed, was cancelled, or
+     was still in flight when its engine was dropped — never double-
+     counted, never leaked into another tenant's engine. *)
+  Alcotest.(check bool) "queued >= installed + cancelled" true
+    (Serve.counter s "bg.queued"
+    >= Serve.counter s "bg.installed" + Serve.counter s "bg.cancelled");
+  (* Determinism of the whole bg-on service summary across --jobs. *)
+  Pool.set_default_jobs 4;
+  let s4 = Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) (fun () -> Serve.run cfg) in
+  Alcotest.(check bool) "bg-on summary identical at --jobs 4 vs 1" true (s = s4)
+
 let req id ~tenant ~arrival ~poison =
   { Serve.rq_id = id; rq_tenant = tenant; rq_arrival = arrival; rq_poison = poison }
 
@@ -278,6 +370,15 @@ let suites =
         Alcotest.test_case "fired hook" `Quick test_fired_hook;
         Alcotest.test_case "sample covers service points" `Quick
           test_sample_covers_service_points;
+      ] );
+    ( "serve.bg",
+      [
+        Alcotest.test_case "deadline expiry with a compile in flight" `Quick
+          test_deadline_expiry_with_compile_in_flight;
+        Alcotest.test_case "degrade drains and suppresses the queue" `Quick
+          test_degrade_drains_and_suppresses_bg;
+        Alcotest.test_case "recycle never leaks queued artifacts" `Quick
+          test_recycle_does_not_leak_bg_artifacts;
       ] );
     ( "serve.smoke",
       [
