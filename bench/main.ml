@@ -483,7 +483,8 @@ let run_wall () =
    the engine benches' cycles and fails on drift, and check.sh runs it. *)
 
 (* Minimal extraction from our own writer's output: one bench object per
-   line, ["name"] a JSON string, ["model_cycles"] an integer or null. *)
+   line, ["name"] a JSON string, ["model_cycles"] an integer or null,
+   ["ns_per_run"] a float or null. *)
 let parse_wall_json path =
   let lines = In_channel.with_open_text path In_channel.input_lines in
   (match lines with
@@ -511,21 +512,75 @@ let parse_wall_json path =
           let name =
             Telemetry.json_unescape (String.sub line (start + 1) (stop - start - 1))
           in
+          let number_at i charset of_string =
+            let j = ref i in
+            while !j < String.length line && charset line.[!j] do
+              incr j
+            done;
+            of_string (String.sub line i (!j - i))
+          in
           let cycles =
             match find_field "model_cycles" with
             | None -> None
             | Some i ->
-              let j = ref i in
-              while
-                !j < String.length line
-                && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
-              do
-                incr j
-              done;
-              int_of_string_opt (String.sub line i (!j - i))
+              number_at i
+                (function '0' .. '9' | '-' -> true | _ -> false)
+                int_of_string_opt
           in
-          Some (name, cycles)))
+          let ns =
+            match find_field "ns_per_run" with
+            | None -> None
+            | Some i ->
+              number_at i
+                (function '0' .. '9' | '-' | '.' -> true | _ -> false)
+                float_of_string_opt
+          in
+          Some (name, cycles, ns)))
     lines
+
+(* Wall-vs-model divergence advisory: within a family of variants of the
+   same workload (names differing only in the last _suffix — base/spec/
+   poly, sync/bg, paper/poly), the model may rank the configurations one
+   way while the committed wall-clock estimates rank them another. The
+   canonical case is fig9_v8_earleyboyer_poly: fewest model cycles of its
+   family yet the worst ns/run, because the polyvariant version-cache
+   probe is host-side work the cost model charges nothing for (see
+   bench/README.md). Rank disagreement marks a cost-model coverage gap,
+   not a regression, so this warns and never fails. *)
+let warn_rank_disagreements committed =
+  let family name =
+    match String.rindex_opt name '_' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, cycles, ns) ->
+      match (cycles, ns) with
+      | Some c, Some n ->
+        let fam = family name in
+        Hashtbl.replace tbl fam
+          ((name, c, n) :: Option.value (Hashtbl.find_opt tbl fam) ~default:[])
+      | _ -> ())
+    committed;
+  Hashtbl.fold (fun fam members acc -> (fam, members) :: acc) tbl []
+  |> List.sort compare
+  |> List.iter (fun (fam, members) ->
+         if List.length members >= 2 then begin
+           let names order =
+             List.map (fun (n, _, _) -> n) (List.sort order members)
+           in
+           let by_model = names (fun (_, c1, _) (_, c2, _) -> compare c1 c2) in
+           let by_wall = names (fun (_, _, n1) (_, _, n2) -> compare n1 n2) in
+           if by_model <> by_wall then begin
+             Printf.printf
+               "check-model: warning: %s_*: model and wall-clock rank orders disagree \
+                (unmodeled host-side cost; see bench/README.md)\n"
+               fam;
+             Printf.printf "  by model cycles: %s\n" (String.concat " < " by_model);
+             Printf.printf "  by ns/run:       %s\n" (String.concat " < " by_wall)
+           end
+         end)
 
 let check_model () =
   let path = "BENCH_wall.json" in
@@ -534,6 +589,7 @@ let check_model () =
     exit 1
   end;
   let committed = parse_wall_json path in
+  warn_rank_disagreements committed;
   let current_rows =
     List.map (fun (name, cfg, m) -> ("vs." ^ name, cycles cfg m)) engine_benches
     @ List.map (fun (name, cfg) -> ("vs." ^ name, serve_makespan (cfg ()))) serve_benches
@@ -542,7 +598,11 @@ let check_model () =
   let drifted =
     List.filter_map
       (fun (name, current) ->
-        match List.assoc_opt name committed with
+        match
+          List.find_map
+            (fun (n, cycles, _) -> if n = name then Some cycles else None)
+            committed
+        with
         | Some (Some c) when c = current -> None
         | Some (Some c) -> Some (name, string_of_int c, current)
         | Some None | None -> Some (name, "absent", current))

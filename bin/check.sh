@@ -40,6 +40,9 @@ dune build @serve
 echo "== dune build @bg (background compilation: --jobs identity + off-identity + overflow) =="
 dune build @bg
 
+echo "== dune build @obs (observability: off/on byte-identity + artifact determinism + flow balance) =="
+dune build @obs
+
 echo "== bench check-model (model cycles vs committed BENCH_wall.json) =="
 dune exec bench/main.exe -- check-model
 

@@ -73,10 +73,23 @@ let write_trace_spans file spans =
         spans;
       output_string oc "\n]}\n")
 
+(* Flight-recorder post-mortems as JSONL (one header object per dump, then
+   its entries). *)
+let write_flight file fl =
+  Out_channel.with_open_text file (fun oc ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_string oc "\n")
+            (Flight.dump_jsonl d))
+        (Flight.dumps fl))
+
 let run_file path no_jit spec selective policy_name cache_size code_cache_bytes max_depth
     bg_compile compile_queue_depth config_name
-    stats trace trace_json trace_spans profile_folded dump_bytecode dump_mir profile check
-    chaos jobs =
+    stats trace trace_json trace_spans flight_file profile_folded dump_bytecode dump_mir
+    profile check chaos jobs =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
   let src = In_channel.with_open_text path In_channel.input_all in
   (match chaos with
@@ -186,6 +199,26 @@ let run_file path no_jit spec selective policy_name cache_size code_cache_bytes 
     if trace_spans <> None then
       Telemetry.set_default_span_sinks [ (fun s -> spans_acc := s :: !spans_acc) ];
     let engine = Engine.make cfg program in
+    (* The flight recorder rides the engine's event stream on its model
+       clock; quarantines and deopt storms self-trigger dumps, and the run
+       adds its own trigger on a fault or at end of run. *)
+    let flight =
+      Option.map
+        (fun _ ->
+          let fl = Flight.create () in
+          Telemetry.attach (Engine.telemetry engine)
+            (Flight.sink fl ~clock:(fun () -> Engine.clock engine));
+          fl)
+        flight_file
+    in
+    let dump_flight ~trigger ~detail =
+      match (flight, flight_file) with
+      | Some fl, Some file ->
+        if trigger <> "" then
+          Flight.trigger fl ~trigger ~detail ~at:(Engine.clock engine);
+        write_flight file fl
+      | _ -> ()
+    in
     if trace then Telemetry.attach (Engine.telemetry engine) (Telemetry.text_sink stderr);
     let json_oc =
       Option.map
@@ -203,10 +236,18 @@ let run_file path no_jit spec selective policy_name cache_size code_cache_bytes 
     match run_engine () with
     | exception Engine.Runtime_error msg ->
       Option.iter close_out json_oc;
+      dump_flight ~trigger:"fault" ~detail:msg;
       Printf.eprintf "%s: runtime error: %s\n" path msg;
       exit 1
     | report ->
       Option.iter close_out json_oc;
+      (* End-of-run dump only when nothing self-triggered: the on-demand
+         post-mortem; a run with quarantine dumps keeps exactly those. *)
+      (match flight with
+      | Some fl when Flight.dumps fl = [] ->
+        dump_flight ~trigger:"end-of-run" ~detail:path
+      | Some _ -> dump_flight ~trigger:"" ~detail:""
+      | None -> ());
       Option.iter (fun file -> write_trace_spans file (List.rev !spans_acc)) trace_spans;
       (match (recorder, profile_folded) with
       | Some r, Some file ->
@@ -388,6 +429,18 @@ let trace_spans =
            codegen, native runs, bailouts, OSR) to $(docv) as Chrome trace-event JSON \
            on the model-cycle clock — load it in Perfetto or chrome://tracing.")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:
+          "Record the most recent JIT events in a bounded ring and write \
+           post-mortem dumps to $(docv) as JSONL: automatically on a quarantine, \
+           deopt storm or runtime fault (the window leading up to it), otherwise \
+           once at end of run. Timestamps are model cycles, so dumps are \
+           byte-reproducible.")
+
 let profile_folded =
   Arg.(
     value
@@ -453,7 +506,7 @@ let cmd =
       const run_file $ path_arg $ no_jit $ spec $ selective $ policy_arg $ cache_size
       $ code_cache_bytes $ max_depth $ bg_compile_arg $ compile_queue_depth
       $ config_name $ stats $ trace $ trace_json
-      $ trace_spans $ profile_folded $ dump_bytecode $ dump_mir $ profile $ check
-      $ chaos $ jobs_arg)
+      $ trace_spans $ flight_arg $ profile_folded $ dump_bytecode $ dump_mir $ profile
+      $ check $ chaos $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,33 @@
    byte-identical at any --jobs (the @serve gate diffs 4 vs 1). --smoke
    runs the forced-overload chaos scenario and exits 1 if any service
    invariant is violated (a supervisor escape, nothing shed, no deadline
-   ever firing, ...). *)
+   ever firing, ...).
+
+   Observability (each independently optional; with none of them the run
+   is byte-identical to a build without the observability layer):
+
+     vs-serve --metrics-out m.prom     # final registry, Prometheus text
+     vs-serve --metrics-json m.jsonl --metrics-every 100000
+     vs-serve --top                    # text dashboard after the summary
+     vs-serve --trace-spans t.json     # request-stitched Perfetto trace
+     vs-serve --flight-recorder f.jsonl [--flight-text f.txt]
+
+   All artifacts are on the model-cycle clock and byte-identical at any
+   --jobs (the @obs gate diffs 4 vs 1 under an injected-fault plan). *)
+
+let write_file file contents = Out_channel.with_open_text file (fun oc -> output_string oc contents)
+
+(* Chrome trace-event file (same shape jsvm --trace-spans writes). *)
+let write_trace_spans file spans =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc "{\"traceEvents\":[";
+      List.iteri
+        (fun i s ->
+          if i > 0 then output_string oc ",";
+          output_string oc "\n";
+          output_string oc (Telemetry.span_to_chrome_json s))
+        spans;
+      output_string oc "\n]}\n")
 
 let () =
   let isolates = ref 2 in
@@ -31,6 +57,15 @@ let () =
   let bg_depth = ref 8 in
   let smoke = ref false in
   let counters = ref true in
+  let metrics_out = ref "" in
+  let metrics_json = ref "" in
+  let metrics_every = ref 0 in
+  let top = ref false in
+  let trace_spans = ref "" in
+  let flight = ref "" in
+  let flight_text = ref "" in
+  let flight_capacity = ref 64 in
+  let flight_dumps = ref 4 in
   let specs =
     [
       ("--isolates", Arg.Set_int isolates, "N isolates (default 2)");
@@ -58,6 +93,34 @@ let () =
         "N in-flight background compiles per engine (default 8)" );
       ("--no-counters", Arg.Clear counters, " omit the counter rows");
       ("--smoke", Arg.Set smoke, " run the CI overload scenario and check invariants");
+      ( "--metrics-out",
+        Arg.Set_string metrics_out,
+        "FILE write the final merged metrics registry as Prometheus text" );
+      ( "--metrics-json",
+        Arg.Set_string metrics_json,
+        "FILE write JSON metric snapshots (one line per snapshot; see --metrics-every)" );
+      ( "--metrics-every",
+        Arg.Set_int metrics_every,
+        "CYCLES periodic per-isolate snapshot period for --metrics-json (0 = final only)" );
+      ("--top", Arg.Set top, " print the vs-top text dashboard after the summary");
+      ( "--trace-spans",
+        Arg.Set_string trace_spans,
+        "FILE write request-scoped Chrome trace-event spans (Perfetto): every request a \
+         lane, background compiles stitched to their requester by flow events" );
+      ( "--flight-recorder",
+        Arg.Set_string flight,
+        "FILE write flight-recorder post-mortem dumps (faults, deadlines, quarantines, \
+         deopt storms) as JSONL" );
+      ( "--flight-text",
+        Arg.Set_string flight_text,
+        "FILE write the human rendering of the flight-recorder dumps" );
+      ( "--flight-capacity",
+        Arg.Set_int flight_capacity,
+        "N flight-recorder ring entries per isolate (default 64)" );
+      ( "--flight-dumps",
+        Arg.Set_int flight_dumps,
+        "N post-mortems kept per isolate; later triggers are counted, not dumped \
+         (default 4)" );
       ("--jobs", Arg.Int Pool.set_default_jobs, "N pool size (default 1)");
     ]
   in
@@ -66,8 +129,18 @@ let () =
       Printf.eprintf "unexpected argument %S\n" a;
       exit 2)
     "vs-serve [options]";
+  let obs =
+    {
+      Serve.obs_trace = !trace_spans <> "";
+      obs_metrics = !metrics_out <> "" || !metrics_json <> "" || !top;
+      obs_metrics_every = max 0 !metrics_every;
+      obs_flight = !flight <> "" || !flight_text <> "";
+      obs_flight_capacity = max 1 !flight_capacity;
+      obs_flight_max_dumps = max 1 !flight_dumps;
+    }
+  in
   let cfg =
-    if !smoke then Serve.smoke_config ()
+    if !smoke then { (Serve.smoke_config ()) with Serve.obs }
     else begin
       let kind =
         match Policy.kind_of_string !policy with
@@ -84,11 +157,50 @@ let () =
         ~engine:
           (Engine.default_config ~opt:Pipeline.all_on ~policy:kind
              ~cache_size:!cache_size ~bg_compile:!bg ~bg_queue_depth:!bg_depth ())
-        ()
+        ~obs ()
     end
   in
-  let summary = Serve.run cfg in
+  let summary, obs_out = Serve.run_full cfg in
   Serve.print_summary ~counters:!counters stdout cfg summary;
+  if !trace_spans <> "" then write_trace_spans !trace_spans obs_out.Serve.or_spans;
+  (match obs_out.Serve.or_metrics with
+  | Some m ->
+    if !metrics_out <> "" then write_file !metrics_out (Metrics.to_prometheus m);
+    if !metrics_json <> "" then begin
+      (* Per-isolate periodic snapshots in (cycle, isolate) order, then a
+         closing line for the merged registry at the makespan. *)
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun (_, _, json) ->
+          Buffer.add_string buf json;
+          Buffer.add_char buf '\n')
+        obs_out.Serve.or_snapshots;
+      Buffer.add_string buf (Metrics.snapshot_json ~cycle:summary.Serve.sm_makespan m);
+      Buffer.add_char buf '\n';
+      write_file !metrics_json (Buffer.contents buf)
+    end;
+    if !top then print_string (Metrics.render_top ~title:"vs-serve" m)
+  | None -> ());
+  if !flight <> "" then begin
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (_, d) ->
+        List.iter
+          (fun line ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n')
+          (Flight.dump_jsonl d))
+      obs_out.Serve.or_flights;
+    write_file !flight (Buffer.contents buf)
+  end;
+  if !flight_text <> "" then begin
+    let buf = Buffer.create 4096 in
+    List.iter (fun (i, d) ->
+        Buffer.add_string buf (Printf.sprintf "-- isolate %d --\n" i);
+        Buffer.add_string buf (Flight.render d))
+      obs_out.Serve.or_flights;
+    write_file !flight_text (Buffer.contents buf)
+  end;
   if !smoke then begin
     match Serve.smoke_check summary with
     | Ok () -> print_endline "smoke: all service invariants hold"

@@ -171,6 +171,13 @@ type bg_job = {
   j_widen_info : (int * string * string * int) option;
       (* (index, from_key, to_key, entries) for the Version_widen event,
          captured when the ladder step was decided *)
+  j_flow : int;
+      (* Perfetto flow id stitching this request's enqueue to its install;
+         0 when no tracer was attached at enqueue *)
+  j_trace : Telemetry.trace_ctx option;
+      (* the service request that triggered the enqueue — installs (which
+         run under whatever request harvests them) re-assert it so the
+         compile is attributed back to the requesting tenant *)
 }
 
 type t = {
@@ -198,6 +205,8 @@ type t = {
   bg_cycles : int ref;
       (* compile cycles done by the background compiler — off the model
          clock ([now] never reads it), reported as [bg_compile_cycles] *)
+  flow_seq : int ref;
+      (* per-engine flow-id allocator (tracing only; see [new_flow_id]) *)
 }
 
 type func_report = {
@@ -279,6 +288,7 @@ let make engine_config program =
          Some (Bgcompile.create ~depth:engine_config.bg_queue_depth)
        else None);
     bg_cycles = ref 0;
+    flow_seq = ref 0;
   }
 
 let telemetry t = t.tel
@@ -326,6 +336,29 @@ let span_mark ?args t ~name ~cat ~start ~dur fid =
   | Some tr ->
     Profile.Tracer.complete ?args tr ~name ~cat ~fid ~fname:(fname t fid) ~start ~dur
   | None -> ()
+
+(* One side of a Perfetto flow stitch (cat "bg": the only cross-lane edges
+   today are background-compile lifecycles). *)
+let span_flow ?args ?trace t ~phase ~id ~name fid =
+  match t.tracer with
+  | Some tr ->
+    Profile.Tracer.flow ?args ?trace tr ~phase ~id ~name ~cat:"bg" ~fid
+      ~fname:(fname t fid) ~now:(now t)
+  | None -> ()
+
+(* A fresh flow id, allocated only when a tracer is listening (0 means "no
+   flow" everywhere). Namespaced by the requesting trace id so ids are
+   unique across every engine of a traced service run: trace ids are
+   unique per request, and one request enqueues well under a million
+   compiles. *)
+let new_flow_id t =
+  match t.tracer with
+  | None -> 0
+  | Some _ ->
+    incr t.flow_seq;
+    (match Telemetry.current_trace () with
+    | Some c -> ((c.Telemetry.tc_trace + 1) * 1_000_000) + !(t.flow_seq)
+    | None -> !(t.flow_seq))
 
 (* Close the open span even when [f] escapes by exception (a runtime error
    unwinding through nested frames must not corrupt span nesting). *)
@@ -965,6 +998,7 @@ let bg_request t fs ~kind ?spec_args ?spec_mask ?spec_tags ?osr ?supersede ?wide
           | Some tags -> Policy.Key_tags tags
           | None -> Policy.Key_generic)
       in
+      let flow_id = new_flow_id t in
       let job =
         {
           j_task = task;
@@ -976,6 +1010,8 @@ let bg_request t fs ~kind ?spec_args ?spec_mask ?spec_tags ?osr ?supersede ?wide
           j_osr = osr;
           j_supersede = supersede;
           j_widen_info = widen_info;
+          j_flow = flow_id;
+          j_trace = Telemetry.current_trace ();
         }
       in
       match Bgcompile.enqueue q ~fid:fs.fid ~now:(now t) ~cost job with
@@ -994,7 +1030,12 @@ let bg_request t fs ~kind ?spec_args ?spec_mask ?spec_tags ?osr ?supersede ?wide
                 osr = osr <> None;
                 ready = e.Bgcompile.e_ready;
                 depth = Bgcompile.length q;
-              })
+              });
+        (* The flow starts on the requesting lane at the enqueue instant;
+           exactly one matching finish is emitted wherever the job leaves
+           the system (install, abort, cancel, drain or teardown). *)
+        if flow_id <> 0 then
+          span_flow t ~phase:`Start ~id:flow_id ~name:("bg-" ^ kind) fs.fid
     end
 
 (* One policy keying decision, routed to the queue instead of the
@@ -1029,9 +1070,16 @@ let bg_request_choice t fs args choice =
    the widen ladder's supersede detaches its victim. Cycle charges go to
    the off-clock [bg_cycles] accumulator, never to the model clock.
    Returns the installed entry (for the OSR poll to enter). *)
-let bg_install t fs (e : bg_job Bgcompile.entry) =
+let bg_install_under t fs (e : bg_job Bgcompile.entry) =
   let j = e.Bgcompile.e_payload in
   let name = fname t fs.fid in
+  (* Exactly one flow finish per started flow: emitted on every terminal
+     outcome of this job (install, abort, cancel), but not on the fault
+     path's re-enqueue — the job stays in flight there. *)
+  let finish_flow why =
+    if j.j_flow <> 0 then
+      span_flow ?trace:j.j_trace t ~phase:`Finish ~id:j.j_flow ~name:("bg-" ^ why) fs.fid
+  in
   match Bgcompile.Task.force j.j_task with
   | Error (d, wasted) ->
     t.bg_cycles := !(t.bg_cycles) + wasted;
@@ -1048,6 +1096,7 @@ let bg_install t fs (e : bg_job Bgcompile.entry) =
             cycles = wasted;
           });
     quarantine t fs Telemetry.Compile_fault;
+    finish_flow "abort";
     None
   | Ok out ->
     let charge = out.g_mir_charge + out.g_backend_charge in
@@ -1061,20 +1110,24 @@ let bg_install t fs (e : bg_job Bgcompile.entry) =
          redo is charged again at its own install — until the retry cap
          quarantines the function. *)
       bg_cancel t fs ~reason:"install-fault" Telemetry.Key.bg_cancelled;
-      if e.Bgcompile.e_attempts > t.cfg.compile_retries then
-        quarantine t fs Telemetry.Compile_fault
+      if e.Bgcompile.e_attempts > t.cfg.compile_retries then begin
+        quarantine t fs Telemetry.Compile_fault;
+        finish_flow "cancel"
+      end
       else begin
         match t.bg with
-        | None -> ()
+        | None -> finish_flow "cancel"
         | Some q -> (
           match
             Bgcompile.enqueue q ~fid:fs.fid ~now:(now t) ~cost:(e.Bgcompile.e_cost * 2)
               ~attempts:(e.Bgcompile.e_attempts + 1) j
           with
+          (* Re-enqueued: the job (and its flow) stays in flight. *)
           | Ok _ -> bump t fs Telemetry.Key.bg_queued
           | Error `Overflow ->
             bg_cancel t fs ~reason:"overflow" Telemetry.Key.bg_overflow;
-            quarantine t fs Telemetry.Compile_fault)
+            quarantine t fs Telemetry.Compile_fault;
+            finish_flow "cancel")
       end;
       None
     end
@@ -1148,13 +1201,24 @@ let bg_install t fs (e : bg_job Bgcompile.entry) =
         span_mark t ~name:"bg-ready" ~cat:"bg" ~start:(now t) ~dur:0
           ~args:[ ("size", string_of_int (Code.size code)) ]
           fs.fid;
+        finish_flow "install";
         Some entry
       end
       else begin
         quarantine t fs Telemetry.Cache_oom;
+        finish_flow "cache-oom";
         None
       end
     end
+
+(* Installs run at the harvesting call's model-clock instant but belong to
+   the request that enqueued them: re-assert that request's trace context
+   so the install's spans, events and flight-recorder entries are
+   attributed back to the requesting tenant. *)
+let bg_install t fs (e : bg_job Bgcompile.entry) =
+  match e.Bgcompile.e_payload.j_trace with
+  | None -> bg_install_under t fs e
+  | Some _ as trace -> Telemetry.with_trace trace (fun () -> bg_install_under t fs e)
 
 (* Harvest every ready artifact for [fs] at a call boundary. OSR-flavored
    artifacts install too (their entry guards make them valid from a
@@ -1241,13 +1305,37 @@ let bg_drain t ~reason =
     let entries = Bgcompile.drain q in
     List.iter
       (fun (e : bg_job Bgcompile.entry) ->
-        Bgcompile.Task.cancel e.Bgcompile.e_payload.j_task;
+        let j = e.Bgcompile.e_payload in
+        Bgcompile.Task.cancel j.j_task;
+        if j.j_flow <> 0 then
+          span_flow ?trace:j.j_trace t ~phase:`Finish ~id:j.j_flow
+            ~name:("bg-" ^ reason) e.Bgcompile.e_fid;
         bg_cancel t t.fstates.(e.Bgcompile.e_fid) ~reason Telemetry.Key.bg_cancelled)
       entries;
     List.length entries
 
 let drain_bg t = bg_drain t ~reason:"recycle"
 let bg_in_flight t = match t.bg with None -> 0 | Some q -> Bgcompile.length q
+
+(* Trace-only teardown: close the flow of every still-queued job without
+   counters or events. A traced service run ends with engines holding
+   in-flight compiles that will never be harvested; their flows must still
+   balance (the trace_check gate requires one finish per start), but
+   counting them as cancels would make a traced run's summary differ from
+   an untraced one — teardown is an artifact of observation, not a policy
+   decision. No-op without a tracer. *)
+let flush_flows t =
+  match (t.bg, t.tracer) with
+  | Some q, Some _ ->
+    List.iter
+      (fun (e : bg_job Bgcompile.entry) ->
+        let j = e.Bgcompile.e_payload in
+        Bgcompile.Task.cancel j.j_task;
+        if j.j_flow <> 0 then
+          span_flow ?trace:j.j_trace t ~phase:`Finish ~id:j.j_flow ~name:"bg-teardown"
+            e.Bgcompile.e_fid)
+      (Bgcompile.drain q)
+  | _ -> ()
 
 (* Degrade mode suppresses the queue entirely ([bg_active]) and drains it
    on the way in: under overload the last thing the isolate needs is

@@ -253,6 +253,14 @@ val bg_in_flight : t -> int
 (** In-flight background compile requests (enqueued, not yet harvested);
     0 when [bg_compile] is off. *)
 
+val flush_flows : t -> unit
+(** Trace teardown: close the Perfetto flow of every still-queued
+    background job (cancelling the job) without bumping any counter or
+    emitting any event — a traced run's summary must stay byte-identical
+    to an untraced one, and the flow balance check requires one finish
+    per start even for compiles the run ended before harvesting. No-op
+    without a tracer or without [bg_compile]. *)
+
 val run : t -> report
 (** Execute the program's main function to completion. Compilation is a
     contained failure domain: a verifier diagnostic or injected fault mid-

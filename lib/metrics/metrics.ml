@@ -1,0 +1,352 @@
+(* The live-metrics registry: exact histograms, rolling rates, gauges and
+   counters keyed by label sets, with Prometheus / JSON / dashboard
+   renderings. Everything is on the model-cycle clock and every operation
+   is deterministic in the observation sequence, so per-isolate registries
+   merged in isolate order reproduce a serial run byte-for-byte. *)
+
+type labels = (string * string) list
+
+let canon_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* ------------------------------------------------------------------ *)
+(* Exact mergeable histograms                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Hist = struct
+  (* A sparse value -> count table. Latency-like streams in this system
+     have far fewer distinct values than observations (the model clock
+     quantizes everything), so exactness is affordable — and it is what
+     makes merge associative and quantiles identical to the service's
+     old nearest-rank arrays. The log-bucket view is derived on demand
+     and never feeds back. *)
+  type t = {
+    cells : (int, int ref) Hashtbl.t;
+    mutable count : int;
+    mutable sum : int;
+  }
+
+  let create () = { cells = Hashtbl.create 16; count = 0; sum = 0 }
+
+  let observe ?(n = 1) h v =
+    if n < 0 then invalid_arg "Metrics.Hist.observe: negative count";
+    if n > 0 then begin
+      (match Hashtbl.find_opt h.cells v with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add h.cells v (ref n));
+      h.count <- h.count + n;
+      h.sum <- h.sum + (v * n)
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+
+  let values h =
+    Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h.cells []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let min_value h =
+    if h.count = 0 then invalid_arg "Metrics.Hist.min_value: empty histogram";
+    Hashtbl.fold (fun v _ acc -> min v acc) h.cells max_int
+
+  let max_value h =
+    if h.count = 0 then invalid_arg "Metrics.Hist.max_value: empty histogram";
+    Hashtbl.fold (fun v _ acc -> max v acc) h.cells min_int
+
+  (* Nearest-rank: the value at (1-based) rank ceil(p * n), clamped —
+     exactly [Serve]'s old [percentile] over the sorted latency array. *)
+  let quantile h p =
+    if h.count = 0 then 0
+    else begin
+      let rank = int_of_float (ceil (p *. float_of_int h.count)) in
+      let rank = min h.count (max 1 rank) in
+      let rec walk acc = function
+        | [] -> assert false
+        | (v, c) :: rest -> if acc + c >= rank then v else walk (acc + c) rest
+      in
+      walk 0 (values h)
+    end
+
+  let merge_into ~into src =
+    List.iter (fun (v, c) -> observe ~n:c into v) (values src)
+
+  let merge a b =
+    let h = create () in
+    merge_into ~into:h a;
+    merge_into ~into:h b;
+    h
+
+  (* The HDR-style export projection: cumulative counts at log2 upper
+     bounds. Bound 0 catches non-positive values; each further bound
+     doubles until it covers the maximum; +Inf closes the series. *)
+  let buckets h =
+    if h.count = 0 then [ (None, 0) ]
+    else begin
+      let cells = values h in
+      let vmax = max_value h in
+      let bounds = ref [ 0 ] in
+      let b = ref 1 in
+      while !b < vmax && !b > 0 do
+        bounds := !b :: !bounds;
+        b := !b * 2
+      done;
+      if vmax > 0 then bounds := max vmax !b :: !bounds;
+      let bounds = List.rev !bounds in
+      let cum le = List.fold_left (fun acc (v, c) -> if v <= le then acc + c else acc) 0 cells in
+      List.map (fun le -> (Some le, cum le)) bounds @ [ (None, h.count) ]
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rolling-window rates                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Rate = struct
+  type t = {
+    window : int;
+    mutable events : (int * int) list;  (* (cycle, n), newest first *)
+    mutable last : int;  (* cycle of the newest tick *)
+  }
+
+  let create ~window =
+    if window <= 0 then invalid_arg "Metrics.Rate.create: window must be positive";
+    { window; events = []; last = 0 }
+
+  let window r = r.window
+
+  let evict r =
+    let floor = r.last - r.window in
+    r.events <- List.filter (fun (c, _) -> c > floor) r.events
+
+  let tick ?(n = 1) r ~now =
+    r.last <- max r.last now;
+    r.events <- (now, n) :: r.events;
+    evict r
+
+  let current r =
+    evict r;
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.events
+
+  let per_mcycle r = float_of_int (current r) *. 1e6 /. float_of_int r.window
+end
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type value = Counter of int ref | Gauge of int ref | H of Hist.t | R of Rate.t
+
+type t = { tbl : (string * labels, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let cell t name labels mk =
+  let key = (name, canon_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add t.tbl key v;
+    v
+
+let kind_mismatch name = invalid_arg ("Metrics: kind mismatch for " ^ name)
+
+let inc ?(n = 1) t name labels =
+  match cell t name labels (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + n
+  | _ -> kind_mismatch name
+
+let set_gauge t name labels v =
+  match cell t name labels (fun () -> Gauge (ref 0)) with
+  | Gauge r -> r := v
+  | _ -> kind_mismatch name
+
+let max_gauge t name labels v =
+  match cell t name labels (fun () -> Gauge (ref 0)) with
+  | Gauge r -> r := max !r v
+  | _ -> kind_mismatch name
+
+let observe ?n t name labels v =
+  match cell t name labels (fun () -> H (Hist.create ())) with
+  | H h -> Hist.observe ?n h v
+  | _ -> kind_mismatch name
+
+let tick_rate ?n t name labels ~window ~now =
+  match cell t name labels (fun () -> R (Rate.create ~window)) with
+  | R r -> Rate.tick ?n r ~now
+  | _ -> kind_mismatch name
+
+let get_counter t name labels =
+  match Hashtbl.find_opt t.tbl (name, canon_labels labels) with
+  | Some (Counter r) -> !r
+  | Some _ -> kind_mismatch name
+  | None -> 0
+
+let get_gauge t name labels =
+  match Hashtbl.find_opt t.tbl (name, canon_labels labels) with
+  | Some (Gauge r) -> !r
+  | Some _ -> kind_mismatch name
+  | None -> 0
+
+let find_hist t name labels =
+  match Hashtbl.find_opt t.tbl (name, canon_labels labels) with
+  | Some (H h) -> Some h
+  | Some _ -> kind_mismatch name
+  | None -> None
+
+(* Name-sorted contents — the one iteration order every rendering and the
+   cross-isolate merge share, so nothing depends on hash-table order. *)
+let rows t =
+  Hashtbl.fold (fun (name, labels) v acc -> ((name, labels), v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_into ~into src =
+  List.iter
+    (fun ((name, labels), v) ->
+      match v with
+      | Counter r -> inc ~n:!r into name labels
+      | Gauge r -> max_gauge into name labels !r
+      | H h -> (
+        match cell into name labels (fun () -> H (Hist.create ())) with
+        | H dst -> Hist.merge_into ~into:dst h
+        | _ -> kind_mismatch name)
+      | R r -> (
+        match cell into name labels (fun () -> R (Rate.create ~window:(Rate.window r))) with
+        | R dst ->
+          List.iter
+            (fun (c, n) -> Rate.tick ~n dst ~now:c)
+            (List.sort compare (List.rev r.Rate.events))
+        | _ -> kind_mismatch name))
+    (rows src)
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_') name
+
+let prom_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (Telemetry.json_escape v))
+           kvs)
+    ^ "}"
+
+let kind_of = function
+  | Counter _ -> "counter"
+  | Gauge _ | R _ -> "gauge"
+  | H _ -> "histogram"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun ((name, labels), v) ->
+      let pname = sanitize name in
+      if not (Hashtbl.mem typed pname) then begin
+        Hashtbl.add typed pname ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" pname (kind_of v))
+      end;
+      match v with
+      | Counter r -> Buffer.add_string buf (Printf.sprintf "%s%s %d\n" pname (prom_labels labels) !r)
+      | Gauge r -> Buffer.add_string buf (Printf.sprintf "%s%s %d\n" pname (prom_labels labels) !r)
+      | R r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" pname (prom_labels labels) (Rate.current r))
+      | H h ->
+        List.iter
+          (fun (le, cum) ->
+            let le = match le with Some v -> string_of_int v | None -> "+Inf" in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" pname (prom_labels ~extra:("le", le) labels) cum))
+          (Hist.buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %d\n" pname (prom_labels labels) (Hist.sum h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels) (Hist.count h)))
+    (rows t);
+  Buffer.contents buf
+
+let jstr s = "\"" ^ Telemetry.json_escape s ^ "\""
+
+let json_labels labels =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ jstr v) labels) ^ "}"
+
+let snapshot_json ~cycle t =
+  let metric ((name, labels), v) =
+    let head = [ (jstr "name", jstr name); (jstr "labels", json_labels labels) ] in
+    let body =
+      match v with
+      | Counter r -> [ (jstr "type", jstr "counter"); (jstr "value", string_of_int !r) ]
+      | Gauge r -> [ (jstr "type", jstr "gauge"); (jstr "value", string_of_int !r) ]
+      | R r ->
+        [
+          (jstr "type", jstr "rate");
+          (jstr "window", string_of_int (Rate.window r));
+          (jstr "value", string_of_int (Rate.current r));
+        ]
+      | H h ->
+        let q p = string_of_int (Hist.quantile h p) in
+        [
+          (jstr "type", jstr "histogram");
+          (jstr "count", string_of_int (Hist.count h));
+          (jstr "sum", string_of_int (Hist.sum h));
+          (jstr "min", string_of_int (if Hist.count h = 0 then 0 else Hist.min_value h));
+          (jstr "max", string_of_int (if Hist.count h = 0 then 0 else Hist.max_value h));
+          (jstr "p50", q 0.50);
+          (jstr "p95", q 0.95);
+          (jstr "p99", q 0.99);
+          ( jstr "buckets",
+            "["
+            ^ String.concat ","
+                (List.map
+                   (fun (le, cum) ->
+                     Printf.sprintf "[%s,%d]"
+                       (match le with Some v -> string_of_int v | None -> "null")
+                       cum)
+                   (Hist.buckets h))
+            ^ "]" );
+        ]
+    in
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ ":" ^ v) (head @ body))
+    ^ "}"
+  in
+  Printf.sprintf "{%s:%s,%s:%d,%s:[%s]}" (jstr "schema") (jstr "vs-metrics/1") (jstr "cycle")
+    cycle (jstr "metrics")
+    (String.concat "," (List.map metric (rows t)))
+
+let render_top ?(title = "vs-top") t =
+  let buf = Buffer.create 512 in
+  let label_str labels =
+    match labels with
+    | [] -> ""
+    | kvs -> "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+  in
+  let entries =
+    List.map
+      (fun ((name, labels), v) ->
+        let cell =
+          match v with
+          | Counter r -> string_of_int !r
+          | Gauge r -> string_of_int !r
+          | R r -> Printf.sprintf "%d in window (%.2f/Mcycle)" (Rate.current r) (Rate.per_mcycle r)
+          | H h ->
+            Printf.sprintf "n=%d p50=%d p95=%d p99=%d max=%d" (Hist.count h)
+              (Hist.quantile h 0.50) (Hist.quantile h 0.95) (Hist.quantile h 0.99)
+              (if Hist.count h = 0 then 0 else Hist.max_value h)
+        in
+        (name ^ label_str labels, cell))
+      (rows t)
+  in
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 entries in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (k, cell) -> Buffer.add_string buf (Printf.sprintf "  %-*s  %s\n" width k cell))
+    entries;
+  Buffer.contents buf

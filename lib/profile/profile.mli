@@ -161,6 +161,24 @@ module Tracer : sig
       penalty, known only after it was charged); its depth is the current
       stack depth. *)
 
+  val flow :
+    ?args:(string * string) list ->
+    ?trace:Telemetry.trace_ctx ->
+    t ->
+    phase:[ `Start | `Finish ] ->
+    id:int ->
+    name:string ->
+    cat:string ->
+    fid:int ->
+    fname:string ->
+    now:int ->
+    unit
+  (** Emit one side of a Perfetto flow stitch ([ph:"s"]/[ph:"f"] sharing
+      [id]). Spans and flows stamp the current {!Telemetry.trace_ctx}
+      automatically; [trace] overrides it on the finish side so a
+      background compile's install is attributed back to the request that
+      enqueued it, whichever request harvests it. *)
+
   val emitted : t -> int
   (** Spans emitted so far. *)
 end

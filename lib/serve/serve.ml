@@ -31,6 +31,28 @@ end
 (* Configuration and the request stream                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Observability switches. All off by default, and the run's summary and
+   counters are byte-identical whether they are on or off: tracing,
+   metrics and the flight recorder read the simulation, never steer it. *)
+type obs = {
+  obs_trace : bool;  (* request-scoped spans + bg-compile flow stitches *)
+  obs_metrics : bool;  (* the per-isolate Metrics registry *)
+  obs_metrics_every : int;  (* snapshot period in model cycles; 0 = none *)
+  obs_flight : bool;  (* per-isolate flight recorder *)
+  obs_flight_capacity : int;
+  obs_flight_max_dumps : int;
+}
+
+let obs_off =
+  {
+    obs_trace = false;
+    obs_metrics = false;
+    obs_metrics_every = 0;
+    obs_flight = false;
+    obs_flight_capacity = 64;
+    obs_flight_max_dumps = 4;
+  }
+
 type config = {
   isolates : int;
   requests : int;
@@ -46,12 +68,13 @@ type config = {
   seed : int;
   chaos : int option;
   engine : Engine.config;
+  obs : obs;
 }
 
 let default_config ?(isolates = 2) ?(requests = 80) ?(tenants = 6) ?(capacity = 0)
     ?(queue_deadline = 0) ?(deadline = 0) ?(retries = 2) ?(backoff = 2_000)
     ?(overload_depth = 0) ?(mean_gap = 30_000) ?(crash_fraction = 0.0) ?(seed = 1)
-    ?chaos ?(engine = Engine.default_config ()) () =
+    ?chaos ?(engine = Engine.default_config ()) ?(obs = obs_off) () =
   {
     isolates = max 1 isolates;
     requests = max 0 requests;
@@ -67,6 +90,7 @@ let default_config ?(isolates = 2) ?(requests = 80) ?(tenants = 6) ?(capacity = 
     seed;
     chaos;
     engine;
+    obs;
   }
 
 type request = { rq_id : int; rq_tenant : int; rq_arrival : int; rq_poison : bool }
@@ -134,9 +158,18 @@ type iso = {
   mutable vclock : int;  (* when this isolate next falls idle *)
   mutable pending : int list;  (* finish times of admitted requests *)
   mutable records : record list;  (* reversed *)
+  (* Observability (all [None]/empty with obs off — and then nothing below
+     ever allocates or runs). *)
+  tracer : Profile.Tracer.t option;  (* serve-level request/queue spans *)
+  spans : Telemetry.span list ref;  (* emission order, reversed *)
+  mx : Metrics.t option;
+  snaps : (int * string) list ref;  (* (cycle, snapshot json), reversed *)
+  mutable last_snap : int;  (* last boundary snapshotted *)
+  flight : Flight.t option;
 }
 
 let make_iso cfg ~isolate =
+  let spans = ref [] in
   {
     iso_id = isolate;
     iso_cfg = cfg;
@@ -147,6 +180,20 @@ let make_iso cfg ~isolate =
     vclock = 0;
     pending = [];
     records = [];
+    tracer =
+      (if cfg.obs.obs_trace then
+         Some (Profile.Tracer.create ~emit:(fun s -> spans := s :: !spans))
+       else None);
+    spans;
+    mx = (if cfg.obs.obs_metrics then Some (Metrics.create ()) else None);
+    snaps = ref [];
+    last_snap = 0;
+    flight =
+      (if cfg.obs.obs_flight then
+         Some
+           (Flight.create ~capacity:cfg.obs.obs_flight_capacity
+              ~max_dumps:cfg.obs.obs_flight_max_dumps ())
+       else None);
   }
 
 let bump ?n iso name = Telemetry.Counters.bump_global ?n iso.counters name
@@ -188,6 +235,15 @@ let get_engine iso key =
         p
     in
     let eng = Engine.make iso.iso_ecfg program in
+    (* The flight recorder rides the engine's event stream; timestamps are
+       that engine's own model clock (the ring's seq numbers give the
+       global order). Attaching a sink never charges cycles, so the
+       simulation is unchanged. *)
+    (match iso.flight with
+    | Some fl ->
+      Telemetry.attach (Engine.telemetry eng)
+        (Flight.sink fl ~clock:(fun () -> Engine.clock eng))
+    | None -> ());
     Hashtbl.add iso.engines key eng;
     eng
 
@@ -271,6 +327,66 @@ let record iso rq ~outcome ~finish ~attempts ~warm ~compile =
     }
     :: iso.records
 
+(* The observation tap, called once per classified request. Everything
+   here is read-only with respect to the simulation: spans, metrics and
+   flight triggers are derived from values the un-observed run computes
+   identically. [start] is when the request left the queue ([finish] for
+   requests that never executed, making the queue-wait span cover the
+   whole wait). *)
+let observe_request iso rq ~outcome ~depth ~start ~finish ~attempts =
+  (match iso.tracer with
+  | Some tr ->
+    let fname = Printf.sprintf "rq%d" rq.rq_id in
+    if start > rq.rq_arrival then
+      Profile.Tracer.complete tr ~name:"queue-wait" ~cat:"serve" ~fid:rq.rq_id ~fname
+        ~start:rq.rq_arrival ~dur:(start - rq.rq_arrival);
+    Profile.Tracer.complete tr
+      ~args:
+        [
+          ("outcome", "\"" ^ outcome_to_string outcome ^ "\"");
+          ("attempts", string_of_int attempts);
+          ("tenant", string_of_int rq.rq_tenant);
+        ]
+      ~name:"request" ~cat:"serve" ~fid:rq.rq_id ~fname ~start:rq.rq_arrival
+      ~dur:(finish - rq.rq_arrival)
+  | None -> ());
+  (match iso.mx with
+  | Some mx ->
+    let i = string_of_int iso.iso_id in
+    let pol = Policy.kind_to_string iso.iso_cfg.engine.Engine.policy in
+    let o = outcome_to_string outcome in
+    Metrics.inc mx "serve.requests" [ ("isolate", i); ("policy", pol); ("outcome", o) ];
+    Metrics.inc mx "serve.tenant.requests"
+      [ ("isolate", i); ("tenant", string_of_int rq.rq_tenant); ("outcome", o) ];
+    if outcome = Served then
+      Metrics.observe mx "serve.latency.cycles"
+        [ ("isolate", i); ("policy", pol) ]
+        (finish - rq.rq_arrival);
+    Metrics.max_gauge mx "serve.queue.depth" [ ("isolate", i) ] depth;
+    Metrics.tick_rate mx "serve.arrivals" [ ("isolate", i) ] ~window:1_000_000
+      ~now:rq.rq_arrival;
+    let every = iso.iso_cfg.obs.obs_metrics_every in
+    if every > 0 then begin
+      (* Periodic snapshots on the isolate's own clock: one per crossed
+         period boundary (time jumps whole requests at once, so emit the
+         latest boundary reached rather than one line per multiple). *)
+      let boundary = finish / every * every in
+      if boundary > iso.last_snap then begin
+        iso.last_snap <- boundary;
+        iso.snaps := (boundary, Metrics.snapshot_json ~cycle:boundary mx) :: !(iso.snaps)
+      end
+    end
+  | None -> ());
+  match iso.flight with
+  | Some fl ->
+    let detail = Printf.sprintf "rq%d tenant=%d" rq.rq_id rq.rq_tenant in
+    (match outcome with
+    | Fault -> Flight.trigger fl ~trigger:"fault" ~detail ~at:finish
+    | Deadline_queue | Deadline_exec ->
+      Flight.trigger fl ~trigger:"deadline" ~detail ~at:finish
+    | Served | Shed -> ())
+  | None -> ()
+
 let process_request iso rq =
   let cfg = iso.iso_cfg in
   let a = rq.rq_arrival in
@@ -282,7 +398,8 @@ let process_request iso rq =
   let forced_shed = Faults.fire Faults.Serve_admit in
   if forced_shed || (cfg.capacity > 0 && depth >= cfg.capacity) then begin
     bump iso Skey.shed;
-    record iso rq ~outcome:Shed ~finish:a ~attempts:0 ~warm:false ~compile:0
+    record iso rq ~outcome:Shed ~finish:a ~attempts:0 ~warm:false ~compile:0;
+    observe_request iso rq ~outcome:Shed ~depth ~start:a ~finish:a ~attempts:0
   end
   else begin
     (* Over the high-water mark but under capacity: degrade — shed
@@ -296,14 +413,17 @@ let process_request iso rq =
       let finish = a + cfg.queue_deadline in
       bump iso Skey.deadline_queue;
       iso.pending <- finish :: iso.pending;
-      record iso rq ~outcome:Deadline_queue ~finish ~attempts:0 ~warm:false ~compile:0
+      record iso rq ~outcome:Deadline_queue ~finish ~attempts:0 ~warm:false ~compile:0;
+      observe_request iso rq ~outcome:Deadline_queue ~depth ~start:finish ~finish
+        ~attempts:0
     end
     else begin
       let outcome, busy, compile, attempts, warm = run_attempts iso rq ~degraded in
       let finish = start + busy in
       iso.vclock <- finish;
       iso.pending <- finish :: iso.pending;
-      record iso rq ~outcome ~finish ~attempts ~warm ~compile
+      record iso rq ~outcome ~finish ~attempts ~warm ~compile;
+      observe_request iso rq ~outcome ~depth ~start ~finish ~attempts
     end
   end
 
@@ -318,26 +438,87 @@ let guard_request iso rq =
         (Faults.sample ((c * 1_000_003) + rq.rq_id))
         (fun () -> process_request iso rq)
   in
-  try plan_installed ()
-  with _escaped ->
-    (* The outer belt: nothing may escape an isolate. A request that
-       trips this is a service-layer bug (counted, asserted zero by the
-       smoke gate) but still yields a classified record. *)
-    bump iso Skey.escapes;
-    recycle iso;
-    record iso rq ~outcome:Fault
-      ~finish:(max iso.vclock rq.rq_arrival)
-      ~attempts:0 ~warm:false ~compile:0
+  let supervised () =
+    try plan_installed ()
+    with _escaped ->
+      (* The outer belt: nothing may escape an isolate. A request that
+         trips this is a service-layer bug (counted, asserted zero by the
+         smoke gate) but still yields a classified record. *)
+      bump iso Skey.escapes;
+      recycle iso;
+      let finish = max iso.vclock rq.rq_arrival in
+      record iso rq ~outcome:Fault ~finish ~attempts:0 ~warm:false ~compile:0;
+      observe_request iso rq ~outcome:Fault ~depth:0 ~start:finish ~finish ~attempts:0
+  in
+  (* The request-scoped identity every span, flow stitch and flight entry
+     under this dynamic extent stamps itself with. Installed only when an
+     observer wants it; either way nothing below reads it unless one does. *)
+  if Option.is_some iso.tracer || Option.is_some iso.flight then
+    Telemetry.with_trace
+      (Some
+         {
+           Telemetry.tc_trace = rq.rq_id + 1;
+           tc_request = rq.rq_id;
+           tc_tenant = rq.rq_tenant;
+           tc_isolate = iso.iso_id;
+         })
+      supervised
+  else supervised ()
+
+(* Everything one isolate's run produced. The observability fields are
+   empty with obs off. *)
+type iso_result = {
+  ir_isolate : int;
+  ir_records : record list;  (* request order *)
+  ir_rows : (string * int) list;
+  ir_spans : Telemetry.span list;  (* emission order *)
+  ir_metrics : Metrics.t option;
+  ir_snaps : (int * string) list;  (* (cycle, json), cycle order *)
+  ir_flights : Flight.dump list;  (* trigger order *)
+}
+
+let run_isolate_full cfg ~isolate reqs =
+  let iso = make_iso cfg ~isolate in
+  let body () =
+    Runtime.Builtins.with_print_hook ignore (fun () ->
+        Faults.with_fired_hook
+          (fun point ->
+            bump iso (Telemetry.Key.faults_fired (Faults.point_to_string point)))
+          (fun () -> List.iter (guard_request iso) reqs))
+  in
+  (match iso.tracer with
+  | Some _ ->
+    (* Engines created during the run must pick the accumulator up as a
+       default span sink (an engine only builds its tracer when the hub
+       has a span sink at construction); the serve-level tracer shares the
+       same accumulator, so one stream carries both layers. *)
+    Telemetry.with_default_span_sinks [ (fun s -> iso.spans := s :: !(iso.spans)) ] body
+  | None -> body ());
+  (* Close the flows of background compiles the run ended before
+     harvesting — counter-silent, so a traced summary equals an untraced
+     one. Must precede [absorb]: the engines are dropped right after. *)
+  if Option.is_some iso.tracer then
+    Hashtbl.iter (fun _ eng -> Engine.flush_flows eng) iso.engines;
+  absorb iso;
+  (* One closing snapshot so the metrics file always ends with the final
+     state, whatever the period. *)
+  (match iso.mx with
+  | Some mx when cfg.obs.obs_metrics_every > 0 && iso.vclock > iso.last_snap ->
+    iso.snaps := (iso.vclock, Metrics.snapshot_json ~cycle:iso.vclock mx) :: !(iso.snaps)
+  | _ -> ());
+  {
+    ir_isolate = isolate;
+    ir_records = List.rev iso.records;
+    ir_rows = Telemetry.Counters.rows iso.counters;
+    ir_spans = List.rev !(iso.spans);
+    ir_metrics = iso.mx;
+    ir_snaps = List.rev !(iso.snaps);
+    ir_flights = (match iso.flight with Some fl -> Flight.dumps fl | None -> []);
+  }
 
 let run_isolate cfg ~isolate reqs =
-  let iso = make_iso cfg ~isolate in
-  Runtime.Builtins.with_print_hook ignore (fun () ->
-      Faults.with_fired_hook
-        (fun point ->
-          bump iso (Telemetry.Key.faults_fired (Faults.point_to_string point)))
-        (fun () -> List.iter (guard_request iso) reqs));
-  absorb iso;
-  (isolate, List.rev iso.records, Telemetry.Counters.rows iso.counters)
+  let r = run_isolate_full cfg ~isolate reqs in
+  (r.ir_isolate, r.ir_records, r.ir_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Summary                                                             *)
@@ -367,15 +548,6 @@ type summary = {
 let counter s name =
   Option.value (List.assoc_opt name s.sm_counters) ~default:0
 
-(* Nearest-rank percentile over the sorted served latencies. *)
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0
-  else begin
-    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    sorted.(min (n - 1) (max 0 rank))
-  end
-
 let summarize results =
   let records =
     List.concat_map (fun (_, rs, _) -> rs) results
@@ -397,11 +569,14 @@ let summarize results =
   in
   let count o = List.length (List.filter (fun r -> r.rr_outcome = o) records) in
   let served = List.filter (fun r -> r.rr_outcome = Served) records in
-  let lat = Array.of_list (List.map (fun r -> r.rr_latency) served) in
-  Array.sort compare lat;
-  let p50 = percentile lat 0.50 in
-  let p95 = percentile lat 0.95 in
-  let p99 = percentile lat 0.99 in
+  (* Nearest-rank percentiles over the served latencies, via the exact
+     histogram (bit-identical to sorting the array and indexing
+     ceil(p*n)-1 — the histogram-exactness tests pin this equivalence). *)
+  let lat = Metrics.Hist.create () in
+  List.iter (fun r -> Metrics.Hist.observe lat r.rr_latency) served;
+  let p50 = Metrics.Hist.quantile lat 0.50 in
+  let p95 = Metrics.Hist.quantile lat 0.95 in
+  let p99 = Metrics.Hist.quantile lat 0.99 in
   let makespan = List.fold_left (fun m r -> max m r.rr_finish) 1 records in
   let tail = List.filter (fun r -> r.rr_latency >= p95) served in
   let tail_lat = List.fold_left (fun acc r -> acc + r.rr_latency) 0 tail in
@@ -429,15 +604,54 @@ let summarize results =
     sm_records = records;
   }
 
-let run cfg =
+(* The run's merged observability output (everything empty with obs off). *)
+type obs_result = {
+  or_spans : Telemetry.span list;  (* isolate-major, emission order *)
+  or_metrics : Metrics.t option;  (* per-isolate registries, merged *)
+  or_snapshots : (int * int * string) list;  (* (cycle, isolate, json) *)
+  or_flights : (int * Flight.dump) list;  (* (isolate, dump) *)
+}
+
+let run_full cfg =
   let reqs = sample_requests cfg in
   let isolates = List.init cfg.isolates Fun.id in
   let results =
     Pool.map (Pool.default ())
-      (fun i -> run_isolate cfg ~isolate:i (requests_for cfg reqs ~isolate:i))
+      (fun i -> run_isolate_full cfg ~isolate:i (requests_for cfg reqs ~isolate:i))
       isolates
   in
-  summarize results
+  let summary =
+    summarize (List.map (fun r -> (r.ir_isolate, r.ir_records, r.ir_rows)) results)
+  in
+  let metrics =
+    if cfg.obs.obs_metrics then begin
+      (* Merging in isolate order is deterministic, and because the
+         histograms are lossless the merge equals having observed every
+         isolate serially into one registry. *)
+      let m = Metrics.create () in
+      List.iter (fun r -> Option.iter (fun src -> Metrics.merge_into ~into:m src) r.ir_metrics) results;
+      Some m
+    end
+    else None
+  in
+  let snapshots =
+    List.concat_map
+      (fun r -> List.map (fun (c, j) -> (c, r.ir_isolate, j)) r.ir_snaps)
+      results
+    |> List.sort compare
+  in
+  let obs =
+    {
+      or_spans = List.concat_map (fun r -> r.ir_spans) results;
+      or_metrics = metrics;
+      or_snapshots = snapshots;
+      or_flights =
+        List.concat_map (fun r -> List.map (fun d -> (r.ir_isolate, d)) r.ir_flights) results;
+    }
+  in
+  (summary, obs)
+
+let run cfg = fst (run_full cfg)
 
 let error_rate s =
   if s.sm_requests = 0 then 0.0

@@ -51,6 +51,27 @@ module Skey : sig
   (** requests admitted in degrade mode *)
 end
 
+(** Observability switches, all off by default. The contract: the summary,
+    the counters and every printed line of a run are byte-identical
+    whether these are on or off — tracing, metrics and the flight
+    recorder observe the simulation, they never steer it. *)
+type obs = {
+  obs_trace : bool;
+      (** request-scoped spans: per-request [request]/[queue-wait] spans,
+          the engines' lifecycle spans on per-request Perfetto lanes, and
+          flow stitches tying a background compile's enqueue to its
+          install *)
+  obs_metrics : bool;  (** the per-isolate {!Metrics} registry *)
+  obs_metrics_every : int;
+      (** JSON snapshot period in model cycles (0 = none); a closing
+          snapshot at the isolate's final clock is always added *)
+  obs_flight : bool;  (** per-isolate {!Flight} recorder on every engine *)
+  obs_flight_capacity : int;  (** ring entries per isolate *)
+  obs_flight_max_dumps : int;  (** post-mortems kept; overflow counted *)
+}
+
+val obs_off : obs
+
 type config = {
   isolates : int;
   requests : int;
@@ -66,6 +87,7 @@ type config = {
   seed : int;
   chaos : int option;  (** [Some seed]: a fresh fault plan per request *)
   engine : Engine.config;  (** [deadline] is overlaid on this *)
+  obs : obs;
 }
 
 val default_config :
@@ -83,11 +105,13 @@ val default_config :
   ?seed:int ->
   ?chaos:int ->
   ?engine:Engine.config ->
+  ?obs:obs ->
   unit ->
   config
 (** Defaults: 2 isolates, 80 requests, 6 tenants, unbounded queue, no
     deadlines, 2 retries, 2000-cycle base backoff, no degrade threshold,
-    30000-cycle mean gap, no poison, no chaos, default engine. *)
+    30000-cycle mean gap, no poison, no chaos, default engine,
+    observability off. *)
 
 type request = { rq_id : int; rq_tenant : int; rq_arrival : int; rq_poison : bool }
 
@@ -121,12 +145,30 @@ type record = {
   rr_compile : int;  (** compile cycles charged during the request *)
 }
 
+type iso_result = {
+  ir_isolate : int;
+  ir_records : record list;  (** request order *)
+  ir_rows : (string * int) list;  (** counter rows, name-sorted *)
+  ir_spans : Telemetry.span list;  (** emission order; [] with trace off *)
+  ir_metrics : Metrics.t option;  (** the isolate's registry *)
+  ir_snaps : (int * string) list;  (** (cycle, snapshot json), cycle order *)
+  ir_flights : Flight.dump list;  (** post-mortems, trigger order *)
+}
+(** Everything one isolate produced; observability fields empty with obs
+    off. *)
+
+val run_isolate_full : config -> isolate:int -> request list -> iso_result
+(** Play one isolate's queue serially. Installs its own print hook,
+    fired-fault hook, per-request chaos plans and (with obs on) span
+    sinks / trace contexts / flight sinks; absorbs every engine's
+    counters — and, when tracing, closes still-open background-compile
+    flows — before returning. *)
+
 val run_isolate :
   config -> isolate:int -> request list -> int * record list * (string * int) list
-(** Play one isolate's queue serially (exposed for the interaction tests):
-    [(isolate, records in request order, counter rows)]. Installs its own
-    print hook, fired-fault hook and per-request chaos plans; absorbs
-    every engine's counters before returning. *)
+(** {!run_isolate_full} projected to
+    [(isolate, records in request order, counter rows)] (the interaction
+    tests' entry point). *)
 
 type summary = {
   sm_requests : int;
@@ -152,9 +194,27 @@ type summary = {
 val counter : summary -> string -> int
 (** A merged counter row's value (0 when absent). *)
 
-val run : config -> summary
+type obs_result = {
+  or_spans : Telemetry.span list;
+      (** all isolates' spans, isolate-major then emission order — ready
+          for a Chrome trace-event file; requests stitch into lanes by
+          trace id *)
+  or_metrics : Metrics.t option;
+      (** the per-isolate registries merged (losslessly) in isolate
+          order *)
+  or_snapshots : (int * int * string) list;
+      (** periodic snapshots, [(cycle, isolate, json)]-sorted *)
+  or_flights : (int * Flight.dump) list;  (** [(isolate, dump)] *)
+}
+(** A run's merged observability output; everything empty with obs off. *)
+
+val run_full : config -> summary * obs_result
 (** The whole service run: sample, shard, play every isolate on the
-    default pool, merge. Byte-identical at any [--jobs]. *)
+    default pool, merge — summary plus the observability output.
+    Byte-identical at any [--jobs], including every [obs_result] field. *)
+
+val run : config -> summary
+(** [fst (run_full cfg)]. *)
 
 val error_rate : summary -> float
 (** Non-served percentage of all requests. *)

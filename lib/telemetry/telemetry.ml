@@ -490,8 +490,37 @@ module Ring = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Request trace context                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The request-scoped identity the service layer threads through queue
+   wait, engine runs and background-compile lifecycles. Domain-local (like
+   the default sinks): the service installs one per request on the domain
+   playing that isolate, and every span or flight-recorder entry emitted
+   underneath stamps itself with it. Nothing reads the context unless an
+   observer is attached, so installing it costs one TLS write and cannot
+   perturb the model. *)
+type trace_ctx = {
+  tc_trace : int;  (* trace id: unique per request across the whole run *)
+  tc_request : int;  (* the request id (rq_id) *)
+  tc_tenant : int;
+  tc_isolate : int;
+}
+
+let trace_slot : trace_ctx option Support.Tls.t = Support.Tls.make (fun () -> None)
+
+let current_trace () = Support.Tls.get trace_slot
+let with_trace ctx f = Support.Tls.with_value trace_slot ctx f
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle spans                                                     *)
 (* ------------------------------------------------------------------ *)
+
+(* Chrome trace-event phase. Complete spans are the PR-5 lifecycle
+   intervals; flow start/finish pairs stitch one request's work across
+   lanes — the enqueue of a background compile (on the requesting lane)
+   flows to its install (on whatever request harvests it). *)
+type span_ph = Ph_complete | Ph_flow_start | Ph_flow_finish
 
 (* A completed interval on the VM's deterministic model-cycle clock
    (interp cycles + native cycles + compile cycles at emission time — never
@@ -508,33 +537,74 @@ type span = {
   sp_depth : int;  (* nesting depth when the span was opened (0 = root) *)
   sp_args : (string * string) list;
       (* extra Chrome-trace args: (key, already-rendered JSON value) *)
+  sp_ph : span_ph;  (* Ph_complete outside flow stitching *)
+  sp_flow : int;  (* flow id tying a start to its finish; 0 = none *)
+  sp_trace : int;  (* requesting trace id; 0 = no request context *)
+  sp_lane : int;  (* Perfetto tid (the request lane); 0 renders as 1 *)
+  sp_pid : int;  (* Perfetto pid (the isolate); 0 renders as 1 *)
 }
 
 type span_sink = span -> unit
 
 let span_to_string s =
-  Printf.sprintf "%*s%s f%d %s [%s] @%d +%d" (2 * s.sp_depth) "" s.sp_name s.sp_fid
-    s.sp_fname s.sp_cat s.sp_start s.sp_dur
+  match s.sp_ph with
+  | Ph_complete ->
+    Printf.sprintf "%*s%s f%d %s [%s] @%d +%d" (2 * s.sp_depth) "" s.sp_name s.sp_fid
+      s.sp_fname s.sp_cat s.sp_start s.sp_dur
+  | Ph_flow_start ->
+    Printf.sprintf "%*sflow-s %s #%d f%d @%d" (2 * s.sp_depth) "" s.sp_name s.sp_flow
+      s.sp_fid s.sp_start
+  | Ph_flow_finish ->
+    Printf.sprintf "%*sflow-f %s #%d f%d @%d" (2 * s.sp_depth) "" s.sp_name s.sp_flow
+      s.sp_fid s.sp_start
 
-(* One Chrome trace-event object ("ph":"X" complete event), loadable in
-   Perfetto / chrome://tracing when wrapped as {"traceEvents":[...]}. The
-   model-cycle clock maps onto the format's microsecond timestamps. *)
+(* One Chrome trace-event object, loadable in Perfetto / chrome://tracing
+   when wrapped as {"traceEvents":[...]}. Complete spans are "ph":"X";
+   flow stitches are "ph":"s"/"f" pairs sharing an "id". The model-cycle
+   clock maps onto the format's microsecond timestamps. Lane/pid zero
+   renders as 1 so standalone (`jsvm`) traces are byte-identical to the
+   pre-flow format. *)
 let span_to_chrome_json s =
-  json_obj
-    [
-      ("name", jstr s.sp_name);
-      ("cat", jstr s.sp_cat);
-      ("ph", jstr "X");
-      ("ts", string_of_int s.sp_start);
-      ("dur", string_of_int s.sp_dur);
-      (* one process/track: Perfetto nests same-track "X" events by
-         timestamp containment, which our begin/end discipline guarantees *)
-      ("pid", "1");
-      ("tid", "1");
-      ( "args",
-        json_obj
-          (("fid", string_of_int s.sp_fid) :: ("fn", jstr s.sp_fname) :: s.sp_args) );
-    ]
+  let tid = if s.sp_lane = 0 then 1 else s.sp_lane in
+  let pid = if s.sp_pid = 0 then 1 else s.sp_pid in
+  let trace_arg = if s.sp_trace = 0 then [] else [ ("trace_id", string_of_int s.sp_trace) ] in
+  match s.sp_ph with
+  | Ph_complete ->
+    json_obj
+      [
+        ("name", jstr s.sp_name);
+        ("cat", jstr s.sp_cat);
+        ("ph", jstr "X");
+        ("ts", string_of_int s.sp_start);
+        ("dur", string_of_int s.sp_dur);
+        (* one track per request lane: Perfetto nests same-track "X" events
+           by timestamp containment, which our begin/end discipline
+           guarantees *)
+        ("pid", string_of_int pid);
+        ("tid", string_of_int tid);
+        ( "args",
+          json_obj
+            (("fid", string_of_int s.sp_fid) :: ("fn", jstr s.sp_fname)
+            :: (trace_arg @ s.sp_args)) );
+      ]
+  | Ph_flow_start | Ph_flow_finish ->
+    json_obj
+      ([
+         ("name", jstr s.sp_name);
+         ("cat", jstr s.sp_cat);
+         ("ph", jstr (if s.sp_ph = Ph_flow_start then "s" else "f"));
+         ("id", string_of_int s.sp_flow);
+         ("ts", string_of_int s.sp_start);
+         ("pid", string_of_int pid);
+         ("tid", string_of_int tid);
+       ]
+      @ (if s.sp_ph = Ph_flow_finish then [ ("bp", jstr "e") ] else [])
+      @ [
+          ( "args",
+            json_obj
+              (("fid", string_of_int s.sp_fid) :: ("fn", jstr s.sp_fname)
+              :: (trace_arg @ s.sp_args)) );
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Counter registry                                                    *)
@@ -584,6 +654,10 @@ module Key = struct
      argument is a [Faults.point_to_string] name; telemetry sits below the
      faults library, so the name crosses as a string. *)
   let faults_fired point = "faults.fired." ^ point
+
+  (* Events a bounded ring sink overwrote (observability must account for
+     its own losses; see [ring_counted_sink]). *)
+  let telemetry_dropped = "telemetry.dropped"
 end
 
 module Counters = struct
@@ -649,6 +723,15 @@ module Counters = struct
     Hashtbl.iter (fun _ r -> r := 0) t.totals;
     Hashtbl.iter (fun _ a -> Array.fill a 0 (Array.length a) 0) t.per_fid
 end
+
+(* A ring sink that accounts for its own losses: every event written over
+   a still-buffered one bumps [Key.telemetry_dropped] in the given
+   registry, so an operator reading a post-mortem ring knows exactly how
+   much history it is missing (silent overwriting was the old behavior;
+   the ring's [dropped] count still agrees with the counter). *)
+let ring_counted_sink r c ev =
+  if Ring.length r = Ring.capacity r then Counters.bump_global c Key.telemetry_dropped;
+  Ring.sink r ev
 
 (* ------------------------------------------------------------------ *)
 (* The hub: one per engine instance                                    *)

@@ -193,7 +193,36 @@ val json_unescape : string -> string
     plus [\/]; [\uXXXX] must encode a single byte).
     @raise Invalid_argument on a malformed escape. *)
 
+(** {1 Request trace context}
+
+    The request-scoped identity the service layer threads from admission
+    through queue wait, engine runs and background-compile lifecycles.
+    Domain-local, like the default sinks: the service installs one per
+    request on the domain playing that isolate; spans and flight-recorder
+    entries emitted underneath stamp themselves with it. Nothing reads
+    the context unless an observer is attached, so installing it cannot
+    perturb the model. *)
+
+type trace_ctx = {
+  tc_trace : int;  (** trace id — unique per request across the run *)
+  tc_request : int;  (** the request id ([rq_id]) *)
+  tc_tenant : int;
+  tc_isolate : int;
+}
+
+val current_trace : unit -> trace_ctx option
+
+val with_trace : trace_ctx option -> (unit -> 'a) -> 'a
+(** Run [f] with this domain's trace context temporarily replaced —
+    [None] explicitly clears it (background work with no requester). *)
+
 (** {1 Lifecycle spans} *)
+
+(** Chrome trace-event phase: complete lifecycle intervals, or the flow
+    start/finish stitches that tie one request's background compile from
+    its enqueue (on the requesting lane) to its install (on whatever
+    request harvests it). *)
+type span_ph = Ph_complete | Ph_flow_start | Ph_flow_finish
 
 type span = {
   sp_name : string;  (** e.g. ["interpret"], ["pass:gvn"], ["native"] *)
@@ -207,6 +236,11 @@ type span = {
   sp_depth : int;  (** nesting depth when the span was opened (0 = root) *)
   sp_args : (string * string) list;
       (** extra Chrome-trace args: (key, already-rendered JSON value) *)
+  sp_ph : span_ph;  (** [Ph_complete] outside flow stitching *)
+  sp_flow : int;  (** flow id tying a start to its finish; 0 = none *)
+  sp_trace : int;  (** requesting trace id; 0 = no request context *)
+  sp_lane : int;  (** Perfetto tid (the request lane); 0 renders as 1 *)
+  sp_pid : int;  (** Perfetto pid (the isolate); 0 renders as 1 *)
 }
 (** A completed engine-lifecycle interval on the deterministic model-cycle
     clock (never wall time: traces are byte-reproducible). *)
@@ -217,8 +251,9 @@ val span_to_string : span -> string
 (** One indented human-readable line per span. *)
 
 val span_to_chrome_json : span -> string
-(** One Chrome trace-event object (a ["ph":"X"] complete event); a file of
-    these wrapped as [{"traceEvents":[...]}] loads in Perfetto. *)
+(** One Chrome trace-event object (["ph":"X"] for complete spans,
+    ["s"]/["f"] with a shared ["id"] for flow stitches); a file of these
+    wrapped as [{"traceEvents":[...]}] loads in Perfetto. *)
 
 (** {1 Sinks} *)
 
@@ -341,6 +376,9 @@ module Key : sig
       name, e.g. ["faults.fired.exec_guard"]. The argument is a
       [Faults.point_to_string] name (telemetry sits below the faults
       library, so the point crosses as a string). *)
+
+  val telemetry_dropped : string
+  (** events a bounded ring sink overwrote ({!ring_counted_sink}) *)
 end
 
 (** Named monotonic counters, per-function and global. A per-function
@@ -417,6 +455,12 @@ val set_default_span_sinks : span_sink list -> unit
 val with_default_span_sinks : span_sink list -> (unit -> 'a) -> 'a
 (** Run [f] with this domain's {!default_span_sinks} temporarily
     replaced. *)
+
+val ring_counted_sink : Ring.t -> Counters.t -> sink
+(** {!Ring.sink} that additionally bumps {!Key.telemetry_dropped} in the
+    given registry every time the write overwrites a still-buffered event,
+    so bounded-buffer losses are accounted for instead of silent. The
+    counter always agrees with {!Ring.dropped}. *)
 
 val counting_sink : Counters.t -> sink
 (** A sink that folds the event stream into [c]: one per-function bump per

@@ -1,0 +1,259 @@
+(* Metrics-registry tests: the exact histogram (nearest-rank quantiles
+   bit-for-bit equal to sorting the observations and indexing, lossless
+   associative merge, the log-bucket export projection), rolling-window
+   rates, and the registry itself (counter/gauge/histogram/rate cells,
+   deterministic merge, the Prometheus/JSON/dashboard exports). *)
+
+open Support
+
+(* The reference the histogram must reproduce exactly: the service
+   layer's original nearest-rank percentile over the sorted array. *)
+let ref_percentile values p =
+  let sorted = Array.of_list values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(min (n - 1) (max 0 rank))
+  end
+
+let hist_of values =
+  let h = Metrics.Hist.create () in
+  List.iter (Metrics.Hist.observe h) values;
+  h
+
+let sample_values prng n bound = List.init n (fun _ -> Prng.int prng bound)
+
+let quantile_points = [ 0.0; 0.01; 0.25; 0.50; 0.75; 0.90; 0.95; 0.99; 1.0 ]
+
+let test_quantile_matches_reference () =
+  let prng = Prng.create 42 in
+  List.iter
+    (fun n ->
+      let values = sample_values prng n 5000 in
+      let h = hist_of values in
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d p=%.2f" n p)
+            (ref_percentile values p) (Metrics.Hist.quantile h p))
+        quantile_points)
+    [ 1; 2; 3; 7; 10; 100; 999 ]
+
+let test_empty_histogram () =
+  let h = Metrics.Hist.create () in
+  Alcotest.(check int) "count" 0 (Metrics.Hist.count h);
+  Alcotest.(check int) "sum" 0 (Metrics.Hist.sum h);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "empty quantile is 0 (the serve convention)" 0
+        (Metrics.Hist.quantile h p))
+    quantile_points;
+  Alcotest.(check bool) "buckets: just +Inf" true
+    (Metrics.Hist.buckets h = [ (None, 0) ])
+
+let test_one_sample () =
+  let h = hist_of [ 17 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "every quantile is the sample" 17 (Metrics.Hist.quantile h p))
+    quantile_points;
+  Alcotest.(check int) "min" 17 (Metrics.Hist.min_value h);
+  Alcotest.(check int) "max" 17 (Metrics.Hist.max_value h)
+
+(* The merge is a lossless multiset union: associative, commutative, and
+   equal to having observed everything into one histogram. *)
+let test_merge_associative_and_lossless () =
+  let prng = Prng.create 7 in
+  let a = sample_values prng 57 400 in
+  let b = sample_values prng 23 40000 in
+  let c = sample_values prng 111 13 in
+  let cells h = Metrics.Hist.values h in
+  let ab_c = Metrics.Hist.merge (Metrics.Hist.merge (hist_of a) (hist_of b)) (hist_of c) in
+  let a_bc = Metrics.Hist.merge (hist_of a) (Metrics.Hist.merge (hist_of b) (hist_of c)) in
+  let ba = Metrics.Hist.merge (hist_of b) (hist_of a) in
+  let serial = hist_of (a @ b @ c) in
+  Alcotest.(check bool) "associative" true (cells ab_c = cells a_bc);
+  Alcotest.(check bool) "commutative" true
+    (cells ba = cells (Metrics.Hist.merge (hist_of a) (hist_of b)));
+  Alcotest.(check bool) "merge equals serial observation" true (cells ab_c = cells serial);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "quantiles survive the merge"
+        (ref_percentile (a @ b @ c) p)
+        (Metrics.Hist.quantile ab_c p))
+    quantile_points;
+  (* merge_into agrees with merge. *)
+  let into = hist_of a in
+  Metrics.Hist.merge_into ~into (hist_of b);
+  Alcotest.(check bool) "merge_into" true
+    (cells into = cells (Metrics.Hist.merge (hist_of a) (hist_of b)))
+
+let test_buckets_projection () =
+  let h = hist_of [ 1; 2; 3; 900; 5 ] in
+  let buckets = Metrics.Hist.buckets h in
+  (* Cumulative and ending at +Inf = count. *)
+  let rec check_monotone prev = function
+    | [] -> Alcotest.fail "no +Inf bucket"
+    | [ (None, c) ] -> Alcotest.(check int) "+Inf equals count" (Metrics.Hist.count h) c
+    | (Some _, c) :: rest ->
+      Alcotest.(check bool) "cumulative" true (c >= prev);
+      check_monotone c rest
+    | (None, _) :: _ -> Alcotest.fail "+Inf bucket not last"
+  in
+  check_monotone 0 buckets;
+  (* Upper bounds are 0 then powers of two covering the max value. *)
+  let les = List.filter_map fst buckets in
+  (match les with
+  | 0 :: rest ->
+    List.iteri
+      (fun i le -> Alcotest.(check int) "power of two" (1 lsl i) le)
+      rest
+  | _ -> Alcotest.fail "first bound is not 0");
+  Alcotest.(check bool) "bounds cover the max" true
+    (List.exists (fun le -> le >= 900) les)
+
+(* --- rates ----------------------------------------------------------- *)
+
+let test_rate_window () =
+  let r = Metrics.Rate.create ~window:100 in
+  Metrics.Rate.tick r ~now:10;
+  Metrics.Rate.tick ~n:3 r ~now:50;
+  Metrics.Rate.tick r ~now:105;
+  (* Window is (last - 100, last] = (5, 105]: everything counts. *)
+  Alcotest.(check int) "all inside" 5 (Metrics.Rate.current r);
+  Metrics.Rate.tick r ~now:160;
+  (* (60, 160]: the ticks at 10 and 50 have aged out. *)
+  Alcotest.(check int) "old ticks age out" 2 (Metrics.Rate.current r);
+  Alcotest.(check (float 1e-9)) "per Mcycle" (2e6 /. 100.0) (Metrics.Rate.per_mcycle r)
+
+(* --- the registry ---------------------------------------------------- *)
+
+let test_registry_cells () =
+  let m = Metrics.create () in
+  let l = [ ("isolate", "0") ] in
+  Metrics.inc m "req" l;
+  Metrics.inc ~n:4 m "req" l;
+  Alcotest.(check int) "counter" 5 (Metrics.get_counter m "req" l);
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.get_counter m "req" [ ("isolate", "1") ]);
+  Metrics.max_gauge m "depth" l 3;
+  Metrics.max_gauge m "depth" l 1;
+  Alcotest.(check int) "max gauge keeps the high-water mark" 3 (Metrics.get_gauge m "depth" l);
+  Metrics.set_gauge m "depth" l 2;
+  Alcotest.(check int) "set gauge overwrites" 2 (Metrics.get_gauge m "depth" l);
+  Metrics.observe m "lat" l 10;
+  Metrics.observe m "lat" l 30;
+  (match Metrics.find_hist m "lat" l with
+  | Some h -> Alcotest.(check int) "histogram cell" 2 (Metrics.Hist.count h)
+  | None -> Alcotest.fail "histogram not registered");
+  (* Labels canonicalize: order does not matter. *)
+  Metrics.inc m "multi" [ ("b", "2"); ("a", "1") ];
+  Alcotest.(check int) "label order canonicalized" 1
+    (Metrics.get_counter m "multi" [ ("a", "1"); ("b", "2") ])
+
+let test_registry_merge () =
+  let a = Metrics.create () in
+  let b = Metrics.create () in
+  let l0 = [ ("isolate", "0") ] and l1 = [ ("isolate", "1") ] in
+  Metrics.inc ~n:2 a "req" l0;
+  Metrics.inc ~n:3 b "req" l0;
+  Metrics.inc b "req" l1;
+  Metrics.max_gauge a "depth" l0 5;
+  Metrics.max_gauge b "depth" l0 3;
+  Metrics.observe a "lat" l0 10;
+  Metrics.observe b "lat" l0 20;
+  let m = Metrics.create () in
+  Metrics.merge_into ~into:m a;
+  Metrics.merge_into ~into:m b;
+  Alcotest.(check int) "counters add" 5 (Metrics.get_counter m "req" l0);
+  Alcotest.(check int) "disjoint labels survive" 1 (Metrics.get_counter m "req" l1);
+  Alcotest.(check int) "gauges keep the max" 5 (Metrics.get_gauge m "depth" l0);
+  match Metrics.find_hist m "lat" l0 with
+  | Some h ->
+    Alcotest.(check bool) "histograms union" true
+      (Metrics.Hist.values h = [ (10, 1); (20, 1) ])
+  | None -> Alcotest.fail "merged histogram missing"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_exports () =
+  let m = Metrics.create () in
+  let l = [ ("isolate", "0"); ("policy", "paper") ] in
+  Metrics.inc ~n:7 m "serve.requests" l;
+  Metrics.observe m "serve.latency.cycles" l 12;
+  Metrics.observe m "serve.latency.cycles" l 90;
+  Metrics.tick_rate ~n:2 m "serve.arrivals" l ~window:1000 ~now:500;
+  let prom = Metrics.to_prometheus m in
+  Alcotest.(check bool) "TYPE lines" true
+    (contains ~sub:"# TYPE serve_requests counter" prom
+    && contains ~sub:"# TYPE serve_latency_cycles histogram" prom);
+  Alcotest.(check bool) "sanitized sample with labels" true
+    (contains ~sub:{|serve_requests{isolate="0",policy="paper"} 7|} prom);
+  Alcotest.(check bool) "+Inf bucket" true (contains ~sub:{|le="+Inf"|} prom);
+  Alcotest.(check bool) "histogram count" true
+    (contains ~sub:{|serve_latency_cycles_count{isolate="0",policy="paper"} 2|} prom);
+  let json = Metrics.snapshot_json ~cycle:123 m in
+  Alcotest.(check bool) "snapshot schema + cycle" true
+    (contains ~sub:{|"schema":"vs-metrics/1"|} json && contains ~sub:{|"cycle":123|} json);
+  Alcotest.(check bool) "snapshot is one line" true
+    (not (String.contains json '\n'));
+  let top = Metrics.render_top m in
+  Alcotest.(check bool) "dashboard mentions the metrics" true
+    (contains ~sub:"serve.requests" top && contains ~sub:"serve.latency.cycles" top)
+
+(* Byte-determinism of the exports under merge order is what the CLI
+   relies on: merging [a] into [b]'s clone must render the same text as
+   observing serially. *)
+let test_export_deterministic_under_merge () =
+  let observe_all m =
+    List.iter
+      (fun (name, l, v) -> Metrics.observe m name l v)
+      [
+        ("lat", [ ("i", "0") ], 5);
+        ("lat", [ ("i", "1") ], 7);
+        ("lat", [ ("i", "0") ], 5);
+        ("lat", [ ("i", "1") ], 1);
+      ]
+  in
+  let serial = Metrics.create () in
+  observe_all serial;
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.observe a "lat" [ ("i", "0") ] 5;
+  Metrics.observe a "lat" [ ("i", "1") ] 7;
+  Metrics.observe b "lat" [ ("i", "0") ] 5;
+  Metrics.observe b "lat" [ ("i", "1") ] 1;
+  let merged = Metrics.create () in
+  Metrics.merge_into ~into:merged a;
+  Metrics.merge_into ~into:merged b;
+  Alcotest.(check string) "prometheus text identical" (Metrics.to_prometheus serial)
+    (Metrics.to_prometheus merged);
+  Alcotest.(check string) "snapshot identical"
+    (Metrics.snapshot_json ~cycle:9 serial)
+    (Metrics.snapshot_json ~cycle:9 merged)
+
+let suites =
+  [
+    ( "metrics.hist",
+      [
+        Alcotest.test_case "nearest-rank quantiles match the reference" `Quick
+          test_quantile_matches_reference;
+        Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
+        Alcotest.test_case "one sample" `Quick test_one_sample;
+        Alcotest.test_case "merge: associative, commutative, lossless" `Quick
+          test_merge_associative_and_lossless;
+        Alcotest.test_case "log-bucket projection" `Quick test_buckets_projection;
+      ] );
+    ( "metrics.registry",
+      [
+        Alcotest.test_case "rate window" `Quick test_rate_window;
+        Alcotest.test_case "cells" `Quick test_registry_cells;
+        Alcotest.test_case "merge" `Quick test_registry_merge;
+        Alcotest.test_case "exports" `Quick test_exports;
+        Alcotest.test_case "exports deterministic under merge" `Quick
+          test_export_deterministic_under_merge;
+      ] );
+  ]

@@ -342,6 +342,160 @@ let test_jobs_deterministic () =
   let parallel = run 4 in
   Alcotest.(check bool) "whole summary identical at --jobs 4 vs 1" true (serial = parallel)
 
+(* --- observability ---------------------------------------------------- *)
+
+let obs_all_on =
+  {
+    Serve.obs_trace = true;
+    obs_metrics = true;
+    obs_metrics_every = 100_000;
+    obs_flight = true;
+    obs_flight_capacity = 64;
+    obs_flight_max_dumps = 4;
+  }
+
+(* A second fixture with background compilation on — the config the bg
+   recycle test uses, so the latency profile differs from the smoke. *)
+let bg_chaos_config () =
+  Serve.default_config ~isolates:2 ~requests:120 ~tenants:5 ~capacity:4
+    ~queue_deadline:150_000 ~deadline:120_000 ~retries:2 ~backoff:2_000
+    ~overload_depth:2 ~mean_gap:12_000 ~crash_fraction:0.08 ~seed:20130223 ~chaos:7
+    ~engine:
+      (Engine.default_config ~opt:Pipeline.all_on ~policy:Policy.Polyvariant
+         ~cache_size:4 ~bg_compile:true ())
+    ()
+
+(* The service's original percentile computation, kept as the reference
+   the metrics histogram must reproduce bit for bit. *)
+let ref_percentile latencies p =
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(min (n - 1) (max 0 rank))
+  end
+
+let test_histogram_exactness_on_fixtures () =
+  List.iter
+    (fun (name, cfg) ->
+      let s = Serve.run cfg in
+      let served =
+        List.filter_map
+          (fun r -> if r.Serve.rr_outcome = Serve.Served then Some r.Serve.rr_latency else None)
+          s.Serve.sm_records
+      in
+      Alcotest.(check bool) (name ^ ": fixture serves requests") true (served <> []);
+      List.iter
+        (fun (what, p, got) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s bit-for-bit" name what)
+            (ref_percentile served p) got)
+        [
+          ("p50", 0.50, s.Serve.sm_p50);
+          ("p95", 0.95, s.Serve.sm_p95);
+          ("p99", 0.99, s.Serve.sm_p99);
+        ])
+    [
+      ("smoke", Serve.smoke_config ());
+      ("bg-chaos", bg_chaos_config ());
+      ( "tiny",
+        Serve.default_config ~isolates:1 ~requests:3 ~tenants:1 ~mean_gap:50_000
+          ~seed:11 () );
+    ]
+
+let test_obs_on_leaves_summary_unchanged () =
+  let base = Serve.smoke_config () in
+  let off = Serve.run base in
+  let on, obs = Serve.run_full { base with Serve.obs = obs_all_on } in
+  Alcotest.(check bool) "summary identical with every observer attached" true (off = on);
+  Alcotest.(check bool) "spans were captured" true (obs.Serve.or_spans <> []);
+  Alcotest.(check bool) "metrics were captured" true (Option.is_some obs.Serve.or_metrics);
+  Alcotest.(check bool) "snapshots were captured" true (obs.Serve.or_snapshots <> []);
+  Alcotest.(check bool) "the chaos scenario triggered post-mortems" true
+    (obs.Serve.or_flights <> [])
+
+let test_obs_artifacts_jobs_deterministic () =
+  let cfg = { (Serve.smoke_config ()) with Serve.obs = obs_all_on } in
+  let run jobs = at_jobs jobs (fun () -> Serve.run_full cfg) in
+  let s1, o1 = run 1 in
+  let s4, o4 = run 4 in
+  Alcotest.(check bool) "summary identical" true (s1 = s4);
+  Alcotest.(check bool) "spans identical" true (o1.Serve.or_spans = o4.Serve.or_spans);
+  Alcotest.(check bool) "snapshots identical" true
+    (o1.Serve.or_snapshots = o4.Serve.or_snapshots);
+  Alcotest.(check bool) "flight dumps identical" true
+    (o1.Serve.or_flights = o4.Serve.or_flights);
+  (* The rendered forms too: what the CLI writes to disk. *)
+  let jsonl o =
+    List.concat_map (fun (_, d) -> Flight.dump_jsonl d) o.Serve.or_flights
+  in
+  Alcotest.(check (list string)) "flight JSONL identical" (jsonl o1) (jsonl o4);
+  let prom o =
+    match o.Serve.or_metrics with Some m -> Metrics.to_prometheus m | None -> ""
+  in
+  Alcotest.(check string) "prometheus text identical" (prom o1) (prom o4)
+
+let test_request_spans_stitchable () =
+  (* The bg fixture: background compiles are what the flow events stitch. *)
+  let cfg = { (bg_chaos_config ()) with Serve.obs = obs_all_on } in
+  let s, obs = Serve.run_full cfg in
+  let spans = obs.Serve.or_spans in
+  (* Every request record has exactly one "request" span, stamped with
+     its trace context: trace id rq_id + 1, lane = trace. *)
+  let request_spans =
+    List.filter
+      (fun sp -> sp.Telemetry.sp_name = "request" && sp.Telemetry.sp_ph = Telemetry.Ph_complete)
+      spans
+  in
+  Alcotest.(check int) "one request span per record"
+    (List.length s.Serve.sm_records)
+    (List.length request_spans);
+  List.iter
+    (fun sp ->
+      Alcotest.(check int) "trace id is rq_id + 1" (sp.Telemetry.sp_fid + 1)
+        sp.Telemetry.sp_trace;
+      Alcotest.(check int) "lane is the trace id" sp.Telemetry.sp_trace
+        sp.Telemetry.sp_lane)
+    request_spans;
+  (* Engine-side spans executed on behalf of a request carry its trace. *)
+  Alcotest.(check bool) "engine spans are stamped with request traces" true
+    (List.exists
+       (fun sp -> sp.Telemetry.sp_cat <> "serve" && sp.Telemetry.sp_trace > 0)
+       spans);
+  (* Flow stitches balance: every flow id has exactly one start and one
+     finish, in timestamp order. *)
+  let flows = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      match sp.Telemetry.sp_ph with
+      | Telemetry.Ph_complete -> ()
+      | Telemetry.Ph_flow_start | Telemetry.Ph_flow_finish ->
+        let starts, finishes, first_start, last_finish =
+          Option.value
+            (Hashtbl.find_opt flows sp.Telemetry.sp_flow)
+            ~default:(0, 0, max_int, min_int)
+        in
+        let cell =
+          if sp.Telemetry.sp_ph = Telemetry.Ph_flow_start then
+            (starts + 1, finishes, min first_start sp.Telemetry.sp_start, last_finish)
+          else (starts, finishes + 1, first_start, max last_finish sp.Telemetry.sp_start)
+        in
+        Hashtbl.replace flows sp.Telemetry.sp_flow cell)
+    spans;
+  Alcotest.(check bool) "background compiles produced flows" true
+    (Hashtbl.length flows > 0);
+  Hashtbl.iter
+    (fun id (starts, finishes, first_start, last_finish) ->
+      Alcotest.(check int) (Printf.sprintf "flow %d: one start" id) 1 starts;
+      Alcotest.(check int) (Printf.sprintf "flow %d: one finish" id) 1 finishes;
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d: begin before end" id)
+        true
+        (first_start <= last_finish))
+    flows
+
 let suites =
   [
     ( "serve.deadlines",
@@ -384,5 +538,16 @@ let suites =
       [
         Alcotest.test_case "overload invariants" `Quick test_smoke_invariants;
         Alcotest.test_case "jobs 4 = jobs 1" `Quick test_jobs_deterministic;
+      ] );
+    ( "serve.obs",
+      [
+        Alcotest.test_case "histogram exactness on the fixtures" `Quick
+          test_histogram_exactness_on_fixtures;
+        Alcotest.test_case "observers leave the summary unchanged" `Quick
+          test_obs_on_leaves_summary_unchanged;
+        Alcotest.test_case "artifacts identical at jobs 4 vs 1" `Quick
+          test_obs_artifacts_jobs_deterministic;
+        Alcotest.test_case "request spans stitch by trace id" `Quick
+          test_request_spans_stitchable;
       ] );
   ]
